@@ -1,0 +1,45 @@
+//! End-to-end annotation benchmarks (Figure 7): collective inference vs
+//! the LCA/Majority baselines, per table, at both noise presets.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use webtable_bench::{fixture, tables};
+use webtable_core::{annotate_simple, lca, majority, AnnotatorConfig, Weights};
+use webtable_tables::NoiseConfig;
+
+fn bench_collective(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("annotate/collective");
+    g.sample_size(10);
+    for (label, noise) in [("wiki", NoiseConfig::wiki()), ("web", NoiseConfig::web())] {
+        let lt = &tables(1, 25, noise, 17)[0];
+        g.bench_with_input(BenchmarkId::from_parameter(label), &lt.table, |b, table| {
+            b.iter(|| f.annotator.annotate(black_box(table)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnnotatorConfig::default();
+    let weights = Weights::default();
+    let lt = &tables(1, 25, NoiseConfig::web(), 18)[0];
+    let catalog = &f.world.catalog;
+    let index = &f.annotator.index;
+    let mut g = c.benchmark_group("annotate/algorithm");
+    g.sample_size(10);
+    g.bench_function("collective", |b| b.iter(|| f.annotator.annotate(black_box(&lt.table))));
+    g.bench_function("simple_fig2", |b| {
+        b.iter(|| annotate_simple(catalog, index, &cfg, &weights, black_box(&lt.table)))
+    });
+    g.bench_function("lca", |b| {
+        b.iter(|| lca(catalog, index, &cfg, &weights, black_box(&lt.table)))
+    });
+    g.bench_function("majority", |b| {
+        b.iter(|| majority(catalog, index, &cfg, &weights, black_box(&lt.table)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_collective, bench_algorithms);
+criterion_main!(benches);

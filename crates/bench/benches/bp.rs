@@ -1,0 +1,98 @@
+//! Belief-propagation benchmarks (§4.4.2, Appendix D): model build and
+//! message passing as the table grows — supporting Figure 7's claim that
+//! inference is <1% of annotation time, and DESIGN.md's pruning ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use webtable_bench::{fixture, tables};
+use webtable_core::{AnnotatorConfig, TableCandidates, TableModel, Weights};
+use webtable_factorgraph::{propagate, BpOptions, FactorGraph};
+use webtable_tables::NoiseConfig;
+
+fn bench_propagate_rows(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnnotatorConfig::default();
+    let weights = Weights::default();
+    let mut g = c.benchmark_group("bp/propagate_by_rows");
+    g.sample_size(20);
+    for rows in [5usize, 20, 50] {
+        let lt = &tables(1, rows, NoiseConfig::wiki(), 3 + rows as u64)[0];
+        let cands = TableCandidates::build(&f.world.catalog, &f.annotator.index, &lt.table, &cfg);
+        let model = TableModel::build(&f.world.catalog, &cfg, &weights, &lt.table, cands);
+        g.bench_with_input(BenchmarkId::from_parameter(rows), model.graph(), |b, graph| {
+            let opts = BpOptions::default();
+            b.iter(|| propagate(black_box(graph), &opts))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: type candidate budget (DESIGN.md decision 1) — the dominant
+/// factor-table dimension.
+fn bench_model_build_type_k(c: &mut Criterion) {
+    let f = fixture();
+    let weights = Weights::default();
+    let lt = &tables(1, 20, NoiseConfig::wiki(), 41)[0];
+    let mut g = c.benchmark_group("bp/model_build_type_k");
+    g.sample_size(20);
+    for type_k in [16usize, 64, 128] {
+        let cfg = AnnotatorConfig { type_k, ..Default::default() };
+        let cands = TableCandidates::build(&f.world.catalog, &f.annotator.index, &lt.table, &cfg);
+        g.bench_with_input(BenchmarkId::from_parameter(type_k), &cands, |b, cands| {
+            b.iter(|| {
+                TableModel::build(
+                    black_box(&f.world.catalog),
+                    &cfg,
+                    &weights,
+                    &lt.table,
+                    cands.clone(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_synthetic_grid(c: &mut Criterion) {
+    // A pure factor-graph benchmark independent of the annotator: the
+    // Figure 10 topology at growing sizes.
+    let mut g = c.benchmark_group("bp/synthetic_grid");
+    g.sample_size(30);
+    for &(rows, ents, types) in &[(10usize, 8usize, 32usize), (30, 8, 64)] {
+        let mut graph = FactorGraph::new();
+        let t1 = graph.add_var(types);
+        let t2 = graph.add_var(types);
+        let b12 = graph.add_var(6);
+        for r in 0..rows {
+            let e1 = graph.add_var(ents);
+            let e2 = graph.add_var(ents);
+            graph.add_factor_with(&[t1, e1], |idx| ((idx[0] + idx[1]) % 7) as f64 * 0.1);
+            graph.add_factor_with(&[t2, e2], |idx| ((idx[0] * idx[1]) % 5) as f64 * 0.1);
+            graph.add_factor_with(&[b12, e1, e2], move |idx| {
+                if idx[0] == r % 6 && idx[1] == idx[2] {
+                    0.4
+                } else {
+                    0.0
+                }
+            });
+        }
+        graph.add_factor_with(&[b12, t1, t2], |idx| {
+            if idx[0] > 0 && idx[1] == idx[2] {
+                0.6
+            } else {
+                0.0
+            }
+        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{ents}x{types}")),
+            &graph,
+            |b, graph| {
+                let opts = BpOptions::default();
+                b.iter(|| propagate(black_box(graph), &opts))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_propagate_rows, bench_model_build_type_k, bench_synthetic_grid);
+criterion_main!(benches);

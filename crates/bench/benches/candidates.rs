@@ -1,0 +1,66 @@
+//! Candidate-generation benchmarks (§4.3): the lemma-index probe path
+//! that Figure 7's drill-down attributes ~80% of annotation time to.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use webtable_bench::{fixture, tables};
+use webtable_core::{AnnotatorConfig, TableCandidates};
+use webtable_tables::NoiseConfig;
+
+fn bench_index_probe(c: &mut Criterion) {
+    let f = fixture();
+    let index = &f.annotator.index;
+    let mut g = c.benchmark_group("candidates/index_probe");
+    for (label, text) in [
+        ("exact_person", "Albert Einstein"),
+        ("surname_only", "Einstein"),
+        ("long_title", "The Secret of the Old Clock and Other Mysteries"),
+        ("numeric", "1984"),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &text, |b, text| {
+            let doc = index.doc(text);
+            b.iter(|| index.entity_candidates(black_box(&doc), 8))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_candidates(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnnotatorConfig::default();
+    let mut g = c.benchmark_group("candidates/table");
+    g.sample_size(20);
+    for rows in [5usize, 20, 50] {
+        let lt = &tables(1, rows, NoiseConfig::web(), 7 + rows as u64)[0];
+        g.bench_with_input(BenchmarkId::from_parameter(rows), &lt.table, |b, table| {
+            b.iter(|| {
+                TableCandidates::build(
+                    black_box(&f.world.catalog),
+                    black_box(&f.annotator.index),
+                    black_box(table),
+                    &cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: entity candidate budget `K` (DESIGN.md decision 1).
+fn bench_entity_k_sweep(c: &mut Criterion) {
+    let f = fixture();
+    let lt = &tables(1, 20, NoiseConfig::web(), 99)[0];
+    let mut g = c.benchmark_group("candidates/entity_k");
+    g.sample_size(20);
+    for k in [4usize, 8, 16, 32] {
+        let cfg = AnnotatorConfig { entity_k: k, ..Default::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
+            b.iter(|| {
+                TableCandidates::build(&f.world.catalog, &f.annotator.index, &lt.table, cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_index_probe, bench_table_candidates, bench_entity_k_sweep);
+criterion_main!(benches);

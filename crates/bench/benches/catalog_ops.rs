@@ -1,0 +1,47 @@
+//! Catalog probe benchmarks (§4.2.3): the structural queries behind `f3`
+//! and the candidate spaces — `dist`, subtype checks, extent overlaps,
+//! missing-link relatedness (memoized vs cold).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webtable_bench::fixture;
+use webtable_catalog::EntityId;
+
+fn bench_catalog_ops(c: &mut Criterion) {
+    let f = fixture();
+    let cat = &f.world.catalog;
+    let person = cat.type_named("person").expect("person type");
+    let movie = cat.type_named("movie").expect("movie type");
+    let e = EntityId(cat.num_entities() as u32 / 2);
+    let direct = cat.entity(e).direct_types[0];
+
+    let mut g = c.benchmark_group("catalog");
+    g.bench_function("dist", |b| b.iter(|| cat.dist(black_box(e), black_box(person))));
+    g.bench_function("is_subtype", |b| {
+        b.iter(|| cat.is_subtype(black_box(direct), black_box(person)))
+    });
+    g.bench_function("types_of", |b| b.iter(|| cat.types_of(black_box(e)).len()));
+    g.bench_function("extent_overlap_large", |b| {
+        b.iter(|| cat.extent_overlap(black_box(person), black_box(movie)))
+    });
+    g.bench_function("missing_link_relatedness_memoized", |b| {
+        // First call warms the memo; steady-state is what annotation sees.
+        let t = person;
+        cat.missing_link_relatedness(e, t);
+        b.iter(|| cat.missing_link_relatedness(black_box(e), black_box(t)))
+    });
+    g.bench_function("specificity", |b| b.iter(|| cat.specificity(black_box(movie))));
+    g.finish();
+}
+
+fn bench_lemma_index_build(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("catalog/index_build");
+    g.sample_size(10);
+    g.bench_function("full_world", |b| {
+        b.iter(|| webtable_text::LemmaIndex::build(black_box(&f.world.catalog)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_catalog_ops, bench_lemma_index_build);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Similarity-kernel micro-benchmarks (§4.2.1).
+//!
+//! These kernels run once per (cell, candidate lemma) pair and dominate
+//! annotation time (Figure 7's drill-down), so their per-call cost is the
+//! system's most important constant factor.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webtable_bench::fixture;
+use webtable_text::{sim, SimEngineBuilder};
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut b = SimEngineBuilder::new();
+    for s in [
+        "Albert Einstein",
+        "Relativity: The Special and the General Theory",
+        "Uncle Albert and the Quantum Quest",
+        "Russell Stannard",
+        "The Time and Space of Uncle Albert",
+    ] {
+        b.add_document(s);
+    }
+    let engine = b.freeze();
+    let a = engine.doc("Relativity: The Special and the General Theory");
+    let q = engine.doc("The Special and General Theory of Relativty"); // typo'd
+
+    let mut g = c.benchmark_group("similarity");
+    g.bench_function("tfidf_cosine", |bench| {
+        bench.iter(|| webtable_text::cosine(black_box(&a.vec), black_box(&q.vec)))
+    });
+    g.bench_function("jaccard_tokens", |bench| {
+        bench.iter(|| sim::jaccard(black_box(&a.token_set), black_box(&q.token_set)))
+    });
+    g.bench_function("jaro_winkler", |bench| {
+        bench.iter(|| sim::jaro_winkler(black_box(&a.norm), black_box(&q.norm)))
+    });
+    g.bench_function("levenshtein", |bench| {
+        bench.iter(|| sim::levenshtein(black_box(&a.norm), black_box(&q.norm)))
+    });
+    g.bench_function("full_profile", |bench| {
+        bench.iter(|| engine.profile(black_box(&a), black_box(&q)))
+    });
+    g.finish();
+}
+
+fn bench_profile_against_entity(c: &mut Criterion) {
+    let f = fixture();
+    let index = &f.annotator.index;
+    let e = webtable_catalog::EntityId(100);
+    let q = index.doc(f.world.catalog.entity_name(e));
+    c.bench_function("similarity/entity_profile_best_lemma", |bench| {
+        bench.iter(|| index.entity_profile(black_box(&q), black_box(e)))
+    });
+}
+
+criterion_group!(benches, bench_similarity, bench_profile_against_entity);
+criterion_main!(benches);

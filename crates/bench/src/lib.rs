@@ -1,0 +1,58 @@
+//! # webtable-bench
+//!
+//! Shared fixtures for the Criterion micro-benchmarks. Each bench target
+//! measures one cost that the paper's evaluation rests on:
+//!
+//! | bench target | paper artifact it supports |
+//! |--------------|----------------------------|
+//! | `similarity` | §4.2.1 feature kernels (the 80%-of-runtime claim, Fig. 7) |
+//! | `candidates` | §4.3 candidate generation / lemma-index probes |
+//! | `bp`         | §4.4.2 message passing (the <1%-of-runtime claim, Fig. 7) |
+//! | `annotate`   | Fig. 7 end-to-end per-table cost, collective vs baselines |
+//! | `search`     | §5/Fig. 9 query latency: baseline vs typed processors |
+//! | `catalog`    | §4.2.3 catalog probes: `dist`, extents, relatedness |
+
+use std::sync::{Arc, OnceLock};
+
+use webtable_catalog::{generate_world, World, WorldConfig};
+use webtable_core::Annotator;
+use webtable_tables::{LabeledTable, NoiseConfig, TableGenerator, TruthMask};
+
+/// A lazily-built shared fixture: default-scale world + annotator.
+pub struct Fixture {
+    /// The synthetic world.
+    pub world: World,
+    /// Annotator over the published catalog (index prebuilt).
+    pub annotator: Annotator,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+/// Returns the process-wide fixture, building it on first use.
+pub fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let world = generate_world(&WorldConfig::default()).expect("world");
+        let annotator = Annotator::new(Arc::clone(&world.catalog));
+        Fixture { world, annotator }
+    })
+}
+
+/// Generates `n` labeled tables with the given noise preset.
+pub fn tables(n: usize, rows: usize, noise: NoiseConfig, seed: u64) -> Vec<LabeledTable> {
+    let f = fixture();
+    let mut g = TableGenerator::new(&f.world, noise, TruthMask::full(), seed);
+    g.gen_corpus(n, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_once() {
+        let a = fixture();
+        let b = fixture();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.world.catalog.num_entities() > 1000);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for catalog construction and persistence.
+
+use std::fmt;
+
+/// Errors raised while building, validating, or (de)serializing a catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A subtype edge would create a cycle in the type DAG.
+    CyclicTypeHierarchy {
+        /// Name of a type participating in the cycle.
+        type_name: String,
+    },
+    /// A referenced type name/id does not exist.
+    UnknownType(String),
+    /// A referenced entity name/id does not exist.
+    UnknownEntity(String),
+    /// A referenced relation name/id does not exist.
+    UnknownRelation(String),
+    /// Two catalog objects of the same kind share a canonical name.
+    DuplicateName {
+        /// Which kind of object ("type", "entity", "relation").
+        kind: &'static str,
+        /// The offending canonical name.
+        name: String,
+    },
+    /// A relation tuple's member is not an instance of the schema type.
+    SchemaViolation {
+        /// Relation name.
+        relation: String,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A persisted catalog file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// An underlying I/O error (message only, to keep the error `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::CyclicTypeHierarchy { type_name } => {
+                write!(f, "type hierarchy contains a cycle through `{type_name}`")
+            }
+            CatalogError::UnknownType(name) => write!(f, "unknown type `{name}`"),
+            CatalogError::UnknownEntity(name) => write!(f, "unknown entity `{name}`"),
+            CatalogError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            CatalogError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name `{name}`")
+            }
+            CatalogError::SchemaViolation { relation, detail } => {
+                write!(f, "schema violation in relation `{relation}`: {detail}")
+            }
+            CatalogError::Parse { line, detail } => {
+                write!(f, "catalog parse error at line {line}: {detail}")
+            }
+            CatalogError::Io(msg) => write!(f, "catalog i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<std::io::Error> for CatalogError {
+    fn from(e: std::io::Error) -> Self {
+        CatalogError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_offender() {
+        let e = CatalogError::UnknownType("Physicist".into());
+        assert!(e.to_string().contains("Physicist"));
+        let e = CatalogError::DuplicateName { kind: "entity", name: "X".into() };
+        assert!(e.to_string().contains("duplicate entity"));
+        let e = CatalogError::Parse { line: 12, detail: "bad field".into() };
+        assert!(e.to_string().contains("line 12"));
+    }
+}

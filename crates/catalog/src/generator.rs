@@ -1,0 +1,1267 @@
+//! Synthetic world generator: the repository's stand-in for YAGO.
+//!
+//! The paper annotates against YAGO 2008-w40-2 (1.94M entities, 249k types,
+//! 99 relations) — a resource we cannot ship. Instead we generate a world
+//! whose *hardness knobs* match what makes the paper's problem hard:
+//!
+//! * **lemma ambiguity** — people share surnames, film adaptations share
+//!   their novel's title, cities reuse surnames, countries lend their name
+//!   to languages; the generator is tuned so a surname-only mention has on
+//!   the order of 7–8 candidate entities, the band reported in §6.1.1;
+//! * **Wikipedia-style micro-categories** — year categories ("1951 novels"),
+//!   genre categories, series categories, nationality categories — which
+//!   give the type DAG the depth/fan-out that breaks the LCA baseline;
+//! * **catalog incompleteness** — a configurable fraction of `∈` and `⊆`
+//!   edges is deleted from the *published* catalog while the *oracle*
+//!   retains them, reproducing the missing-link situation of §4.2.3/App. F.
+//!
+//! The generator returns a [`World`]: the degraded catalog the annotator
+//! sees, the complete oracle used for ground truth, and typed handles to
+//! the domains so tests and experiments don't chase names around.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::CatalogBuilder;
+use crate::catalog::Catalog;
+use crate::error::CatalogError;
+use crate::ids::{EntityId, RelationId, TypeId};
+use crate::names::NamePool;
+use crate::schema::Cardinality;
+
+/// Configuration of the synthetic world.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// RNG seed; every derived structure is deterministic given the seed.
+    pub seed: u64,
+    /// Global multiplier on all entity counts (1.0 ⇒ ~6k entities).
+    pub scale: f64,
+    /// Number of people at scale 1.0.
+    pub n_people: usize,
+    /// Number of movies at scale 1.0.
+    pub n_movies: usize,
+    /// Number of novels at scale 1.0.
+    pub n_novels: usize,
+    /// Number of football clubs at scale 1.0.
+    pub n_clubs: usize,
+    /// Number of countries at scale 1.0.
+    pub n_countries: usize,
+    /// Number of cities at scale 1.0.
+    pub n_cities: usize,
+    /// Number of languages at scale 1.0.
+    pub n_languages: usize,
+    /// Size of the surname pool; smaller ⇒ more ambiguity.
+    pub surname_pool: usize,
+    /// Size of the first-name pool.
+    pub first_name_pool: usize,
+    /// Fraction of movies that are adaptations sharing a novel's title.
+    pub adaptation_rate: f64,
+    /// Probability that an `∈` edge is dropped from the published catalog
+    /// (only when the entity keeps at least one other direct type).
+    pub missing_instance_rate: f64,
+    /// Probability that a `⊆` edge from a micro-category is dropped from
+    /// the published catalog.
+    pub missing_subtype_rate: f64,
+    /// Fraction of relation tuples missing from the published catalog.
+    /// The paper's premise is that the catalog holds only a small seed
+    /// fraction of the facts expressed in Web tables ("The seed tuples we
+    /// start with in our catalog are only a small fraction of all the
+    /// tuples we find", §1.2).
+    pub missing_tuple_rate: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 42,
+            scale: 1.0,
+            n_people: 2600,
+            n_movies: 1100,
+            n_novels: 700,
+            n_clubs: 160,
+            n_countries: 60,
+            n_cities: 260,
+            n_languages: 50,
+            surname_pool: 260,
+            first_name_pool: 130,
+            adaptation_rate: 0.25,
+            missing_instance_rate: 0.12,
+            missing_subtype_rate: 0.03,
+            missing_tuple_rate: 0.5,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small world for fast unit tests (~600 entities).
+    pub fn tiny(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            scale: 0.1,
+            ..WorldConfig::default()
+        }
+    }
+
+    fn scaled(&self, n: usize) -> usize {
+        ((n as f64 * self.scale).round() as usize).max(2)
+    }
+}
+
+/// Typed handles to the world's types.
+#[derive(Debug, Clone)]
+pub struct DomainTypes {
+    /// `person`.
+    pub person: TypeId,
+    /// `actor ⊆ person`.
+    pub actor: TypeId,
+    /// `director ⊆ person`.
+    pub director: TypeId,
+    /// `producer ⊆ person`.
+    pub producer: TypeId,
+    /// `novelist ⊆ writer ⊆ person`.
+    pub novelist: TypeId,
+    /// `footballer ⊆ person`.
+    pub footballer: TypeId,
+    /// `politician ⊆ person`.
+    pub politician: TypeId,
+    /// `creative work`.
+    pub creative_work: TypeId,
+    /// `movie ⊆ creative work`.
+    pub movie: TypeId,
+    /// `book ⊆ creative work`.
+    pub book: TypeId,
+    /// `novel ⊆ book`.
+    pub novel: TypeId,
+    /// `organization`.
+    pub organization: TypeId,
+    /// `football club ⊆ organization`.
+    pub club: TypeId,
+    /// `place`.
+    pub place: TypeId,
+    /// `country ⊆ place`.
+    pub country: TypeId,
+    /// `city ⊆ place`.
+    pub city: TypeId,
+    /// `language`.
+    pub language: TypeId,
+}
+
+/// Typed handles to the world's relations. The first five are the
+/// relations of the paper's search experiments (Fig. 13).
+#[derive(Debug, Clone)]
+pub struct DomainRelations {
+    /// `actedIn(movie, actor)`, many-to-many.
+    pub acted_in: RelationId,
+    /// `directed(movie, director)`, many-to-one.
+    pub directed: RelationId,
+    /// `wrote(novel, novelist)`, many-to-one.
+    pub wrote: RelationId,
+    /// `officialLanguage(country, language)`, many-to-many.
+    pub official_language: RelationId,
+    /// `produced(movie, producer)`, many-to-many.
+    pub produced: RelationId,
+    /// `playsFor(footballer, club)`, many-to-one.
+    pub plays_for: RelationId,
+    /// `bornIn(person, city)`, many-to-one.
+    pub born_in: RelationId,
+    /// `capital(country, city)`, one-to-one.
+    pub capital: RelationId,
+    /// `adaptedFrom(movie, novel)`, many-to-one.
+    pub adapted_from: RelationId,
+    /// `leaderOf(politician, country)`, one-to-one.
+    pub leader_of: RelationId,
+    /// `narratedBy(movie, actor)` — schema twin of `actedIn`.
+    pub narrated_by: RelationId,
+    /// `wroteScreenplay(movie, director)` — schema twin of `directed`.
+    pub wrote_screenplay: RelationId,
+    /// `translated(novel, novelist)` — schema twin of `wrote`.
+    pub translated: RelationId,
+    /// `minorityLanguage(country, language)` — schema twin of
+    /// `officialLanguage`.
+    pub minority_language: RelationId,
+    /// `distributedBy(movie, producer)` — schema twin of `produced`.
+    pub distributed_by: RelationId,
+}
+
+impl DomainRelations {
+    /// The five relations used in the paper's search evaluation (Fig. 13),
+    /// in the order of Figure 9's x-axis.
+    pub fn figure13(&self) -> [RelationId; 5] {
+        [self.acted_in, self.directed, self.official_language, self.produced, self.wrote]
+    }
+}
+
+/// Entity rosters per domain (ids valid in both catalog and oracle).
+#[derive(Debug, Clone, Default)]
+pub struct DomainEntities {
+    /// All people.
+    pub people: Vec<EntityId>,
+    /// People who act.
+    pub actors: Vec<EntityId>,
+    /// People who direct.
+    pub directors: Vec<EntityId>,
+    /// People who produce.
+    pub producers: Vec<EntityId>,
+    /// People who write novels.
+    pub novelists: Vec<EntityId>,
+    /// People who play football.
+    pub footballers: Vec<EntityId>,
+    /// People in politics.
+    pub politicians: Vec<EntityId>,
+    /// All movies.
+    pub movies: Vec<EntityId>,
+    /// All novels.
+    pub novels: Vec<EntityId>,
+    /// All clubs.
+    pub clubs: Vec<EntityId>,
+    /// All countries.
+    pub countries: Vec<EntityId>,
+    /// All cities.
+    pub cities: Vec<EntityId>,
+    /// All languages.
+    pub languages: Vec<EntityId>,
+}
+
+/// A generated world: published (possibly incomplete) catalog, complete
+/// oracle, and typed handles.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The catalog the annotator sees (may have planted missing links).
+    pub catalog: Arc<Catalog>,
+    /// The complete catalog used for ground truth and search relevance.
+    pub oracle: Arc<Catalog>,
+    /// Type handles.
+    pub types: DomainTypes,
+    /// Relation handles.
+    pub relations: DomainRelations,
+    /// Entity rosters.
+    pub entities: DomainEntities,
+    /// The config that produced this world.
+    pub config: WorldConfig,
+}
+
+/// Generates a world from a configuration. Deterministic in `config.seed`.
+pub fn generate_world(config: &WorldConfig) -> Result<World, CatalogError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let plan = WorldPlan::generate(config, &mut rng);
+    let oracle = plan.materialize(config, /*degrade=*/ false)?;
+    let catalog = plan.materialize(config, /*degrade=*/ true)?;
+    let (types, relations) = plan.handles();
+    Ok(World {
+        catalog: Arc::new(catalog),
+        oracle: Arc::new(oracle),
+        types,
+        relations,
+        entities: plan.rosters,
+        config: config.clone(),
+    })
+}
+
+// ----------------------------------------------------------------------
+// Internal plan: everything decided once, then materialized twice
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct TypePlan {
+    name: String,
+    lemmas: Vec<String>,
+    parents: Vec<usize>,
+    /// Micro-categories are eligible for ⊆-edge deletion.
+    micro: bool,
+}
+
+#[derive(Debug, Clone)]
+struct EntityPlan {
+    name: String,
+    lemmas: Vec<String>,
+    direct_types: Vec<usize>,
+    /// Parallel to `direct_types`: whether the ∈ edge may be dropped.
+    droppable: Vec<bool>,
+}
+
+#[derive(Debug, Clone)]
+struct RelationPlan {
+    name: String,
+    left: usize,
+    right: usize,
+    card: Cardinality,
+    tuples: Vec<(usize, usize)>,
+}
+
+#[derive(Debug)]
+struct WorldPlan {
+    types: Vec<TypePlan>,
+    entities: Vec<EntityPlan>,
+    relations: Vec<RelationPlan>,
+    rosters: DomainEntities,
+    handles_types: Vec<usize>,    // indexes into `types` for DomainTypes fields
+    handles_relations: Vec<usize>, // indexes into `relations` for DomainRelations
+    /// Deterministic drop decisions: (entity idx, slot idx) to drop.
+    instance_drops: Vec<(usize, usize)>,
+    /// (type idx, parent slot idx) to drop.
+    subtype_drops: Vec<(usize, usize)>,
+    /// (relation idx, tuple idx) to drop from the published catalog.
+    tuple_drops: Vec<(usize, usize)>,
+}
+
+impl WorldPlan {
+    fn generate(cfg: &WorldConfig, rng: &mut StdRng) -> WorldPlan {
+        let mut plan = WorldPlan {
+            types: Vec::new(),
+            entities: Vec::new(),
+            relations: Vec::new(),
+            rosters: DomainEntities::default(),
+            handles_types: Vec::new(),
+            handles_relations: Vec::new(),
+            instance_drops: Vec::new(),
+            subtype_drops: Vec::new(),
+            tuple_drops: Vec::new(),
+        };
+        let surnames = NamePool::generate(rng, cfg.surname_pool, 1, 2);
+        let firsts = NamePool::generate(rng, cfg.first_name_pool, 1, 2);
+        let nouns = NamePool::generate(rng, 240, 1, 2);
+        let adjectives = NamePool::generate(rng, 120, 1, 2);
+        let placebits = NamePool::generate(rng, 200, 1, 2);
+
+        // ---------------- types ----------------
+        let add_type = |p: &mut WorldPlan, name: &str, lemmas: &[String], parents: &[usize], micro: bool| {
+            p.types.push(TypePlan {
+                name: name.to_string(),
+                lemmas: lemmas.to_vec(),
+                parents: parents.to_vec(),
+                micro,
+            });
+            p.types.len() - 1
+        };
+        let s = |x: &str| x.to_string();
+        let root = add_type(&mut plan, "entity", &[s("entity"), s("thing")], &[], false);
+        let person =
+            add_type(&mut plan, "person", &[s("person"), s("people"), s("name")], &[root], false);
+        let artist = add_type(&mut plan, "artist", &[s("artist")], &[person], false);
+        let actor =
+            add_type(&mut plan, "actor", &[s("actor"), s("actress"), s("cast")], &[artist], false);
+        let director = add_type(
+            &mut plan,
+            "film director",
+            &[s("film director"), s("director"), s("directed by")],
+            &[artist],
+            false,
+        );
+        let producer = add_type(
+            &mut plan,
+            "film producer",
+            &[s("film producer"), s("producer"), s("produced by")],
+            &[artist],
+            false,
+        );
+        let writer = add_type(&mut plan, "writer", &[s("writer"), s("author")], &[artist], false);
+        let novelist =
+            add_type(&mut plan, "novelist", &[s("novelist"), s("author")], &[writer], false);
+        let sportsperson =
+            add_type(&mut plan, "sportsperson", &[s("sportsperson"), s("player")], &[person], false);
+        let footballer = add_type(
+            &mut plan,
+            "footballer",
+            &[s("footballer"), s("soccer player"), s("player")],
+            &[sportsperson],
+            false,
+        );
+        let politician =
+            add_type(&mut plan, "politician", &[s("politician"), s("leader")], &[person], false);
+        let work = add_type(
+            &mut plan,
+            "creative work",
+            &[s("creative work"), s("work"), s("title")],
+            &[root],
+            false,
+        );
+        let movie =
+            add_type(&mut plan, "movie", &[s("movie"), s("film"), s("title")], &[work], false);
+        let book = add_type(&mut plan, "book", &[s("book"), s("title")], &[work], false);
+        let novel = add_type(&mut plan, "novel", &[s("novel"), s("title"), s("book")], &[book], false);
+        let organization =
+            add_type(&mut plan, "organization", &[s("organization")], &[root], false);
+        let club = add_type(
+            &mut plan,
+            "football club",
+            &[s("football club"), s("club"), s("team")],
+            &[organization],
+            false,
+        );
+        let place = add_type(&mut plan, "place", &[s("place"), s("location")], &[root], false);
+        let country =
+            add_type(&mut plan, "country", &[s("country"), s("nation"), s("state")], &[place], false);
+        let city = add_type(&mut plan, "city", &[s("city"), s("town"), s("birthplace")], &[place], false);
+        let language =
+            add_type(&mut plan, "language", &[s("language"), s("tongue"), s("official language")], &[root], false);
+
+        plan.handles_types = vec![
+            person, actor, director, producer, novelist, footballer, politician, work, movie,
+            book, novel, organization, club, place, country, city, language,
+        ];
+
+        // Micro-categories (Wikipedia-style): genres, years, series,
+        // nationalities. These are what make LCA over-generalize.
+        let movie_genres: Vec<usize> = ["drama", "comedy", "thriller", "adventure", "romance"]
+            .iter()
+            .map(|g| {
+                add_type(
+                    &mut plan,
+                    &format!("{g} films"),
+                    &[format!("{g} films"), format!("{g} movies"), s(g)],
+                    &[movie],
+                    true,
+                )
+            })
+            .collect();
+        let movie_years: Vec<(u32, usize)> = (1970..2010)
+            .step_by(2)
+            .map(|y| {
+                (
+                    y,
+                    add_type(
+                        &mut plan,
+                        &format!("films of {y}"),
+                        &[format!("films of {y}"), format!("{y} films")],
+                        &[movie],
+                        true,
+                    ),
+                )
+            })
+            .collect();
+        let novel_years: Vec<(u32, usize)> = (1930..2010)
+            .step_by(4)
+            .map(|y| {
+                (
+                    y,
+                    add_type(
+                        &mut plan,
+                        &format!("{y} novels"),
+                        &[format!("{y} novels"), format!("novels of {y}")],
+                        &[novel],
+                        true,
+                    ),
+                )
+            })
+            .collect();
+        let childrens =
+            add_type(&mut plan, "children's novels", &[s("children's novels")], &[novel], true);
+
+        // ---------------- countries / languages / cities ----------------
+        let n_countries = cfg.scaled(cfg.n_countries);
+        let n_languages = cfg.scaled(cfg.n_languages).min(n_countries + 10);
+        let n_cities = cfg.scaled(cfg.n_cities);
+
+        let mut country_names = Vec::with_capacity(n_countries);
+        for i in 0..n_countries {
+            country_names.push(format!("{}{}", placebits.word(i * 3), ["ia", "land", "stan", "ovia"][i % 4]));
+        }
+        let country_start = plan.entities.len();
+        for name in &country_names {
+            plan.entities.push(EntityPlan {
+                name: name.clone(),
+                lemmas: vec![name.clone(), format!("Republic of {name}")],
+                direct_types: vec![country],
+                droppable: vec![false],
+            });
+        }
+        // Nationality categories ("people of X") for a subset of countries.
+        let mut nationality_types = Vec::new();
+        for name in country_names.iter().take(n_countries / 2) {
+            nationality_types.push(add_type(
+                &mut plan,
+                &format!("people of {name}"),
+                &[format!("people of {name}"), format!("{name} people")],
+                &[person],
+                true,
+            ));
+        }
+
+        // Languages: derive most from country names (name ambiguity!), the
+        // rest standalone.
+        let language_start = plan.entities.len();
+        #[allow(clippy::needless_range_loop)] // index drives several pools
+        for i in 0..n_languages {
+            let (name, lemmas) = if i < n_countries && i % 2 == 0 {
+                // "Norlandia" → language "Norlandian"; lemma also contains
+                // the country token, creating cross-type ambiguity.
+                let base = &country_names[i];
+                (format!("{base}n"), vec![format!("{base}n"), base.clone()])
+            } else {
+                let w = nouns.word(i * 7);
+                (format!("{w}ish"), vec![format!("{w}ish")])
+            };
+            plan.entities.push(EntityPlan {
+                name,
+                lemmas,
+                direct_types: vec![language],
+                droppable: vec![false],
+            });
+        }
+
+        let city_start = plan.entities.len();
+        for i in 0..n_cities {
+            // A slice of cities reuse surnames (person/place ambiguity), and
+            // a few reuse country names ("New York, New York"-style traps).
+            let name = if i % 5 == 0 {
+                surnames.word(i / 5 * 11).to_string()
+            } else if i % 17 == 3 {
+                format!("{} City", country_names[i % n_countries])
+            } else {
+                format!("{}{}", placebits.word(i * 2 + 1), ["ton", "ville", "burg", "port", "ford"][i % 5])
+            };
+            let mut lemmas = vec![name.clone()];
+            if i % 9 == 0 {
+                lemmas.push(format!("Old {name}"));
+            }
+            let mut name = name;
+            // Canonical names must be unique; qualify duplicates.
+            if plan.entities.iter().any(|e| e.name == name) || country_names.contains(&name) {
+                name = format!("{name} (city)");
+            }
+            let mut ordinal = 1;
+            while plan.entities.iter().any(|e| e.name == name) {
+                ordinal += 1;
+                name = format!("{} (city {ordinal})", lemmas[0]);
+            }
+            plan.entities.push(EntityPlan {
+                name,
+                lemmas,
+                direct_types: vec![city],
+                droppable: vec![false],
+            });
+        }
+
+        // ---------------- people ----------------
+        let n_people = cfg.scaled(cfg.n_people);
+        let people_start = plan.entities.len();
+        let mut used_person_names = std::collections::HashSet::new();
+        for i in 0..n_people {
+            let first = firsts.pick(rng).to_string();
+            let last = surnames.pick(rng).to_string();
+            let mut canonical = format!("{first} {last}");
+            let mut suffix = 1;
+            while !used_person_names.insert(canonical.clone()) {
+                suffix += 1;
+                canonical = format!("{first} {last} {}", roman(suffix));
+            }
+            let initial = first.chars().next().unwrap();
+            let lemmas = vec![
+                canonical.clone(),
+                format!("{first} {last}"),
+                format!("{initial}. {last}"),
+                last.clone(),
+            ];
+            // Profession(s): weighted, 1–2 each; plus a nationality category.
+            let mut direct = Vec::new();
+            let mut droppable = Vec::new();
+            let professions = [actor, director, producer, novelist, footballer, politician];
+            let weights = [30u32, 12, 10, 18, 20, 10];
+            let total: u32 = weights.iter().sum();
+            let pick_profession = |rng: &mut StdRng| {
+                let mut x = rng.gen_range(0..total);
+                for (p, w) in professions.iter().zip(weights) {
+                    if x < w {
+                        return *p;
+                    }
+                    x -= w;
+                }
+                actor
+            };
+            let p1 = pick_profession(rng);
+            direct.push(p1);
+            droppable.push(true);
+            if rng.gen_bool(0.15) {
+                let p2 = pick_profession(rng);
+                if p2 != p1 {
+                    direct.push(p2);
+                    droppable.push(true);
+                }
+            }
+            if !nationality_types.is_empty() && rng.gen_bool(0.8) {
+                direct.push(nationality_types[rng.gen_range(0..nationality_types.len())]);
+                droppable.push(true);
+            }
+            let _ = i;
+            plan.entities.push(EntityPlan { name: canonical, lemmas, direct_types: direct, droppable });
+        }
+
+        // Collect profession rosters (plan indexes; converted to ids below).
+        for (off, e) in plan.entities[people_start..].iter().enumerate() {
+            let id = EntityId::from_index(people_start + off);
+            plan.rosters.people.push(id);
+            for &t in &e.direct_types {
+                if t == actor {
+                    plan.rosters.actors.push(id);
+                } else if t == director {
+                    plan.rosters.directors.push(id);
+                } else if t == producer {
+                    plan.rosters.producers.push(id);
+                } else if t == novelist {
+                    plan.rosters.novelists.push(id);
+                } else if t == footballer {
+                    plan.rosters.footballers.push(id);
+                } else if t == politician {
+                    plan.rosters.politicians.push(id);
+                }
+            }
+        }
+
+        // ---------------- novels ----------------
+        let n_novels = cfg.scaled(cfg.n_novels);
+        let novels_start = plan.entities.len();
+        let mut novel_titles = Vec::with_capacity(n_novels);
+        let mut used_titles = std::collections::HashSet::new();
+        // Series categories ("<Name> series books") covering runs of novels.
+        let n_series = (n_novels / 12).max(1);
+        let series_types: Vec<usize> = (0..n_series)
+            .map(|i| {
+                let hero = format!("{} {}", firsts.word(i * 5), surnames.word(i * 13));
+                add_type(
+                    &mut plan,
+                    &format!("{hero} series books"),
+                    &[format!("{hero} series books"), format!("{hero} series")],
+                    &[novel],
+                    true,
+                )
+            })
+            .collect();
+        for i in 0..n_novels {
+            let title = loop {
+                let t = match rng.gen_range(0..4) {
+                    0 => format!("The {} of {}", nouns.pick(rng), nouns.pick(rng)),
+                    1 => format!("{} {}", adjectives.pick(rng), nouns.pick(rng)),
+                    2 => format!("The {} {}", adjectives.pick(rng), nouns.pick(rng)),
+                    _ => format!("A {} for {}", nouns.pick(rng), nouns.pick(rng)),
+                };
+                if used_titles.insert(t.clone()) {
+                    break t;
+                }
+            };
+            novel_titles.push(title.clone());
+            let year_t = novel_years[rng.gen_range(0..novel_years.len())].1;
+            let mut direct = vec![year_t];
+            let mut droppable = vec![true];
+            let series = series_types[i % series_types.len()];
+            if rng.gen_bool(0.5) {
+                direct.push(series);
+                droppable.push(true);
+            }
+            if rng.gen_bool(0.2) {
+                direct.push(childrens);
+                droppable.push(true);
+            }
+            // Always keep one non-droppable anchor so entities never become
+            // typeless in the degraded catalog: novels stay `novel`s.
+            direct.push(novel);
+            droppable.push(false);
+            plan.entities.push(EntityPlan {
+                name: format!("{title} (novel)"),
+                lemmas: vec![title.clone(), format!("{title} (novel)")],
+                direct_types: direct,
+                droppable,
+            });
+            plan.rosters.novels.push(EntityId::from_index(novels_start + i));
+        }
+
+        // ---------------- movies ----------------
+        let n_movies = cfg.scaled(cfg.n_movies);
+        let movies_start = plan.entities.len();
+        let mut adaptations: Vec<(usize, usize)> = Vec::new(); // (movie idx, novel idx)
+        for i in 0..n_movies {
+            let adapted = !novel_titles.is_empty() && rng.gen_bool(cfg.adaptation_rate);
+            let title = if adapted {
+                let ni = rng.gen_range(0..novel_titles.len());
+                adaptations.push((movies_start + i, novels_start + ni));
+                novel_titles[ni].clone()
+            } else {
+                loop {
+                    let t = match rng.gen_range(0..4) {
+                        0 => format!("The {} {}", adjectives.pick(rng), nouns.pick(rng)),
+                        1 => format!("{} of {}", nouns.pick(rng), placebits.pick(rng)),
+                        2 => format!("{} {}", adjectives.pick(rng), nouns.pick(rng)),
+                        _ => format!("The Last {}", nouns.pick(rng)),
+                    };
+                    if used_titles.insert(t.clone()) {
+                        break t;
+                    }
+                }
+            };
+            let (year, year_t) = movie_years[rng.gen_range(0..movie_years.len())];
+            let genre_t = movie_genres[rng.gen_range(0..movie_genres.len())];
+            let mut lemmas = vec![title.clone(), format!("{title} ({year} film)")];
+            if let Some(stripped) = title.strip_prefix("The ") {
+                lemmas.push(stripped.to_string());
+            }
+            // Two adaptations of the same novel would collide on canonical
+            // name; qualify with the year (and an ordinal as a last resort).
+            let mut canonical = format!("{title} (film)");
+            if plan.entities.iter().any(|e| e.name == canonical) {
+                canonical = format!("{title} ({year} film)");
+            }
+            if plan.entities.iter().any(|e| e.name == canonical) {
+                canonical = format!("{title} ({year} film) [{i}]");
+            }
+            plan.entities.push(EntityPlan {
+                name: canonical,
+                lemmas,
+                direct_types: vec![year_t, genre_t, movie],
+                droppable: vec![true, true, false],
+            });
+            plan.rosters.movies.push(EntityId::from_index(movies_start + i));
+        }
+
+        // ---------------- clubs ----------------
+        let n_clubs = cfg.scaled(cfg.n_clubs);
+        let clubs_start = plan.entities.len();
+        for i in 0..n_clubs {
+            let city_idx = city_start + (i * 7) % n_cities;
+            let city_name = plan.entities[city_idx].lemmas[0].clone();
+            let suffix = ["United", "FC", "Rovers", "Athletic", "City"][i % 5];
+            let mut name = format!("{city_name} {suffix}");
+            if plan.entities.iter().any(|e| e.name == name) {
+                name = format!("{name} ({})", i);
+            }
+            let lemmas = vec![name.clone(), city_name];
+            plan.entities.push(EntityPlan {
+                name,
+                lemmas,
+                direct_types: vec![club],
+                droppable: vec![false],
+            });
+            plan.rosters.clubs.push(EntityId::from_index(clubs_start + i));
+        }
+
+        for i in 0..n_countries {
+            plan.rosters.countries.push(EntityId::from_index(country_start + i));
+        }
+        for i in 0..n_languages {
+            plan.rosters.languages.push(EntityId::from_index(language_start + i));
+        }
+        for i in 0..n_cities {
+            plan.rosters.cities.push(EntityId::from_index(city_start + i));
+        }
+
+        // ---------------- relations ----------------
+        let idx = |e: EntityId| e.index();
+        let pick = |v: &[EntityId], rng: &mut StdRng| v[rng.gen_range(0..v.len())];
+
+        let mut acted_in = RelationPlan {
+            name: "actedIn".into(),
+            left: movie,
+            right: actor,
+            card: Cardinality::ManyToMany,
+            tuples: Vec::new(),
+        };
+        let mut directed = RelationPlan {
+            name: "directed".into(),
+            left: movie,
+            right: director,
+            card: Cardinality::ManyToOne,
+            tuples: Vec::new(),
+        };
+        let mut produced = RelationPlan {
+            name: "produced".into(),
+            left: movie,
+            right: producer,
+            card: Cardinality::ManyToMany,
+            tuples: Vec::new(),
+        };
+        for &m in &plan.rosters.movies {
+            if !plan.rosters.actors.is_empty() {
+                let k = rng.gen_range(2..=4);
+                for _ in 0..k {
+                    acted_in.tuples.push((idx(m), idx(pick(&plan.rosters.actors, rng))));
+                }
+            }
+            if !plan.rosters.directors.is_empty() {
+                directed.tuples.push((idx(m), idx(pick(&plan.rosters.directors, rng))));
+            }
+            if !plan.rosters.producers.is_empty() {
+                let k = rng.gen_range(1..=2);
+                for _ in 0..k {
+                    produced.tuples.push((idx(m), idx(pick(&plan.rosters.producers, rng))));
+                }
+            }
+        }
+        let mut wrote = RelationPlan {
+            name: "wrote".into(),
+            left: novel,
+            right: novelist,
+            card: Cardinality::ManyToOne,
+            tuples: Vec::new(),
+        };
+        for &n in &plan.rosters.novels {
+            if !plan.rosters.novelists.is_empty() {
+                wrote.tuples.push((idx(n), idx(pick(&plan.rosters.novelists, rng))));
+            }
+        }
+        let mut official_language = RelationPlan {
+            name: "officialLanguage".into(),
+            left: country,
+            right: language,
+            card: Cardinality::ManyToMany,
+            tuples: Vec::new(),
+        };
+        for (ci, &c) in plan.rosters.countries.iter().enumerate() {
+            // Own language when it exists, plus 0–2 others.
+            if ci < plan.rosters.languages.len() && ci % 2 == 0 {
+                official_language.tuples.push((idx(c), idx(plan.rosters.languages[ci])));
+            }
+            for _ in 0..rng.gen_range(0..=2u32) {
+                official_language.tuples.push((idx(c), idx(pick(&plan.rosters.languages, rng))));
+            }
+        }
+        let mut plays_for = RelationPlan {
+            name: "playsFor".into(),
+            left: footballer,
+            right: club,
+            card: Cardinality::ManyToOne,
+            tuples: Vec::new(),
+        };
+        for &p in &plan.rosters.footballers {
+            if !plan.rosters.clubs.is_empty() {
+                plays_for.tuples.push((idx(p), idx(pick(&plan.rosters.clubs, rng))));
+            }
+        }
+        let mut born_in = RelationPlan {
+            name: "bornIn".into(),
+            left: person,
+            right: city,
+            card: Cardinality::ManyToOne,
+            tuples: Vec::new(),
+        };
+        for &p in &plan.rosters.people {
+            if rng.gen_bool(0.7) && !plan.rosters.cities.is_empty() {
+                born_in.tuples.push((idx(p), idx(pick(&plan.rosters.cities, rng))));
+            }
+        }
+        let mut capital = RelationPlan {
+            name: "capital".into(),
+            left: country,
+            right: city,
+            card: Cardinality::OneToOne,
+            tuples: Vec::new(),
+        };
+        let mut used_cities = std::collections::HashSet::new();
+        for (i, &c) in plan.rosters.countries.iter().enumerate() {
+            let city_e = plan.rosters.cities[(i * 13) % plan.rosters.cities.len()];
+            if used_cities.insert(city_e) {
+                capital.tuples.push((idx(c), idx(city_e)));
+            }
+        }
+        let mut adapted_from = RelationPlan {
+            name: "adaptedFrom".into(),
+            left: movie,
+            right: novel,
+            card: Cardinality::ManyToOne,
+            tuples: Vec::new(),
+        };
+        for &(m, n) in &adaptations {
+            adapted_from.tuples.push((m, n));
+        }
+        let mut leader_of = RelationPlan {
+            name: "leaderOf".into(),
+            left: politician,
+            right: country,
+            card: Cardinality::OneToOne,
+            tuples: Vec::new(),
+        };
+        let mut used_pol = std::collections::HashSet::new();
+        for (i, &c) in plan.rosters.countries.iter().enumerate() {
+            if plan.rosters.politicians.is_empty() {
+                break;
+            }
+            let p = plan.rosters.politicians[(i * 7) % plan.rosters.politicians.len()];
+            if used_pol.insert(p) {
+                leader_of.tuples.push((idx(p), idx(c)));
+            }
+        }
+
+        // Schema twins: relations sharing their column types with one of
+        // the Figure 13 relations. YAGO is full of these (actedIn vs
+        // directed vs produced all pair movies with people); they are what
+        // makes relation disambiguation — and the Type-vs-Type+Rel gap of
+        // Figure 9 — non-trivial.
+        let mut narrated_by = RelationPlan {
+            name: "narratedBy".into(),
+            left: movie,
+            right: actor,
+            card: Cardinality::ManyToOne,
+            tuples: Vec::new(),
+        };
+        let mut wrote_screenplay = RelationPlan {
+            name: "wroteScreenplay".into(),
+            left: movie,
+            right: director,
+            card: Cardinality::ManyToMany,
+            tuples: Vec::new(),
+        };
+        let mut distributed_by = RelationPlan {
+            name: "distributedBy".into(),
+            left: movie,
+            right: producer,
+            card: Cardinality::ManyToOne,
+            tuples: Vec::new(),
+        };
+        for &m in &plan.rosters.movies {
+            if !plan.rosters.actors.is_empty() && rng.gen_bool(0.2) {
+                narrated_by.tuples.push((idx(m), idx(pick(&plan.rosters.actors, rng))));
+            }
+            if !plan.rosters.directors.is_empty() && rng.gen_bool(0.35) {
+                wrote_screenplay
+                    .tuples
+                    .push((idx(m), idx(pick(&plan.rosters.directors, rng))));
+            }
+            if !plan.rosters.producers.is_empty() && rng.gen_bool(0.5) {
+                distributed_by
+                    .tuples
+                    .push((idx(m), idx(pick(&plan.rosters.producers, rng))));
+            }
+        }
+        let mut translated = RelationPlan {
+            name: "translated".into(),
+            left: novel,
+            right: novelist,
+            card: Cardinality::ManyToMany,
+            tuples: Vec::new(),
+        };
+        for &n in &plan.rosters.novels {
+            if !plan.rosters.novelists.is_empty() && rng.gen_bool(0.3) {
+                translated.tuples.push((idx(n), idx(pick(&plan.rosters.novelists, rng))));
+            }
+        }
+        let mut minority_language = RelationPlan {
+            name: "minorityLanguage".into(),
+            left: country,
+            right: language,
+            card: Cardinality::ManyToMany,
+            tuples: Vec::new(),
+        };
+        for &c in &plan.rosters.countries {
+            for _ in 0..rng.gen_range(0..=2u32) {
+                minority_language
+                    .tuples
+                    .push((idx(c), idx(pick(&plan.rosters.languages, rng))));
+            }
+        }
+
+        plan.relations = vec![
+            acted_in,
+            directed,
+            wrote,
+            official_language,
+            produced,
+            plays_for,
+            born_in,
+            capital,
+            adapted_from,
+            leader_of,
+            narrated_by,
+            wrote_screenplay,
+            translated,
+            minority_language,
+            distributed_by,
+        ];
+        plan.handles_relations = (0..plan.relations.len()).collect();
+
+        // ---------------- incompleteness decisions ----------------
+        for (ei, e) in plan.entities.iter().enumerate() {
+            let droppable_slots: Vec<usize> =
+                (0..e.direct_types.len()).filter(|&s| e.droppable[s]).collect();
+            for &slot in &droppable_slots {
+                // Never orphan an entity entirely.
+                let remaining = e.direct_types.len()
+                    - plan.instance_drops.iter().filter(|&&(x, _)| x == ei).count();
+                if remaining <= 1 {
+                    break;
+                }
+                if rng.gen_bool(cfg.missing_instance_rate) {
+                    plan.instance_drops.push((ei, slot));
+                }
+            }
+        }
+        for (ti, t) in plan.types.iter().enumerate() {
+            if t.micro {
+                for slot in 0..t.parents.len() {
+                    if rng.gen_bool(cfg.missing_subtype_rate) {
+                        plan.subtype_drops.push((ti, slot));
+                    }
+                }
+            }
+        }
+        for (ri, r) in plan.relations.iter().enumerate() {
+            for tup in 0..r.tuples.len() {
+                if rng.gen_bool(cfg.missing_tuple_rate) {
+                    plan.tuple_drops.push((ri, tup));
+                }
+            }
+        }
+
+        plan
+    }
+
+    fn materialize(&self, _cfg: &WorldConfig, degrade: bool) -> Result<Catalog, CatalogError> {
+        let mut b = CatalogBuilder::new();
+        if degrade {
+            b.allow_schema_violations();
+        }
+        let instance_drops: std::collections::HashSet<(usize, usize)> =
+            self.instance_drops.iter().copied().collect();
+        let subtype_drops: std::collections::HashSet<(usize, usize)> =
+            self.subtype_drops.iter().copied().collect();
+        let tuple_drops: std::collections::HashSet<(usize, usize)> =
+            self.tuple_drops.iter().copied().collect();
+        let mut type_ids = Vec::with_capacity(self.types.len());
+        for t in &self.types {
+            let extra: Vec<&str> = t.lemmas.iter().skip_while(|l| **l == t.name).map(|s| s.as_str()).collect();
+            let id = b.add_type(t.name.clone(), &[])?;
+            for l in &extra {
+                b.add_type_lemma(id, l);
+            }
+            type_ids.push(id);
+        }
+        for (ti, t) in self.types.iter().enumerate() {
+            let mut kept = 0usize;
+            for (slot, &p) in t.parents.iter().enumerate() {
+                if degrade && subtype_drops.contains(&(ti, slot)) {
+                    continue;
+                }
+                kept += 1;
+                b.add_subtype(type_ids[ti], type_ids[p]);
+            }
+            // A category whose only ⊆ edge went missing still sits somewhere
+            // in a real catalog — directly under the root. (This keeps type
+            // ids aligned between oracle and degraded catalog, and is the
+            // over-generalization trap of App. F.)
+            if !t.parents.is_empty() && kept == 0 {
+                b.add_subtype(type_ids[ti], type_ids[0]);
+            }
+        }
+        for (ei, e) in self.entities.iter().enumerate() {
+            let id = b.add_entity(e.name.clone(), &[], &[])?;
+            debug_assert_eq!(id.index(), ei);
+            for l in &e.lemmas {
+                b.add_entity_lemma(id, l);
+            }
+            for (slot, &t) in e.direct_types.iter().enumerate() {
+                if degrade && instance_drops.contains(&(ei, slot)) {
+                    continue;
+                }
+                b.add_instance(id, type_ids[t]);
+            }
+        }
+        for (ri, r) in self.relations.iter().enumerate() {
+            let rid = b.add_relation(
+                r.name.clone(),
+                type_ids[r.left],
+                type_ids[r.right],
+                r.card,
+            )?;
+            for (tup, &(e1, e2)) in r.tuples.iter().enumerate() {
+                if degrade && tuple_drops.contains(&(ri, tup)) {
+                    continue;
+                }
+                b.add_tuple(rid, EntityId::from_index(e1), EntityId::from_index(e2));
+            }
+        }
+        b.finish()
+    }
+
+    fn handles(&self) -> (DomainTypes, DomainRelations) {
+        let t = |i: usize| TypeId::from_index(i);
+        let h = &self.handles_types;
+        let types = DomainTypes {
+            person: t(h[0]),
+            actor: t(h[1]),
+            director: t(h[2]),
+            producer: t(h[3]),
+            novelist: t(h[4]),
+            footballer: t(h[5]),
+            politician: t(h[6]),
+            creative_work: t(h[7]),
+            movie: t(h[8]),
+            book: t(h[9]),
+            novel: t(h[10]),
+            organization: t(h[11]),
+            club: t(h[12]),
+            place: t(h[13]),
+            country: t(h[14]),
+            city: t(h[15]),
+            language: t(h[16]),
+        };
+        let r = |i: usize| RelationId::from_index(i);
+        let relations = DomainRelations {
+            acted_in: r(0),
+            directed: r(1),
+            wrote: r(2),
+            official_language: r(3),
+            produced: r(4),
+            plays_for: r(5),
+            born_in: r(6),
+            capital: r(7),
+            adapted_from: r(8),
+            leader_of: r(9),
+            narrated_by: r(10),
+            wrote_screenplay: r(11),
+            translated: r(12),
+            minority_language: r(13),
+            distributed_by: r(14),
+        };
+        (types, relations)
+    }
+}
+
+fn roman(n: usize) -> String {
+    // Small values only (disambiguation suffixes).
+    const PAIRS: &[(usize, &str)] =
+        &[(10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I")];
+    let mut n = n;
+    let mut out = String::new();
+    for &(v, s) in PAIRS {
+        while n >= v {
+            out.push_str(s);
+            n -= v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CatalogStats;
+
+    fn tiny_world() -> World {
+        generate_world(&WorldConfig::tiny(7)).expect("world generates")
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w1 = generate_world(&WorldConfig::tiny(9)).unwrap();
+        let w2 = generate_world(&WorldConfig::tiny(9)).unwrap();
+        assert_eq!(w1.catalog.num_entities(), w2.catalog.num_entities());
+        assert_eq!(w1.catalog.num_types(), w2.catalog.num_types());
+        for e in w1.catalog.entity_ids() {
+            assert_eq!(w1.catalog.entity_name(e), w2.catalog.entity_name(e));
+        }
+    }
+
+    #[test]
+    fn oracle_and_catalog_share_ids() {
+        let w = tiny_world();
+        assert_eq!(w.catalog.num_entities(), w.oracle.num_entities());
+        assert_eq!(w.catalog.num_types(), w.oracle.num_types());
+        assert_eq!(w.catalog.num_relations(), w.oracle.num_relations());
+        for e in w.catalog.entity_ids() {
+            assert_eq!(w.catalog.entity_name(e), w.oracle.entity_name(e));
+        }
+        for t in w.catalog.type_ids() {
+            assert_eq!(w.catalog.type_name(t), w.oracle.type_name(t));
+        }
+    }
+
+    #[test]
+    fn degraded_catalog_is_missing_links() {
+        let w = generate_world(&WorldConfig::default()).unwrap();
+        let count_instances = |c: &Catalog| -> usize {
+            c.entity_ids().map(|e| c.entity(e).direct_types.len()).sum()
+        };
+        assert!(
+            count_instances(&w.catalog) < count_instances(&w.oracle),
+            "published catalog should have fewer ∈ edges than the oracle"
+        );
+    }
+
+    #[test]
+    fn rosters_are_consistent_with_oracle_types() {
+        let w = tiny_world();
+        for &a in &w.entities.actors {
+            assert!(w.oracle.is_instance(a, w.types.actor));
+            assert!(w.oracle.is_instance(a, w.types.person));
+        }
+        for &m in &w.entities.movies {
+            assert!(w.oracle.is_instance(m, w.types.movie));
+        }
+        for &n in &w.entities.novels {
+            assert!(w.oracle.is_instance(n, w.types.novel));
+            assert!(w.oracle.is_instance(n, w.types.book));
+        }
+    }
+
+    #[test]
+    fn figure13_relations_have_expected_schemas() {
+        let w = tiny_world();
+        let cat = &w.oracle;
+        let r = cat.relation(w.relations.acted_in);
+        assert_eq!(cat.type_name(r.left_type), "movie");
+        assert_eq!(cat.type_name(r.right_type), "actor");
+        let r = cat.relation(w.relations.official_language);
+        assert_eq!(cat.type_name(r.left_type), "country");
+        assert_eq!(cat.type_name(r.right_type), "language");
+        assert_eq!(w.relations.figure13().len(), 5);
+    }
+
+    #[test]
+    fn tuples_respect_oracle_schemas() {
+        // The oracle is built with strict schema checking; reaching here
+        // means `materialize(degrade=false)` validated every tuple.
+        let w = tiny_world();
+        let rel = w.oracle.relation(w.relations.directed);
+        assert!(!rel.tuples.is_empty());
+        for &(m, d) in rel.tuples.iter().take(20) {
+            assert!(w.oracle.is_instance(m, w.types.movie));
+            assert!(w.oracle.is_instance(d, w.types.director));
+        }
+    }
+
+    #[test]
+    fn world_has_lemma_ambiguity() {
+        let w = generate_world(&WorldConfig::default()).unwrap();
+        let stats = CatalogStats::compute(&w.catalog);
+        assert!(
+            stats.lemma_ambiguity_rate() > 0.03,
+            "ambiguity rate too low: {}",
+            stats.lemma_ambiguity_rate()
+        );
+        assert!(stats.num_entities > 3000);
+        assert!(stats.num_relations == 15);
+    }
+
+    #[test]
+    fn functional_relations_are_functional_in_oracle() {
+        let w = tiny_world();
+        let rel = w.oracle.relation(w.relations.capital);
+        assert!(rel.cardinality.functional_lr());
+        for (&_e, rights) in rel.by_left.iter() {
+            assert!(rights.len() <= 1, "capital must be one-to-one");
+        }
+        let rel = w.oracle.relation(w.relations.directed);
+        for (&_e, rights) in rel.by_left.iter() {
+            assert!(rights.len() <= 1, "directed is many-to-one (one director per movie)");
+        }
+    }
+
+    #[test]
+    fn adaptations_share_titles_across_types() {
+        let w = generate_world(&WorldConfig::default()).unwrap();
+        let rel = w.oracle.relation(w.relations.adapted_from);
+        assert!(!rel.tuples.is_empty(), "some movies are adaptations");
+        let (m, n) = rel.tuples[0];
+        let movie_lemmas = w.oracle.entity_lemmas(m);
+        let novel_lemmas = w.oracle.entity_lemmas(n);
+        assert!(
+            movie_lemmas.iter().any(|ml| novel_lemmas.contains(ml)),
+            "adaptation shares the novel's title: {movie_lemmas:?} vs {novel_lemmas:?}"
+        );
+    }
+
+    #[test]
+    fn roman_numerals() {
+        assert_eq!(roman(2), "II");
+        assert_eq!(roman(4), "IV");
+        assert_eq!(roman(9), "IX");
+    }
+}

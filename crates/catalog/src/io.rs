@@ -1,0 +1,309 @@
+//! Line-oriented TSV persistence for catalogs.
+//!
+//! The format is deliberately simple and diff-friendly (one record per
+//! line, tab-separated fields, `|`-joined lemma lists). Special characters
+//! inside names/lemmas (`\t`, `\n`, `|`, `%`) are percent-escaped.
+//!
+//! ```text
+//! #webtable-catalog v1
+//! T   <id> <name> <lemma|lemma|...>
+//! TP  <type id> <parent type id>
+//! E   <id> <name> <lemma|lemma|...>
+//! ET  <entity id> <type id>
+//! R   <id> <name> <left type id> <right type id> <cardinality>
+//! RT  <relation id> <left entity id> <right entity id>
+//! ```
+//!
+//! Records must appear in the above kind-order; ids must be dense and in
+//! ascending order within a kind (this is what the writer produces).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::CatalogBuilder;
+use crate::catalog::Catalog;
+use crate::error::CatalogError;
+use crate::ids::{EntityId, TypeId};
+use crate::schema::Cardinality;
+
+const HEADER: &str = "#webtable-catalog v1";
+
+/// Percent-escapes the characters that would break the line format.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '%' => out.push_str("%25"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '|' => out.push_str("%7C"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if i + 2 > bytes.len() && i + 2 > bytes.len() - 1 {
+                return Err("truncated escape".into());
+            }
+            if i + 2 >= bytes.len() {
+                return Err("truncated escape".into());
+            }
+            let hex = &s[i + 1..i + 3];
+            let v = u8::from_str_radix(hex, 16).map_err(|_| format!("bad escape %{hex}"))?;
+            out.push(v as char);
+            i += 3;
+        } else {
+            // Multi-byte UTF-8 safe: advance by char.
+            let ch = s[i..].chars().next().expect("in-bounds char");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Ok(out)
+}
+
+/// Serializes a catalog to a writer in the v1 TSV format.
+pub fn write_catalog<W: Write>(cat: &Catalog, w: W) -> Result<(), CatalogError> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{HEADER}")?;
+    for t in cat.type_ids() {
+        let node = cat.type_node(t);
+        let lemmas: Vec<String> = node.lemmas.iter().map(|l| escape(l)).collect();
+        writeln!(w, "T\t{}\t{}\t{}", t.raw(), escape(&node.name), lemmas.join("|"))?;
+    }
+    for t in cat.type_ids() {
+        for &p in cat.parents(t) {
+            writeln!(w, "TP\t{}\t{}", t.raw(), p.raw())?;
+        }
+    }
+    for e in cat.entity_ids() {
+        let ent = cat.entity(e);
+        let lemmas: Vec<String> = ent.lemmas.iter().map(|l| escape(l)).collect();
+        writeln!(w, "E\t{}\t{}\t{}", e.raw(), escape(&ent.name), lemmas.join("|"))?;
+    }
+    for e in cat.entity_ids() {
+        for &t in &cat.entity(e).direct_types {
+            writeln!(w, "ET\t{}\t{}", e.raw(), t.raw())?;
+        }
+    }
+    for b in cat.relation_ids() {
+        let rel = cat.relation(b);
+        writeln!(
+            w,
+            "R\t{}\t{}\t{}\t{}\t{}",
+            b.raw(),
+            escape(&rel.name),
+            rel.left_type.raw(),
+            rel.right_type.raw(),
+            rel.cardinality.as_token()
+        )?;
+    }
+    for b in cat.relation_ids() {
+        for &(e1, e2) in &cat.relation(b).tuples {
+            writeln!(w, "RT\t{}\t{}\t{}", b.raw(), e1.raw(), e2.raw())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a catalog from a reader in the v1 TSV format.
+///
+/// Schema checking is relaxed on load: a persisted catalog may legitimately
+/// be incomplete (missing `∈` links), which is part of what the paper
+/// models.
+pub fn read_catalog<R: Read>(r: R) -> Result<Catalog, CatalogError> {
+    let r = BufReader::new(r);
+    let mut b = CatalogBuilder::new();
+    b.allow_schema_violations();
+    let mut lines = r.lines();
+    let first = lines
+        .next()
+        .ok_or(CatalogError::Parse { line: 1, detail: "empty file".into() })??;
+    if first.trim() != HEADER {
+        return Err(CatalogError::Parse { line: 1, detail: format!("bad header `{first}`") });
+    }
+    let parse_err = |line: usize, detail: String| CatalogError::Parse { line, detail };
+    for (idx, line) in lines.enumerate() {
+        let lineno = idx + 2;
+        let line = line?;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let parse_u32 = |s: &str| -> Result<u32, CatalogError> {
+            s.parse::<u32>().map_err(|_| parse_err(lineno, format!("bad id `{s}`")))
+        };
+        match fields[0] {
+            "T" => {
+                if fields.len() != 4 {
+                    return Err(parse_err(lineno, "T record needs 4 fields".into()));
+                }
+                let id = parse_u32(fields[1])?;
+                let name =
+                    unescape(fields[2]).map_err(|e| parse_err(lineno, e))?;
+                let lemmas: Result<Vec<String>, _> =
+                    fields[3].split('|').map(unescape).collect();
+                let lemmas = lemmas.map_err(|e| parse_err(lineno, e))?;
+                let tid = b.add_type(name, &[])?;
+                if tid.raw() != id {
+                    return Err(parse_err(lineno, format!("non-dense type id {id}")));
+                }
+                for l in lemmas.iter().skip(1) {
+                    b.add_type_lemma(tid, l);
+                }
+            }
+            "TP" => {
+                if fields.len() != 3 {
+                    return Err(parse_err(lineno, "TP record needs 3 fields".into()));
+                }
+                b.add_subtype(TypeId(parse_u32(fields[1])?), TypeId(parse_u32(fields[2])?));
+            }
+            "E" => {
+                if fields.len() != 4 {
+                    return Err(parse_err(lineno, "E record needs 4 fields".into()));
+                }
+                let id = parse_u32(fields[1])?;
+                let name = unescape(fields[2]).map_err(|e| parse_err(lineno, e))?;
+                let lemmas: Result<Vec<String>, _> =
+                    fields[3].split('|').map(unescape).collect();
+                let lemmas = lemmas.map_err(|e| parse_err(lineno, e))?;
+                let eid = b.add_entity(name, &[], &[])?;
+                if eid.raw() != id {
+                    return Err(parse_err(lineno, format!("non-dense entity id {id}")));
+                }
+                for l in lemmas.iter().skip(1) {
+                    b.add_entity_lemma(eid, l);
+                }
+            }
+            "ET" => {
+                if fields.len() != 3 {
+                    return Err(parse_err(lineno, "ET record needs 3 fields".into()));
+                }
+                b.add_instance(EntityId(parse_u32(fields[1])?), TypeId(parse_u32(fields[2])?));
+            }
+            "R" => {
+                if fields.len() != 6 {
+                    return Err(parse_err(lineno, "R record needs 6 fields".into()));
+                }
+                let id = parse_u32(fields[1])?;
+                let name = unescape(fields[2]).map_err(|e| parse_err(lineno, e))?;
+                let card = Cardinality::from_token(fields[5])
+                    .ok_or_else(|| parse_err(lineno, format!("bad cardinality `{}`", fields[5])))?;
+                let rid = b.add_relation(
+                    name,
+                    TypeId(parse_u32(fields[3])?),
+                    TypeId(parse_u32(fields[4])?),
+                    card,
+                )?;
+                if rid.raw() != id {
+                    return Err(parse_err(lineno, format!("non-dense relation id {id}")));
+                }
+            }
+            "RT" => {
+                if fields.len() != 4 {
+                    return Err(parse_err(lineno, "RT record needs 4 fields".into()));
+                }
+                let rid = parse_u32(fields[1])?;
+                b.add_tuple(
+                    crate::ids::RelationId(rid),
+                    EntityId(parse_u32(fields[2])?),
+                    EntityId(parse_u32(fields[3])?),
+                );
+            }
+            other => {
+                return Err(parse_err(lineno, format!("unknown record kind `{other}`")));
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Convenience wrapper: serialize to a file path.
+pub fn save_catalog<P: AsRef<Path>>(cat: &Catalog, path: P) -> Result<(), CatalogError> {
+    let f = std::fs::File::create(path)?;
+    write_catalog(cat, f)
+}
+
+/// Convenience wrapper: deserialize from a file path.
+pub fn load_catalog<P: AsRef<Path>>(path: P) -> Result<Catalog, CatalogError> {
+    let f = std::fs::File::open(path)?;
+    read_catalog(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CatalogBuilder;
+
+    fn sample() -> Catalog {
+        let mut b = CatalogBuilder::new();
+        let person = b.add_type("person", &["human", "people"]).unwrap();
+        let movie = b.add_type("movie", &["film"]).unwrap();
+        let actor = b.add_type("actor", &[]).unwrap();
+        b.add_subtype(actor, person);
+        let e1 = b.add_entity("Weird|Name\tWith%Specials", &["alias one"], &[actor]).unwrap();
+        let e2 = b.add_entity("A Film", &[], &[movie]).unwrap();
+        let r = b.add_relation("actedIn", movie, actor, Cardinality::ManyToMany).unwrap();
+        b.add_tuple(r, e2, e1);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in ["plain", "with|pipe", "with\ttab", "with%percent", "mix|%\t|", "ünïcode"] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn catalog_round_trips_through_tsv() {
+        let cat = sample();
+        let mut buf = Vec::new();
+        write_catalog(&cat, &mut buf).unwrap();
+        let cat2 = read_catalog(&buf[..]).unwrap();
+        assert_eq!(cat2.num_types(), cat.num_types());
+        assert_eq!(cat2.num_entities(), cat.num_entities());
+        assert_eq!(cat2.num_relations(), cat.num_relations());
+        let e = cat2.entity_named("Weird|Name\tWith%Specials").unwrap();
+        assert_eq!(cat2.entity_lemmas(e)[1], "alias one");
+        let actor = cat2.type_named("actor").unwrap();
+        assert!(cat2.is_instance(e, actor));
+        let person = cat2.type_named("person").unwrap();
+        assert!(cat2.is_instance(e, person));
+        let r = cat2.relation_named("actedIn").unwrap();
+        assert_eq!(cat2.relation(r).tuples.len(), 1);
+        assert_eq!(cat2.relation(r).cardinality, Cardinality::ManyToMany);
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let res = read_catalog(&b"not a catalog\n"[..]);
+        assert!(matches!(res, Err(CatalogError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn unknown_record_kind_is_rejected() {
+        let data = format!("{HEADER}\nXX\t1\n");
+        let res = read_catalog(data.as_bytes());
+        assert!(matches!(res, Err(CatalogError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let cat = sample();
+        let mut buf = Vec::new();
+        write_catalog(&cat, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("\n# trailing comment\n\n");
+        assert!(read_catalog(text.as_bytes()).is_ok());
+    }
+}

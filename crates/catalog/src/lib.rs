@@ -1,0 +1,53 @@
+//! # webtable-catalog
+//!
+//! The catalog substrate of the `webtable` system — the Rust analogue of the
+//! YAGO snapshot used by *Annotating and Searching Web Tables Using
+//! Entities, Types and Relationships* (Limaye, Sarawagi, Chakrabarti;
+//! VLDB 2010), §3.1.
+//!
+//! A catalog holds:
+//!
+//! * a **type DAG** with subtype (`⊆`) edges and a root reaching all types;
+//! * **entities** attached to types by instance (`∈`) edges, each carrying
+//!   *lemmas* — the strings by which the entity may be mentioned;
+//! * **binary relations** `B(T1, T2)` with cardinalities and tuple stores.
+//!
+//! [`Catalog`] precomputes the closure structures the annotator's features
+//! need (`T(E)`, `E(T)`, `dist(E,T)`, specificity, participation fractions,
+//! the missing-link relatedness hint). [`CatalogBuilder`] constructs and
+//! validates catalogs; [`generator`] synthesizes YAGO-like worlds with
+//! controllable ambiguity and incompleteness; [`io`] persists catalogs in a
+//! line-oriented TSV format.
+//!
+//! ```
+//! use webtable_catalog::{CatalogBuilder, Cardinality};
+//!
+//! let mut b = CatalogBuilder::new();
+//! let person = b.add_type("person", &["human"]).unwrap();
+//! let physicist = b.add_type("physicist", &[]).unwrap();
+//! b.add_subtype(physicist, person);
+//! let e = b.add_entity("Albert Einstein", &["Einstein"], &[physicist]).unwrap();
+//! let cat = b.finish().unwrap();
+//! assert!(cat.is_instance(e, person));
+//! assert_eq!(cat.dist(e, person), Some(2)); // ∈ edge + one ⊆ edge
+//! ```
+
+pub mod builder;
+pub mod catalog;
+pub mod error;
+pub mod generator;
+pub mod ids;
+pub mod io;
+pub mod names;
+pub mod schema;
+pub mod stats;
+
+pub use builder::{CatalogBuilder, ROOT_TYPE_NAME};
+pub use catalog::Catalog;
+pub use error::CatalogError;
+pub use generator::{
+    generate_world, DomainEntities, DomainRelations, DomainTypes, World, WorldConfig,
+};
+pub use ids::{EntityId, RelationId, TypeId};
+pub use schema::{Cardinality, Entity, Relation, TypeNode};
+pub use stats::CatalogStats;

@@ -1,0 +1,128 @@
+//! Deterministic pseudo-word pools for the synthetic world generator.
+//!
+//! Names are built from syllables so that (a) runs are reproducible from a
+//! seed, (b) pools of controllable size create controllable lemma ambiguity
+//! (smaller surname pool ⇒ more people share a surname), and (c) tokens are
+//! plausible enough for similarity measures to behave like they do on real
+//! names (shared prefixes, varying lengths).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kr", "l", "m", "n",
+    "p", "pr", "qu", "r", "s", "sh", "st", "t", "th", "tr", "v", "w", "y", "z",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ee", "ia", "io", "oa", "ou"];
+const CODAS: &[&str] = &[
+    "", "", "", "l", "n", "r", "s", "t", "m", "d", "k", "nd", "nt", "rn", "st", "th", "ck",
+];
+
+/// A deterministic pool of distinct capitalized pseudo-words.
+#[derive(Debug, Clone)]
+pub struct NamePool {
+    words: Vec<String>,
+}
+
+impl NamePool {
+    /// Generates `n` distinct words of `min_syllables..=max_syllables`.
+    pub fn generate(rng: &mut StdRng, n: usize, min_syllables: usize, max_syllables: usize) -> Self {
+        assert!(min_syllables >= 1 && max_syllables >= min_syllables);
+        let mut words = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::with_capacity(n * 2);
+        let mut guard = 0usize;
+        while words.len() < n {
+            guard += 1;
+            assert!(guard < n * 1000 + 10_000, "name pool exhausted; widen syllable space");
+            let syllables = rng.gen_range(min_syllables..=max_syllables);
+            let mut w = String::new();
+            for _ in 0..syllables {
+                w.push_str(ONSETS[rng.gen_range(0..ONSETS.len())]);
+                w.push_str(NUCLEI[rng.gen_range(0..NUCLEI.len())]);
+                w.push_str(CODAS[rng.gen_range(0..CODAS.len())]);
+            }
+            let w = capitalize(&w);
+            if seen.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+        NamePool { words }
+    }
+
+    /// Number of words in the pool.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Returns the `i`-th word (wrapping around the pool size).
+    pub fn word(&self, i: usize) -> &str {
+        &self.words[i % self.words.len()]
+    }
+
+    /// Picks a uniformly random word.
+    pub fn pick<'a>(&'a self, rng: &mut StdRng) -> &'a str {
+        &self.words[rng.gen_range(0..self.words.len())]
+    }
+
+    /// All words in the pool.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+}
+
+/// Uppercases the first character.
+pub fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn pools_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let pa = NamePool::generate(&mut a, 50, 1, 3);
+        let pb = NamePool::generate(&mut b, 50, 1, 3);
+        assert_eq!(pa.words(), pb.words());
+    }
+
+    #[test]
+    fn pools_contain_distinct_capitalized_words() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = NamePool::generate(&mut rng, 200, 1, 2);
+        assert_eq!(pool.len(), 200);
+        let set: std::collections::HashSet<_> = pool.words().iter().collect();
+        assert_eq!(set.len(), 200);
+        for w in pool.words() {
+            assert!(w.chars().next().unwrap().is_uppercase(), "{w}");
+            assert!(!w.is_empty());
+        }
+    }
+
+    #[test]
+    fn word_wraps_around() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = NamePool::generate(&mut rng, 10, 1, 1);
+        assert_eq!(pool.word(3), pool.word(13));
+    }
+
+    #[test]
+    fn capitalize_handles_empty_and_unicode() {
+        assert_eq!(capitalize(""), "");
+        assert_eq!(capitalize("abc"), "Abc");
+        assert_eq!(capitalize("ábc"), "Ábc");
+    }
+}

@@ -1,0 +1,193 @@
+//! Plain data records for types, entities and relations.
+//!
+//! These mirror the source model of §3.1: a type DAG with subtype edges, a
+//! set of entities attached to types by instance (`∈`) edges, and a set of
+//! named binary relations with typed schemas and tuple stores. Lemmas — the
+//! strings by which a type or entity may be mentioned — live directly on the
+//! records (`L(T)`, `L(E)` in the paper).
+
+use std::collections::HashMap;
+
+use crate::ids::{EntityId, TypeId};
+
+/// One node of the type DAG (`T ∈ T` in the paper).
+#[derive(Debug, Clone)]
+pub struct TypeNode {
+    /// Canonical name, unique among types (e.g. a WordNet synset or a
+    /// Wikipedia category string).
+    pub name: String,
+    /// Lemmas describing the type, `L(T)`. The canonical name is always the
+    /// first lemma.
+    pub lemmas: Vec<String>,
+    /// Immediate supertypes (edges `self ⊆ parent`).
+    pub parents: Vec<TypeId>,
+    /// Immediate subtypes (redundant with `parents`, kept for traversal).
+    pub children: Vec<TypeId>,
+}
+
+/// One catalog entity (`E ∈ E` in the paper).
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Canonical name, unique among entities.
+    pub name: String,
+    /// Lemmas describing the entity, `L(E)`; e.g. New York City is also known
+    /// as "New York" and "Big Apple". The canonical name is the first lemma.
+    pub lemmas: Vec<String>,
+    /// Direct instance (`∈`) edges to the most specific known types.
+    pub direct_types: Vec<TypeId>,
+}
+
+/// Cardinality constraint of a binary relation `B(T1, T2)`.
+///
+/// Feature `f5` (§4.2.5) fires a violation indicator when a one-to-one or
+/// functional relation would pair one entity with two different partners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cardinality {
+    /// Each left entity pairs with at most one right entity and vice versa
+    /// (e.g. `capital(Country, City)`).
+    OneToOne,
+    /// Each left entity pairs with at most one right entity
+    /// (e.g. `wrote(Novel, Novelist)` when novels have a single author).
+    ManyToOne,
+    /// Each right entity pairs with at most one left entity.
+    OneToMany,
+    /// No constraint (e.g. `actedIn(Movie, Actor)`).
+    ManyToMany,
+}
+
+impl Cardinality {
+    /// True if the relation is functional left-to-right: a left entity may
+    /// appear in at most one tuple.
+    #[inline]
+    pub fn functional_lr(self) -> bool {
+        matches!(self, Cardinality::OneToOne | Cardinality::ManyToOne)
+    }
+
+    /// True if the relation is functional right-to-left.
+    #[inline]
+    pub fn functional_rl(self) -> bool {
+        matches!(self, Cardinality::OneToOne | Cardinality::OneToMany)
+    }
+
+    /// Stable single-token encoding used by the TSV persistence format.
+    pub fn as_token(self) -> &'static str {
+        match self {
+            Cardinality::OneToOne => "1:1",
+            Cardinality::ManyToOne => "N:1",
+            Cardinality::OneToMany => "1:N",
+            Cardinality::ManyToMany => "N:N",
+        }
+    }
+
+    /// Parses the encoding produced by [`Cardinality::as_token`].
+    pub fn from_token(tok: &str) -> Option<Self> {
+        match tok {
+            "1:1" => Some(Cardinality::OneToOne),
+            "N:1" => Some(Cardinality::ManyToOne),
+            "1:N" => Some(Cardinality::OneToMany),
+            "N:N" => Some(Cardinality::ManyToMany),
+            _ => None,
+        }
+    }
+}
+
+/// A named binary relation `B(T1, T2)` with its extension (tuple store).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Canonical relation name, unique among relations (e.g. `directed`).
+    pub name: String,
+    /// Schema: the type of the left column of the relation.
+    pub left_type: TypeId,
+    /// Schema: the type of the right column of the relation.
+    pub right_type: TypeId,
+    /// Declared cardinality constraint.
+    pub cardinality: Cardinality,
+    /// Tuples `B(E1, E2)`, deduplicated, in insertion order.
+    pub tuples: Vec<(EntityId, EntityId)>,
+    /// Index: left entity → right partners (sorted).
+    pub by_left: HashMap<EntityId, Vec<EntityId>>,
+    /// Index: right entity → left partners (sorted).
+    pub by_right: HashMap<EntityId, Vec<EntityId>>,
+}
+
+impl Relation {
+    /// True if the tuple `B(e1, e2)` is present in the store.
+    pub fn has_tuple(&self, e1: EntityId, e2: EntityId) -> bool {
+        self.by_left
+            .get(&e1)
+            .map(|rs| rs.binary_search(&e2).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// Right partners of `e1`, or an empty slice.
+    pub fn rights_of(&self, e1: EntityId) -> &[EntityId] {
+        self.by_left.get(&e1).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Left partners of `e2`, or an empty slice.
+    pub fn lefts_of(&self, e2: EntityId) -> &[EntityId] {
+        self.by_right.get(&e2).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct left entities participating in the relation.
+    pub fn distinct_left(&self) -> usize {
+        self.by_left.len()
+    }
+
+    /// Number of distinct right entities participating in the relation.
+    pub fn distinct_right(&self) -> usize {
+        self.by_right.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_tokens_round_trip() {
+        for c in [
+            Cardinality::OneToOne,
+            Cardinality::ManyToOne,
+            Cardinality::OneToMany,
+            Cardinality::ManyToMany,
+        ] {
+            assert_eq!(Cardinality::from_token(c.as_token()), Some(c));
+        }
+        assert_eq!(Cardinality::from_token("bogus"), None);
+    }
+
+    #[test]
+    fn functional_flags_match_semantics() {
+        assert!(Cardinality::OneToOne.functional_lr());
+        assert!(Cardinality::OneToOne.functional_rl());
+        assert!(Cardinality::ManyToOne.functional_lr());
+        assert!(!Cardinality::ManyToOne.functional_rl());
+        assert!(!Cardinality::ManyToMany.functional_lr());
+    }
+
+    #[test]
+    fn relation_lookup_helpers() {
+        let mut by_left = HashMap::new();
+        by_left.insert(EntityId(1), vec![EntityId(2), EntityId(5)]);
+        let mut by_right = HashMap::new();
+        by_right.insert(EntityId(2), vec![EntityId(1)]);
+        by_right.insert(EntityId(5), vec![EntityId(1)]);
+        let r = Relation {
+            name: "directed".into(),
+            left_type: TypeId(0),
+            right_type: TypeId(1),
+            cardinality: Cardinality::ManyToMany,
+            tuples: vec![(EntityId(1), EntityId(2)), (EntityId(1), EntityId(5))],
+            by_left,
+            by_right,
+        };
+        assert!(r.has_tuple(EntityId(1), EntityId(2)));
+        assert!(!r.has_tuple(EntityId(1), EntityId(3)));
+        assert!(!r.has_tuple(EntityId(9), EntityId(2)));
+        assert_eq!(r.rights_of(EntityId(1)), &[EntityId(2), EntityId(5)]);
+        assert_eq!(r.lefts_of(EntityId(5)), &[EntityId(1)]);
+        assert_eq!(r.distinct_left(), 1);
+        assert_eq!(r.distinct_right(), 2);
+    }
+}

@@ -1,0 +1,259 @@
+//! Optimal unique assignment for key columns (§4.4.1).
+//!
+//! The paper notes: "Primary key or unique constraints on a column can be
+//! handled using a min cost flow formulation [1]. We omit the details."
+//! This module supplies those details for the bipartite case: choosing a
+//! *distinct* entity per cell of a column (or `na`) so that the summed
+//! `φ1·φ3` score is maximal is an assignment problem, solved here with the
+//! Jonker-Volgenant shortest-augmenting-path algorithm (the min-cost-flow
+//! specialization for bipartite unit capacities), `O(n³)`.
+
+/// Benefit value treated as "assignment forbidden".
+pub const FORBIDDEN: f64 = f64::NEG_INFINITY;
+
+/// Maximum-benefit unique assignment.
+///
+/// `benefit[r][k]` is the gain of giving row `r` the label `k`; labels may
+/// be used **at most once** across rows. `na_benefit[r]` is the gain of
+/// leaving row `r` unassigned (`na` may repeat freely). Forbidden pairs use
+/// [`FORBIDDEN`]. Returns, per row, `Some(k)` or `None` (= `na`).
+///
+/// Every row always has the `na` fallback, so a total assignment exists.
+pub fn assign_unique(benefit: &[Vec<f64>], na_benefit: &[f64]) -> Vec<Option<usize>> {
+    let n = benefit.len();
+    assert_eq!(na_benefit.len(), n);
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = benefit.iter().map(Vec::len).max().unwrap_or(0);
+    // Columns: `m` real labels then `n` private na-slots (slot m+r only
+    // usable by row r). Square-ness is not required by the JV variant used
+    // here (rows ≤ columns always holds: n ≤ m + n).
+    let cols = m + n;
+
+    // Convert to minimization with a finite big-M for forbidden cells.
+    // Scale M to dominate any achievable benefit difference.
+    let max_abs = benefit
+        .iter()
+        .flatten()
+        .chain(na_benefit.iter())
+        .filter(|x| x.is_finite())
+        .fold(1.0f64, |acc, &x| acc.max(x.abs()));
+    let big_m = max_abs * 1e6 + 1e6;
+    let cost = |r: usize, c: usize| -> f64 {
+        if c < m {
+            let b = benefit[r].get(c).copied().unwrap_or(FORBIDDEN);
+            if b.is_finite() {
+                -b
+            } else {
+                big_m
+            }
+        } else if c == m + r {
+            -na_benefit[r]
+        } else {
+            big_m
+        }
+    };
+
+    // Jonker-Volgenant / Hungarian with potentials (1-indexed internally).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; cols + 1];
+    let mut way = vec![0usize; cols + 1];
+    let mut p = vec![0usize; cols + 1]; // p[c] = row matched to column c
+    for r in 1..=n {
+        p[0] = r;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; cols + 1];
+        let mut used = vec![false; cols + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=cols {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=cols {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut out = vec![None; n];
+    for c in 1..=cols {
+        let r = p[c];
+        if r == 0 {
+            continue;
+        }
+        let col = c - 1;
+        if col < m {
+            // Only accept real labels that are actually allowed; a big-M
+            // match means the row preferred nothing feasible (shouldn't
+            // happen since na is always feasible, but guard anyway).
+            if benefit[r - 1].get(col).copied().unwrap_or(FORBIDDEN).is_finite() {
+                out[r - 1] = Some(col);
+            }
+        }
+    }
+    out
+}
+
+/// Total benefit of an assignment (for tests and diagnostics).
+pub fn assignment_benefit(
+    benefit: &[Vec<f64>],
+    na_benefit: &[f64],
+    assignment: &[Option<usize>],
+) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(r, a)| match a {
+            Some(k) => benefit[r][*k],
+            None => na_benefit[r],
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force optimum by enumeration (for small instances).
+    fn brute_force(benefit: &[Vec<f64>], na_benefit: &[f64]) -> f64 {
+        let n = benefit.len();
+        let m = benefit.iter().map(Vec::len).max().unwrap_or(0);
+        fn rec(
+            r: usize,
+            n: usize,
+            m: usize,
+            used: &mut Vec<bool>,
+            benefit: &[Vec<f64>],
+            na: &[f64],
+        ) -> f64 {
+            if r == n {
+                return 0.0;
+            }
+            // na option
+            let mut best = na[r] + rec(r + 1, n, m, used, benefit, na);
+            for k in 0..benefit[r].len() {
+                if !used[k] && benefit[r][k].is_finite() {
+                    used[k] = true;
+                    let v = benefit[r][k] + rec(r + 1, n, m, used, benefit, na);
+                    used[k] = false;
+                    if v > best {
+                        best = v;
+                    }
+                }
+            }
+            best
+        }
+        let mut used = vec![false; m];
+        rec(0, n, m, &mut used, benefit, na_benefit)
+    }
+
+    #[test]
+    fn resolves_conflicts_optimally() {
+        // Both rows love label 0, but row 0 has a good fallback.
+        let benefit = vec![vec![5.0, 4.0], vec![5.0, 1.0]];
+        let na = vec![0.0, 0.0];
+        let a = assign_unique(&benefit, &na);
+        assert_eq!(a, vec![Some(1), Some(0)], "global optimum 4+5, not 5+1");
+        assert!((assignment_benefit(&benefit, &na, &a) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn na_is_chosen_when_better() {
+        let benefit = vec![vec![0.1], vec![5.0]];
+        let na = vec![1.0, 0.0];
+        let a = assign_unique(&benefit, &na);
+        assert_eq!(a, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn forbidden_pairs_are_never_assigned() {
+        let benefit = vec![vec![FORBIDDEN, 2.0], vec![FORBIDDEN, FORBIDDEN]];
+        let na = vec![0.0, 0.0];
+        let a = assign_unique(&benefit, &na);
+        assert_eq!(a, vec![Some(1), None]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(assign_unique(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn rows_without_candidates_get_na() {
+        let benefit = vec![vec![], vec![3.0]];
+        let na = vec![0.5, 0.0];
+        let a = assign_unique(&benefit, &na);
+        assert_eq!(a, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        for case in 0..200 {
+            let n = rng.gen_range(1..6);
+            let m = rng.gen_range(1..6);
+            let benefit: Vec<Vec<f64>> = (0..n)
+                .map(|_| {
+                    (0..m)
+                        .map(|_| {
+                            if rng.gen_bool(0.2) {
+                                FORBIDDEN
+                            } else {
+                                rng.gen_range(-3.0..5.0)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let na: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let a = assign_unique(&benefit, &na);
+            // Validity: no duplicate labels.
+            let mut seen = std::collections::HashSet::new();
+            for x in a.iter().flatten() {
+                assert!(seen.insert(*x), "case {case}: duplicate label {x}");
+            }
+            let got = assignment_benefit(&benefit, &na, &a);
+            let best = brute_force(&benefit, &na);
+            assert!(
+                (got - best).abs() < 1e-6,
+                "case {case}: got {got}, optimum {best}\nbenefit={benefit:?}\nna={na:?}"
+            );
+        }
+    }
+}

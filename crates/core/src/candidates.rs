@@ -1,0 +1,359 @@
+//! Candidate-space construction (§4.3).
+//!
+//! For each cell `(r, c)` the lemma index proposes candidate entities
+//! `E_rc`; the space of column labels is `⋃_{E ∈ E_rc} T(E)` pruned to the
+//! best `type_k`; the space of relation labels for a column pair is the set
+//! of relations holding between candidate entities of the same row, in
+//! either orientation. Every variable additionally admits the label `na` at
+//! domain index 0.
+
+use std::collections::HashMap;
+
+use webtable_catalog::{Catalog, EntityId, RelationId, TypeId};
+use webtable_tables::Table;
+use webtable_text::{LemmaIndex, StringSim, TextDoc};
+
+use crate::config::AnnotatorConfig;
+
+/// A relation label with orientation: `reversed == false` means column `c1`
+/// holds the relation's left (first schema) type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RelLabel {
+    /// The catalog relation.
+    pub rel: RelationId,
+    /// True if the columns appear in (right, left) order.
+    pub reversed: bool,
+}
+
+/// Candidates for one cell.
+#[derive(Debug, Clone)]
+pub struct CellCandidates {
+    /// Candidate entities, best-first.
+    pub entities: Vec<EntityId>,
+    /// `f1` similarity profiles, parallel to `entities`.
+    pub profiles: Vec<StringSim>,
+}
+
+/// Candidates for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnCandidates {
+    /// Candidate types, best-first after pruning.
+    pub types: Vec<TypeId>,
+    /// `f2` header similarity profiles, parallel to `types` (zero profile
+    /// when the column has no header).
+    pub header_profiles: Vec<StringSim>,
+}
+
+/// Candidates for one column pair that is "likely to be related".
+#[derive(Debug, Clone)]
+pub struct PairCandidates {
+    /// First column (smaller index).
+    pub c1: usize,
+    /// Second column.
+    pub c2: usize,
+    /// Candidate relation labels.
+    pub rels: Vec<RelLabel>,
+}
+
+/// All candidate sets for a table.
+#[derive(Debug, Clone)]
+pub struct TableCandidates {
+    /// Per cell, row-major `[r][c]`.
+    pub cells: Vec<Vec<CellCandidates>>,
+    /// Per column.
+    pub columns: Vec<ColumnCandidates>,
+    /// Column pairs with at least one candidate relation.
+    pub pairs: Vec<PairCandidates>,
+}
+
+impl TableCandidates {
+    /// Builds candidate sets for a table.
+    pub fn build(
+        catalog: &Catalog,
+        index: &LemmaIndex,
+        table: &Table,
+        cfg: &AnnotatorConfig,
+    ) -> TableCandidates {
+        let m = table.num_rows();
+        let n = table.num_cols();
+
+        // --- cells ---
+        let mut cells: Vec<Vec<CellCandidates>> = Vec::with_capacity(m);
+        for r in 0..m {
+            let mut row = Vec::with_capacity(n);
+            for c in 0..n {
+                let text = table.cell(r, c);
+                row.push(cell_candidates(index, text, cfg.entity_k, cfg.min_candidate_score));
+            }
+            cells.push(row);
+        }
+
+        // --- columns ---
+        let mut columns = Vec::with_capacity(n);
+        for c in 0..n {
+            let header_doc = table.header(c).map(|h| index.doc(h));
+            columns.push(column_candidates(catalog, index, &cells, c, header_doc.as_ref(), cfg));
+        }
+
+        // --- pairs ---
+        let mut pairs = Vec::new();
+        for c1 in 0..n {
+            for c2 in (c1 + 1)..n {
+                if let Some(p) = pair_candidates(catalog, &cells, c1, c2, cfg.relation_k) {
+                    pairs.push(p);
+                }
+            }
+        }
+
+        TableCandidates { cells, columns, pairs }
+    }
+
+    /// Mean number of entity candidates over non-empty cells (the paper
+    /// reports 7–8 on its corpora, §6.1.1).
+    pub fn mean_entity_candidates(&self) -> f64 {
+        let mut total = 0usize;
+        let mut cnt = 0usize;
+        for row in &self.cells {
+            for cell in row {
+                if !cell.entities.is_empty() {
+                    total += cell.entities.len();
+                    cnt += 1;
+                }
+            }
+        }
+        if cnt == 0 {
+            0.0
+        } else {
+            total as f64 / cnt as f64
+        }
+    }
+}
+
+fn cell_candidates(
+    index: &LemmaIndex,
+    text: &str,
+    k: usize,
+    min_score: f64,
+) -> CellCandidates {
+    let doc = index.doc(text);
+    if doc.token_set.is_empty() {
+        return CellCandidates { entities: Vec::new(), profiles: Vec::new() };
+    }
+    let matches = index.entity_candidates(&doc, k);
+    let mut entities = Vec::with_capacity(matches.len());
+    let mut profiles = Vec::with_capacity(matches.len());
+    for m in matches {
+        if m.score < min_score {
+            continue; // only stop-ish token overlap with any lemma
+        }
+        entities.push(m.id);
+        profiles.push(index.entity_profile(&doc, m.id));
+    }
+    CellCandidates { entities, profiles }
+}
+
+fn column_candidates(
+    catalog: &Catalog,
+    index: &LemmaIndex,
+    cells: &[Vec<CellCandidates>],
+    c: usize,
+    header_doc: Option<&TextDoc>,
+    cfg: &AnnotatorConfig,
+) -> ColumnCandidates {
+    // Coverage: how many cells have a candidate entity inside each type.
+    let mut coverage: HashMap<TypeId, u32> = HashMap::new();
+    for row in cells.iter() {
+        let cell = &row[c];
+        let mut seen: Vec<TypeId> = Vec::new();
+        for &e in &cell.entities {
+            for &t in catalog.types_of(e) {
+                if !seen.contains(&t) {
+                    seen.push(t);
+                }
+            }
+        }
+        for t in seen {
+            *coverage.entry(t).or_insert(0) += 1;
+        }
+    }
+    // Header text can also propose types directly (e.g. header "Film" when
+    // no cell disambiguates).
+    if let Some(h) = header_doc {
+        for m in index.type_candidates(h, 8) {
+            coverage.entry(m.id).or_insert(0);
+        }
+    }
+    let mut scored: Vec<(TypeId, u32, f64, f64)> = coverage
+        .into_iter()
+        .map(|(t, cov)| {
+            let header_sim = header_doc
+                .map(|h| index.type_profile(h, t).tfidf_cosine)
+                .unwrap_or(0.0);
+            (t, cov, header_sim, catalog.specificity(t))
+        })
+        .collect();
+    // Primary: coverage; then header similarity; then specificity (favor
+    // narrow types); id for determinism.
+    scored.sort_unstable_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(b.2.total_cmp(&a.2))
+            .then(b.3.total_cmp(&a.3))
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(cfg.type_k);
+    let types: Vec<TypeId> = scored.iter().map(|&(t, ..)| t).collect();
+    let header_profiles: Vec<StringSim> = match header_doc {
+        Some(h) => types.iter().map(|&t| index.type_profile(h, t)).collect(),
+        None => vec![StringSim::default(); types.len()],
+    };
+    ColumnCandidates { types, header_profiles }
+}
+
+fn pair_candidates(
+    catalog: &Catalog,
+    cells: &[Vec<CellCandidates>],
+    c1: usize,
+    c2: usize,
+    k: usize,
+) -> Option<PairCandidates> {
+    let mut support: HashMap<RelLabel, u32> = HashMap::new();
+    for row in cells.iter() {
+        let (a, b) = (&row[c1], &row[c2]);
+        let mut seen_this_row: Vec<RelLabel> = Vec::new();
+        for &e1 in &a.entities {
+            for &e2 in &b.entities {
+                for &rel in catalog.relations_between(e1, e2) {
+                    let l = RelLabel { rel, reversed: false };
+                    if !seen_this_row.contains(&l) {
+                        seen_this_row.push(l);
+                    }
+                }
+                for &rel in catalog.relations_between(e2, e1) {
+                    let l = RelLabel { rel, reversed: true };
+                    if !seen_this_row.contains(&l) {
+                        seen_this_row.push(l);
+                    }
+                }
+            }
+        }
+        for l in seen_this_row {
+            *support.entry(l).or_insert(0) += 1;
+        }
+    }
+    if support.is_empty() {
+        return None;
+    }
+    let mut scored: Vec<(RelLabel, u32)> = support.into_iter().collect();
+    scored.sort_unstable_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(a.0.rel.cmp(&b.0.rel))
+            .then(a.0.reversed.cmp(&b.0.reversed))
+    });
+    scored.truncate(k);
+    Some(PairCandidates { c1, c2, rels: scored.into_iter().map(|(l, _)| l).collect() })
+}
+
+#[cfg(test)]
+mod tests {
+    use webtable_catalog::{generate_world, WorldConfig};
+    use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};
+
+    use super::*;
+
+    #[test]
+    fn candidates_cover_ground_truth_on_clean_tables() {
+        let w = generate_world(&WorldConfig::tiny(5)).unwrap();
+        let index = LemmaIndex::build(&w.catalog);
+        let mut g = TableGenerator::new(&w, NoiseConfig::clean(), TruthMask::full(), 3);
+        let cfg = AnnotatorConfig::default();
+        let lt = g.gen_table(8);
+        let cands = TableCandidates::build(&w.catalog, &index, &lt.table, &cfg);
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        for (&(r, c), gold) in &lt.truth.cell_entities {
+            if let Some(e) = gold {
+                total += 1;
+                if cands.cells[r][c].entities.contains(e) {
+                    covered += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            covered * 10 >= total * 8,
+            "clean mentions should usually contain gold: {covered}/{total}"
+        );
+    }
+
+    #[test]
+    fn type_space_is_union_of_candidate_ancestors() {
+        let w = generate_world(&WorldConfig::tiny(5)).unwrap();
+        let index = LemmaIndex::build(&w.catalog);
+        let mut g = TableGenerator::new(&w, NoiseConfig::clean(), TruthMask::full(), 4);
+        let cfg = AnnotatorConfig::default();
+        let lt = g.gen_table_for_relation(w.relations.directed, 10);
+        let cands = TableCandidates::build(&w.catalog, &index, &lt.table, &cfg);
+        // The gold column type should be among the pruned candidates for
+        // its column.
+        for (&c, gold) in &lt.truth.column_types {
+            if let Some(t) = gold {
+                assert!(
+                    cands.columns[c].types.contains(t),
+                    "column {c} lost gold type {} in pruning",
+                    w.catalog.type_name(*t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_candidates_find_the_generating_relation() {
+        let w = generate_world(&WorldConfig::tiny(5)).unwrap();
+        let index = LemmaIndex::build(&w.catalog);
+        let mut g = TableGenerator::new(&w, NoiseConfig::clean(), TruthMask::full(), 5);
+        let cfg = AnnotatorConfig::default();
+        let lt = g.gen_table_for_relation(w.relations.plays_for, 8);
+        let cands = TableCandidates::build(&w.catalog, &index, &lt.table, &cfg);
+        let found = cands
+            .pairs
+            .iter()
+            .any(|p| p.rels.iter().any(|l| l.rel == w.relations.plays_for));
+        assert!(found, "playsFor must be proposed for some pair: {:?}", cands.pairs);
+    }
+
+    #[test]
+    fn empty_cells_get_no_candidates() {
+        let w = generate_world(&WorldConfig::tiny(5)).unwrap();
+        let index = LemmaIndex::build(&w.catalog);
+        let cfg = AnnotatorConfig::default();
+        let table = webtable_tables::Table::new(
+            webtable_tables::TableId(0),
+            "",
+            vec![None, None],
+            vec![vec!["".into(), "12.5".into()]],
+        );
+        let cands = TableCandidates::build(&w.catalog, &index, &table, &cfg);
+        assert!(cands.cells[0][0].entities.is_empty());
+        // Numeric cells rarely match lemmas; candidates may exist but the
+        // structure must still be sane.
+        assert_eq!(cands.cells[0].len(), 2);
+    }
+
+    #[test]
+    fn candidate_counts_respect_k() {
+        let w = generate_world(&WorldConfig::tiny(5)).unwrap();
+        let index = LemmaIndex::build(&w.catalog);
+        let cfg = AnnotatorConfig { entity_k: 3, type_k: 5, ..Default::default() };
+        let mut g = TableGenerator::new(&w, NoiseConfig::web(), TruthMask::full(), 6);
+        let lt = g.gen_table(10);
+        let cands = TableCandidates::build(&w.catalog, &index, &lt.table, &cfg);
+        for row in &cands.cells {
+            for cell in row {
+                assert!(cell.entities.len() <= 3);
+            }
+        }
+        for col in &cands.columns {
+            assert!(col.types.len() <= 5);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # webtable-core
+//!
+//! The primary contribution of *Annotating and Searching Web Tables Using
+//! Entities, Types and Relationships* (Limaye, Sarawagi, Chakrabarti;
+//! VLDB 2010): a collective annotator that simultaneously labels table
+//! cells with entities, columns with types, and column pairs with binary
+//! relations from a catalog, by MAP inference in a joint graphical model.
+//!
+//! * [`candidates`] — candidate-space construction from the lemma index (§4.3);
+//! * [`features`] / [`weights`] — the feature families `f1`–`f5` and weight
+//!   vectors `w1`–`w5` (§4.2);
+//! * [`model`] — the per-table factor graph (Fig. 10) with `na` labels;
+//! * [`infer`] — collective BP inference (Fig. 11) and the simplified exact
+//!   special case (Fig. 2);
+//! * [`baselines`] — LCA and Majority/threshold voting (§4.5);
+//! * [`pipeline`] — the batch annotator with phase timing (Fig. 7).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use webtable_catalog::{generate_world, WorldConfig};
+//! use webtable_core::Annotator;
+//!
+//! let world = generate_world(&WorldConfig::default()).unwrap();
+//! let annotator = Annotator::new(Arc::clone(&world.catalog));
+//! // annotate any `webtable_tables::Table`...
+//! ```
+
+pub mod assignment;
+pub mod baselines;
+pub mod candidates;
+pub mod config;
+pub mod features;
+pub mod infer;
+pub mod model;
+pub mod pipeline;
+pub mod result;
+pub mod unique;
+pub mod weights;
+
+pub use assignment::{assign_unique, assignment_benefit};
+pub use baselines::{lca, majority, majority_with_threshold, BaselineAnnotation};
+pub use candidates::{CellCandidates, ColumnCandidates, PairCandidates, RelLabel, TableCandidates};
+pub use config::{AnnotatorConfig, CompatMode};
+pub use infer::{annotate_collective, annotate_simple};
+pub use model::TableModel;
+pub use pipeline::Annotator;
+pub use result::{PhaseTimings, TableAnnotation};
+pub use unique::enforce_unique_columns;
+pub use weights::Weights;

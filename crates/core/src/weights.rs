@@ -1,0 +1,193 @@
+//! Model weights `w1 … w5` (§4.2).
+//!
+//! Each potential family has its own weight vector; potentials are
+//! `exp(wᵀf)`, i.e. log-potentials are dot products. Defaults are
+//! hand-tuned to sensible magnitudes; `crates/learning` trains them with a
+//! structured max-margin learner as in the paper (§6.1.3, [22]).
+
+use webtable_text::StringSim;
+
+/// Feature dimensionality of `f1` (cell text ↔ entity lemma profile).
+pub const F1_DIM: usize = StringSim::DIM;
+/// Feature dimensionality of `f2` (header ↔ type lemma profile).
+pub const F2_DIM: usize = StringSim::DIM;
+/// Feature dimensionality of `f3`: `[compat, missing_link]`.
+pub const F3_DIM: usize = 2;
+/// Feature dimensionality of `f4`: `[schema_match, participation]`.
+pub const F4_DIM: usize = 2;
+/// Feature dimensionality of `f5`: `[tuple_exists, cardinality_violation]`.
+pub const F5_DIM: usize = 2;
+/// Total stacked dimensionality.
+pub const TOTAL_DIM: usize = F1_DIM + F2_DIM + F3_DIM + F4_DIM + F5_DIM;
+
+/// The five weight vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weights {
+    /// Cell-text ↔ entity-label weights (`φ1`).
+    pub w1: [f64; F1_DIM],
+    /// Header ↔ type-label weights (`φ2`).
+    pub w2: [f64; F2_DIM],
+    /// Type ↔ entity compatibility weights (`φ3`).
+    pub w3: [f64; F3_DIM],
+    /// Relation ↔ type-pair weights (`φ4`).
+    pub w4: [f64; F4_DIM],
+    /// Relation ↔ entity-pair weights (`φ5`).
+    pub w5: [f64; F5_DIM],
+}
+
+impl Default for Weights {
+    /// Hand-tuned defaults: similarity measures weighted toward TFIDF
+    /// cosine (the paper's primary signal); `φ2` weaker than `φ1` ("φ2
+    /// tends to be a weaker signal", §4.2.2); cardinality violations
+    /// penalized.
+    fn default() -> Self {
+        Weights {
+            //    [tfidf, jaccard, dice, jaro-winkler, soft-tfidf, edit]
+            w1: [3.2, 0.6, 0.6, 0.7, 1.2, 0.9],
+            w2: [1.4, 0.3, 0.3, 0.3, 0.5, 0.4],
+            //    [compat, missing_link]
+            w3: [2.6, 1.2],
+            //    [schema_match, participation]
+            w4: [1.6, 0.8],
+            //    [tuple_exists, cardinality_violation]
+            w5: [2.4, -1.5],
+        }
+    }
+}
+
+impl Weights {
+    /// All-zero weights (learning starts here; also a useful baseline).
+    pub fn zeros() -> Weights {
+        Weights {
+            w1: [0.0; F1_DIM],
+            w2: [0.0; F2_DIM],
+            w3: [0.0; F3_DIM],
+            w4: [0.0; F4_DIM],
+            w5: [0.0; F5_DIM],
+        }
+    }
+
+    /// Flattens into a single vector `[w1 | w2 | w3 | w4 | w5]`.
+    pub fn to_flat(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(TOTAL_DIM);
+        v.extend_from_slice(&self.w1);
+        v.extend_from_slice(&self.w2);
+        v.extend_from_slice(&self.w3);
+        v.extend_from_slice(&self.w4);
+        v.extend_from_slice(&self.w5);
+        v
+    }
+
+    /// Rebuilds from the flat form.
+    pub fn from_flat(flat: &[f64]) -> Weights {
+        assert_eq!(flat.len(), TOTAL_DIM);
+        let mut w = Weights::zeros();
+        let mut off = 0;
+        w.w1.copy_from_slice(&flat[off..off + F1_DIM]);
+        off += F1_DIM;
+        w.w2.copy_from_slice(&flat[off..off + F2_DIM]);
+        off += F2_DIM;
+        w.w3.copy_from_slice(&flat[off..off + F3_DIM]);
+        off += F3_DIM;
+        w.w4.copy_from_slice(&flat[off..off + F4_DIM]);
+        off += F4_DIM;
+        w.w5.copy_from_slice(&flat[off..off + F5_DIM]);
+        w
+    }
+
+    /// Serializes to a one-line-per-family text format.
+    pub fn to_text(&self) -> String {
+        let fmt = |name: &str, v: &[f64]| {
+            format!(
+                "{name}\t{}\n",
+                v.iter().map(|x| format!("{x:.17e}")).collect::<Vec<_>>().join("\t")
+            )
+        };
+        let mut s = String::from("#webtable-weights v1\n");
+        s.push_str(&fmt("w1", &self.w1));
+        s.push_str(&fmt("w2", &self.w2));
+        s.push_str(&fmt("w3", &self.w3));
+        s.push_str(&fmt("w4", &self.w4));
+        s.push_str(&fmt("w5", &self.w5));
+        s
+    }
+
+    /// Parses the format written by [`Weights::to_text`].
+    pub fn from_text(text: &str) -> Result<Weights, String> {
+        let mut w = Weights::zeros();
+        let mut seen = 0;
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let name = parts.next().ok_or("missing family name")?;
+            let vals: Result<Vec<f64>, _> = parts.map(|p| p.parse::<f64>()).collect();
+            let vals = vals.map_err(|e| format!("bad float: {e}"))?;
+            let target: &mut [f64] = match name {
+                "w1" => &mut w.w1,
+                "w2" => &mut w.w2,
+                "w3" => &mut w.w3,
+                "w4" => &mut w.w4,
+                "w5" => &mut w.w5,
+                other => return Err(format!("unknown family `{other}`")),
+            };
+            if vals.len() != target.len() {
+                return Err(format!("family {name}: expected {} values", target.len()));
+            }
+            target.copy_from_slice(&vals);
+            seen += 1;
+        }
+        if seen != 5 {
+            return Err(format!("expected 5 weight families, found {seen}"));
+        }
+        Ok(w)
+    }
+}
+
+/// Dot product of equal-length slices.
+#[inline]
+pub fn dot(w: &[f64], f: &[f64]) -> f64 {
+    debug_assert_eq!(w.len(), f.len());
+    w.iter().zip(f).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_round_trip() {
+        let w = Weights::default();
+        let flat = w.to_flat();
+        assert_eq!(flat.len(), TOTAL_DIM);
+        assert_eq!(Weights::from_flat(&flat), w);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let w = Weights::default();
+        let text = w.to_text();
+        let back = Weights::from_text(&text).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn text_rejects_malformed() {
+        assert!(Weights::from_text("w1\t1.0").is_err()); // wrong arity
+        assert!(Weights::from_text("wX\t1\t2\t3\t4\t5\t6").is_err());
+        assert!(Weights::from_text("").is_err());
+    }
+
+    #[test]
+    fn dot_computes() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 0.5]), 4.0);
+    }
+
+    #[test]
+    fn defaults_weight_phi1_above_phi2() {
+        let w = Weights::default();
+        assert!(w.w1[0] > w.w2[0], "φ2 is the weaker signal (§4.2.2)");
+        assert!(w.w5[1] < 0.0, "cardinality violations must be penalized");
+    }
+}

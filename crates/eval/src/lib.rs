@@ -1,0 +1,15 @@
+//! # webtable-eval
+//!
+//! Evaluation machinery for the `webtable` system: 0/1 entity accuracy
+//! with `na` semantics, micro-averaged F1 for set-valued type/relation
+//! predictions, mean average precision for search (§6 of the paper), and
+//! an ASCII report builder for the experiment harness.
+
+pub mod metrics;
+pub mod report;
+
+pub use metrics::{
+    average_precision, average_precision_with_base, canonical_relations, entity_accuracy, mean_average_precision,
+    point_types_as_sets, relation_f1, type_f1, Accuracy, SetF1,
+};
+pub use report::{pct, Report};

@@ -1,0 +1,332 @@
+//! Evaluation metrics (§6.1.1): 0/1 entity accuracy with `na` semantics,
+//! set-valued F1 for column types and relations, and mean average
+//! precision for the search experiments (§6.2).
+
+use std::collections::HashMap;
+
+use webtable_catalog::{EntityId, RelationId, TypeId};
+
+/// A correct/total accuracy counter (0/1 loss).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accuracy {
+    /// Correct decisions.
+    pub correct: usize,
+    /// Evaluated decisions (ground truth known).
+    pub total: usize,
+}
+
+impl Accuracy {
+    /// Fraction correct (0 when nothing was evaluated).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Percentage form used in the paper's tables.
+    pub fn percent(&self) -> f64 {
+        self.fraction() * 100.0
+    }
+
+    /// Accumulates another counter.
+    pub fn add(&mut self, other: Accuracy) {
+        self.correct += other.correct;
+        self.total += other.total;
+    }
+}
+
+/// Micro-averaged precision/recall/F1 over set-valued predictions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetF1 {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl SetF1 {
+    /// Precision `tp / (tp + fp)`.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Percentage form.
+    pub fn percent(&self) -> f64 {
+        self.f1() * 100.0
+    }
+
+    /// Accumulates another counter.
+    pub fn add(&mut self, other: SetF1) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// Scores one prediction set against one gold set.
+    pub fn observe(&mut self, predicted: &[TypeId], gold: &[TypeId]) {
+        for p in predicted {
+            if gold.contains(p) {
+                self.tp += 1;
+            } else {
+                self.fp += 1;
+            }
+        }
+        for g in gold {
+            if !predicted.contains(g) {
+                self.fn_ += 1;
+            }
+        }
+    }
+}
+
+/// Scores cell-entity predictions against ground truth. Cells without
+/// ground truth are dropped; choosing `na` when truth is an entity (or
+/// vice versa) is an error (§6.1.1).
+pub fn entity_accuracy(
+    pred: &HashMap<(usize, usize), Option<EntityId>>,
+    truth: &HashMap<(usize, usize), Option<EntityId>>,
+) -> Accuracy {
+    let mut acc = Accuracy::default();
+    for (key, gold) in truth {
+        acc.total += 1;
+        if pred.get(key).copied().flatten() == *gold {
+            acc.correct += 1;
+        }
+    }
+    acc
+}
+
+/// Scores set-valued type predictions (baselines predict sets; the
+/// collective annotator predicts singletons — wrap with
+/// [`point_types_as_sets`]).
+pub fn type_f1(
+    pred: &HashMap<usize, Vec<TypeId>>,
+    truth: &HashMap<usize, Option<TypeId>>,
+) -> SetF1 {
+    let empty: Vec<TypeId> = Vec::new();
+    let mut f1 = SetF1::default();
+    for (col, gold) in truth {
+        let p = pred.get(col).unwrap_or(&empty);
+        let g: Vec<TypeId> = gold.iter().copied().collect();
+        f1.observe(p, &g);
+    }
+    f1
+}
+
+/// Converts point (possibly-`na`) type predictions into singleton sets.
+pub fn point_types_as_sets(
+    pred: &HashMap<usize, Option<TypeId>>,
+) -> HashMap<usize, Vec<TypeId>> {
+    pred.iter()
+        .map(|(&c, &t)| (c, t.into_iter().collect::<Vec<TypeId>>()))
+        .collect()
+}
+
+/// Canonical form of an oriented relation map: key `(min, max)`, value
+/// `Some((B, c1_is_left))` or `None` for na.
+pub fn canonical_relations(
+    rels: &HashMap<(usize, usize), Option<RelationId>>,
+) -> HashMap<(usize, usize), Option<(RelationId, bool)>> {
+    let mut out = HashMap::new();
+    for (&(a, b), &v) in rels {
+        let key = (a.min(b), a.max(b));
+        match v {
+            Some(rel) => {
+                out.insert(key, Some((rel, a <= b)));
+            }
+            None => {
+                out.entry(key).or_insert(None);
+            }
+        }
+    }
+    out
+}
+
+/// Scores relation predictions with orientation against ground truth.
+pub fn relation_f1(
+    pred: &HashMap<(usize, usize), Option<RelationId>>,
+    truth: &HashMap<(usize, usize), Option<RelationId>>,
+) -> SetF1 {
+    let pred = canonical_relations(pred);
+    let truth = canonical_relations(truth);
+    let mut f1 = SetF1::default();
+    for (key, gold) in &truth {
+        let p = pred.get(key).copied().flatten();
+        match (gold, p) {
+            (Some(g), Some(p)) if *g == p => f1.tp += 1,
+            (Some(_), Some(_)) => {
+                f1.fp += 1;
+                f1.fn_ += 1;
+            }
+            (Some(_), None) => f1.fn_ += 1,
+            (None, Some(_)) => f1.fp += 1,
+            (None, None) => {}
+        }
+    }
+    f1
+}
+
+/// Average precision of a ranked relevance list, normalized by the number
+/// of relevant items *in the list*.
+pub fn average_precision(relevant: &[bool]) -> f64 {
+    let total = relevant.iter().filter(|&&r| r).count();
+    average_precision_with_base(relevant, total)
+}
+
+/// Average precision with an explicit recall base: the total number of
+/// relevant items in the collection (missed answers count against the
+/// score). This is the standard IR formulation used for the paper's MAP
+/// numbers (§6.2).
+pub fn average_precision_with_base(relevant: &[bool], total_relevant: usize) -> f64 {
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &r) in relevant.iter().enumerate() {
+        if r {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_relevant as f64
+}
+
+/// Mean average precision over queries. Queries with no relevant results
+/// anywhere contribute 0 (strict convention).
+pub fn mean_average_precision(per_query: &[Vec<bool>]) -> f64 {
+    if per_query.is_empty() {
+        return 0.0;
+    }
+    per_query.iter().map(|q| average_precision(q)).sum::<f64>() / per_query.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_accuracy_counts_na_errors() {
+        let mut truth = HashMap::new();
+        truth.insert((0, 0), Some(EntityId(1)));
+        truth.insert((0, 1), None); // truth says na
+        truth.insert((1, 0), Some(EntityId(2)));
+        let mut pred = HashMap::new();
+        pred.insert((0, 0), Some(EntityId(1))); // correct
+        pred.insert((0, 1), Some(EntityId(9))); // wrong: should be na
+        pred.insert((1, 0), None); // wrong: na instead of entity
+        let acc = entity_accuracy(&pred, &truth);
+        assert_eq!(acc.correct, 1);
+        assert_eq!(acc.total, 3);
+        assert!((acc.percent() - 33.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn missing_predictions_count_as_na() {
+        let mut truth = HashMap::new();
+        truth.insert((0, 0), Some(EntityId(1)));
+        let pred = HashMap::new();
+        let acc = entity_accuracy(&pred, &truth);
+        assert_eq!(acc.correct, 0);
+        assert_eq!(acc.total, 1);
+    }
+
+    #[test]
+    fn type_f1_scores_sets() {
+        let mut truth = HashMap::new();
+        truth.insert(0, Some(TypeId(1)));
+        truth.insert(1, Some(TypeId(2)));
+        truth.insert(2, None);
+        let mut pred = HashMap::new();
+        pred.insert(0, vec![TypeId(1), TypeId(9)]); // tp + fp
+        pred.insert(1, vec![]); // fn
+        pred.insert(2, vec![TypeId(3)]); // fp (truth is na)
+        let f = type_f1(&pred, &truth);
+        assert_eq!((f.tp, f.fp, f.fn_), (1, 2, 1));
+        assert!((f.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((f.recall() - 0.5).abs() < 1e-12);
+        assert!(f.f1() > 0.0 && f.f1() < 1.0);
+    }
+
+    #[test]
+    fn relation_f1_respects_orientation() {
+        let mut truth = HashMap::new();
+        truth.insert((2, 0), Some(RelationId(7))); // col 2 is left
+        let mut pred_ok = HashMap::new();
+        pred_ok.insert((2, 0), Some(RelationId(7)));
+        assert_eq!(relation_f1(&pred_ok, &truth).tp, 1);
+        // Same relation, wrong orientation = wrong.
+        let mut pred_flip = HashMap::new();
+        pred_flip.insert((0, 2), Some(RelationId(7)));
+        let f = relation_f1(&pred_flip, &truth);
+        assert_eq!(f.tp, 0);
+        assert_eq!(f.fp, 1);
+        assert_eq!(f.fn_, 1);
+    }
+
+    #[test]
+    fn relation_f1_handles_na() {
+        let mut truth = HashMap::new();
+        truth.insert((0, 1), None);
+        truth.insert((1, 2), Some(RelationId(3)));
+        let mut pred = HashMap::new();
+        pred.insert((0, 1), Some(RelationId(5))); // fp
+        pred.insert((1, 2), None); // fn
+        let f = relation_f1(&pred, &truth);
+        assert_eq!((f.tp, f.fp, f.fn_), (0, 1, 1));
+    }
+
+    #[test]
+    fn average_precision_known_values() {
+        // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        let ap = average_precision(&[true, false, true]);
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert_eq!(average_precision(&[false, false]), 0.0);
+        assert_eq!(average_precision(&[]), 0.0);
+        assert!((average_precision(&[true]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_averages_queries() {
+        let m = mean_average_precision(&[vec![true], vec![false, true]]);
+        assert!((m - (1.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert_eq!(mean_average_precision(&[]), 0.0);
+    }
+
+    #[test]
+    fn point_types_wrap_as_sets() {
+        let mut pred = HashMap::new();
+        pred.insert(0, Some(TypeId(4)));
+        pred.insert(1, None);
+        let sets = point_types_as_sets(&pred);
+        assert_eq!(sets[&0], vec![TypeId(4)]);
+        assert!(sets[&1].is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! ASCII table reports in the style of the paper's figures.
+
+/// A simple aligned-column text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Report {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Report {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: row from display values.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) -> &mut Report {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as the paper's percent-with-two-decimals style.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut r = Report::new("Entity annotation accuracy", &["Dataset", "LCA", "Collective"]);
+        r.row(&["Wiki Manual".into(), "59.75".into(), "83.92".into()]);
+        r.row(&["Web Manual".into(), "59.68".into(), "81.37".into()]);
+        let s = r.render();
+        assert!(s.contains("== Entity annotation accuracy =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Columns align: "LCA" column starts at the same offset in all rows.
+        let pos_header = lines[1].find("LCA").unwrap();
+        let pos_row = lines[3].find("59.75").unwrap();
+        assert_eq!(pos_header, pos_row);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_is_checked() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(59.754), "59.75");
+    }
+}

@@ -1,0 +1,112 @@
+//! Ablations of the design choices DESIGN.md calls out (§5 there):
+//!
+//! * the **missing-link relatedness feature** (§4.2.3) on/off;
+//! * **collective inference vs the simplified model** without relation
+//!   variables (Figure 2) — how much the `b_cc'` coupling buys;
+//! * the **entity candidate budget** `K` (the paper's ~7–8 band).
+
+use webtable_core::{annotate_collective, annotate_simple, AnnotatorConfig};
+use webtable_eval::{entity_accuracy, point_types_as_sets, relation_f1, type_f1, Accuracy, Report, SetF1};
+use webtable_tables::{datasets, Dataset};
+
+use crate::workbench::Workbench;
+
+/// Scores of one configuration on one dataset.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AblationRow {
+    /// Entity 0/1 accuracy.
+    pub entity: Accuracy,
+    /// Type F1.
+    pub types: SetF1,
+    /// Relation F1.
+    pub relations: SetF1,
+}
+
+fn score_collective(wb: &Workbench, ds: &Dataset, cfg: &AnnotatorConfig) -> AblationRow {
+    let mut row = AblationRow::default();
+    for lt in &ds.tables {
+        let ann = annotate_collective(
+            &wb.annotator.catalog,
+            &wb.annotator.index,
+            cfg,
+            &wb.annotator.weights,
+            &lt.table,
+        );
+        row.entity.add(entity_accuracy(&ann.cell_entities, &lt.truth.cell_entities));
+        row.types.add(type_f1(&point_types_as_sets(&ann.column_types), &lt.truth.column_types));
+        row.relations.add(relation_f1(&ann.relations, &lt.truth.relations));
+    }
+    row
+}
+
+fn score_simple(wb: &Workbench, ds: &Dataset, cfg: &AnnotatorConfig) -> AblationRow {
+    let mut row = AblationRow::default();
+    for lt in &ds.tables {
+        let ann = annotate_simple(
+            &wb.annotator.catalog,
+            &wb.annotator.index,
+            cfg,
+            &wb.annotator.weights,
+            &lt.table,
+        );
+        row.entity.add(entity_accuracy(&ann.cell_entities, &lt.truth.cell_entities));
+        row.types.add(type_f1(&point_types_as_sets(&ann.column_types), &lt.truth.column_types));
+        row.relations.add(relation_f1(&ann.relations, &lt.truth.relations));
+    }
+    row
+}
+
+/// Runs the three ablations on the Web Manual analogue (the dataset where
+/// the design choices matter most).
+pub fn run_ablation(wb: &Workbench) -> (Vec<(String, AblationRow)>, String) {
+    let ds = datasets::web_manual(&wb.world, wb.config.scale.min(0.15), wb.config.seed);
+    let mut rows: Vec<(String, AblationRow)> = Vec::new();
+
+    let base = AnnotatorConfig::default();
+    rows.push(("collective (full model)".into(), score_collective(wb, &ds, &base)));
+    rows.push((
+        "simple (Fig 2: no relation vars)".into(),
+        score_simple(wb, &ds, &base),
+    ));
+    let no_ml = AnnotatorConfig { missing_link_feature: false, ..base.clone() };
+    rows.push(("collective, missing-link OFF".into(), score_collective(wb, &ds, &no_ml)));
+    for k in [4usize, 16] {
+        let cfg = AnnotatorConfig { entity_k: k, ..base.clone() };
+        rows.push((format!("collective, entity_k = {k}"), score_collective(wb, &ds, &cfg)));
+    }
+
+    let mut report = Report::new(
+        "Ablations (Web Manual analogue)",
+        &["Configuration", "Entity %", "Type F1 %", "Rel F1 %"],
+    );
+    for (name, r) in &rows {
+        report.row(&[
+            name.clone(),
+            format!("{:.2}", r.entity.percent()),
+            format!("{:.2}", r.types.percent()),
+            format!("{:.2}", r.relations.percent()),
+        ]);
+    }
+    (rows, report.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::workbench::{Workbench, WorkbenchConfig};
+
+    use super::*;
+
+    #[test]
+    fn ablation_shows_full_model_is_best_on_relations() {
+        let wb = Workbench::new(WorkbenchConfig { scale: 0.03, seed: 2, ..Default::default() });
+        let (rows, rendered) = run_ablation(&wb);
+        assert!(rendered.contains("missing-link OFF"));
+        let full = &rows[0].1;
+        let simple = &rows[1].1;
+        // The simplified model has no relation variables at all.
+        assert_eq!(simple.relations.tp, 0);
+        assert!(full.relations.tp > 0, "full model finds relations");
+        // Entity accuracy of the full model is at least comparable.
+        assert!(full.entity.fraction() + 0.05 >= simple.entity.fraction());
+    }
+}

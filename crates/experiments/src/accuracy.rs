@@ -1,0 +1,282 @@
+//! Figures 5, 6, 8 and the in-text threshold sweep: dataset summaries and
+//! annotation accuracy of LCA / Majority / Collective.
+
+use webtable_core::{
+    annotate_collective, lca, majority_with_threshold, AnnotatorConfig, CompatMode,
+};
+use webtable_eval::{
+    entity_accuracy, point_types_as_sets, relation_f1, type_f1, Accuracy, Report, SetF1,
+};
+use webtable_tables::{datasets, Dataset};
+
+use crate::workbench::Workbench;
+
+/// Accuracy of one algorithm on one dataset.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlgoScores {
+    /// Cell-entity 0/1 accuracy.
+    pub entity: Accuracy,
+    /// Column-type F1.
+    pub types: SetF1,
+    /// Column-pair relation F1.
+    pub relations: SetF1,
+}
+
+/// Figure 6, one dataset row: the three algorithms side by side.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetScores {
+    /// Dataset name.
+    pub name: String,
+    /// LCA baseline.
+    pub lca: AlgoScores,
+    /// Majority baseline (50% threshold).
+    pub majority: AlgoScores,
+    /// Collective inference (the paper's system).
+    pub collective: AlgoScores,
+}
+
+/// Builds the four Figure 5 datasets at the workbench scale.
+pub fn figure5_datasets(wb: &Workbench) -> Vec<Dataset> {
+    datasets::all_figure5(&wb.world, wb.config.scale, wb.config.seed)
+}
+
+/// Prints the Figure 5 dataset summary.
+pub fn run_fig5(wb: &Workbench) -> String {
+    let mut report = Report::new(
+        "Figure 5: summary of data sets",
+        &["Dataset", "#Tables", "Avg #rows", "Entity", "Type", "Rel"],
+    );
+    for ds in figure5_datasets(wb) {
+        let s = ds.summary();
+        report.row(&[
+            s.name,
+            s.num_tables.to_string(),
+            format!("{:.0}", s.avg_rows),
+            s.entity_annotations.to_string(),
+            s.type_annotations.to_string(),
+            s.relation_annotations.to_string(),
+        ]);
+    }
+    report.render()
+}
+
+/// Scores all three algorithms on one dataset.
+pub fn score_dataset(wb: &Workbench, ds: &Dataset, cfg: &AnnotatorConfig) -> DatasetScores {
+    let catalog = &wb.annotator.catalog;
+    let index = &wb.annotator.index;
+    let weights = &wb.annotator.weights;
+    let mut out = DatasetScores { name: ds.name.clone(), ..Default::default() };
+    for lt in &ds.tables {
+        // LCA.
+        let l = lca(catalog, index, cfg, weights, &lt.table);
+        out.lca.entity.add(entity_accuracy(&l.cell_entities, &lt.truth.cell_entities));
+        out.lca.types.add(type_f1(&l.column_types, &lt.truth.column_types));
+        // (No LCA relation numbers, as in the paper.)
+
+        // Majority.
+        let m = majority_with_threshold(catalog, index, cfg, weights, &lt.table, 0.5);
+        out.majority.entity.add(entity_accuracy(&m.cell_entities, &lt.truth.cell_entities));
+        out.majority.types.add(type_f1(&m.column_types, &lt.truth.column_types));
+        out.majority.relations.add(relation_f1(&m.relations, &lt.truth.relations));
+
+        // Collective.
+        let c = annotate_collective(catalog, index, cfg, weights, &lt.table);
+        out.collective
+            .entity
+            .add(entity_accuracy(&c.cell_entities, &lt.truth.cell_entities));
+        out.collective
+            .types
+            .add(type_f1(&point_types_as_sets(&c.column_types), &lt.truth.column_types));
+        out.collective.relations.add(relation_f1(&c.relations, &lt.truth.relations));
+    }
+    out
+}
+
+/// Figure 6: entity/type/relation accuracy of the three algorithms across
+/// the datasets that carry the relevant ground truth.
+pub fn run_fig6(wb: &Workbench) -> (Vec<DatasetScores>, String) {
+    let cfg = AnnotatorConfig::default();
+    let sets = figure5_datasets(wb);
+    let scores: Vec<DatasetScores> =
+        sets.iter().map(|ds| score_dataset(wb, ds, &cfg)).collect();
+
+    let mut out = String::new();
+    let mut entity = Report::new(
+        "Figure 6a: entity annotation accuracy (%)",
+        &["Dataset", "LCA", "Majority", "Collective"],
+    );
+    for s in &scores {
+        if s.collective.entity.total == 0 {
+            continue;
+        }
+        entity.row(&[
+            s.name.clone(),
+            format!("{:.2}", s.lca.entity.percent()),
+            format!("{:.2}", s.majority.entity.percent()),
+            format!("{:.2}", s.collective.entity.percent()),
+        ]);
+    }
+    out.push_str(&entity.render());
+    out.push('\n');
+    let mut types = Report::new(
+        "Figure 6b: type annotation accuracy (F1 %)",
+        &["Dataset", "LCA", "Majority", "Collective"],
+    );
+    for s in &scores {
+        if s.collective.types.tp + s.collective.types.fn_ == 0 {
+            continue;
+        }
+        types.row(&[
+            s.name.clone(),
+            format!("{:.2}", s.lca.types.percent()),
+            format!("{:.2}", s.majority.types.percent()),
+            format!("{:.2}", s.collective.types.percent()),
+        ]);
+    }
+    out.push_str(&types.render());
+    out.push('\n');
+    let mut rels = Report::new(
+        "Figure 6c: relation annotation accuracy (F1 %)",
+        &["Dataset", "LCA", "Majority", "Collective"],
+    );
+    for s in &scores {
+        if s.collective.relations.tp + s.collective.relations.fn_ == 0 {
+            continue;
+        }
+        rels.row(&[
+            s.name.clone(),
+            "-".to_string(),
+            format!("{:.2}", s.majority.relations.percent()),
+            format!("{:.2}", s.collective.relations.percent()),
+        ]);
+    }
+    out.push_str(&rels.render());
+    (scores, out)
+}
+
+/// The in-text threshold sweep between Majority (50%) and LCA (100%).
+pub fn run_threshold_sweep(wb: &Workbench) -> (Vec<(u32, f64)>, String) {
+    let cfg = AnnotatorConfig::default();
+    let ds = datasets::wiki_manual(&wb.world, wb.config.scale.max(0.5), wb.config.seed);
+    let catalog = &wb.annotator.catalog;
+    let index = &wb.annotator.index;
+    let weights = &wb.annotator.weights;
+    let mut rows = Vec::new();
+    let mut report = Report::new(
+        "In-text §6.1.1: type F1 vs vote threshold (Wiki Manual)",
+        &["Threshold %", "Type F1 %"],
+    );
+    for pct_threshold in [50u32, 60, 70, 80, 90, 100] {
+        let mut f1 = SetF1::default();
+        for lt in &ds.tables {
+            let b = majority_with_threshold(
+                catalog,
+                index,
+                &cfg,
+                weights,
+                &lt.table,
+                pct_threshold as f64 / 100.0,
+            );
+            f1.add(type_f1(&b.column_types, &lt.truth.column_types));
+        }
+        rows.push((pct_threshold, f1.percent()));
+        report.row(&[pct_threshold.to_string(), format!("{:.2}", f1.percent())]);
+    }
+    (rows, report.render())
+}
+
+/// Figure 8: the type↔entity compatibility ablation. Returns
+/// `(mode, entity %, type F1 %)` per mode per dataset.
+pub fn run_fig8(wb: &Workbench) -> (Vec<(String, String, f64, f64)>, String) {
+    let catalog = &wb.annotator.catalog;
+    let index = &wb.annotator.index;
+    let weights = &wb.annotator.weights;
+    let sets = [
+        datasets::wiki_manual(&wb.world, wb.config.scale.max(0.3), wb.config.seed),
+        datasets::web_manual(&wb.world, wb.config.scale.min(0.15), wb.config.seed),
+    ];
+    let mut rows = Vec::new();
+    let mut entity_report = Report::new(
+        "Figure 8a: entity accuracy (%) by compatibility feature",
+        &["Dataset", "1/sqrt(dist)", "1/dist", "IDF"],
+    );
+    let mut type_report = Report::new(
+        "Figure 8b: type F1 (%) by compatibility feature",
+        &["Dataset", "1/sqrt(dist)", "1/dist", "IDF"],
+    );
+    for ds in &sets {
+        let mut entity_cells = vec![ds.name.clone()];
+        let mut type_cells = vec![ds.name.clone()];
+        for mode in CompatMode::all() {
+            let cfg = AnnotatorConfig { compat: mode, ..Default::default() };
+            let mut e_acc = Accuracy::default();
+            let mut t_f1 = SetF1::default();
+            for lt in &ds.tables {
+                let ann = annotate_collective(catalog, index, &cfg, weights, &lt.table);
+                e_acc.add(entity_accuracy(&ann.cell_entities, &lt.truth.cell_entities));
+                t_f1.add(type_f1(
+                    &point_types_as_sets(&ann.column_types),
+                    &lt.truth.column_types,
+                ));
+            }
+            rows.push((ds.name.clone(), mode.name().to_string(), e_acc.percent(), t_f1.percent()));
+            entity_cells.push(format!("{:.2}", e_acc.percent()));
+            type_cells.push(format!("{:.2}", t_f1.percent()));
+        }
+        entity_report.row(&entity_cells);
+        type_report.row(&type_cells);
+    }
+    let mut out = entity_report.render();
+    out.push('\n');
+    out.push_str(&type_report.render());
+    (rows, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::workbench::WorkbenchConfig;
+
+    use super::*;
+
+    fn tiny_wb() -> Workbench {
+        Workbench::new(WorkbenchConfig { scale: 0.01, seed: 7, ..Default::default() })
+    }
+
+    #[test]
+    fn fig5_report_has_four_rows() {
+        let wb = tiny_wb();
+        let s = run_fig5(&wb);
+        assert!(s.contains("Wiki Manual"));
+        assert!(s.contains("Web Relations"));
+        assert!(s.contains("Wiki Link"));
+    }
+
+    #[test]
+    fn fig6_collective_beats_baselines_on_entities() {
+        let wb = tiny_wb();
+        let (scores, rendered) = run_fig6(&wb);
+        assert!(rendered.contains("Figure 6a"));
+        // Aggregate over datasets with entity ground truth.
+        let mut lca_acc = Accuracy::default();
+        let mut maj = Accuracy::default();
+        let mut coll = Accuracy::default();
+        for s in &scores {
+            lca_acc.add(s.lca.entity);
+            maj.add(s.majority.entity);
+            coll.add(s.collective.entity);
+        }
+        assert!(coll.total > 50, "need a meaningful sample: {}", coll.total);
+        assert!(
+            coll.fraction() >= maj.fraction(),
+            "collective {:.3} must be ≥ majority {:.3}",
+            coll.fraction(),
+            maj.fraction()
+        );
+        assert!(
+            coll.fraction() > lca_acc.fraction(),
+            "collective {:.3} must beat LCA {:.3}",
+            coll.fraction(),
+            lca_acc.fraction()
+        );
+    }
+}

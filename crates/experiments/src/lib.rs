@@ -1,0 +1,27 @@
+//! # webtable-experiments
+//!
+//! The experiment harness: one runner per table/figure of the paper's
+//! evaluation (§6). Each runner returns structured results (used by the
+//! integration tests) *and* a rendered report in the style of the paper's
+//! figures (used by the `webtable-experiments` binary).
+//!
+//! | Runner | Paper artifact |
+//! |--------|----------------|
+//! | [`accuracy::run_fig5`] | Figure 5 — dataset summary |
+//! | [`accuracy::run_fig6`] | Figure 6 — entity/type/relation accuracy |
+//! | [`accuracy::run_threshold_sweep`] | §6.1.1 in-text threshold sweep |
+//! | [`timing::run_fig7`] | Figure 7 — per-table annotation time |
+//! | [`accuracy::run_fig8`] | Figure 8 — compatibility-feature ablation |
+//! | [`search_eval::run_fig9`] | Figure 9 — search MAP |
+//! | [`anecdote::run_anecdote`] | Figure 12 / App. F — LCA anecdote |
+//! | [`ablation::run_ablation`] | DESIGN.md §5 design-choice ablations |
+//! | [`workbench::describe_world`] | world statistics backing DESIGN.md §4 |
+
+pub mod ablation;
+pub mod accuracy;
+pub mod anecdote;
+pub mod search_eval;
+pub mod timing;
+pub mod workbench;
+
+pub use workbench::{Workbench, WorkbenchConfig};

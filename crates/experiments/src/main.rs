@@ -1,0 +1,87 @@
+//! Command-line entry point: `webtable-experiments <subcommand> [flags]`.
+//!
+//! Subcommands: `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `threshold`,
+//! `anecdote`, `all`. Common flags: `--scale S`, `--seed N`, `--train`,
+//! `--threads K`; `fig7` takes `--tables N` and `--csv PATH`; `fig9`
+//! takes `--tables N` (per relation) and `--queries N`.
+//!
+//! Run with `--release`; debug builds are an order of magnitude slower.
+
+use webtable_experiments::{
+    ablation, accuracy, anecdote, search_eval, timing, Workbench, WorkbenchConfig,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: webtable-experiments <fig5|fig6|fig7|fig8|fig9|threshold|anecdote|ablation|world|all> \
+         [--scale S] [--seed N] [--train] [--threads K] [--tables N] [--queries N] [--csv PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+
+    let mut cfg = WorkbenchConfig::default();
+    let mut tables: Option<usize> = None;
+    let mut queries: usize = 40;
+    let mut csv: Option<String> = None;
+    let mut i = 1;
+    let next_val = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => cfg.scale = next_val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = next_val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => cfg.threads = next_val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--train" => cfg.train = true,
+            "--tables" => tables = Some(next_val(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--queries" => queries = next_val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--csv" => csv = Some(next_val(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    // The anecdote needs no world.
+    if cmd == "anecdote" {
+        println!("{}", anecdote::run_anecdote().1);
+        return;
+    }
+
+    eprintln!(
+        "building world (seed {}, scale {}, train {})...",
+        cfg.seed, cfg.scale, cfg.train
+    );
+    let wb = Workbench::new(cfg);
+    match cmd.as_str() {
+        "fig5" => println!("{}", accuracy::run_fig5(&wb)),
+        "fig6" => println!("{}", accuracy::run_fig6(&wb).1),
+        "fig7" => {
+            let n = tables.unwrap_or(2000);
+            println!("{}", timing::run_fig7(&wb, n, csv.as_deref()).1);
+        }
+        "fig8" => println!("{}", accuracy::run_fig8(&wb).1),
+        "fig9" => {
+            let n = tables.unwrap_or(40);
+            println!("{}", search_eval::run_fig9(&wb, n, queries).1);
+        }
+        "threshold" => println!("{}", accuracy::run_threshold_sweep(&wb).1),
+        "ablation" => println!("{}", ablation::run_ablation(&wb).1),
+        "world" => println!("{}", webtable_experiments::workbench::describe_world(&wb)),
+        "all" => {
+            println!("{}", accuracy::run_fig5(&wb));
+            println!("{}", accuracy::run_fig6(&wb).1);
+            println!("{}", accuracy::run_threshold_sweep(&wb).1);
+            println!("{}", timing::run_fig7(&wb, tables.unwrap_or(500), csv.as_deref()).1);
+            println!("{}", accuracy::run_fig8(&wb).1);
+            println!("{}", search_eval::run_fig9(&wb, tables.unwrap_or(40).min(40), queries).1);
+            println!("{}", ablation::run_ablation(&wb).1);
+            println!("{}", anecdote::run_anecdote().1);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure 7: per-table annotation time over a corpus snapshot, with the
+//! phase drill-down (§6.1.2: ~0.7 s/table on the paper's hardware, ~80%
+//! of time in lemma probing + similarity, <1% in inference).
+
+use std::io::Write;
+
+use webtable_core::PhaseTimings;
+use webtable_eval::Report;
+use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};
+
+use crate::workbench::Workbench;
+
+/// Result of the timing run.
+#[derive(Debug, Clone)]
+pub struct TimingResult {
+    /// Per-table total microseconds, in corpus order (Figure 7's series).
+    pub per_table_us: Vec<u64>,
+    /// Aggregate phase breakdown.
+    pub phases: PhaseTimings,
+}
+
+impl TimingResult {
+    /// Mean per-table milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.per_table_us.is_empty() {
+            return 0.0;
+        }
+        self.per_table_us.iter().sum::<u64>() as f64 / self.per_table_us.len() as f64 / 1000.0
+    }
+
+    /// The `p`-quantile (0–100) of per-table milliseconds.
+    pub fn percentile_ms(&self, p: usize) -> f64 {
+        if self.per_table_us.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.per_table_us.clone();
+        v.sort_unstable();
+        let idx = (p.min(100) * (v.len() - 1)) / 100;
+        v[idx] as f64 / 1000.0
+    }
+}
+
+/// Annotates `n_tables` corpus-like tables and measures each one.
+pub fn run_fig7(wb: &Workbench, n_tables: usize, csv_path: Option<&str>) -> (TimingResult, String) {
+    let mut g = TableGenerator::new(
+        &wb.world,
+        NoiseConfig::web(),
+        TruthMask::full(),
+        wb.config.seed ^ 0xF167,
+    );
+    let tables: Vec<webtable_tables::Table> =
+        g.gen_corpus(n_tables, 25).into_iter().map(|lt| lt.table).collect();
+    let results = wb.annotator.annotate_batch(&tables, wb.config.threads);
+    let mut per_table_us = Vec::with_capacity(results.len());
+    let mut phases = PhaseTimings::default();
+    for (_, t) in &results {
+        per_table_us.push(t.total_us);
+        phases.add(t);
+    }
+    let result = TimingResult { per_table_us, phases };
+
+    if let Some(path) = csv_path {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("csv file"));
+        writeln!(f, "table,total_us,candidates_us,potentials_us,inference_us").unwrap();
+        for (i, (_, t)) in results.iter().enumerate() {
+            writeln!(
+                f,
+                "{i},{},{},{},{}",
+                t.total_us, t.candidates_us, t.potentials_us, t.inference_us
+            )
+            .unwrap();
+        }
+    }
+
+    let mut report = Report::new(
+        "Figure 7: annotation time per table",
+        &["Metric", "Value"],
+    );
+    report.row(&["tables".into(), result.per_table_us.len().to_string()]);
+    report.row(&["mean ms/table".into(), format!("{:.2}", result.mean_ms())]);
+    report.row(&["p50 ms".into(), format!("{:.2}", result.percentile_ms(50))]);
+    report.row(&["p90 ms".into(), format!("{:.2}", result.percentile_ms(90))]);
+    report.row(&["p99 ms".into(), format!("{:.2}", result.percentile_ms(99))]);
+    report.row(&[
+        "% time in candidate gen (lemma probing + similarity)".into(),
+        format!("{:.1}%", 100.0 * result.phases.candidate_fraction()),
+    ]);
+    report.row(&[
+        "% time in inference".into(),
+        format!("{:.1}%", 100.0 * result.phases.inference_fraction()),
+    ]);
+    (result, report.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::workbench::{Workbench, WorkbenchConfig};
+
+    use super::*;
+
+    #[test]
+    fn timing_run_produces_series_and_breakdown() {
+        let wb = Workbench::new(WorkbenchConfig { scale: 0.01, seed: 3, ..Default::default() });
+        let (res, rendered) = run_fig7(&wb, 8, None);
+        assert_eq!(res.per_table_us.len(), 8);
+        assert!(res.mean_ms() > 0.0);
+        assert!(rendered.contains("mean ms/table"));
+        // The paper's drill-down: inference is a small fraction.
+        assert!(
+            res.phases.inference_fraction() < 0.5,
+            "inference should not dominate: {:?}",
+            res.phases
+        );
+    }
+
+    #[test]
+    fn csv_is_written() {
+        let wb = Workbench::new(WorkbenchConfig { scale: 0.01, seed: 3, ..Default::default() });
+        let path = std::env::temp_dir().join("webtable_fig7_test.csv");
+        let path_str = path.to_str().unwrap();
+        let _ = run_fig7(&wb, 3, Some(path_str));
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("table,total_us"));
+        assert_eq!(content.lines().count(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+}

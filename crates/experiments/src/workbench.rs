@@ -1,0 +1,130 @@
+//! Shared setup for all experiments: one world, one annotator, one seed.
+
+use std::sync::Arc;
+
+use webtable_catalog::{generate_world, World, WorldConfig};
+use webtable_core::{Annotator, AnnotatorConfig, Weights};
+use webtable_learning::{train, TrainConfig};
+use webtable_tables::datasets;
+
+/// Experiment-wide options.
+#[derive(Debug, Clone)]
+pub struct WorkbenchConfig {
+    /// World/dataset seed.
+    pub seed: u64,
+    /// Dataset scale factor (1.0 = the paper's table counts).
+    pub scale: f64,
+    /// Train weights on the Wiki-Manual analogue (§6.1.3) instead of
+    /// using the hand-tuned defaults.
+    pub train: bool,
+    /// Worker threads for batch annotation.
+    pub threads: usize,
+}
+
+impl Default for WorkbenchConfig {
+    fn default() -> Self {
+        WorkbenchConfig { seed: 42, scale: 0.1, train: false, threads: 4 }
+    }
+}
+
+/// A ready world + annotator, shared by experiment runners.
+pub struct Workbench {
+    /// The synthetic world (catalog + oracle + handles).
+    pub world: World,
+    /// The annotator over the *published* (degraded) catalog.
+    pub annotator: Annotator,
+    /// Options.
+    pub config: WorkbenchConfig,
+}
+
+impl Workbench {
+    /// Builds the world, lemma index, and (optionally trained) weights.
+    pub fn new(config: WorkbenchConfig) -> Workbench {
+        let world = generate_world(&WorldConfig { seed: config.seed, ..WorldConfig::default() })
+            .expect("world generation");
+        let mut annotator = Annotator::new(Arc::clone(&world.catalog));
+        if config.train {
+            // The paper trains on Wiki Manual (§6.1.3) — always the full 36
+            // tables regardless of the evaluation scale.
+            let train_set = datasets::wiki_manual(&world, 1.0, config.seed);
+            let tc = TrainConfig {
+                epochs: 3,
+                init: Some(Weights::default()),
+                ..Default::default()
+            };
+            let (weights, _stats) = train(
+                &world.catalog,
+                &annotator.index,
+                &AnnotatorConfig::default(),
+                &train_set.tables,
+                &tc,
+            );
+            annotator = annotator.with_weights(weights);
+        }
+        Workbench { world, annotator, config }
+    }
+}
+
+/// Renders the world's vital statistics: the knobs DESIGN.md §4 claims to
+/// control (catalog size, ambiguity, incompleteness, candidate band).
+pub fn describe_world(wb: &Workbench) -> String {
+    use webtable_core::TableCandidates;
+    use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};
+
+    let stats = webtable_catalog::CatalogStats::compute(&wb.world.catalog);
+    let oracle_stats = webtable_catalog::CatalogStats::compute(&wb.world.oracle);
+    let mut g = TableGenerator::new(&wb.world, NoiseConfig::web(), TruthMask::full(), 1);
+    let mut cand_sum = 0.0;
+    let n = 8;
+    for _ in 0..n {
+        let lt = g.gen_table(20);
+        let cands = TableCandidates::build(
+            &wb.annotator.catalog,
+            &wb.annotator.index,
+            &lt.table,
+            &wb.annotator.config,
+        );
+        cand_sum += cands.mean_entity_candidates();
+    }
+    format!(
+        "== Synthetic world (seed {}) ==
+         -- published catalog --
+{}
+         -- oracle --
+{}
+         instance edges missing vs oracle: {}
+         relation tuples missing vs oracle: {}
+         mean entity candidates per ambiguous cell (paper: ~7-8): {:.2}
+",
+        wb.config.seed,
+        stats,
+        oracle_stats,
+        oracle_instance_edges(&wb.world.oracle) - oracle_instance_edges(&wb.world.catalog),
+        oracle_stats.num_tuples - stats.num_tuples,
+        cand_sum / n as f64
+    )
+}
+
+fn oracle_instance_edges(cat: &webtable_catalog::Catalog) -> usize {
+    cat.entity_ids().map(|e| cat.entity(e).direct_types.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workbench_builds_with_tiny_scale() {
+        let wb = Workbench::new(WorkbenchConfig { scale: 0.01, ..Default::default() });
+        assert!(wb.world.catalog.num_entities() > 1000);
+        assert_eq!(wb.config.scale, 0.01);
+    }
+
+    #[test]
+    fn world_description_reports_incompleteness() {
+        let wb = Workbench::new(WorkbenchConfig { scale: 0.01, ..Default::default() });
+        let desc = describe_world(&wb);
+        assert!(desc.contains("published catalog"));
+        assert!(desc.contains("mean entity candidates"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # webtable-factorgraph
+//!
+//! A generic factor-graph inference engine: the probabilistic-graphical-
+//! model substrate of the `webtable` system (§4.4 and Appendices B–D of
+//! Limaye, Sarawagi, Chakrabarti; VLDB 2010).
+//!
+//! * [`FactorGraph`] — variables with finite domains, unary log-potentials,
+//!   and dense log-potential factor tables;
+//! * [`propagate`] — loopy belief propagation (max-product for MAP
+//!   assignments, sum-product for marginals) with the caller controlling
+//!   the factor schedule through insertion order (Fig. 11);
+//! * [`exact_map`] / [`exact_marginals`] — exhaustive ground truth for
+//!   testing (inference in the general model is NP-hard, Appendix C).
+//!
+//! ```
+//! use webtable_factorgraph::{BpOptions, FactorGraph, propagate};
+//!
+//! let mut g = FactorGraph::new();
+//! let a = g.add_var(2);
+//! let b = g.add_var(2);
+//! g.add_unary(a, &[0.0, 1.0]);
+//! g.add_factor_with(&[a, b], |idx| if idx[0] == idx[1] { 2.0 } else { 0.0 });
+//! let r = propagate(&g, &BpOptions::default());
+//! assert_eq!(r.assignment, vec![1, 1]);
+//! ```
+
+pub mod bp;
+pub mod exact;
+pub mod graph;
+pub mod table;
+
+pub use bp::{argmax, log_add, log_sum_exp, propagate, BpOptions, BpResult, Mode};
+pub use exact::{exact_map, exact_map_with_limit, exact_marginals, DEFAULT_EXACT_LIMIT};
+pub use graph::{Factor, FactorGraph, FactorId, VarId};
+pub use table::LogTable;

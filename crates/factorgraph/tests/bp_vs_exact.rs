@@ -1,0 +1,125 @@
+//! Property tests: loopy BP against exhaustive enumeration.
+//!
+//! * On **trees**, max-product BP with ICM refinement must find the exact
+//!   MAP score.
+//! * On **arbitrary small graphs**, the decoded assignment's score can
+//!   never exceed the exact optimum, and must stay within a sanity band.
+//! * Sum-product marginals on small graphs must match enumeration.
+
+use proptest::prelude::*;
+use webtable_factorgraph::{
+    exact_map, exact_marginals, propagate, BpOptions, FactorGraph, Mode, VarId,
+};
+
+/// Strategy: a random tree-structured graph (each var i>0 attaches to a
+/// random earlier var), with random unaries and pairwise tables.
+fn arb_tree() -> impl Strategy<Value = FactorGraph> {
+    (2usize..6)
+        .prop_flat_map(|n| {
+            let doms = proptest::collection::vec(2usize..4, n);
+            let parents = proptest::collection::vec(0usize..n.max(1), n);
+            let seeds = proptest::collection::vec(-2.0f64..2.0, 256);
+            (Just(n), doms, parents, seeds)
+        })
+        .prop_map(|(n, doms, parents, seeds)| {
+            let mut g = FactorGraph::new();
+            let vars: Vec<VarId> = doms.iter().map(|&d| g.add_var(d)).collect();
+            let mut k = 0usize;
+            let mut next = || {
+                let v = seeds[k % seeds.len()];
+                k += 1;
+                v
+            };
+            for &v in &vars {
+                let u: Vec<f64> = (0..g.domain(v)).map(|_| next()).collect();
+                g.add_unary(v, &u);
+            }
+            for i in 1..n {
+                let p = vars[parents[i] % i];
+                let c = vars[i];
+                g.add_factor_with(&[p, c], |_| next());
+            }
+            g
+        })
+}
+
+/// Strategy: a random (possibly loopy) graph with up to 5 vars and up to 5
+/// random binary/ternary factors.
+fn arb_loopy() -> impl Strategy<Value = FactorGraph> {
+    (2usize..6, 1usize..6)
+        .prop_flat_map(|(n, nf)| {
+            let doms = proptest::collection::vec(2usize..4, n);
+            let edges = proptest::collection::vec((0usize..n, 0usize..n, 0usize..n, any::<bool>()), nf);
+            let seeds = proptest::collection::vec(-2.0f64..2.0, 512);
+            (doms, edges, seeds)
+        })
+        .prop_map(|(doms, edges, seeds)| {
+            let mut g = FactorGraph::new();
+            let vars: Vec<VarId> = doms.iter().map(|&d| g.add_var(d)).collect();
+            let mut k = 0usize;
+            let mut next = || {
+                let v = seeds[k % seeds.len()];
+                k += 1;
+                v
+            };
+            for &v in &vars {
+                let u: Vec<f64> = (0..g.domain(v)).map(|_| next()).collect();
+                g.add_unary(v, &u);
+            }
+            for (a, b, c, ternary) in edges {
+                // A variable may appear only once per factor.
+                let (a, b, c) = (vars[a], vars[b], vars[c]);
+                if ternary && a != b && b != c && a != c {
+                    g.add_factor_with(&[a, b, c], |_| next());
+                } else if a != b {
+                    g.add_factor_with(&[a, b], |_| next());
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bp_is_exact_on_trees(g in arb_tree()) {
+        let r = propagate(&g, &BpOptions::default());
+        let (_, exact_score) = exact_map(&g).expect("small graph");
+        let bp_score = g.log_score(&r.assignment);
+        prop_assert!((bp_score - exact_score).abs() < 1e-6,
+            "tree MAP mismatch: bp={bp_score} exact={exact_score}");
+    }
+
+    #[test]
+    fn bp_never_beats_exact_and_is_close_on_loopy(g in arb_loopy()) {
+        let r = propagate(&g, &BpOptions::default());
+        let (_, exact_score) = exact_map(&g).expect("small graph");
+        let bp_score = g.log_score(&r.assignment);
+        prop_assert!(bp_score <= exact_score + 1e-9,
+            "decoded score cannot exceed the optimum");
+        // Loose sanity band: BP+ICM should land near the optimum on these
+        // tiny graphs (it is a local optimum of the joint score).
+        prop_assert!(exact_score - bp_score < 4.0,
+            "bp={bp_score} too far from exact={exact_score}");
+    }
+
+    #[test]
+    fn sum_product_marginals_match_enumeration(g in arb_tree()) {
+        let r = propagate(&g, &BpOptions { mode: Mode::SumProduct, max_iters: 50, ..Default::default() });
+        let bp_marg = r.marginals();
+        let exact = exact_marginals(&g, 1_000_000).expect("small graph");
+        for (bm, em) in bp_marg.iter().zip(&exact) {
+            for (b, e) in bm.iter().zip(em) {
+                prop_assert!((b - e).abs() < 1e-4, "marginal mismatch: {b} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn bp_is_deterministic(g in arb_loopy()) {
+        let r1 = propagate(&g, &BpOptions::default());
+        let r2 = propagate(&g, &BpOptions::default());
+        prop_assert_eq!(r1.assignment, r2.assignment);
+    }
+}

@@ -1,0 +1,23 @@
+//! # webtable-learning
+//!
+//! Structured max-margin training of the annotator's weights `w1 … w5`.
+//!
+//! The paper trains with SVM-struct (Tsochantaridis et al. [22], §4.3 /
+//! §6.1.3). We implement the same objective family via the standard
+//! primal-subgradient route (equivalent to a structured perceptron with
+//! margin rescaling and L2 regularization, with iterate averaging):
+//!
+//! 1. build the table's factor graph under the current weights;
+//! 2. **loss-augmented decoding**: add Hamming loss to every non-gold
+//!    label's unary potential and run the same collective BP inference;
+//! 3. update `w ← (1 − η·λ)·w + η·(Φ(gold) − Φ(ŷ))`;
+//! 4. average iterates for stability.
+//!
+//! Ground truth may be partial (Figure 5's datasets label different
+//! layers) and gold labels may be outside the pruned candidate sets; both
+//! are handled by masking: only model components whose variables all carry
+//! known, representable gold labels contribute to `Φ`.
+
+pub mod trainer;
+
+pub use trainer::{train, TrainConfig, TrainStats};

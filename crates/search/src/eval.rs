@@ -1,0 +1,205 @@
+//! Search workload generation and MAP evaluation (§6.2).
+//!
+//! The paper samples 40 `E2` values per relation from YAGO, queries the
+//! annotated Web-table corpus, and scores the ranked entity lists against
+//! DBPedia triples. Here the *oracle* catalog plays DBPedia's role: the
+//! relevance set for a query is `{E1 : R(E1, E2)}` in the oracle.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use webtable_catalog::{Catalog, EntityId, RelationId, World};
+use webtable_eval::average_precision_with_base;
+
+use crate::query::{AnswerKey, EntityQuery, RankedAnswer};
+
+/// A query workload: one entry per relation, each with sampled queries.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// `(relation, queries)` in generation order.
+    pub per_relation: Vec<(RelationId, Vec<EntityQuery>)>,
+}
+
+/// Samples up to `per_relation` queries for each given relation: `E2`
+/// values are drawn (deterministically per seed) from entities that
+/// participate on the relation's right side in the oracle.
+pub fn build_workload(
+    world: &World,
+    relations: &[RelationId],
+    per_relation: usize,
+    seed: u64,
+) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(relations.len());
+    for &b in relations {
+        let rel = world.oracle.relation(b);
+        let mut rights: Vec<EntityId> = rel.by_right.keys().copied().collect();
+        rights.sort_unstable();
+        rights.shuffle(&mut rng);
+        rights.truncate(per_relation);
+        let queries = rights
+            .into_iter()
+            .map(|e2| EntityQuery { relation: b, t1: rel.left_type, t2: rel.right_type, e2 })
+            .collect();
+        out.push((b, queries));
+    }
+    Workload { per_relation: out }
+}
+
+/// Relevance set for a query: the oracle's left-side partners of `E2`.
+pub fn relevant_entities(oracle: &Catalog, q: &EntityQuery) -> Vec<EntityId> {
+    oracle.relation(q.relation).lefts_of(q.e2).to_vec()
+}
+
+/// Judges a ranked answer list against the oracle: an entity answer is
+/// relevant iff it is in the relevance set; a text answer is relevant iff
+/// it equals (case-insensitively) some lemma of a relevant entity.
+pub fn judge(
+    oracle: &Catalog,
+    q: &EntityQuery,
+    answers: &[RankedAnswer],
+) -> (Vec<bool>, usize) {
+    let truth = relevant_entities(oracle, q);
+    let truth_lemmas: Vec<String> = truth
+        .iter()
+        .flat_map(|&e| oracle.entity_lemmas(e).iter().map(|l| l.trim().to_lowercase()))
+        .collect();
+    let mut seen_truth: Vec<bool> = vec![false; truth.len()];
+    let rel_flags: Vec<bool> = answers
+        .iter()
+        .map(|a| match &a.key {
+            AnswerKey::Entity(e) => match truth.iter().position(|t| t == e) {
+                Some(i) if !seen_truth[i] => {
+                    seen_truth[i] = true;
+                    true
+                }
+                // Duplicate hit on the same truth entity: not newly relevant.
+                Some(_) => false,
+                None => false,
+            },
+            AnswerKey::Text(s) => {
+                // Find a not-yet-credited truth entity with a matching lemma.
+                let hit = truth.iter().enumerate().find(|&(i, &e)| {
+                    !seen_truth[i]
+                        && oracle
+                            .entity_lemmas(e)
+                            .iter()
+                            .any(|l| l.trim().to_lowercase() == *s)
+                });
+                let _ = &truth_lemmas;
+                match hit {
+                    Some((i, _)) => {
+                        seen_truth[i] = true;
+                        true
+                    }
+                    None => false,
+                }
+            }
+        })
+        .collect();
+    (rel_flags, truth.len())
+}
+
+/// Average precision of one judged query against the oracle recall base.
+pub fn query_ap(oracle: &Catalog, q: &EntityQuery, answers: &[RankedAnswer]) -> f64 {
+    let (flags, base) = judge(oracle, q, answers);
+    average_precision_with_base(&flags, base)
+}
+
+/// Mean average precision over a set of queries with a shared search
+/// function.
+pub fn map_over_queries<F>(oracle: &Catalog, queries: &[EntityQuery], mut search: F) -> f64
+where
+    F: FnMut(&EntityQuery) -> Vec<RankedAnswer>,
+{
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = queries.iter().map(|q| query_ap(oracle, q, &search(q))).sum();
+    total / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use webtable_catalog::{generate_world, WorldConfig};
+
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_respects_schema() {
+        let w = generate_world(&WorldConfig::tiny(7)).unwrap();
+        let rels = w.relations.figure13();
+        let wl1 = build_workload(&w, &rels, 5, 99);
+        let wl2 = build_workload(&w, &rels, 5, 99);
+        assert_eq!(wl1.per_relation.len(), 5);
+        for ((b1, q1), (b2, q2)) in wl1.per_relation.iter().zip(&wl2.per_relation) {
+            assert_eq!(b1, b2);
+            assert_eq!(q1, q2);
+        }
+        for (b, queries) in &wl1.per_relation {
+            let rel = w.oracle.relation(*b);
+            for q in queries {
+                assert!(w.oracle.is_instance(q.e2, rel.right_type));
+                assert!(!relevant_entities(&w.oracle, q).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn judge_scores_entity_and_text_answers() {
+        let w = generate_world(&WorldConfig::tiny(7)).unwrap();
+        let rel = w.oracle.relation(w.relations.directed);
+        let (e1, e2) = rel.tuples[0];
+        let q = EntityQuery {
+            relation: w.relations.directed,
+            t1: w.types.movie,
+            t2: w.types.director,
+            e2,
+        };
+        let lemma = w.oracle.entity_lemmas(e1)[0].to_lowercase();
+        let answers = vec![
+            RankedAnswer { key: AnswerKey::Entity(e1), score: 2.0 },
+            RankedAnswer { key: AnswerKey::Text("junk".into()), score: 1.5 },
+            RankedAnswer { key: AnswerKey::Text(lemma), score: 1.0 },
+        ];
+        let (flags, base) = judge(&w.oracle, &q, &answers);
+        assert!(flags[0], "entity answer is relevant");
+        assert!(!flags[1]);
+        assert!(!flags[2], "text duplicate of an already-credited entity doesn't double count");
+        assert!(base >= 1);
+        let ap = query_ap(&w.oracle, &q, &answers);
+        assert!(ap > 0.0 && ap <= 1.0);
+    }
+
+    #[test]
+    fn perfect_ranking_gets_ap_one() {
+        let w = generate_world(&WorldConfig::tiny(7)).unwrap();
+        let rel = w.oracle.relation(w.relations.directed);
+        // Find an e2 and all its movies.
+        let (_, e2) = rel.tuples[0];
+        let q = EntityQuery {
+            relation: w.relations.directed,
+            t1: w.types.movie,
+            t2: w.types.director,
+            e2,
+        };
+        let truth = relevant_entities(&w.oracle, &q);
+        let answers: Vec<RankedAnswer> = truth
+            .iter()
+            .map(|&e| RankedAnswer { key: AnswerKey::Entity(e), score: 1.0 })
+            .collect();
+        let ap = query_ap(&w.oracle, &q, &answers);
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_over_queries_averages() {
+        let w = generate_world(&WorldConfig::tiny(7)).unwrap();
+        let rels = [w.relations.directed];
+        let wl = build_workload(&w, &rels, 3, 1);
+        let queries = &wl.per_relation[0].1;
+        // Empty search → MAP 0.
+        let m = map_over_queries(&w.oracle, queries, |_| Vec::new());
+        assert_eq!(m, 0.0);
+    }
+}

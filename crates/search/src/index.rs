@@ -1,0 +1,246 @@
+//! The search index over an annotated corpus.
+//!
+//! Two layers, mirroring §5:
+//!
+//! * a **text layer** (the Lucene stand-in): inverted postings from tokens
+//!   to table contexts, column headers, and cells — all the baseline of
+//!   Figure 3 may use;
+//! * an **annotation layer**: type → annotated columns, relation →
+//!   annotated column pairs (oriented), entity → annotated cells — what
+//!   the typed processors of Figure 4 use.
+
+use std::collections::HashMap;
+
+use webtable_catalog::{Catalog, EntityId, RelationId, TypeId};
+use webtable_text::{tokenize, Vocab};
+
+use crate::corpus::AnnotatedCorpus;
+
+/// Posting: a column of a table.
+pub type ColRef = (u32, u16);
+/// Posting: a cell of a table.
+pub type CellRef = (u32, u32, u16);
+/// Posting: an oriented column pair (left column first).
+pub type PairRef = (u32, u16, u16);
+
+/// The two-layer search index. Immutable after construction.
+#[derive(Debug)]
+pub struct SearchIndex {
+    vocab: Vocab,
+    /// token → tables whose *context* contains it.
+    context_postings: Vec<Vec<u32>>,
+    /// token → header columns containing it.
+    header_postings: Vec<Vec<ColRef>>,
+    /// token → cells containing it.
+    cell_postings: Vec<Vec<CellRef>>,
+    /// annotated type → columns.
+    type_cols: HashMap<TypeId, Vec<ColRef>>,
+    /// relation → oriented column pairs.
+    rel_pairs: HashMap<RelationId, Vec<PairRef>>,
+    /// entity → cells annotated with it.
+    entity_cells: HashMap<EntityId, Vec<CellRef>>,
+}
+
+impl SearchIndex {
+    /// Builds the index over a corpus.
+    pub fn build(corpus: &AnnotatedCorpus) -> SearchIndex {
+        let mut vocab = Vocab::new();
+        let mut context_postings: Vec<Vec<u32>> = Vec::new();
+        let mut header_postings: Vec<Vec<ColRef>> = Vec::new();
+        let mut cell_postings: Vec<Vec<CellRef>> = Vec::new();
+        let mut type_cols: HashMap<TypeId, Vec<ColRef>> = HashMap::new();
+        let mut rel_pairs: HashMap<RelationId, Vec<PairRef>> = HashMap::new();
+        let mut entity_cells: HashMap<EntityId, Vec<CellRef>> = HashMap::new();
+
+        for (ti, table) in corpus.tables.iter().enumerate() {
+            let t = ti as u32;
+            for tok in tokenize(&table.context) {
+                let id = vocab.intern(&tok) as usize;
+                if context_postings.len() <= id {
+                    context_postings.resize_with(id + 1, Vec::new);
+                }
+                if context_postings[id].last() != Some(&t) {
+                    context_postings[id].push(t);
+                }
+            }
+            for (c, header) in table.headers.iter().enumerate() {
+                if let Some(h) = header {
+                    for tok in tokenize(h) {
+                        let id = vocab.intern(&tok) as usize;
+                        if header_postings.len() <= id {
+                            header_postings.resize_with(id + 1, Vec::new);
+                        }
+                        let entry = (t, c as u16);
+                        if header_postings[id].last() != Some(&entry) {
+                            header_postings[id].push(entry);
+                        }
+                    }
+                }
+            }
+            for (r, row) in table.rows.iter().enumerate() {
+                for (c, cell) in row.iter().enumerate() {
+                    for tok in tokenize(cell) {
+                        let id = vocab.intern(&tok) as usize;
+                        if cell_postings.len() <= id {
+                            cell_postings.resize_with(id + 1, Vec::new);
+                        }
+                        let entry = (t, r as u32, c as u16);
+                        if cell_postings[id].last() != Some(&entry) {
+                            cell_postings[id].push(entry);
+                        }
+                    }
+                }
+            }
+
+            // Annotation layer.
+            let ann = &corpus.annotations[ti];
+            for (&c, &ty) in &ann.column_types {
+                if let Some(ty) = ty {
+                    type_cols.entry(ty).or_default().push((t, c as u16));
+                }
+            }
+            for (&(c1, c2), &rel) in &ann.relations {
+                if let Some(rel) = rel {
+                    rel_pairs.entry(rel).or_default().push((t, c1 as u16, c2 as u16));
+                }
+            }
+            for (&(r, c), &e) in &ann.cell_entities {
+                if let Some(e) = e {
+                    entity_cells.entry(e).or_default().push((t, r as u32, c as u16));
+                }
+            }
+        }
+        // Deterministic ordering for annotation postings.
+        for v in type_cols.values_mut() {
+            v.sort_unstable();
+        }
+        for v in rel_pairs.values_mut() {
+            v.sort_unstable();
+        }
+        for v in entity_cells.values_mut() {
+            v.sort_unstable();
+        }
+        SearchIndex {
+            vocab,
+            context_postings,
+            header_postings,
+            cell_postings,
+            type_cols,
+            rel_pairs,
+            entity_cells,
+        }
+    }
+
+    /// Tables whose context contains `token`.
+    pub fn tables_with_context_token(&self, token: &str) -> &[u32] {
+        self.lookup(&self.context_postings, token)
+    }
+
+    /// Header columns containing `token`.
+    pub fn header_cols_with_token(&self, token: &str) -> &[ColRef] {
+        self.lookup(&self.header_postings, token)
+    }
+
+    /// Cells containing `token`.
+    pub fn cells_with_token(&self, token: &str) -> &[CellRef] {
+        self.lookup(&self.cell_postings, token)
+    }
+
+    fn lookup<'a, T>(&self, postings: &'a [Vec<T>], token: &str) -> &'a [T] {
+        match self.vocab.get(&token.to_lowercase()) {
+            Some(id) => postings.get(id as usize).map(Vec::as_slice).unwrap_or(&[]),
+            None => &[],
+        }
+    }
+
+    /// Columns annotated with a type `T' ⊆* query_type` (subtype-expanded
+    /// through the catalog, as Figure 4's "column labeled T1" implies).
+    pub fn columns_of_type(&self, catalog: &Catalog, query_type: TypeId) -> Vec<ColRef> {
+        let mut out = Vec::new();
+        for (&t, cols) in &self.type_cols {
+            if catalog.is_subtype(t, query_type) {
+                out.extend_from_slice(cols);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Oriented column pairs annotated with a relation.
+    pub fn pairs_of_relation(&self, rel: RelationId) -> &[PairRef] {
+        self.rel_pairs.get(&rel).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Cells annotated with an entity.
+    pub fn cells_of_entity(&self, e: EntityId) -> &[CellRef] {
+        self.entity_cells.get(&e).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use webtable_core::TableAnnotation;
+    use webtable_tables::{Table, TableId};
+
+    use super::*;
+
+    fn tiny_corpus() -> AnnotatedCorpus {
+        let t0 = Table::new(
+            TableId(0),
+            "movies directed by people",
+            vec![Some("Film".into()), Some("Director".into())],
+            vec![
+                vec!["Heat".into(), "Mann".into()],
+                vec!["Alien".into(), "Scott".into()],
+            ],
+        );
+        let mut ann = TableAnnotation::default();
+        ann.column_types.insert(0, Some(TypeId(10)));
+        ann.column_types.insert(1, Some(TypeId(20)));
+        ann.relations.insert((0, 1), Some(RelationId(5)));
+        ann.cell_entities.insert((0, 0), Some(EntityId(100)));
+        ann.cell_entities.insert((0, 1), Some(EntityId(200)));
+        ann.cell_entities.insert((1, 0), None);
+        AnnotatedCorpus::from_parts(vec![t0], vec![ann])
+    }
+
+    #[test]
+    fn text_layer_finds_tokens() {
+        let idx = SearchIndex::build(&tiny_corpus());
+        assert_eq!(idx.tables_with_context_token("directed"), &[0]);
+        assert_eq!(idx.header_cols_with_token("film"), &[(0, 0)]);
+        assert_eq!(idx.header_cols_with_token("director"), &[(0, 1)]);
+        assert_eq!(idx.cells_with_token("heat"), &[(0, 0, 0)]);
+        assert!(idx.cells_with_token("nonexistent").is_empty());
+        // Case-insensitive lookups.
+        assert_eq!(idx.cells_with_token("HEAT"), &[(0, 0, 0)]);
+    }
+
+    #[test]
+    fn annotation_layer_finds_labels() {
+        let idx = SearchIndex::build(&tiny_corpus());
+        assert_eq!(idx.pairs_of_relation(RelationId(5)), &[(0, 0, 1)]);
+        assert!(idx.pairs_of_relation(RelationId(9)).is_empty());
+        assert_eq!(idx.cells_of_entity(EntityId(100)), &[(0, 0, 0)]);
+        assert!(idx.cells_of_entity(EntityId(999)).is_empty());
+    }
+
+    #[test]
+    fn type_lookup_expands_subtypes() {
+        use webtable_catalog::CatalogBuilder;
+        let mut b = CatalogBuilder::new();
+        let work = b.add_type("work", &[]).unwrap();
+        let film = b.add_type("film", &[]).unwrap();
+        b.add_subtype(film, work);
+        let cat = b.finish().unwrap();
+        // Column annotated `film` (id 1 == TypeId(1)).
+        let t0 = Table::new(TableId(0), "", vec![None], vec![vec!["x".into()]]);
+        let mut ann = TableAnnotation::default();
+        ann.column_types.insert(0, Some(film));
+        let corpus = AnnotatedCorpus::from_parts(vec![t0], vec![ann]);
+        let idx = SearchIndex::build(&corpus);
+        // Query for the supertype must find the film column.
+        assert_eq!(idx.columns_of_type(&cat, work), vec![(0, 0)]);
+        assert_eq!(idx.columns_of_type(&cat, film), vec![(0, 0)]);
+    }
+}

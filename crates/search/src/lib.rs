@@ -1,0 +1,25 @@
+//! # webtable-search
+//!
+//! The relational search application of §5: once tables are annotated with
+//! entities, types and relations, select-project queries
+//! `R(E1 ∈ T1, E2 ∈ T2)` — "all movies directed by X" — can be answered
+//! over the open Web corpus.
+//!
+//! * [`AnnotatedCorpus`] — tables plus machine annotations;
+//! * [`SearchIndex`] — text layer (Lucene stand-in) + annotation layer;
+//! * [`baseline_search`] — Figure 3 (strings only);
+//! * [`typed_search`] — Figure 4 (type annotations, optionally + relations);
+//! * [`eval`] — workload sampling and MAP judging against the oracle
+//!   (the DBPedia stand-in).
+
+pub mod corpus;
+pub mod eval;
+pub mod index;
+pub mod join;
+pub mod query;
+
+pub use corpus::AnnotatedCorpus;
+pub use join::{join_search, join_truth, JoinAnswer, JoinQuery};
+pub use eval::{build_workload, judge, map_over_queries, query_ap, relevant_entities, Workload};
+pub use index::{CellRef, ColRef, PairRef, SearchIndex};
+pub use query::{baseline_search, typed_search, AnswerKey, EntityQuery, RankedAnswer};

@@ -1,0 +1,117 @@
+//! The four evaluation datasets of Figure 5, as generator recipes.
+//!
+//! | dataset       | #tables | avg rows | ground truth            | noise |
+//! |---------------|---------|----------|-------------------------|-------|
+//! | Wiki Manual   | 36      | 37       | entities, types, rels   | wiki  |
+//! | Web Manual    | 371     | 35       | entities, types, rels   | web   |
+//! | Web Relations | 30      | 51       | relations only          | web   |
+//! | Wiki Link     | 6085    | 20       | entities only           | wiki  |
+//!
+//! A `scale` factor shrinks the table counts proportionally (minimum 2) so
+//! tests and quick runs stay fast; `scale = 1.0` reproduces the paper's
+//! dataset shapes.
+
+use webtable_catalog::World;
+
+use crate::gen::{TableGenerator, TruthMask};
+use crate::noise::NoiseConfig;
+use crate::table::Dataset;
+
+/// Scales a paper table-count by `scale`, with a floor of 2.
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale).round() as usize).max(2)
+}
+
+/// Wiki Manual: 36 Wikipedia tables, manually annotated with entities,
+/// types and relations (scaled).
+pub fn wiki_manual(world: &World, scale: f64, seed: u64) -> Dataset {
+    let mut g = TableGenerator::new(world, NoiseConfig::wiki(), TruthMask::full(), seed ^ 0x57_49_4b_49);
+    Dataset { name: "Wiki Manual".into(), tables: g.gen_corpus(scaled(36, scale), 37) }
+}
+
+/// Web Manual: 371 open-Web tables similar to Wiki Manual but noisier.
+pub fn web_manual(world: &World, scale: f64, seed: u64) -> Dataset {
+    let mut g = TableGenerator::new(world, NoiseConfig::web(), TruthMask::full(), seed ^ 0x57_45_42_4d);
+    Dataset { name: "Web Manual".into(), tables: g.gen_corpus(scaled(371, scale), 35) }
+}
+
+/// Web Relations: 30 Web tables with only column-pair relations labeled.
+pub fn web_relations(world: &World, scale: f64, seed: u64) -> Dataset {
+    let mut g =
+        TableGenerator::new(world, NoiseConfig::web(), TruthMask::relations_only(), seed ^ 0x57_45_42_52);
+    Dataset { name: "Web Relations".into(), tables: g.gen_corpus(scaled(30, scale), 51) }
+}
+
+/// Wiki Link: 6085 Wikipedia tables whose cells carry entity links —
+/// entity ground truth only, at scale.
+pub fn wiki_link(world: &World, scale: f64, seed: u64) -> Dataset {
+    let mut g =
+        TableGenerator::new(world, NoiseConfig::wiki(), TruthMask::entities_only(), seed ^ 0x57_4c_4e_4b);
+    Dataset { name: "Wiki Link".into(), tables: g.gen_corpus(scaled(6085, scale), 20) }
+}
+
+/// All four datasets in Figure 5's row order.
+pub fn all_figure5(world: &World, scale: f64, seed: u64) -> Vec<Dataset> {
+    vec![
+        wiki_manual(world, scale, seed),
+        web_manual(world, scale, seed),
+        web_relations(world, scale, seed),
+        wiki_link(world, scale, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use webtable_catalog::{generate_world, WorldConfig};
+
+    use super::*;
+
+    #[test]
+    fn figure5_shapes_scale_down() {
+        let w = generate_world(&WorldConfig::tiny(3)).unwrap();
+        let sets = all_figure5(&w, 0.05, 42);
+        assert_eq!(sets.len(), 4);
+        let s: Vec<_> = sets.iter().map(|d| d.summary()).collect();
+        assert_eq!(s[0].name, "Wiki Manual");
+        assert_eq!(s[0].num_tables, 2); // 36 × 0.05 → floor 2
+        assert_eq!(s[1].num_tables, 19); // 371 × 0.05
+        assert_eq!(s[2].num_tables, 2);
+        assert_eq!(s[3].num_tables, 304); // 6085 × 0.05
+        // Ground-truth layers respect each dataset's mask.
+        assert!(s[0].entity_annotations > 0);
+        assert!(s[0].type_annotations > 0);
+        assert!(s[0].relation_annotations > 0);
+        assert_eq!(s[2].entity_annotations, 0);
+        assert!(s[2].relation_annotations > 0);
+        assert!(s[3].entity_annotations > 0);
+        assert_eq!(s[3].type_annotations, 0);
+        assert_eq!(s[3].relation_annotations, 0);
+    }
+
+    #[test]
+    fn row_averages_track_paper() {
+        let w = generate_world(&WorldConfig::tiny(3)).unwrap();
+        let ds = wiki_link(&w, 0.02, 1);
+        let s = ds.summary();
+        // Paper average is 20; the generator clamps by available tuples,
+        // so allow a broad band.
+        assert!(s.avg_rows > 5.0 && s.avg_rows < 30.0, "{}", s.avg_rows);
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let w = generate_world(&WorldConfig::tiny(3)).unwrap();
+        let a = wiki_manual(&w, 0.1, 9);
+        let b = wiki_manual(&w, 0.1, 9);
+        assert_eq!(a.tables.len(), b.tables.len());
+        for (x, y) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(x.table, y.table);
+        }
+        let c = wiki_manual(&w, 0.1, 10);
+        assert_ne!(
+            a.tables.iter().map(|t| t.table.context.clone()).collect::<Vec<_>>(),
+            c.tables.iter().map(|t| t.table.context.clone()).collect::<Vec<_>>(),
+            "different seeds should differ"
+        );
+    }
+}

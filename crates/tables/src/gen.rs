@@ -1,0 +1,475 @@
+//! Table generation from the synthetic world.
+//!
+//! Renders relation tuples from the *oracle* catalog into noisy source
+//! tables, recording ground truth as it goes. This plays the role of the
+//! paper's human annotators plus the organic Web: the facts in a table are
+//! true in the oracle; the strings in the cells are corrupted mentions.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use webtable_catalog::{EntityId, RelationId, World};
+
+use crate::noise::{corrupt_mention, NoiseConfig};
+use crate::table::{GroundTruth, LabeledTable, Table, TableId};
+
+/// Which ground-truth layers a generated dataset records (Figure 5 shows
+/// that e.g. Wiki Link has entity labels only, Web Relations only relation
+/// labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruthMask {
+    /// Record cell → entity labels.
+    pub entities: bool,
+    /// Record column → type labels.
+    pub types: bool,
+    /// Record column-pair → relation labels.
+    pub relations: bool,
+}
+
+impl TruthMask {
+    /// All three layers (Wiki Manual / Web Manual).
+    pub fn full() -> TruthMask {
+        TruthMask { entities: true, types: true, relations: true }
+    }
+
+    /// Entities only (Wiki Link).
+    pub fn entities_only() -> TruthMask {
+        TruthMask { entities: true, types: false, relations: false }
+    }
+
+    /// Relations only (Web Relations).
+    pub fn relations_only() -> TruthMask {
+        TruthMask { entities: false, types: false, relations: true }
+    }
+}
+
+/// Deterministic generator of labeled tables over a [`World`].
+#[derive(Debug)]
+pub struct TableGenerator<'w> {
+    world: &'w World,
+    noise: NoiseConfig,
+    mask: TruthMask,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl<'w> TableGenerator<'w> {
+    /// Creates a generator with the given noise model and truth mask.
+    pub fn new(world: &'w World, noise: NoiseConfig, mask: TruthMask, seed: u64) -> Self {
+        TableGenerator { world, noise, mask, rng: StdRng::seed_from_u64(seed), next_id: 0 }
+    }
+
+    /// Generates one table for a uniformly random relation.
+    pub fn gen_table(&mut self, target_rows: usize) -> LabeledTable {
+        let nb = self.world.oracle.num_relations();
+        let b = RelationId(self.rng.gen_range(0..nb as u32));
+        self.gen_table_for_relation(b, target_rows)
+    }
+
+    /// Generates `n` tables with row counts spread around `avg_rows`.
+    pub fn gen_corpus(&mut self, n: usize, avg_rows: usize) -> Vec<LabeledTable> {
+        (0..n)
+            .map(|_| {
+                let lo = (avg_rows / 2).max(2);
+                let hi = (avg_rows * 3 / 2).max(lo + 1);
+                let rows = self.rng.gen_range(lo..=hi);
+                self.gen_table(rows)
+            })
+            .collect()
+    }
+
+    /// Generates one table expressing relation `b`, with up to
+    /// `target_rows` rows (bounded by the relation's tuple count).
+    ///
+    /// With some probability a second relation sharing the same left type
+    /// is joined in as a third entity column, and a junk (numeric) column
+    /// may be appended; columns are then shuffled.
+    pub fn gen_table_for_relation(&mut self, b: RelationId, target_rows: usize) -> LabeledTable {
+        let oracle = &self.world.oracle;
+        let rel = oracle.relation(b);
+        let n_tuples = rel.tuples.len();
+        let rows = target_rows.min(n_tuples).max(1);
+        // Sample distinct tuple indices.
+        let mut idxs: Vec<usize> = (0..n_tuples).collect();
+        idxs.shuffle(&mut self.rng);
+        idxs.truncate(rows);
+
+        // Optional join with a second relation over the same left type.
+        let second: Option<RelationId> = if self.rng.gen_bool(0.4) {
+            let candidates: Vec<RelationId> = oracle
+                .relation_ids()
+                .filter(|&b2| b2 != b && oracle.relation(b2).left_type == rel.left_type)
+                .collect();
+            candidates.choose(&mut self.rng).copied()
+        } else {
+            None
+        };
+
+        // Logical columns: left entities, right entities, [second rights],
+        // [junk]. Record ground truth in logical positions first.
+        #[derive(Clone)]
+        enum Col {
+            Entity { cells: Vec<(String, Option<EntityId>)>, gold_type: webtable_catalog::TypeId },
+            Junk { cells: Vec<String>, header: String },
+        }
+        let mut cols: Vec<Col> = Vec::new();
+        let mut left_entities = Vec::with_capacity(rows);
+        let mut right_entities = Vec::with_capacity(rows);
+        let right_extent = oracle.extent(rel.right_type);
+        for &i in &idxs {
+            let (e1, mut e2) = rel.tuples[i];
+            // Dirty rows: the table only approximately expresses the
+            // relation; swap in a random same-type right entity.
+            if self.noise.dirty_row_rate > 0.0
+                && !right_extent.is_empty()
+                && self.rng.gen_bool(self.noise.dirty_row_rate)
+            {
+                e2 = right_extent[self.rng.gen_range(0..right_extent.len())];
+            }
+            left_entities.push(e1);
+            right_entities.push(e2);
+        }
+        let render = |gen: &mut Self, e: EntityId| -> String {
+            let lemmas = gen.world.oracle.entity_lemmas(e);
+            let lemma = if lemmas.len() > 1 && gen.rng.gen_bool(gen.noise.synonym_rate) {
+                lemmas[1 + gen.rng.gen_range(0..lemmas.len() - 1)].clone()
+            } else {
+                // Prefer the bare mention over a qualified canonical name
+                // when one exists (films are mentioned by title, not
+                // "Title (film)").
+                lemmas
+                    .iter()
+                    .find(|l| !l.contains('('))
+                    .unwrap_or(&lemmas[0])
+                    .clone()
+            };
+            corrupt_mention(&lemma, &gen.noise, &mut gen.rng)
+        };
+        // With some probability a cell mentions an entity *outside* the
+        // catalog: the mention keeps the shape of a real one (shared
+        // tokens attract spurious candidates) but its ground truth is na.
+        let render_cell = |gen: &mut Self, e: EntityId| -> (String, Option<EntityId>) {
+            if gen.noise.unknown_entity_rate > 0.0
+                && gen.rng.gen_bool(gen.noise.unknown_entity_rate)
+            {
+                let base = render(gen, e);
+                (unknown_mention(&base, &mut gen.rng), None)
+            } else {
+                (render(gen, e), Some(e))
+            }
+        };
+        let left_cells: Vec<(String, Option<EntityId>)> =
+            left_entities.iter().map(|&e| render_cell(self, e)).collect();
+        let right_cells: Vec<(String, Option<EntityId>)> =
+            right_entities.iter().map(|&e| render_cell(self, e)).collect();
+        cols.push(Col::Entity { cells: left_cells, gold_type: rel.left_type });
+        cols.push(Col::Entity { cells: right_cells, gold_type: rel.right_type });
+
+        let mut second_pair: Option<usize> = None; // logical col of second rights
+        if let Some(b2) = second {
+            let rel2 = oracle.relation(b2);
+            let cells: Vec<(String, Option<EntityId>)> = left_entities
+                .iter()
+                .map(|&e1| match rel2.rights_of(e1).first() {
+                    Some(&e2) => render_cell(self, e2),
+                    None => ("-".to_string(), None),
+                })
+                .collect();
+            // Only keep the join if it is informative (≥ half the rows hit).
+            if cells.iter().filter(|(_, g)| g.is_some()).count() * 2 >= rows {
+                second_pair = Some(cols.len());
+                cols.push(Col::Entity { cells, gold_type: rel2.right_type });
+            }
+        }
+        if self.rng.gen_bool(self.noise.junk_column_rate) {
+            let kind = self.rng.gen_range(0..3u8);
+            let cells: Vec<String> = (0..rows)
+                .map(|_| match kind {
+                    0 => format!("{}", self.rng.gen_range(1930..2010)),
+                    1 => format!("{:.1}", self.rng.gen_range(0.0..10.0)),
+                    _ => format!(
+                        "{} {} {}",
+                        self.rng.gen_range(1..29),
+                        ["Jan", "Mar", "Jun", "Sep", "Nov"][self.rng.gen_range(0..5)],
+                        self.rng.gen_range(1990..2010)
+                    ),
+                })
+                .collect();
+            let header = ["Year", "Rating", "Date"][kind as usize].to_string();
+            cols.push(Col::Junk { cells, header });
+        }
+
+        // Shuffle logical → physical columns.
+        let mut order: Vec<usize> = (0..cols.len()).collect();
+        order.shuffle(&mut self.rng);
+        let physical_of = |logical: usize| order.iter().position(|&l| l == logical).unwrap();
+
+        // Render headers and grid.
+        let mut headers: Vec<Option<String>> = Vec::with_capacity(cols.len());
+        let mut grid: Vec<Vec<String>> = vec![Vec::with_capacity(cols.len()); rows];
+        let mut truth = GroundTruth::default();
+        for &logical in &order {
+            let c_phys = headers.len();
+            match &cols[logical] {
+                Col::Entity { cells, gold_type } => {
+                    let header = if self.rng.gen_bool(self.noise.header_drop_rate) {
+                        None
+                    } else {
+                        let lemmas = oracle.type_lemmas(*gold_type);
+                        let text = if lemmas.len() > 1
+                            && self.rng.gen_bool(self.noise.header_synonym_rate)
+                        {
+                            lemmas[1 + self.rng.gen_range(0..lemmas.len() - 1)].clone()
+                        } else {
+                            lemmas[0].clone()
+                        };
+                        Some(crate::noise::capitalize_words(&text))
+                    };
+                    headers.push(header);
+                    for (r, (text, gold)) in cells.iter().enumerate() {
+                        grid[r].push(text.clone());
+                        if self.mask.entities {
+                            truth.cell_entities.insert((r, c_phys), *gold);
+                        }
+                    }
+                    if self.mask.types {
+                        truth.column_types.insert(c_phys, Some(*gold_type));
+                    }
+                }
+                Col::Junk { cells, header } => {
+                    headers.push(Some(header.clone()));
+                    for (r, text) in cells.iter().enumerate() {
+                        grid[r].push(text.clone());
+                        if self.mask.entities {
+                            truth.cell_entities.insert((r, c_phys), None);
+                        }
+                    }
+                    if self.mask.types {
+                        truth.column_types.insert(c_phys, None);
+                    }
+                }
+            }
+        }
+        if self.mask.relations {
+            truth
+                .relations
+                .insert((physical_of(0), physical_of(1)), Some(b));
+            if let Some(l2) = second_pair {
+                truth.relations.insert((physical_of(0), physical_of(l2)), second);
+            }
+            // Explicit na ground truth for every remaining column pair:
+            // "If two columns are not involved in any binary relation in
+            // our catalog, determine that as well" (§1.1).
+            for i in 0..cols.len() {
+                for j in (i + 1)..cols.len() {
+                    let covered = truth.relations.contains_key(&(i, j))
+                        || truth.relations.contains_key(&(j, i));
+                    if !covered {
+                        truth.relations.insert((i, j), None);
+                    }
+                }
+            }
+        }
+
+        // Context text.
+        let context = {
+            let t1 = oracle.type_lemmas(rel.left_type)[0].clone();
+            let t2 = oracle.type_lemmas(rel.right_type)[0].clone();
+            if self.rng.gen_bool(self.noise.context_hint_rate) {
+                format!("List of {t1}s and the {} relation ({t2})", oracle.relation_name(b))
+            } else {
+                format!("table {} — assorted {t1} records", self.next_id)
+            }
+        };
+
+        let id = TableId(self.next_id);
+        self.next_id += 1;
+        LabeledTable { table: Table::new(id, context, headers, grid), truth }
+    }
+}
+
+/// Mutates a real mention into one that refers to no catalog entity: the
+/// first token is replaced by a pseudo-word, so the string still shares
+/// tokens (surname, title words) with catalog lemmas.
+fn unknown_mention(base: &str, rng: &mut StdRng) -> String {
+    const ONSETS: &[&str] = &["qu", "vr", "zel", "mor", "tak", "hul", "bex", "dov"];
+    const ENDS: &[&str] = &["an", "eth", "or", "ix", "um", "ar"];
+    let fake = format!(
+        "{}{}",
+        ONSETS[rng.gen_range(0..ONSETS.len())],
+        ENDS[rng.gen_range(0..ENDS.len())]
+    );
+    let fake = crate::noise::capitalize_words(&fake);
+    let mut tokens: Vec<&str> = base.split_whitespace().collect();
+    if tokens.is_empty() {
+        return fake;
+    }
+    let fake_ref: &str = &fake;
+    tokens[0] = fake_ref;
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use webtable_catalog::{generate_world, WorldConfig};
+
+    use super::*;
+
+    fn world() -> World {
+        generate_world(&WorldConfig::tiny(3)).unwrap()
+    }
+
+    #[test]
+    fn generated_tables_are_regular_and_labeled() {
+        let w = world();
+        let mut g = TableGenerator::new(&w, NoiseConfig::wiki(), TruthMask::full(), 7);
+        for _ in 0..20 {
+            let lt = g.gen_table(10);
+            let t = &lt.table;
+            assert!(t.num_rows() >= 1);
+            assert!(t.num_cols() >= 2);
+            for row in &t.rows {
+                assert_eq!(row.len(), t.num_cols());
+            }
+            assert!(!lt.truth.relations.is_empty(), "full mask ⇒ relation GT");
+            assert!(!lt.truth.column_types.is_empty());
+            assert!(!lt.truth.cell_entities.is_empty());
+        }
+    }
+
+    #[test]
+    fn ground_truth_entities_are_real_oracle_instances() {
+        let w = world();
+        let mut g = TableGenerator::new(&w, NoiseConfig::clean(), TruthMask::full(), 9);
+        let lt = g.gen_table(8);
+        for (&(_r, c), gold) in &lt.truth.cell_entities {
+            if let Some(e) = gold {
+                let gold_t = lt.truth.column_types[&c].expect("entity column has a type");
+                assert!(
+                    w.oracle.is_instance(*e, gold_t),
+                    "GT entity must instantiate the GT column type in the oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clean_noise_renders_exact_lemmas() {
+        let w = world();
+        let mut g = TableGenerator::new(&w, NoiseConfig::clean(), TruthMask::full(), 1);
+        let lt = g.gen_table(6);
+        for (&(r, c), gold) in &lt.truth.cell_entities {
+            if let Some(e) = gold {
+                let cell = lt.table.cell(r, c);
+                assert!(
+                    w.oracle.entity_lemmas(*e).iter().any(|l| l == cell),
+                    "clean cell `{cell}` must be a verbatim lemma of {:?}",
+                    w.oracle.entity_name(*e)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relation_ground_truth_points_at_generating_relation() {
+        let w = world();
+        let mut g = TableGenerator::new(&w, NoiseConfig::clean(), TruthMask::full(), 2);
+        let b = w.relations.directed;
+        let lt = g.gen_table_for_relation(b, 6);
+        assert!(
+            lt.truth.relations.values().any(|&g| g == Some(b)),
+            "the primary relation must appear in GT: {:?}",
+            lt.truth.relations
+        );
+        // And the pair's columns really contain tuples of the relation.
+        let (&(c1, c2), _) =
+            lt.truth.relations.iter().find(|(_, &g)| g == Some(b)).unwrap();
+        for r in 0..lt.table.num_rows() {
+            let e1 = lt.truth.cell_entities[&(r, c1)];
+            let e2 = lt.truth.cell_entities[&(r, c2)];
+            if let (Some(e1), Some(e2)) = (e1, e2) {
+                assert!(w.oracle.has_tuple(b, e1, e2));
+            }
+        }
+    }
+
+    #[test]
+    fn masks_limit_ground_truth_layers() {
+        let w = world();
+        let mut g = TableGenerator::new(&w, NoiseConfig::wiki(), TruthMask::entities_only(), 4);
+        let lt = g.gen_table(6);
+        assert!(!lt.truth.cell_entities.is_empty());
+        assert!(lt.truth.column_types.is_empty());
+        assert!(lt.truth.relations.is_empty());
+        let mut g = TableGenerator::new(&w, NoiseConfig::wiki(), TruthMask::relations_only(), 4);
+        let lt = g.gen_table(6);
+        assert!(lt.truth.cell_entities.is_empty());
+        assert!(!lt.truth.relations.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let w = world();
+        let mk = || {
+            let mut g = TableGenerator::new(&w, NoiseConfig::web(), TruthMask::full(), 77);
+            g.gen_corpus(5, 10)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.table, y.table);
+            assert_eq!(x.truth, y.truth);
+        }
+    }
+
+    #[test]
+    fn unknown_entity_cells_have_na_truth() {
+        let w = world();
+        let noise = NoiseConfig { unknown_entity_rate: 1.0, ..NoiseConfig::clean() };
+        let mut g = TableGenerator::new(&w, noise, TruthMask::full(), 99);
+        let lt = g.gen_table(6);
+        // Every entity-column cell must be na.
+        for (&(_r, c), gold) in &lt.truth.cell_entities {
+            if lt.truth.column_types.get(&c).copied().flatten().is_some() {
+                assert_eq!(*gold, None, "unknown mentions have na ground truth");
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_rows_change_right_entities() {
+        let w = world();
+        let noise = NoiseConfig { dirty_row_rate: 1.0, ..NoiseConfig::clean() };
+        let mut g = TableGenerator::new(&w, noise, TruthMask::full(), 100);
+        let b = w.relations.directed;
+        let lt = g.gen_table_for_relation(b, 10);
+        // Find the relation's column pair; most rows should now violate it.
+        let (&(c1, c2), _) = lt.truth.relations.iter().find(|(_, &g)| g == Some(b)).unwrap();
+        let mut violations = 0;
+        let mut total = 0;
+        for r in 0..lt.table.num_rows() {
+            if let (Some(Some(e1)), Some(Some(e2))) = (
+                lt.truth.cell_entities.get(&(r, c1)),
+                lt.truth.cell_entities.get(&(r, c2)),
+            ) {
+                total += 1;
+                if !w.oracle.has_tuple(b, *e1, *e2) {
+                    violations += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(violations * 2 > total, "most rows should be dirty: {violations}/{total}");
+    }
+
+    #[test]
+    fn corpus_row_counts_spread_around_average() {
+        let w = world();
+        let mut g = TableGenerator::new(&w, NoiseConfig::wiki(), TruthMask::full(), 5);
+        let corpus = g.gen_corpus(30, 12);
+        let avg: f64 =
+            corpus.iter().map(|t| t.table.num_rows() as f64).sum::<f64>() / corpus.len() as f64;
+        assert!(avg > 5.0 && avg < 20.0, "avg {avg}");
+    }
+}

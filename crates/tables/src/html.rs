@@ -1,0 +1,335 @@
+//! Minimal HTML table rendering, extraction, and formatting-table
+//! screening.
+//!
+//! The paper's corpus comes from a 500M-page crawl: over 25M of the HTML
+//! tables express relational information "as against implementing visual
+//! layout" (§1), screened by the heuristics of Cafarella et al. [6]. This
+//! module provides the same pipeline in miniature: a renderer (used by the
+//! corpus generator to emit synthetic pages), a tolerant `<table>` parser,
+//! and [`is_formatting_table`] heuristics. §3.2's regularity rule is
+//! enforced: tables with merged cells (`colspan`/`rowspan`) or ragged rows
+//! are discarded.
+
+use crate::table::{Table, TableId};
+
+/// Renders a table as simple HTML (headers as `<th>`).
+pub fn render_html(t: &Table) -> String {
+    let mut out = String::with_capacity(256 + t.num_rows() * t.num_cols() * 16);
+    out.push_str("<p>");
+    out.push_str(&escape(&t.context));
+    out.push_str("</p>\n<table>\n");
+    if t.headers.iter().any(Option::is_some) {
+        out.push_str("  <tr>");
+        for h in &t.headers {
+            out.push_str("<th>");
+            out.push_str(&escape(h.as_deref().unwrap_or("")));
+            out.push_str("</th>");
+        }
+        out.push_str("</tr>\n");
+    }
+    for row in &t.rows {
+        out.push_str("  <tr>");
+        for cell in row {
+            out.push_str("<td>");
+            out.push_str(&escape(cell));
+            out.push_str("</td>");
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</table>\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+}
+
+/// A table as parsed from HTML, before screening.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawTable {
+    /// Text content immediately preceding the table (context).
+    pub context: String,
+    /// Header row cells (`<th>`), if a header row was present.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// True if any cell carried a `colspan`/`rowspan` attribute.
+    pub has_merged_cells: bool,
+}
+
+/// Extracts all `<table>` elements from an HTML page.
+///
+/// This is a deliberately small, tolerant scanner: tags are case-
+/// insensitive, attributes are allowed, nesting inside cells is flattened
+/// to text. It is not a general HTML5 parser — it handles what the
+/// renderer and typical table markup produce.
+pub fn parse_tables(html: &str) -> Vec<RawTable> {
+    let mut out = Vec::new();
+    let lower = html.to_lowercase();
+    let mut cursor = 0usize;
+    while let Some(start) = lower[cursor..].find("<table") {
+        let tstart = cursor + start;
+        let Some(end_rel) = lower[tstart..].find("</table>") else { break };
+        let tend = tstart + end_rel;
+        let body = &html[tstart..tend];
+        // Context: text of the preceding <p> … </p> if any, else the raw
+        // text between the previous table and this one, trimmed.
+        let before = &html[cursor..tstart];
+        let context = extract_context(before);
+        out.push(parse_one_table(body, context));
+        cursor = tend + "</table>".len();
+    }
+    out
+}
+
+fn extract_context(before: &str) -> String {
+    let lower = before.to_lowercase();
+    if let (Some(ps), Some(pe)) = (lower.rfind("<p>"), lower.rfind("</p>")) {
+        if pe > ps {
+            return unescape(strip_tags(&before[ps + 3..pe]).trim());
+        }
+    }
+    unescape(strip_tags(before).trim()).chars().rev().take(120).collect::<Vec<_>>().into_iter().rev().collect()
+}
+
+fn strip_tags(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_tag = false;
+    for ch in s.chars() {
+        match ch {
+            '<' => in_tag = true,
+            '>' => in_tag = false,
+            c if !in_tag => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn parse_one_table(body: &str, context: String) -> RawTable {
+    let lower = body.to_lowercase();
+    let mut headers = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut has_merged = lower.contains("colspan") || lower.contains("rowspan");
+    let mut cursor = 0usize;
+    while let Some(rs) = lower[cursor..].find("<tr") {
+        let rstart = cursor + rs;
+        let rbody_start = match lower[rstart..].find('>') {
+            Some(o) => rstart + o + 1,
+            None => break,
+        };
+        let rend = lower[rbody_start..]
+            .find("</tr>")
+            .map(|o| rbody_start + o)
+            .unwrap_or(body.len());
+        let row_html = &body[rbody_start..rend];
+        let row_lower = &lower[rbody_start..rend];
+        let mut cells = Vec::new();
+        let mut is_header_row = false;
+        let mut ccur = 0usize;
+        loop {
+            let th = row_lower[ccur..].find("<th");
+            let td = row_lower[ccur..].find("<td");
+            let (cstart, header_cell) = match (th, td) {
+                (Some(a), Some(b)) if a < b => (ccur + a, true),
+                (Some(a), None) => (ccur + a, true),
+                (_, Some(b)) => (ccur + b, false),
+                (None, None) => break,
+            };
+            let cbody_start = match row_lower[cstart..].find('>') {
+                Some(o) => cstart + o + 1,
+                None => break,
+            };
+            let close = if header_cell { "</th>" } else { "</td>" };
+            let cend = row_lower[cbody_start..]
+                .find(close)
+                .map(|o| cbody_start + o)
+                .unwrap_or(row_html.len());
+            cells.push(unescape(strip_tags(&row_html[cbody_start..cend]).trim()));
+            is_header_row |= header_cell;
+            ccur = cend;
+            if ccur >= row_lower.len() {
+                break;
+            }
+        }
+        if is_header_row && headers.is_empty() && rows.is_empty() {
+            headers = cells;
+        } else if !cells.is_empty() {
+            rows.push(cells);
+        }
+        cursor = rend;
+        if cursor >= lower.len() {
+            break;
+        }
+        // Guard against malformed markup with no closing </tr>.
+        if rend == body.len() {
+            break;
+        }
+    }
+    // Ragged rows are equivalent to merged cells for our purposes.
+    if let Some(first) = rows.first() {
+        let n = first.len();
+        if rows.iter().any(|r| r.len() != n) || (!headers.is_empty() && headers.len() != n) {
+            has_merged = true;
+        }
+    }
+    RawTable { context, headers, rows, has_merged_cells: has_merged }
+}
+
+/// Heuristic screening of layout/formatting tables (after [6]): a table is
+/// *formatting* (not relational) if it is too small, too text-heavy, or
+/// uses merged cells.
+pub fn is_formatting_table(raw: &RawTable) -> bool {
+    if raw.has_merged_cells {
+        return true;
+    }
+    let rows = raw.rows.len();
+    let cols = raw.rows.first().map(Vec::len).unwrap_or(0);
+    if rows < 2 || cols < 2 {
+        return true;
+    }
+    // Layout tables tend to hold long prose in few big cells.
+    let total_len: usize = raw.rows.iter().flatten().map(String::len).sum();
+    let avg_len = total_len as f64 / (rows * cols) as f64;
+    if avg_len > 80.0 {
+        return true;
+    }
+    // A column whose cells are all empty is layout scaffolding.
+    let empty_cells = raw.rows.iter().flatten().filter(|c| c.trim().is_empty()).count();
+    if empty_cells * 2 > rows * cols {
+        return true;
+    }
+    false
+}
+
+/// Extracts screened, regular [`Table`]s from an HTML page, assigning ids
+/// starting at `first_id`.
+pub fn extract_tables(html: &str, first_id: u64) -> Vec<Table> {
+    parse_tables(html)
+        .into_iter()
+        .filter(|raw| !is_formatting_table(raw))
+        .enumerate()
+        .map(|(i, raw)| {
+            let n = raw.rows.first().map(Vec::len).unwrap_or(0);
+            let headers: Vec<Option<String>> = if raw.headers.len() == n {
+                raw.headers
+                    .iter()
+                    .map(|h| if h.is_empty() { None } else { Some(h.clone()) })
+                    .collect()
+            } else {
+                vec![None; n]
+            };
+            Table::new(TableId(first_id + i as u64), raw.context.clone(), headers, raw.rows)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        Table::new(
+            TableId(9),
+            "List of books & authors",
+            vec![Some("Title".into()), Some("Author".into())],
+            vec![
+                vec!["Uncle Albert <3".into(), "Russell Stannard".into()],
+                vec!["Relativity".into(), "A. Einstein".into()],
+                vec!["The Quantum Quest".into(), "R. Stannard".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let t = sample_table();
+        let html = render_html(&t);
+        let extracted = extract_tables(&html, 9);
+        assert_eq!(extracted.len(), 1);
+        let got = &extracted[0];
+        assert_eq!(got.context, t.context);
+        assert_eq!(got.headers, t.headers);
+        assert_eq!(got.rows, t.rows);
+    }
+
+    #[test]
+    fn multiple_tables_on_one_page() {
+        let t = sample_table();
+        let page = format!("<html><body>{}{}</body></html>", render_html(&t), render_html(&t));
+        let parsed = parse_tables(&page);
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn merged_cells_are_screened_out() {
+        let html = r#"<table><tr><td colspan="2">banner</td></tr><tr><td>a</td><td>b</td></tr></table>"#;
+        let raw = &parse_tables(html)[0];
+        assert!(raw.has_merged_cells);
+        assert!(is_formatting_table(raw));
+        assert!(extract_tables(html, 0).is_empty());
+    }
+
+    #[test]
+    fn tiny_and_prose_tables_are_formatting() {
+        // 1×1: layout.
+        let raw = RawTable {
+            context: String::new(),
+            headers: vec![],
+            rows: vec![vec!["only".into()]],
+            has_merged_cells: false,
+        };
+        assert!(is_formatting_table(&raw));
+        // Long prose cells: layout.
+        let prose = "x".repeat(200);
+        let raw = RawTable {
+            context: String::new(),
+            headers: vec![],
+            rows: vec![vec![prose.clone(), prose.clone()], vec![prose.clone(), prose]],
+            has_merged_cells: false,
+        };
+        assert!(is_formatting_table(&raw));
+    }
+
+    #[test]
+    fn relational_table_passes_screening() {
+        let t = sample_table();
+        let raw = &parse_tables(&render_html(&t))[0];
+        assert!(!is_formatting_table(raw));
+    }
+
+    #[test]
+    fn ragged_rows_count_as_merged() {
+        let html = "<table><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></table>";
+        let raw = &parse_tables(html)[0];
+        assert!(raw.has_merged_cells);
+    }
+
+    #[test]
+    fn entity_escapes_round_trip() {
+        assert_eq!(unescape(&escape("a < b & c > d")), "a < b & c > d");
+    }
+
+    #[test]
+    fn headerless_tables_get_none_headers() {
+        let html = "<table><tr><td>a</td><td>b</td></tr><tr><td>c</td><td>d</td></tr></table>";
+        let tables = extract_tables(html, 0);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].headers, vec![None, None]);
+    }
+
+    #[test]
+    fn attributes_in_tags_are_tolerated() {
+        let html = r##"<table class="wikitable"><tr><th scope="col">A</th><th>B</th></tr>
+            <tr><td style="x">1</td><td><a href="#">2</a></td></tr>
+            <tr><td>3</td><td>4</td></tr></table>"##;
+        let tables = extract_tables(html, 0);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].headers, vec![Some("A".into()), Some("B".into())]);
+        assert_eq!(tables[0].rows[0], vec!["1".to_string(), "2".to_string()]);
+    }
+}

@@ -1,0 +1,17 @@
+//! # webtable-tables
+//!
+//! The table-corpus substrate of the `webtable` system: the source-table
+//! model of §3.2, the mention-noise model, generators for the four
+//! evaluation datasets of Figure 5, and a miniature HTML table
+//! extraction pipeline with formatting-table screening (standing in for
+//! the paper's 500M-page crawl processing).
+
+pub mod datasets;
+pub mod gen;
+pub mod html;
+pub mod noise;
+pub mod table;
+
+pub use gen::{TableGenerator, TruthMask};
+pub use noise::NoiseConfig;
+pub use table::{Dataset, DatasetSummary, Gold, GroundTruth, LabeledTable, Table, TableId};

@@ -1,0 +1,246 @@
+//! The mention-noise model.
+//!
+//! Web tables mention entities "in syntactically different forms" (§1):
+//! synonym lemmas, abbreviations, dropped tokens, typos, case changes. The
+//! noise functions here corrupt clean lemma strings deterministically under
+//! a seeded RNG; per-dataset [`NoiseConfig`] presets reproduce the relative
+//! difficulty of the paper's datasets (Wiki tables cleaner than open-Web
+//! tables, §6.1.1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Probabilities of each corruption, applied in the order: synonym lemma
+/// choice (in the generator), token drop, abbreviation, typo, case fold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseConfig {
+    /// Probability of rendering a non-primary lemma instead of the name.
+    pub synonym_rate: f64,
+    /// Probability of dropping one token from a multi-token mention.
+    pub token_drop_rate: f64,
+    /// Probability of abbreviating the first token to an initial.
+    pub abbreviation_rate: f64,
+    /// Per-mention probability of one character-level typo.
+    pub typo_rate: f64,
+    /// Probability of lower-casing the whole mention.
+    pub case_fold_rate: f64,
+    /// Probability that a column loses its header.
+    pub header_drop_rate: f64,
+    /// Probability that a header uses a secondary type lemma.
+    pub header_synonym_rate: f64,
+    /// Probability of appending a junk (numeric/date) column to a table.
+    pub junk_column_rate: f64,
+    /// Probability the table context mentions the relation explicitly.
+    pub context_hint_rate: f64,
+    /// Probability that a cell mentions an entity *outside* the catalog
+    /// (socially-maintained catalogs are always incomplete, §7; such cells
+    /// have ground truth `na`).
+    pub unknown_entity_rate: f64,
+    /// Probability that a row does not actually support the table's
+    /// relation (the right-hand entity is swapped for a random same-type
+    /// entity) — open-Web tables are only approximately relational.
+    pub dirty_row_rate: f64,
+}
+
+impl NoiseConfig {
+    /// No corruption at all (debugging / upper-bound runs).
+    pub fn clean() -> NoiseConfig {
+        NoiseConfig {
+            synonym_rate: 0.0,
+            token_drop_rate: 0.0,
+            abbreviation_rate: 0.0,
+            typo_rate: 0.0,
+            case_fold_rate: 0.0,
+            header_drop_rate: 0.0,
+            header_synonym_rate: 0.0,
+            junk_column_rate: 0.0,
+            context_hint_rate: 1.0,
+            unknown_entity_rate: 0.0,
+            dirty_row_rate: 0.0,
+        }
+    }
+
+    /// Wikipedia-like tables: mild noise, headers mostly present.
+    pub fn wiki() -> NoiseConfig {
+        NoiseConfig {
+            synonym_rate: 0.22,
+            token_drop_rate: 0.03,
+            abbreviation_rate: 0.10,
+            typo_rate: 0.01,
+            case_fold_rate: 0.02,
+            header_drop_rate: 0.08,
+            header_synonym_rate: 0.25,
+            junk_column_rate: 0.35,
+            context_hint_rate: 0.8,
+            unknown_entity_rate: 0.10,
+            dirty_row_rate: 0.05,
+        }
+    }
+
+    /// Open-Web tables: "cell, header, and context texts … are more noisy"
+    /// (§6.1, Web Manual).
+    pub fn web() -> NoiseConfig {
+        NoiseConfig {
+            synonym_rate: 0.35,
+            token_drop_rate: 0.10,
+            abbreviation_rate: 0.22,
+            typo_rate: 0.05,
+            case_fold_rate: 0.12,
+            header_drop_rate: 0.30,
+            header_synonym_rate: 0.45,
+            junk_column_rate: 0.55,
+            context_hint_rate: 0.45,
+            unknown_entity_rate: 0.22,
+            dirty_row_rate: 0.15,
+        }
+    }
+}
+
+/// Applies cell-level noise (token drop, abbreviation, typo, case fold) to
+/// an already-chosen lemma string.
+pub fn corrupt_mention(s: &str, cfg: &NoiseConfig, rng: &mut StdRng) -> String {
+    let mut out = s.to_string();
+    if cfg.token_drop_rate > 0.0 && rng.gen_bool(cfg.token_drop_rate) {
+        out = drop_token(&out, rng);
+    }
+    if cfg.abbreviation_rate > 0.0 && rng.gen_bool(cfg.abbreviation_rate) {
+        out = abbreviate(&out);
+    }
+    if cfg.typo_rate > 0.0 && rng.gen_bool(cfg.typo_rate) {
+        out = typo(&out, rng);
+    }
+    if cfg.case_fold_rate > 0.0 && rng.gen_bool(cfg.case_fold_rate) {
+        out = out.to_lowercase();
+    }
+    out
+}
+
+/// Removes one random token from a multi-token string (no-op otherwise).
+pub fn drop_token(s: &str, rng: &mut StdRng) -> String {
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return s.to_string();
+    }
+    let victim = rng.gen_range(0..tokens.len());
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != victim)
+        .map(|(_, t)| *t)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Abbreviates the first token to an initial: "Albert Einstein" → "A. Einstein".
+pub fn abbreviate(s: &str) -> String {
+    let mut tokens = s.split_whitespace();
+    match (tokens.next(), tokens.clone().next()) {
+        (Some(first), Some(_)) => {
+            let initial = first.chars().next().map(|c| format!("{c}.")).unwrap_or_default();
+            let rest: Vec<&str> = tokens.collect();
+            format!("{initial} {}", rest.join(" "))
+        }
+        _ => s.to_string(),
+    }
+}
+
+/// Capitalizes the first letter of each whitespace token (header casing).
+pub fn capitalize_words(s: &str) -> String {
+    s.split_whitespace()
+        .map(|w| {
+            let mut chars = w.chars();
+            match chars.next() {
+                Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Introduces one character-level typo: swap, drop, or duplicate.
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 3 {
+        return s.to_string();
+    }
+    let i = rng.gen_range(1..chars.len() - 1);
+    let mut out: Vec<char> = chars.clone();
+    match rng.gen_range(0..3u8) {
+        0 => out.swap(i, i + 1),
+        1 => {
+            out.remove(i);
+        }
+        _ => out.insert(i, chars[i]),
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn clean_config_is_identity() {
+        let mut r = rng();
+        let cfg = NoiseConfig::clean();
+        for s in ["Albert Einstein", "Norwich United", "x"] {
+            assert_eq!(corrupt_mention(s, &cfg, &mut r), s);
+        }
+    }
+
+    #[test]
+    fn abbreviate_keeps_single_tokens() {
+        assert_eq!(abbreviate("Einstein"), "Einstein");
+        assert_eq!(abbreviate("Albert Einstein"), "A. Einstein");
+        assert_eq!(abbreviate("The Quantum Quest"), "T. Quantum Quest");
+    }
+
+    #[test]
+    fn drop_token_reduces_length() {
+        let mut r = rng();
+        let out = drop_token("alpha beta gamma", &mut r);
+        assert_eq!(out.split_whitespace().count(), 2);
+        assert_eq!(drop_token("single", &mut r), "single");
+    }
+
+    #[test]
+    fn typo_changes_string_but_stays_close() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let out = typo("einstein", &mut r);
+            assert_ne!(out, "");
+            let dist = webtable_text::sim::levenshtein("einstein", &out);
+            assert!(dist <= 2, "{out}");
+        }
+        // Too-short strings are untouched.
+        assert_eq!(typo("ab", &mut r), "ab");
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let cfg = NoiseConfig::web();
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        for s in ["Albert Einstein", "Relativity: The Special and the General Theory"] {
+            assert_eq!(corrupt_mention(s, &cfg, &mut r1), corrupt_mention(s, &cfg, &mut r2));
+        }
+    }
+
+    #[test]
+    fn web_noise_is_heavier_than_wiki() {
+        let wiki = NoiseConfig::wiki();
+        let web = NoiseConfig::web();
+        assert!(web.typo_rate > wiki.typo_rate);
+        assert!(web.header_drop_rate > wiki.header_drop_rate);
+        assert!(web.synonym_rate > wiki.synonym_rate);
+        assert!(web.unknown_entity_rate > wiki.unknown_entity_rate);
+        assert!(web.dirty_row_rate > wiki.dirty_row_rate);
+    }
+}

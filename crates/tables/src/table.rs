@@ -1,0 +1,233 @@
+//! The source-table model of §3.2.
+//!
+//! After screening out formatting tables, a source table is: a short text
+//! context, optional per-column header cells, and an m×n grid of data
+//! cells, each a short text segment. Ground-truth annotations attach
+//! entity/type/relation labels (or an explicit `na`) to cells, columns and
+//! column pairs.
+
+use std::collections::HashMap;
+
+use webtable_catalog::{EntityId, RelationId, TypeId};
+
+/// Identifier of a table within a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u64);
+
+impl std::fmt::Display for TableId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// One source table (`S ∈ S` in the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Corpus-unique id.
+    pub id: TableId,
+    /// Textual context around the table (caption, nearby sentences).
+    pub context: String,
+    /// Per-column header text (`H_c`), `None` when the column has no header.
+    pub headers: Vec<Option<String>>,
+    /// Data cells `D_rc`, row-major; every row has `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table, checking the grid is regular (the paper only keeps
+    /// tables whose cell count is exactly rows × columns).
+    pub fn new(
+        id: TableId,
+        context: impl Into<String>,
+        headers: Vec<Option<String>>,
+        rows: Vec<Vec<String>>,
+    ) -> Table {
+        let n = headers.len();
+        assert!(rows.iter().all(|r| r.len() == n), "ragged table");
+        Table { id, context: context.into(), headers, rows }
+    }
+
+    /// Number of data rows, `m`.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns, `n`.
+    pub fn num_cols(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// The text of cell `(r, c)`.
+    pub fn cell(&self, r: usize, c: usize) -> &str {
+        &self.rows[r][c]
+    }
+
+    /// Header of column `c`, if present.
+    pub fn header(&self, c: usize) -> Option<&str> {
+        self.headers[c].as_deref()
+    }
+
+    /// Iterator over the cells of one column, top to bottom.
+    pub fn column(&self, c: usize) -> impl Iterator<Item = &str> + '_ {
+        self.rows.iter().map(move |r| r[c].as_str())
+    }
+}
+
+/// A ground-truth label: either a catalog id or an explicit "no annotation".
+///
+/// The paper's `na` is a *label*, distinct from "ground truth unknown":
+/// evaluation drops unknown cells but penalizes wrong `na` decisions.
+pub type Gold<T> = Option<T>;
+
+/// Ground-truth annotations for a table. Maps contain entries only where
+/// ground truth is *known*; the mapped value `None` encodes a known `na`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundTruth {
+    /// `(row, col)` → entity label (or `na`).
+    pub cell_entities: HashMap<(usize, usize), Gold<EntityId>>,
+    /// `col` → type label (or `na`).
+    pub column_types: HashMap<usize, Gold<TypeId>>,
+    /// `(col, col')` → relation label (or `na`).
+    pub relations: HashMap<(usize, usize), Gold<RelationId>>,
+}
+
+impl GroundTruth {
+    /// Number of non-`na` entity labels.
+    pub fn num_entity_labels(&self) -> usize {
+        self.cell_entities.values().filter(|g| g.is_some()).count()
+    }
+
+    /// Number of non-`na` type labels.
+    pub fn num_type_labels(&self) -> usize {
+        self.column_types.values().filter(|g| g.is_some()).count()
+    }
+
+    /// Number of non-`na` relation labels.
+    pub fn num_relation_labels(&self) -> usize {
+        self.relations.values().filter(|g| g.is_some()).count()
+    }
+}
+
+/// A table together with its ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledTable {
+    /// The source table.
+    pub table: Table,
+    /// Known annotations.
+    pub truth: GroundTruth,
+}
+
+/// A named collection of labeled tables (one row of Figure 5).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (e.g. "Wiki Manual").
+    pub name: String,
+    /// The labeled tables.
+    pub tables: Vec<LabeledTable>,
+}
+
+/// Summary statistics of a dataset — the columns of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Number of tables.
+    pub num_tables: usize,
+    /// Mean number of data rows.
+    pub avg_rows: f64,
+    /// Total entity annotations.
+    pub entity_annotations: usize,
+    /// Total column-type annotations.
+    pub type_annotations: usize,
+    /// Total relation annotations.
+    pub relation_annotations: usize,
+}
+
+impl Dataset {
+    /// Computes the Figure 5 summary row.
+    pub fn summary(&self) -> DatasetSummary {
+        let n = self.tables.len();
+        let rows: usize = self.tables.iter().map(|t| t.table.num_rows()).sum();
+        DatasetSummary {
+            name: self.name.clone(),
+            num_tables: n,
+            avg_rows: if n == 0 { 0.0 } else { rows as f64 / n as f64 },
+            entity_annotations: self.tables.iter().map(|t| t.truth.num_entity_labels()).sum(),
+            type_annotations: self.tables.iter().map(|t| t.truth.num_type_labels()).sum(),
+            relation_annotations: self
+                .tables
+                .iter()
+                .map(|t| t.truth.num_relation_labels())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        Table::new(
+            TableId(1),
+            "List of books and authors",
+            vec![Some("Title".into()), Some("Author".into())],
+            vec![
+                vec!["Uncle Albert and the Quantum Quest".into(), "Russell Stannard".into()],
+                vec!["Relativity".into(), "A. Einstein".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors_work() {
+        let t = sample_table();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_cols(), 2);
+        assert_eq!(t.cell(1, 1), "A. Einstein");
+        assert_eq!(t.header(0), Some("Title"));
+        let col: Vec<&str> = t.column(1).collect();
+        assert_eq!(col, vec!["Russell Stannard", "A. Einstein"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table")]
+    fn ragged_tables_are_rejected() {
+        Table::new(
+            TableId(2),
+            "",
+            vec![None, None],
+            vec![vec!["a".into()], vec!["b".into(), "c".into()]],
+        );
+    }
+
+    #[test]
+    fn ground_truth_counts_distinguish_na() {
+        let mut gt = GroundTruth::default();
+        gt.cell_entities.insert((0, 0), Some(EntityId(5)));
+        gt.cell_entities.insert((0, 1), None); // known na
+        gt.column_types.insert(0, Some(TypeId(1)));
+        gt.relations.insert((0, 1), None);
+        assert_eq!(gt.num_entity_labels(), 1);
+        assert_eq!(gt.num_type_labels(), 1);
+        assert_eq!(gt.num_relation_labels(), 0);
+    }
+
+    #[test]
+    fn dataset_summary_averages_rows() {
+        let t = sample_table();
+        let mut gt = GroundTruth::default();
+        gt.cell_entities.insert((0, 0), Some(EntityId(0)));
+        let ds = Dataset {
+            name: "test".into(),
+            tables: vec![
+                LabeledTable { table: t.clone(), truth: gt.clone() },
+                LabeledTable { table: t, truth: gt },
+            ],
+        };
+        let s = ds.summary();
+        assert_eq!(s.num_tables, 2);
+        assert!((s.avg_rows - 2.0).abs() < 1e-12);
+        assert_eq!(s.entity_annotations, 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests: the noise model must never panic and must preserve the
+//! invariants the annotator relies on (non-empty mentions stay non-empty
+//! under bounded corruption).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use webtable_tables::noise::{abbreviate, capitalize_words, corrupt_mention, drop_token, typo, NoiseConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn corrupt_mention_never_panics(s in "\\PC{0,40}", seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for cfg in [NoiseConfig::clean(), NoiseConfig::wiki(), NoiseConfig::web()] {
+            let _ = corrupt_mention(&s, &cfg, &mut rng);
+        }
+    }
+
+    #[test]
+    fn typo_changes_at_most_one_edit(s in "[a-zA-Z ]{3,24}", seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = typo(&s, &mut rng);
+        let d = webtable_text::sim::levenshtein(&s, &out);
+        // swap = 2 single-char edits in Levenshtein terms; drop/dup = 1.
+        prop_assert!(d <= 2, "{s:?} → {out:?} distance {d}");
+    }
+
+    #[test]
+    fn drop_token_preserves_remaining_tokens(s in "[a-z]{1,6}( [a-z]{1,6}){0,4}", seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = drop_token(&s, &mut rng);
+        let orig: Vec<&str> = s.split_whitespace().collect();
+        let kept: Vec<&str> = out.split_whitespace().collect();
+        if orig.len() >= 2 {
+            prop_assert_eq!(kept.len(), orig.len() - 1);
+        } else {
+            prop_assert_eq!(&kept, &orig);
+        }
+        // Every kept token existed in the original.
+        for t in kept {
+            prop_assert!(orig.contains(&t));
+        }
+    }
+
+    #[test]
+    fn abbreviate_keeps_the_tail(s in "[A-Z][a-z]{1,8}( [A-Z][a-z]{1,8}){1,3}") {
+        let out = abbreviate(&s);
+        let orig: Vec<&str> = s.split_whitespace().collect();
+        let got: Vec<&str> = out.split_whitespace().collect();
+        prop_assert_eq!(got.len(), orig.len());
+        // First token becomes "X."; the rest are untouched.
+        prop_assert!(got[0].ends_with('.'));
+        prop_assert_eq!(&got[1..], &orig[1..]);
+    }
+
+    #[test]
+    fn capitalize_words_is_idempotent(s in "[a-zA-Z ]{0,30}") {
+        let once = capitalize_words(&s);
+        prop_assert_eq!(capitalize_words(&once), once.clone());
+    }
+
+    #[test]
+    fn clean_config_never_modifies(s in "\\PC{0,40}", seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(corrupt_mention(&s, &NoiseConfig::clean(), &mut rng), s.clone());
+    }
+}

@@ -1,0 +1,227 @@
+//! String and token-set similarity kernels.
+//!
+//! §4.2.1 of the paper uses TFIDF cosine as the primary cell↔lemma signal
+//! and allows "a number of other similarity measures, such as Jaccard or a
+//! soft cosine measure" as extra feature-vector elements. This module
+//! provides the token-set measures (Jaccard, Dice, overlap, containment)
+//! over sorted `u32` token-id slices, and the character-level measures
+//! (Levenshtein, Jaro, Jaro-Winkler) used by the soft-TFIDF matcher.
+
+/// Size of the intersection of two sorted, deduplicated id slices.
+pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Jaccard similarity `|A∩B| / |A∪B|` over sorted sets. Empty∪empty ⇒ 0.
+pub fn jaccard(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size(a, b);
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+/// Dice coefficient `2|A∩B| / (|A|+|B|)` over sorted sets.
+pub fn dice(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    2.0 * intersection_size(a, b) as f64 / (a.len() + b.len()) as f64
+}
+
+/// Overlap coefficient `|A∩B| / min(|A|,|B|)` over sorted sets.
+pub fn overlap(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    intersection_size(a, b) as f64 / a.len().min(b.len()) as f64
+}
+
+/// Containment `|A∩B| / |A|`: how much of `a` is covered by `b`.
+pub fn containment(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    intersection_size(a, b) as f64 / a.len() as f64
+}
+
+/// Levenshtein edit distance (unit costs), O(|a|·|b|) time, O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized edit similarity `1 - lev/max(|a|,|b|)` in `[0,1]`.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaro similarity in `[0,1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a = Vec::with_capacity(a.len());
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push((i, j));
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters out of order.
+    let mut b_matches: Vec<usize> = matches_a.iter().map(|&(_, j)| j).collect();
+    let t = {
+        let sorted = {
+            let mut s = b_matches.clone();
+            s.sort_unstable();
+            s
+        };
+        b_matches
+            .iter()
+            .zip(&sorted)
+            .filter(|(x, y)| x != y)
+            .count()
+            / 2
+    };
+    b_matches.clear();
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by shared prefix (≤4 chars, 0.1 scale).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_measures_on_known_values() {
+        let a = &[1, 2, 3, 4];
+        let b = &[3, 4, 5, 6];
+        assert_eq!(intersection_size(a, b), 2);
+        assert!((jaccard(a, b) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((dice(a, b) - 4.0 / 8.0).abs() < 1e-12);
+        assert!((overlap(a, b) - 0.5).abs() < 1e-12);
+        assert!((containment(a, b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_measures_bounds_and_identity() {
+        let a = &[1, 2, 3];
+        assert!((jaccard(a, a) - 1.0).abs() < 1e-12);
+        assert!((dice(a, a) - 1.0).abs() < 1e-12);
+        assert_eq!(jaccard(a, &[]), 0.0);
+        assert_eq!(jaccard(&[], &[]), 0.0);
+        assert_eq!(overlap(&[], a), 0.0);
+        assert_eq!(containment(&[], a), 0.0);
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_sim_is_normalized() {
+        assert!((levenshtein_sim("abc", "abc") - 1.0).abs() < 1e-12);
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert!(levenshtein_sim("abc", "xyz") < 0.01);
+        let s = levenshtein_sim("einstein", "einstien");
+        assert!(s > 0.7 && s < 1.0, "{s}");
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic examples from the record-linkage literature.
+        let s = jaro("martha", "marhta");
+        assert!((s - 0.944444).abs() < 1e-3, "{s}");
+        let s = jaro("dixon", "dicksonx");
+        assert!((s - 0.766667).abs() < 1e-3, "{s}");
+        assert!((jaro("abc", "abc") - 1.0).abs() < 1e-12);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_prefix_matches() {
+        let jw = jaro_winkler("martha", "marhta");
+        assert!((jw - 0.961111).abs() < 1e-3, "{jw}");
+        assert!(jaro_winkler("einstein", "einstien") > jaro("einstein", "einstien"));
+        // No shared prefix ⇒ no boost.
+        assert!((jaro_winkler("abcd", "xbcd") - jaro("abcd", "xbcd")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measures_are_symmetric() {
+        for (a, b) in [("table", "tables"), ("alpha beta", "beta"), ("", "x")] {
+            assert!((levenshtein_sim(a, b) - levenshtein_sim(b, a)).abs() < 1e-12);
+            assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);
+        }
+        let x = &[1, 5, 9];
+        let y = &[2, 5, 9, 11];
+        assert!((jaccard(x, y) - jaccard(y, x)).abs() < 1e-12);
+        assert!((dice(x, y) - dice(y, x)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,278 @@
+//! TFIDF weighting, cosine similarity, and soft-TFIDF.
+//!
+//! The primary feature of §4.2.1 is "the standard TFIDF cosine similarity"
+//! between cell text and entity lemmas. Lemmas are the document collection:
+//! each catalog lemma counts once toward document frequency. The soft-TFIDF
+//! variant (Cohen et al. [2], cited by the paper for soft cosine measures)
+//! relaxes exact token equality to Jaro-Winkler ≥ θ.
+
+use crate::sim::jaro_winkler;
+use crate::tokenize::Vocab;
+
+/// Document-frequency table over a frozen vocabulary.
+#[derive(Debug, Clone)]
+pub struct IdfTable {
+    df: Vec<u32>,
+    n_docs: u32,
+}
+
+impl IdfTable {
+    /// Creates a table with zero counts for `vocab_size` tokens.
+    pub fn new(vocab_size: usize) -> Self {
+        IdfTable { df: vec![0; vocab_size], n_docs: 0 }
+    }
+
+    /// Counts one document containing the given *deduplicated* token ids.
+    pub fn add_document(&mut self, unique_tokens: &[u32]) {
+        self.n_docs += 1;
+        for &t in unique_tokens {
+            if let Some(slot) = self.df.get_mut(t as usize) {
+                *slot += 1;
+            }
+        }
+    }
+
+    /// Grows the table when the vocabulary grew after construction.
+    pub fn resize(&mut self, vocab_size: usize) {
+        if vocab_size > self.df.len() {
+            self.df.resize(vocab_size, 0);
+        }
+    }
+
+    /// Number of documents counted.
+    pub fn num_documents(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Smoothed inverse document frequency `ln(1 + N / (1 + df))`.
+    ///
+    /// Out-of-vocabulary ids get the maximum weight (df = 0): a rare query
+    /// token should dominate the vector norm, exactly like a hapax in the
+    /// collection.
+    pub fn idf(&self, token: u32) -> f64 {
+        let df = self.df.get(token as usize).copied().unwrap_or(0);
+        (1.0 + self.n_docs as f64 / (1.0 + df as f64)).ln()
+    }
+}
+
+/// An L2-normalized sparse TFIDF vector (sorted by token id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedVec {
+    pairs: Vec<(u32, f32)>,
+}
+
+impl WeightedVec {
+    /// Builds a normalized vector from raw token ids (duplicates = term
+    /// frequency) and an IDF table.
+    pub fn from_tokens(tokens: &[u32], idf: &IdfTable) -> WeightedVec {
+        let mut counted: Vec<(u32, f32)> = Vec::with_capacity(tokens.len());
+        let mut sorted = tokens.to_vec();
+        sorted.sort_unstable();
+        let mut i = 0;
+        while i < sorted.len() {
+            let tok = sorted[i];
+            let mut tf = 0usize;
+            while i < sorted.len() && sorted[i] == tok {
+                tf += 1;
+                i += 1;
+            }
+            let w = (1.0 + (tf as f64).ln()) * idf.idf(tok);
+            counted.push((tok, w as f32));
+        }
+        let norm: f32 = counted.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in counted.iter_mut() {
+                *w /= norm;
+            }
+        }
+        WeightedVec { pairs: counted }
+    }
+
+    /// The sorted `(token, weight)` pairs.
+    pub fn pairs(&self) -> &[(u32, f32)] {
+        &self.pairs
+    }
+
+    /// True if the vector has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Cosine similarity of two normalized sparse vectors (sorted-merge dot).
+pub fn cosine(a: &WeightedVec, b: &WeightedVec) -> f64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut dot = 0.0f64;
+    let (pa, pb) = (&a.pairs, &b.pairs);
+    while i < pa.len() && j < pb.len() {
+        match pa[i].0.cmp(&pb[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                dot += pa[i].1 as f64 * pb[j].1 as f64;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    dot.clamp(0.0, 1.0)
+}
+
+/// Soft-TFIDF: like cosine, but tokens match softly via Jaro-Winkler ≥
+/// `threshold`, scaled by the string similarity. Token strings are resolved
+/// through `vocab`, falling back to the supplied out-of-vocabulary term
+/// lists (`(token id, string)` pairs, as produced by
+/// [`crate::engine::TextDoc`]) so query-side typos can still soft-match.
+pub fn soft_tfidf_with_oov(
+    a: &WeightedVec,
+    b: &WeightedVec,
+    vocab: &Vocab,
+    a_oov: &[(u32, String)],
+    b_oov: &[(u32, String)],
+    threshold: f64,
+) -> f64 {
+    let resolve = |tok: u32, oov: &[(u32, String)]| -> Option<String> {
+        if let Some(w) = vocab.word(tok) {
+            return Some(w.to_string());
+        }
+        oov.iter().find(|(t, _)| *t == tok).map(|(_, s)| s.clone())
+    };
+    let mut sim = 0.0f64;
+    for &(ta, wa) in &a.pairs {
+        let mut best = 0.0f64;
+        let mut best_w = 0.0f64;
+        let sa = resolve(ta, a_oov);
+        for &(tb, wb) in &b.pairs {
+            if ta == tb {
+                best = 1.0;
+                best_w = wb as f64;
+                break;
+            }
+            if let (Some(sa), Some(sb)) = (sa.as_deref(), resolve(tb, b_oov).as_deref()) {
+                let s = jaro_winkler(sa, sb);
+                if s >= threshold && s > best {
+                    best = s;
+                    best_w = wb as f64;
+                }
+            }
+        }
+        if best > 0.0 {
+            sim += wa as f64 * best_w * best;
+        }
+    }
+    sim.clamp(0.0, 1.0)
+}
+
+/// Soft-TFIDF over in-vocabulary tokens only (see [`soft_tfidf_with_oov`]).
+pub fn soft_tfidf(a: &WeightedVec, b: &WeightedVec, vocab: &Vocab, threshold: f64) -> f64 {
+    soft_tfidf_with_oov(a, b, vocab, &[], &[], threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::Vocab;
+
+    fn setup() -> (Vocab, IdfTable) {
+        let mut v = Vocab::new();
+        let docs = [
+            "albert einstein",
+            "einstein",
+            "uncle albert and the quantum quest",
+            "the time and space of uncle albert",
+            "russell stannard",
+        ];
+        let toks: Vec<Vec<u32>> = docs.iter().map(|d| v.tokenize_intern(d)).collect();
+        let mut idf = IdfTable::new(v.len());
+        for t in &toks {
+            let set = crate::tokenize::to_sorted_set(t.clone());
+            idf.add_document(&set);
+        }
+        (v, idf)
+    }
+
+    #[test]
+    fn idf_ranks_rare_tokens_higher() {
+        let (v, idf) = setup();
+        let albert = v.get("albert").unwrap();
+        let quantum = v.get("quantum").unwrap();
+        assert!(idf.idf(quantum) > idf.idf(albert), "quantum is rarer than albert");
+        // OOV gets max weight.
+        assert!(idf.idf(9999) >= idf.idf(quantum));
+    }
+
+    #[test]
+    fn identical_texts_have_cosine_one() {
+        let (v, idf) = setup();
+        let t = v.tokenize_frozen("albert einstein");
+        let a = WeightedVec::from_tokens(&t, &idf);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disjoint_texts_have_cosine_zero() {
+        let (v, idf) = setup();
+        let a = WeightedVec::from_tokens(&v.tokenize_frozen("albert einstein"), &idf);
+        let b = WeightedVec::from_tokens(&v.tokenize_frozen("russell stannard"), &idf);
+        assert_eq!(cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_reflects_idf_weighting() {
+        // "albert" appears in 3 docs, "einstein" in 2; with the same filler
+        // token ("uncle"), sharing the rarer token must score higher.
+        let (v, idf) = setup();
+        let q = WeightedVec::from_tokens(&v.tokenize_frozen("albert einstein"), &idf);
+        let just_albert = WeightedVec::from_tokens(&v.tokenize_frozen("uncle albert"), &idf);
+        let just_einstein = WeightedVec::from_tokens(&v.tokenize_frozen("uncle einstein"), &idf);
+        assert!(cosine(&q, &just_einstein) > cosine(&q, &just_albert));
+    }
+
+    #[test]
+    fn empty_text_gives_empty_vector() {
+        let (v, idf) = setup();
+        let a = WeightedVec::from_tokens(&v.tokenize_frozen(""), &idf);
+        assert!(a.is_empty());
+        let b = WeightedVec::from_tokens(&v.tokenize_frozen("albert"), &idf);
+        assert_eq!(cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn term_frequency_is_sublinear() {
+        let (v, idf) = setup();
+        let once = WeightedVec::from_tokens(&v.tokenize_frozen("albert quest"), &idf);
+        let thrice = WeightedVec::from_tokens(&v.tokenize_frozen("albert albert albert quest"), &idf);
+        // Repeating a token shifts weight toward it, but sublinearly.
+        let q = WeightedVec::from_tokens(&v.tokenize_frozen("albert"), &idf);
+        assert!(cosine(&thrice, &q) > cosine(&once, &q));
+        assert!(cosine(&thrice, &q) < 1.0);
+    }
+
+    #[test]
+    fn soft_tfidf_matches_typos() {
+        let (v, idf) = setup();
+        let a_toks = v.tokenize_frozen("albert einstein");
+        let b_toks = v.tokenize_frozen("albert einstien"); // typo → OOV token
+        let a = WeightedVec::from_tokens(&a_toks, &idf);
+        let b = WeightedVec::from_tokens(&b_toks, &idf);
+        let b_oov: Vec<(u32, String)> = b_toks
+            .iter()
+            .filter(|t| Vocab::is_oov(**t))
+            .map(|&t| (t, "einstien".to_string()))
+            .collect();
+        assert!(!b_oov.is_empty(), "the typo must be out-of-vocabulary");
+        let hard = cosine(&a, &b);
+        let soft = soft_tfidf_with_oov(&a, &b, &v, &[], &b_oov, 0.9);
+        assert!(soft > hard, "soft={soft} must beat hard={hard} on a typo");
+        // Identical still scores ~1.
+        assert!((soft_tfidf(&a, &a, &v, 0.9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn soft_tfidf_ignores_dissimilar_tokens() {
+        let (v, idf) = setup();
+        let a = WeightedVec::from_tokens(&v.tokenize_frozen("albert"), &idf);
+        let b = WeightedVec::from_tokens(&v.tokenize_frozen("stannard"), &idf);
+        assert_eq!(soft_tfidf(&a, &b, &v, 0.9), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Tokenization and token interning.
+//!
+//! Cell text, header text and catalog lemmas are compared through bags of
+//! lowercase alphanumeric tokens (§4.2.1 uses standard IR similarity over
+//! such token bags). A [`Vocab`] interns tokens into dense `u32` ids so the
+//! hot similarity loops work on integer slices.
+
+use std::collections::HashMap;
+
+/// Splits text into lowercase alphanumeric tokens.
+///
+/// Runs of letters/digits form tokens; everything else separates. This is
+/// the standard "simple analyzer" behaviour of IR engines like the Lucene
+/// setup the paper indexes its corpus with.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// An interning dictionary from token string to dense id.
+///
+/// The vocabulary is *frozen* after corpus construction: query-time tokens
+/// that were never seen get ids from a reserved out-of-vocabulary band (they
+/// contribute to vector norms but can never match an in-vocabulary token).
+#[derive(Debug, Default, Clone)]
+pub struct Vocab {
+    map: HashMap<String, u32>,
+    words: Vec<String>,
+}
+
+/// First id of the reserved out-of-vocabulary band.
+pub const OOV_BASE: u32 = u32::MAX - (1 << 20);
+
+impl Vocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Vocab::default()
+    }
+
+    /// Number of interned tokens.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if no token has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Interns a token, returning its id (inserting if new).
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.map.get(token) {
+            return id;
+        }
+        let id = self.words.len() as u32;
+        assert!(id < OOV_BASE, "vocabulary overflow");
+        self.words.push(token.to_string());
+        self.map.insert(token.to_string(), id);
+        id
+    }
+
+    /// Looks up a token without inserting.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.map.get(token).copied()
+    }
+
+    /// The token string for an in-vocabulary id.
+    pub fn word(&self, id: u32) -> Option<&str> {
+        self.words.get(id as usize).map(String::as_str)
+    }
+
+    /// True if `id` lies in the reserved out-of-vocabulary band.
+    pub fn is_oov(id: u32) -> bool {
+        id >= OOV_BASE
+    }
+
+    /// Tokenizes and interns (corpus-construction path).
+    pub fn tokenize_intern(&mut self, text: &str) -> Vec<u32> {
+        tokenize(text).iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// Tokenizes without inserting; unseen tokens get distinct ids from the
+    /// OOV band (stable within one call).
+    pub fn tokenize_frozen(&self, text: &str) -> Vec<u32> {
+        let mut oov: HashMap<String, u32> = HashMap::new();
+        tokenize(text)
+            .into_iter()
+            .map(|t| match self.map.get(&t) {
+                Some(&id) => id,
+                None => {
+                    let next = OOV_BASE + oov.len() as u32;
+                    *oov.entry(t).or_insert(next)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Sorts and deduplicates a token-id list into a set representation used by
+/// the set-overlap similarity measures.
+pub fn to_sorted_set(mut tokens: Vec<u32>) -> Vec<u32> {
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        assert_eq!(tokenize("Albert Einstein"), vec!["albert", "einstein"]);
+        assert_eq!(tokenize("  A.  Einstein!! "), vec!["a", "einstein"]);
+        assert_eq!(
+            tokenize("Relativity: The Special and the General Theory"),
+            vec!["relativity", "the", "special", "and", "the", "general", "theory"]
+        );
+        assert_eq!(tokenize("1951 novels"), vec!["1951", "novels"]);
+        assert!(tokenize("...!!!").is_empty());
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn tokenize_handles_unicode() {
+        assert_eq!(tokenize("Łukasz Piszczek"), vec!["łukasz", "piszczek"]);
+    }
+
+    #[test]
+    fn vocab_interns_stably() {
+        let mut v = Vocab::new();
+        let a = v.intern("apple");
+        let b = v.intern("banana");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("apple"), a);
+        assert_eq!(v.get("apple"), Some(a));
+        assert_eq!(v.get("cherry"), None);
+        assert_eq!(v.word(a), Some("apple"));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn frozen_tokenization_gives_oov_band_ids() {
+        let mut v = Vocab::new();
+        v.intern("known");
+        let ids = v.tokenize_frozen("known unknown unknown other");
+        assert_eq!(ids[0], 0);
+        assert!(Vocab::is_oov(ids[1]));
+        assert_eq!(ids[1], ids[2], "same OOV token, same id within a call");
+        assert_ne!(ids[1], ids[3], "different OOV tokens get different ids");
+    }
+
+    #[test]
+    fn sorted_set_dedups() {
+        assert_eq!(to_sorted_set(vec![3, 1, 3, 2, 1]), vec![1, 2, 3]);
+        assert!(to_sorted_set(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the similarity kernels and the lemma index.
+
+use proptest::prelude::*;
+use webtable_text::{sim, to_sorted_set, tokenize, SimEngineBuilder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+        let ab = sim::levenshtein(&a, &b);
+        let ba = sim::levenshtein(&b, &a);
+        prop_assert_eq!(ab, ba, "symmetry");
+        prop_assert_eq!(sim::levenshtein(&a, &a), 0, "identity");
+        let ac = sim::levenshtein(&a, &c);
+        let cb = sim::levenshtein(&c, &b);
+        prop_assert!(ab <= ac + cb, "triangle inequality");
+        // Length difference is a lower bound; max length an upper bound.
+        prop_assert!(ab >= a.chars().count().abs_diff(b.chars().count()));
+        prop_assert!(ab <= a.chars().count().max(b.chars().count()));
+    }
+
+    #[test]
+    fn jaro_winkler_bounds_and_symmetry(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        let jw = sim::jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&jw));
+        prop_assert!((sim::jaro_winkler(&b, &a) - jw).abs() < 1e-12);
+        let self_jw = sim::jaro_winkler(&a, &a);
+        prop_assert!(self_jw >= 1.0 - 1e-12);
+        // Winkler prefix boost never lowers Jaro.
+        prop_assert!(jw >= sim::jaro(&a, &b) - 1e-12);
+    }
+
+    #[test]
+    fn set_measures_bounds(xs in proptest::collection::vec(0u32..50, 0..12),
+                           ys in proptest::collection::vec(0u32..50, 0..12)) {
+        let a = to_sorted_set(xs);
+        let b = to_sorted_set(ys);
+        for m in [sim::jaccard(&a, &b), sim::dice(&a, &b), sim::overlap(&a, &b), sim::containment(&a, &b)] {
+            prop_assert!((0.0..=1.0).contains(&m), "{m}");
+        }
+        prop_assert!(sim::jaccard(&a, &b) <= sim::dice(&a, &b) + 1e-12, "jaccard ≤ dice");
+        if !a.is_empty() {
+            prop_assert!((sim::jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tokenize_output_is_lowercase_alnum(s in "\\PC{0,40}") {
+        for tok in tokenize(&s) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+            // Lowercasing is idempotent on tokens (some characters, e.g.
+            // 𝔻, have no lowercase mapping and pass through unchanged).
+            prop_assert_eq!(tok.to_lowercase(), tok.clone(), "token {} not case-normalized", tok);
+            // Tokenizing a token yields the token itself.
+            prop_assert_eq!(tokenize(&tok), vec![tok.clone()]);
+        }
+    }
+
+    #[test]
+    fn profiles_are_bounded_for_arbitrary_text(a in "\\PC{0,30}", b in "\\PC{0,30}") {
+        let mut builder = SimEngineBuilder::new();
+        builder.add_document(&a);
+        builder.add_document(&b);
+        builder.add_document("background document text");
+        let engine = builder.freeze();
+        let da = engine.doc(&a);
+        let db = engine.doc(&b);
+        let p = engine.profile(&da, &db);
+        for v in p.as_array() {
+            prop_assert!((0.0..=1.0).contains(&v), "{v} out of bounds for {a:?} vs {b:?}");
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn self_similarity_is_maximal(a in "[a-zA-Z0-9 ]{1,30}") {
+        prop_assume!(!tokenize(&a).is_empty());
+        let mut builder = SimEngineBuilder::new();
+        builder.add_document(&a);
+        builder.add_document("other words entirely");
+        let engine = builder.freeze();
+        let d = engine.doc(&a);
+        let p = engine.profile(&d, &d);
+        prop_assert!((p.tfidf_cosine - 1.0).abs() < 1e-6);
+        prop_assert!((p.jaccard - 1.0).abs() < 1e-12);
+        prop_assert!((p.edit_sim - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn index_is_deterministic_and_ranked() {
+    use webtable_catalog::CatalogBuilder;
+    let mut b = CatalogBuilder::new();
+    let t = b.add_type("thing", &[]).unwrap();
+    for i in 0..50 {
+        b.add_entity(format!("Entity Number {i}"), &[&format!("alias {i}")[..]], &[t]).unwrap();
+    }
+    let cat = b.finish().unwrap();
+    let idx = webtable_text::LemmaIndex::build(&cat);
+    let q = idx.doc("entity number 7");
+    let r1 = idx.entity_candidates(&q, 10);
+    let r2 = idx.entity_candidates(&q, 10);
+    assert_eq!(r1.len(), r2.len());
+    for (a, b) in r1.iter().zip(&r2) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.score, b.score);
+    }
+    for w in r1.windows(2) {
+        assert!(w[0].score >= w[1].score, "ranking must be sorted");
+    }
+    assert_eq!(r1[0].id, cat.entity_named("Entity Number 7").unwrap());
+}

@@ -1,0 +1,84 @@
+//! The paper's §1 motivating scenario: "Suppose we want to compile a table
+//! of footballers (soccer players) and clubs they play for. To extract and
+//! reconcile this information from many Web tables…"
+//!
+//! Generates a noisy corpus of `playsFor` tables, annotates it
+//! collectively, and consolidates the per-cell entity annotations into one
+//! clean footballer → club table — including facts the *published* catalog
+//! does not contain (catalog augmentation, §7).
+//!
+//! Run with: `cargo run --release --example footballers`
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use webtable::catalog::{generate_world, EntityId, WorldConfig};
+use webtable::core::Annotator;
+use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
+
+fn main() {
+    let world = generate_world(&WorldConfig { seed: 7, scale: 0.4, ..Default::default() })
+        .expect("world generation");
+    let annotator = Annotator::new(Arc::clone(&world.catalog));
+
+    // A corpus of noisy open-Web tables about footballers and their clubs.
+    let mut gen = TableGenerator::new(&world, NoiseConfig::web(), TruthMask::full(), 99);
+    let tables: Vec<_> = (0..12)
+        .map(|_| gen.gen_table_for_relation(world.relations.plays_for, 12).table)
+        .collect();
+
+    // Annotate and consolidate: evidence per (footballer, club) pair.
+    let mut fact_evidence: HashMap<(EntityId, EntityId), f64> = HashMap::new();
+    let mut tables_used = 0;
+    for table in &tables {
+        let ann = annotator.annotate(table);
+        // Find the column pair annotated with playsFor.
+        let pair = ann
+            .relations
+            .iter()
+            .find(|(_, &rel)| rel == Some(world.relations.plays_for))
+            .map(|(&(c1, c2), _)| (c1, c2));
+        let Some((c_player, c_club)) = pair else { continue };
+        tables_used += 1;
+        for r in 0..table.num_rows() {
+            let (p, k) = (
+                ann.cell_entities.get(&(r, c_player)).copied().flatten(),
+                ann.cell_entities.get(&(r, c_club)).copied().flatten(),
+            );
+            if let (Some(p), Some(k)) = (p, k) {
+                let conf = ann.cell_confidence.get(&(r, c_player)).copied().unwrap_or(0.0)
+                    + ann.cell_confidence.get(&(r, c_club)).copied().unwrap_or(0.0);
+                *fact_evidence.entry((p, k)).or_insert(0.0) += 1.0 + conf.min(2.0);
+            }
+        }
+    }
+
+    let mut facts: Vec<((EntityId, EntityId), f64)> = fact_evidence.into_iter().collect();
+    facts.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    println!(
+        "Consolidated footballer → club table ({} tables used, top 15 by evidence):\n",
+        tables_used
+    );
+    println!("{:<28} {:<26} {:>8}  In published catalog?", "Footballer", "Club", "Evidence");
+    println!("{}", "-".repeat(90));
+    let plays_for = world.catalog.relation(world.relations.plays_for);
+    let mut novel_facts = 0;
+    for ((p, k), score) in facts.iter().take(15) {
+        let known = plays_for.has_tuple(*p, *k);
+        if !known {
+            novel_facts += 1;
+        }
+        println!(
+            "{:<28} {:<26} {:>8.1}  {}",
+            world.catalog.entity_name(*p),
+            world.catalog.entity_name(*k),
+            score,
+            if known { "yes" } else { "NEW (catalog augmentation)" }
+        );
+    }
+    println!(
+        "\n{novel_facts} of the top 15 facts are missing from the published catalog — \
+         the annotations harvested them from the open tables (cf. §1.2/§7)."
+    );
+}

@@ -1,0 +1,54 @@
+//! # webtable
+//!
+//! A from-scratch Rust implementation of **“Annotating and Searching Web
+//! Tables Using Entities, Types and Relationships”** (Girija Limaye, Sunita
+//! Sarawagi, Soumen Chakrabarti; VLDB 2010): a collective annotator that
+//! simultaneously labels table cells with entities, columns with types,
+//! and column pairs with binary relations from a catalog, plus the
+//! relational search application those annotations enable.
+//!
+//! This umbrella crate re-exports the workspace's sub-crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`catalog`] | `webtable-catalog` | YAGO-like catalog: type DAG, entities, lemmas, relations; synthetic world generator |
+//! | [`text`] | `webtable-text` | tokenization, TFIDF, similarity kernels, lemma index |
+//! | [`tables`] | `webtable-tables` | source-table model, noise model, dataset generators, HTML extraction |
+//! | [`factorgraph`] | `webtable-factorgraph` | generic factor graph + loopy BP (max/sum-product) + exact inference |
+//! | [`core`] | `webtable-core` | the collective annotator: features `f1`–`f5`, inference, baselines |
+//! | [`learning`] | `webtable-learning` | structured max-margin training of `w1`–`w5` |
+//! | [`search`] | `webtable-search` | annotated-corpus index + select-project query processors |
+//! | [`eval`] | `webtable-eval` | accuracy/F1/MAP metrics and report rendering |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use webtable::catalog::{generate_world, WorldConfig};
+//! use webtable::core::Annotator;
+//! use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
+//!
+//! // A miniature synthetic world standing in for YAGO + the Web corpus.
+//! let world = generate_world(&WorldConfig::tiny(42)).unwrap();
+//! let annotator = Annotator::new(Arc::clone(&world.catalog));
+//!
+//! // Render a noisy web table expressing `directed(movie, director)`.
+//! let mut gen = TableGenerator::new(&world, NoiseConfig::wiki(), TruthMask::full(), 1);
+//! let labeled = gen.gen_table_for_relation(world.relations.directed, 6);
+//!
+//! // Collectively annotate cells, columns and column pairs.
+//! let annotation = annotator.annotate(&labeled.table);
+//! assert_eq!(annotation.column_types.len(), labeled.table.num_cols());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/experiments` for the
+//! harness regenerating every table and figure of the paper.
+
+pub use webtable_catalog as catalog;
+pub use webtable_core as core;
+pub use webtable_eval as eval;
+pub use webtable_factorgraph as factorgraph;
+pub use webtable_learning as learning;
+pub use webtable_search as search;
+pub use webtable_tables as tables;
+pub use webtable_text as text;

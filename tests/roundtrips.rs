@@ -1,0 +1,93 @@
+//! Persistence and extraction round-trips on full generated worlds, plus
+//! property tests over the escaping layers.
+
+use proptest::prelude::*;
+use webtable::catalog::{generate_world, io, WorldConfig};
+use webtable::tables::html::{extract_tables, render_html};
+use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
+
+#[test]
+fn generated_catalog_round_trips_through_tsv() {
+    let world = generate_world(&WorldConfig::tiny(66)).unwrap();
+    let cat = &world.catalog;
+    let mut buf = Vec::new();
+    io::write_catalog(cat, &mut buf).unwrap();
+    let back = io::read_catalog(&buf[..]).unwrap();
+    assert_eq!(back.num_types(), cat.num_types());
+    assert_eq!(back.num_entities(), cat.num_entities());
+    assert_eq!(back.num_relations(), cat.num_relations());
+    // Spot-check structure: same extents and distances for sampled pairs.
+    for i in (0..cat.num_entities()).step_by(97) {
+        let e = webtable::catalog::EntityId(i as u32);
+        assert_eq!(back.entity_name(e), cat.entity_name(e));
+        assert_eq!(back.types_of(e), cat.types_of(e));
+    }
+    for i in (0..cat.num_types()).step_by(13) {
+        let t = webtable::catalog::TypeId(i as u32);
+        assert_eq!(back.extent_size(t), cat.extent_size(t));
+        assert_eq!(back.min_entity_dist(t), cat.min_entity_dist(t));
+    }
+    // Relation tuples survive.
+    for b in cat.relation_ids() {
+        assert_eq!(back.relation(b).tuples, cat.relation(b).tuples);
+        assert_eq!(back.relation(b).cardinality, cat.relation(b).cardinality);
+    }
+}
+
+#[test]
+fn generated_tables_round_trip_through_html() {
+    let world = generate_world(&WorldConfig::tiny(67)).unwrap();
+    let mut gen = TableGenerator::new(&world, NoiseConfig::web(), TruthMask::full(), 9);
+    for lt in gen.gen_corpus(10, 8) {
+        let html = render_html(&lt.table);
+        let extracted = extract_tables(&html, lt.table.id.0);
+        assert_eq!(extracted.len(), 1, "table lost in extraction:\n{html}");
+        assert_eq!(extracted[0].rows, lt.table.rows);
+        assert_eq!(extracted[0].context, lt.table.context);
+        // Headers survive unless entirely absent.
+        if lt.table.headers.iter().any(Option::is_some) {
+            assert_eq!(extracted[0].headers, lt.table.headers);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_cell_text_round_trips_through_html(
+        cells in proptest::collection::vec("[ -~]{0,30}", 4..8)
+    ) {
+        // Build a 2-column table from arbitrary printable ASCII.
+        let n = cells.len() / 2;
+        let rows: Vec<Vec<String>> = (0..n)
+            .map(|r| vec![cells[2 * r].clone(), cells[2 * r + 1].clone()])
+            .collect();
+        let expected: Vec<Vec<String>> = rows
+            .iter()
+            .map(|row| row.iter().map(|c| c.trim().to_string()).collect())
+            .collect();
+        let t = webtable::tables::Table::new(
+            webtable::tables::TableId(0),
+            "ctx",
+            vec![Some("A".into()), Some("B".into())],
+            rows,
+        );
+        let html = render_html(&t);
+        let parsed = webtable::tables::html::parse_tables(&html);
+        prop_assert_eq!(parsed.len(), 1);
+        // The parser trims cell whitespace; compare against trimmed rows.
+        prop_assert_eq!(&parsed[0].rows, &expected);
+    }
+
+    #[test]
+    fn catalog_names_round_trip_through_tsv(name in "[a-zA-Z0-9 |%\\t]{1,24}") {
+        let mut b = webtable::catalog::CatalogBuilder::new();
+        let t = b.add_type("t", &[]).unwrap();
+        if b.add_entity(name.clone(), &["alias"], &[t]).is_ok() {
+            let cat = b.finish().unwrap();
+            let mut buf = Vec::new();
+            io::write_catalog(&cat, &mut buf).unwrap();
+            let back = io::read_catalog(&buf[..]).unwrap();
+            prop_assert!(back.entity_named(&name).is_some());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Cross-crate integration: the Figure 9 ordering — annotations improve
+//! search MAP, relation annotations don't hurt — on a small live corpus.
+
+use std::sync::Arc;
+
+use webtable::catalog::{generate_world, WorldConfig};
+use webtable::core::Annotator;
+use webtable::search::{
+    baseline_search, build_workload, map_over_queries, typed_search, AnnotatedCorpus, SearchIndex,
+};
+use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
+
+#[test]
+fn typed_search_beats_baseline_map() {
+    let world =
+        generate_world(&WorldConfig { seed: 23, scale: 0.3, ..Default::default() }).unwrap();
+    let annotator = Annotator::new(Arc::clone(&world.catalog));
+    let mut gen = TableGenerator::new(&world, NoiseConfig::wiki(), TruthMask::full(), 31);
+    let rels = world.relations.figure13();
+    let mut tables = Vec::new();
+    for &b in &rels {
+        for _ in 0..6 {
+            tables.push(gen.gen_table_for_relation(b, 12).table);
+        }
+    }
+    // Schema-twin decoys: tables whose column types match the queries but
+    // whose relation differs (narratedBy vs actedIn etc.). These are what
+    // make type-only retrieval imprecise, as on the real Web.
+    for b in [
+        world.relations.narrated_by,
+        world.relations.wrote_screenplay,
+        world.relations.translated,
+        world.relations.minority_language,
+        world.relations.distributed_by,
+    ] {
+        for _ in 0..4 {
+            tables.push(gen.gen_table_for_relation(b, 10).table);
+        }
+    }
+    let corpus = AnnotatedCorpus::annotate(&annotator, tables, 2);
+    let index = SearchIndex::build(&corpus);
+    let workload = build_workload(&world, &rels, 8, 3);
+
+    let mut base_sum = 0.0;
+    let mut type_sum = 0.0;
+    let mut rel_sum = 0.0;
+    for (_, queries) in &workload.per_relation {
+        base_sum += map_over_queries(&world.oracle, queries, |q| {
+            baseline_search(&world.catalog, &index, &corpus, q)
+        });
+        type_sum += map_over_queries(&world.oracle, queries, |q| {
+            typed_search(&world.catalog, &index, &corpus, q, false)
+        });
+        rel_sum += map_over_queries(&world.oracle, queries, |q| {
+            typed_search(&world.catalog, &index, &corpus, q, true)
+        });
+    }
+    assert!(
+        type_sum > base_sum,
+        "type annotations must improve MAP: type {type_sum:.3} vs baseline {base_sum:.3}"
+    );
+    assert!(
+        rel_sum + 0.10 >= type_sum,
+        "adding relation annotations must not tank MAP: {rel_sum:.3} vs {type_sum:.3}"
+    );
+    assert!(rel_sum > 0.0, "type+rel must retrieve something");
+}
+
+#[test]
+fn search_is_deterministic() {
+    let world = generate_world(&WorldConfig::tiny(24)).unwrap();
+    let annotator = Annotator::new(Arc::clone(&world.catalog));
+    let mut gen = TableGenerator::new(&world, NoiseConfig::wiki(), TruthMask::full(), 31);
+    let tables: Vec<_> =
+        (0..5).map(|_| gen.gen_table_for_relation(world.relations.directed, 10).table).collect();
+    let corpus = AnnotatedCorpus::annotate(&annotator, tables, 2);
+    let index = SearchIndex::build(&corpus);
+    let workload = build_workload(&world, &[world.relations.directed], 4, 9);
+    for q in &workload.per_relation[0].1 {
+        let a = typed_search(&world.catalog, &index, &corpus, q, true);
+        let b = typed_search(&world.catalog, &index, &corpus, q, true);
+        assert_eq!(a, b);
+    }
+}

@@ -54,9 +54,7 @@ fn bench_entity_k_sweep(c: &mut Criterion) {
     for k in [4usize, 8, 16, 32] {
         let cfg = AnnotatorConfig { entity_k: k, ..Default::default() };
         g.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
-            b.iter(|| {
-                TableCandidates::build(&f.world.catalog, &f.annotator.index, &lt.table, cfg)
-            })
+            b.iter(|| TableCandidates::build(&f.world.catalog, &f.annotator.index, &lt.table, cfg))
         });
     }
     g.finish();

@@ -84,7 +84,12 @@ impl CatalogBuilder {
         let mut lemmas = Vec::with_capacity(1 + extra_lemmas.len());
         lemmas.push(name.clone());
         lemmas.extend(extra_lemmas.iter().map(|s| s.to_string()));
-        self.types.push(TypeNode { name: name.clone(), lemmas, parents: Vec::new(), children: Vec::new() });
+        self.types.push(TypeNode {
+            name: name.clone(),
+            lemmas,
+            parents: Vec::new(),
+            children: Vec::new(),
+        });
         self.type_by_name.insert(name, id);
         Ok(id)
     }
@@ -236,10 +241,7 @@ impl CatalogBuilder {
             self.type_by_name,
             self.entities,
             self.entity_by_name,
-            self.relations
-                .into_iter()
-                .map(build_relation)
-                .collect(),
+            self.relations.into_iter().map(build_relation).collect(),
             self.relation_by_name,
             self.strict_schemas,
         )

@@ -275,9 +275,7 @@ impl Catalog {
         sorted
             .iter()
             .copied()
-            .filter(|&t| {
-                !sorted.iter().any(|&other| other != t && self.is_subtype(other, t))
-            })
+            .filter(|&t| !sorted.iter().any(|&other| other != t && self.is_subtype(other, t)))
             .collect()
     }
 
@@ -566,13 +564,10 @@ mod tests {
         b.add_subtype(person, entity);
         b.add_subtype(physicist, person);
         b.add_subtype(book, entity);
-        let einstein = b
-            .add_entity("Albert Einstein", &["A. Einstein", "Einstein"], &[physicist])
-            .unwrap();
+        let einstein =
+            b.add_entity("Albert Einstein", &["A. Einstein", "Einstein"], &[physicist]).unwrap();
         let stannard = b.add_entity("Russell Stannard", &["Stannard"], &[person]).unwrap();
-        let b94 = b
-            .add_entity("The Time and Space of Uncle Albert", &[], &[book])
-            .unwrap();
+        let b94 = b.add_entity("The Time and Space of Uncle Albert", &[], &[book]).unwrap();
         let b95 = b.add_entity("Uncle Albert and the Quantum Quest", &[], &[book]).unwrap();
         let b41 = b
             .add_entity("Relativity: The Special and the General Theory", &["Relativity"], &[book])

@@ -97,11 +97,7 @@ impl Default for WorldConfig {
 impl WorldConfig {
     /// A small world for fast unit tests (~600 entities).
     pub fn tiny(seed: u64) -> Self {
-        WorldConfig {
-            seed,
-            scale: 0.1,
-            ..WorldConfig::default()
-        }
+        WorldConfig { seed, scale: 0.1, ..WorldConfig::default() }
     }
 
     fn scaled(&self, n: usize) -> usize {
@@ -296,7 +292,7 @@ struct WorldPlan {
     entities: Vec<EntityPlan>,
     relations: Vec<RelationPlan>,
     rosters: DomainEntities,
-    handles_types: Vec<usize>,    // indexes into `types` for DomainTypes fields
+    handles_types: Vec<usize>, // indexes into `types` for DomainTypes fields
     handles_relations: Vec<usize>, // indexes into `relations` for DomainRelations
     /// Deterministic drop decisions: (entity idx, slot idx) to drop.
     instance_drops: Vec<(usize, usize)>,
@@ -326,15 +322,16 @@ impl WorldPlan {
         let placebits = NamePool::generate(rng, 200, 1, 2);
 
         // ---------------- types ----------------
-        let add_type = |p: &mut WorldPlan, name: &str, lemmas: &[String], parents: &[usize], micro: bool| {
-            p.types.push(TypePlan {
-                name: name.to_string(),
-                lemmas: lemmas.to_vec(),
-                parents: parents.to_vec(),
-                micro,
-            });
-            p.types.len() - 1
-        };
+        let add_type =
+            |p: &mut WorldPlan, name: &str, lemmas: &[String], parents: &[usize], micro: bool| {
+                p.types.push(TypePlan {
+                    name: name.to_string(),
+                    lemmas: lemmas.to_vec(),
+                    parents: parents.to_vec(),
+                    micro,
+                });
+                p.types.len() - 1
+            };
         let s = |x: &str| x.to_string();
         let root = add_type(&mut plan, "entity", &[s("entity"), s("thing")], &[], false);
         let person =
@@ -359,8 +356,13 @@ impl WorldPlan {
         let writer = add_type(&mut plan, "writer", &[s("writer"), s("author")], &[artist], false);
         let novelist =
             add_type(&mut plan, "novelist", &[s("novelist"), s("author")], &[writer], false);
-        let sportsperson =
-            add_type(&mut plan, "sportsperson", &[s("sportsperson"), s("player")], &[person], false);
+        let sportsperson = add_type(
+            &mut plan,
+            "sportsperson",
+            &[s("sportsperson"), s("player")],
+            &[person],
+            false,
+        );
         let footballer = add_type(
             &mut plan,
             "footballer",
@@ -380,7 +382,8 @@ impl WorldPlan {
         let movie =
             add_type(&mut plan, "movie", &[s("movie"), s("film"), s("title")], &[work], false);
         let book = add_type(&mut plan, "book", &[s("book"), s("title")], &[work], false);
-        let novel = add_type(&mut plan, "novel", &[s("novel"), s("title"), s("book")], &[book], false);
+        let novel =
+            add_type(&mut plan, "novel", &[s("novel"), s("title"), s("book")], &[book], false);
         let organization =
             add_type(&mut plan, "organization", &[s("organization")], &[root], false);
         let club = add_type(
@@ -391,15 +394,41 @@ impl WorldPlan {
             false,
         );
         let place = add_type(&mut plan, "place", &[s("place"), s("location")], &[root], false);
-        let country =
-            add_type(&mut plan, "country", &[s("country"), s("nation"), s("state")], &[place], false);
-        let city = add_type(&mut plan, "city", &[s("city"), s("town"), s("birthplace")], &[place], false);
-        let language =
-            add_type(&mut plan, "language", &[s("language"), s("tongue"), s("official language")], &[root], false);
+        let country = add_type(
+            &mut plan,
+            "country",
+            &[s("country"), s("nation"), s("state")],
+            &[place],
+            false,
+        );
+        let city =
+            add_type(&mut plan, "city", &[s("city"), s("town"), s("birthplace")], &[place], false);
+        let language = add_type(
+            &mut plan,
+            "language",
+            &[s("language"), s("tongue"), s("official language")],
+            &[root],
+            false,
+        );
 
         plan.handles_types = vec![
-            person, actor, director, producer, novelist, footballer, politician, work, movie,
-            book, novel, organization, club, place, country, city, language,
+            person,
+            actor,
+            director,
+            producer,
+            novelist,
+            footballer,
+            politician,
+            work,
+            movie,
+            book,
+            novel,
+            organization,
+            club,
+            place,
+            country,
+            city,
+            language,
         ];
 
         // Micro-categories (Wikipedia-style): genres, years, series,
@@ -456,7 +485,11 @@ impl WorldPlan {
 
         let mut country_names = Vec::with_capacity(n_countries);
         for i in 0..n_countries {
-            country_names.push(format!("{}{}", placebits.word(i * 3), ["ia", "land", "stan", "ovia"][i % 4]));
+            country_names.push(format!(
+                "{}{}",
+                placebits.word(i * 3),
+                ["ia", "land", "stan", "ovia"][i % 4]
+            ));
         }
         let country_start = plan.entities.len();
         for name in &country_names {
@@ -510,7 +543,11 @@ impl WorldPlan {
             } else if i % 17 == 3 {
                 format!("{} City", country_names[i % n_countries])
             } else {
-                format!("{}{}", placebits.word(i * 2 + 1), ["ton", "ville", "burg", "port", "ford"][i % 5])
+                format!(
+                    "{}{}",
+                    placebits.word(i * 2 + 1),
+                    ["ton", "ville", "burg", "port", "ford"][i % 5]
+                )
             };
             let mut lemmas = vec![name.clone()];
             if i % 9 == 0 {
@@ -585,7 +622,12 @@ impl WorldPlan {
                 droppable.push(true);
             }
             let _ = i;
-            plan.entities.push(EntityPlan { name: canonical, lemmas, direct_types: direct, droppable });
+            plan.entities.push(EntityPlan {
+                name: canonical,
+                lemmas,
+                direct_types: direct,
+                droppable,
+            });
         }
 
         // Collect profession rosters (plan indexes; converted to ids below).
@@ -911,14 +953,10 @@ impl WorldPlan {
                 narrated_by.tuples.push((idx(m), idx(pick(&plan.rosters.actors, rng))));
             }
             if !plan.rosters.directors.is_empty() && rng.gen_bool(0.35) {
-                wrote_screenplay
-                    .tuples
-                    .push((idx(m), idx(pick(&plan.rosters.directors, rng))));
+                wrote_screenplay.tuples.push((idx(m), idx(pick(&plan.rosters.directors, rng))));
             }
             if !plan.rosters.producers.is_empty() && rng.gen_bool(0.5) {
-                distributed_by
-                    .tuples
-                    .push((idx(m), idx(pick(&plan.rosters.producers, rng))));
+                distributed_by.tuples.push((idx(m), idx(pick(&plan.rosters.producers, rng))));
             }
         }
         let mut translated = RelationPlan {
@@ -942,9 +980,7 @@ impl WorldPlan {
         };
         for &c in &plan.rosters.countries {
             for _ in 0..rng.gen_range(0..=2u32) {
-                minority_language
-                    .tuples
-                    .push((idx(c), idx(pick(&plan.rosters.languages, rng))));
+                minority_language.tuples.push((idx(c), idx(pick(&plan.rosters.languages, rng))));
             }
         }
 
@@ -1016,7 +1052,8 @@ impl WorldPlan {
             self.tuple_drops.iter().copied().collect();
         let mut type_ids = Vec::with_capacity(self.types.len());
         for t in &self.types {
-            let extra: Vec<&str> = t.lemmas.iter().skip_while(|l| **l == t.name).map(|s| s.as_str()).collect();
+            let extra: Vec<&str> =
+                t.lemmas.iter().skip_while(|l| **l == t.name).map(|s| s.as_str()).collect();
             let id = b.add_type(t.name.clone(), &[])?;
             for l in &extra {
                 b.add_type_lemma(id, l);
@@ -1054,12 +1091,8 @@ impl WorldPlan {
             }
         }
         for (ri, r) in self.relations.iter().enumerate() {
-            let rid = b.add_relation(
-                r.name.clone(),
-                type_ids[r.left],
-                type_ids[r.right],
-                r.card,
-            )?;
+            let rid =
+                b.add_relation(r.name.clone(), type_ids[r.left], type_ids[r.right], r.card)?;
             for (tup, &(e1, e2)) in r.tuples.iter().enumerate() {
                 if degrade && tuple_drops.contains(&(ri, tup)) {
                     continue;
@@ -1116,8 +1149,7 @@ impl WorldPlan {
 
 fn roman(n: usize) -> String {
     // Small values only (disambiguation suffixes).
-    const PAIRS: &[(usize, &str)] =
-        &[(10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I")];
+    const PAIRS: &[(usize, &str)] = &[(10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I")];
     let mut n = n;
     let mut out = String::new();
     for &(v, s) in PAIRS {
@@ -1166,9 +1198,8 @@ mod tests {
     #[test]
     fn degraded_catalog_is_missing_links() {
         let w = generate_world(&WorldConfig::default()).unwrap();
-        let count_instances = |c: &Catalog| -> usize {
-            c.entity_ids().map(|e| c.entity(e).direct_types.len()).sum()
-        };
+        let count_instances =
+            |c: &Catalog| -> usize { c.entity_ids().map(|e| c.entity(e).direct_types.len()).sum() };
         assert!(
             count_instances(&w.catalog) < count_instances(&w.oracle),
             "published catalog should have fewer ∈ edges than the oracle"

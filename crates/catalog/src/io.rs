@@ -125,9 +125,8 @@ pub fn read_catalog<R: Read>(r: R) -> Result<Catalog, CatalogError> {
     let mut b = CatalogBuilder::new();
     b.allow_schema_violations();
     let mut lines = r.lines();
-    let first = lines
-        .next()
-        .ok_or(CatalogError::Parse { line: 1, detail: "empty file".into() })??;
+    let first =
+        lines.next().ok_or(CatalogError::Parse { line: 1, detail: "empty file".into() })??;
     if first.trim() != HEADER {
         return Err(CatalogError::Parse { line: 1, detail: format!("bad header `{first}`") });
     }
@@ -148,10 +147,8 @@ pub fn read_catalog<R: Read>(r: R) -> Result<Catalog, CatalogError> {
                     return Err(parse_err(lineno, "T record needs 4 fields".into()));
                 }
                 let id = parse_u32(fields[1])?;
-                let name =
-                    unescape(fields[2]).map_err(|e| parse_err(lineno, e))?;
-                let lemmas: Result<Vec<String>, _> =
-                    fields[3].split('|').map(unescape).collect();
+                let name = unescape(fields[2]).map_err(|e| parse_err(lineno, e))?;
+                let lemmas: Result<Vec<String>, _> = fields[3].split('|').map(unescape).collect();
                 let lemmas = lemmas.map_err(|e| parse_err(lineno, e))?;
                 let tid = b.add_type(name, &[])?;
                 if tid.raw() != id {
@@ -173,8 +170,7 @@ pub fn read_catalog<R: Read>(r: R) -> Result<Catalog, CatalogError> {
                 }
                 let id = parse_u32(fields[1])?;
                 let name = unescape(fields[2]).map_err(|e| parse_err(lineno, e))?;
-                let lemmas: Result<Vec<String>, _> =
-                    fields[3].split('|').map(unescape).collect();
+                let lemmas: Result<Vec<String>, _> = fields[3].split('|').map(unescape).collect();
                 let lemmas = lemmas.map_err(|e| parse_err(lineno, e))?;
                 let eid = b.add_entity(name, &[], &[])?;
                 if eid.raw() != id {

@@ -10,13 +10,12 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kr", "l", "m", "n",
-    "p", "pr", "qu", "r", "s", "sh", "st", "t", "th", "tr", "v", "w", "y", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kr", "l", "m", "n", "p",
+    "pr", "qu", "r", "s", "sh", "st", "t", "th", "tr", "v", "w", "y", "z",
 ];
 const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ee", "ia", "io", "oa", "ou"];
-const CODAS: &[&str] = &[
-    "", "", "", "l", "n", "r", "s", "t", "m", "d", "k", "nd", "nt", "rn", "st", "th", "ck",
-];
+const CODAS: &[&str] =
+    &["", "", "", "l", "n", "r", "s", "t", "m", "d", "k", "nd", "nt", "rn", "st", "th", "ck"];
 
 /// A deterministic pool of distinct capitalized pseudo-words.
 #[derive(Debug, Clone)]
@@ -26,7 +25,12 @@ pub struct NamePool {
 
 impl NamePool {
     /// Generates `n` distinct words of `min_syllables..=max_syllables`.
-    pub fn generate(rng: &mut StdRng, n: usize, min_syllables: usize, max_syllables: usize) -> Self {
+    pub fn generate(
+        rng: &mut StdRng,
+        n: usize,
+        min_syllables: usize,
+        max_syllables: usize,
+    ) -> Self {
         assert!(min_syllables >= 1 && max_syllables >= min_syllables);
         let mut words = Vec::with_capacity(n);
         let mut seen = std::collections::HashSet::with_capacity(n * 2);

@@ -113,10 +113,7 @@ pub struct Relation {
 impl Relation {
     /// True if the tuple `B(e1, e2)` is present in the store.
     pub fn has_tuple(&self, e1: EntityId, e2: EntityId) -> bool {
-        self.by_left
-            .get(&e1)
-            .map(|rs| rs.binary_search(&e2).is_ok())
-            .unwrap_or(false)
+        self.by_left.get(&e1).map(|rs| rs.binary_search(&e2).is_ok()).unwrap_or(false)
     }
 
     /// Right partners of `e1`, or an empty slice.

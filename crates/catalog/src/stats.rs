@@ -48,12 +48,8 @@ impl CatalogStats {
             }
         }
         let num_tuples = cat.relation_ids().map(|b| cat.relation(b).tuples.len()).sum();
-        let max_depth = cat
-            .type_ids()
-            .map(|t| cat.depth(t))
-            .filter(|&d| d < u32::MAX / 2)
-            .max()
-            .unwrap_or(0);
+        let max_depth =
+            cat.type_ids().map(|t| cat.depth(t)).filter(|&d| d < u32::MAX / 2).max().unwrap_or(0);
         let n = cat.num_entities().max(1) as f64;
         CatalogStats {
             num_types: cat.num_types(),

@@ -7,8 +7,8 @@ use webtable_catalog::{Cardinality, CatalogBuilder, EntityId, TypeId};
 /// attach to earlier types), `n_entities` with 1–2 random direct types, and
 /// one relation with random tuples.
 fn arb_catalog() -> impl Strategy<Value = webtable_catalog::Catalog> {
-    (2usize..10, 1usize..20, proptest::collection::vec(any::<u32>(), 64))
-        .prop_map(|(n_types, n_entities, seeds)| {
+    (2usize..10, 1usize..20, proptest::collection::vec(any::<u32>(), 64)).prop_map(
+        |(n_types, n_entities, seeds)| {
             let mut b = CatalogBuilder::new();
             b.allow_schema_violations();
             let mut k = 0usize;
@@ -17,9 +17,8 @@ fn arb_catalog() -> impl Strategy<Value = webtable_catalog::Catalog> {
                 k += 1;
                 v as usize
             };
-            let types: Vec<TypeId> = (0..n_types)
-                .map(|i| b.add_type(format!("type{i}"), &[]).unwrap())
-                .collect();
+            let types: Vec<TypeId> =
+                (0..n_types).map(|i| b.add_type(format!("type{i}"), &[]).unwrap()).collect();
             for i in 1..n_types {
                 // 1-2 parents among earlier types: guarantees a DAG.
                 let p1 = types[next() % i];
@@ -40,14 +39,13 @@ fn arb_catalog() -> impl Strategy<Value = webtable_catalog::Catalog> {
                     b.add_instance(e, types[next() % n_types]);
                 }
             }
-            let r = b
-                .add_relation("rel", types[0], types[0], Cardinality::ManyToMany)
-                .unwrap();
+            let r = b.add_relation("rel", types[0], types[0], Cardinality::ManyToMany).unwrap();
             for _ in 0..(next() % 8) {
                 b.add_tuple(r, ents[next() % n_entities], ents[next() % n_entities]);
             }
             b.finish().unwrap()
-        })
+        },
+    )
 }
 
 proptest! {

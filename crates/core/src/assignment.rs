@@ -110,6 +110,9 @@ pub fn assign_unique(benefit: &[Vec<f64>], na_benefit: &[f64]) -> Vec<Option<usi
     }
 
     let mut out = vec![None; n];
+    // Indexing matches the 1-based Hungarian bookkeeping above; an
+    // enumerate() rewrite would obscure it.
+    #[allow(clippy::needless_range_loop)]
     for c in 1..=cols {
         let r = p[c];
         if r == 0 {
@@ -152,23 +155,16 @@ mod tests {
     fn brute_force(benefit: &[Vec<f64>], na_benefit: &[f64]) -> f64 {
         let n = benefit.len();
         let m = benefit.iter().map(Vec::len).max().unwrap_or(0);
-        fn rec(
-            r: usize,
-            n: usize,
-            m: usize,
-            used: &mut Vec<bool>,
-            benefit: &[Vec<f64>],
-            na: &[f64],
-        ) -> f64 {
+        fn rec(r: usize, n: usize, used: &mut Vec<bool>, benefit: &[Vec<f64>], na: &[f64]) -> f64 {
             if r == n {
                 return 0.0;
             }
             // na option
-            let mut best = na[r] + rec(r + 1, n, m, used, benefit, na);
+            let mut best = na[r] + rec(r + 1, n, used, benefit, na);
             for k in 0..benefit[r].len() {
                 if !used[k] && benefit[r][k].is_finite() {
                     used[k] = true;
-                    let v = benefit[r][k] + rec(r + 1, n, m, used, benefit, na);
+                    let v = benefit[r][k] + rec(r + 1, n, used, benefit, na);
                     used[k] = false;
                     if v > best {
                         best = v;
@@ -178,7 +174,7 @@ mod tests {
             best
         }
         let mut used = vec![false; m];
-        rec(0, n, m, &mut used, benefit, na_benefit)
+        rec(0, n, &mut used, benefit, na_benefit)
     }
 
     #[test]
@@ -228,19 +224,20 @@ mod tests {
         for case in 0..200 {
             let n = rng.gen_range(1..6);
             let m = rng.gen_range(1..6);
-            let benefit: Vec<Vec<f64>> = (0..n)
-                .map(|_| {
-                    (0..m)
-                        .map(|_| {
-                            if rng.gen_bool(0.2) {
-                                FORBIDDEN
-                            } else {
-                                rng.gen_range(-3.0..5.0)
-                            }
-                        })
-                        .collect()
-                })
-                .collect();
+            let benefit: Vec<Vec<f64>> =
+                (0..n)
+                    .map(|_| {
+                        (0..m)
+                            .map(|_| {
+                                if rng.gen_bool(0.2) {
+                                    FORBIDDEN
+                                } else {
+                                    rng.gen_range(-3.0..5.0)
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
             let na: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let a = assign_unique(&benefit, &na);
             // Validity: no duplicate labels.

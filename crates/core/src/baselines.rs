@@ -180,10 +180,8 @@ pub fn majority_with_threshold(
                 // must still be supported by at least two rows (one row
                 // proves nothing about the column pair).
                 let needed = if rows_with_pairs >= 4 { 2 } else { 1 };
-                let mut winners: Vec<((RelationId, bool), usize)> = votes
-                    .into_iter()
-                    .filter(|&(_, v)| v >= needed)
-                    .collect();
+                let mut winners: Vec<((RelationId, bool), usize)> =
+                    votes.into_iter().filter(|&(_, v)| v >= needed).collect();
                 winners.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
                 match winners.first() {
                     Some(&((rel, reversed), _)) => {

@@ -129,12 +129,7 @@ impl TableCandidates {
     }
 }
 
-fn cell_candidates(
-    index: &LemmaIndex,
-    text: &str,
-    k: usize,
-    min_score: f64,
-) -> CellCandidates {
+fn cell_candidates(index: &LemmaIndex, text: &str, k: usize, min_score: f64) -> CellCandidates {
     let doc = index.doc(text);
     if doc.token_set.is_empty() {
         return CellCandidates { entities: Vec::new(), profiles: Vec::new() };
@@ -186,19 +181,15 @@ fn column_candidates(
     let mut scored: Vec<(TypeId, u32, f64, f64)> = coverage
         .into_iter()
         .map(|(t, cov)| {
-            let header_sim = header_doc
-                .map(|h| index.type_profile(h, t).tfidf_cosine)
-                .unwrap_or(0.0);
+            let header_sim =
+                header_doc.map(|h| index.type_profile(h, t).tfidf_cosine).unwrap_or(0.0);
             (t, cov, header_sim, catalog.specificity(t))
         })
         .collect();
     // Primary: coverage; then header similarity; then specificity (favor
     // narrow types); id for determinism.
     scored.sort_unstable_by(|a, b| {
-        b.1.cmp(&a.1)
-            .then(b.2.total_cmp(&a.2))
-            .then(b.3.total_cmp(&a.3))
-            .then(a.0.cmp(&b.0))
+        b.1.cmp(&a.1).then(b.2.total_cmp(&a.2)).then(b.3.total_cmp(&a.3)).then(a.0.cmp(&b.0))
     });
     scored.truncate(cfg.type_k);
     let types: Vec<TypeId> = scored.iter().map(|&(t, ..)| t).collect();
@@ -245,9 +236,7 @@ fn pair_candidates(
     }
     let mut scored: Vec<(RelLabel, u32)> = support.into_iter().collect();
     scored.sort_unstable_by(|a, b| {
-        b.1.cmp(&a.1)
-            .then(a.0.rel.cmp(&b.0.rel))
-            .then(a.0.reversed.cmp(&b.0.reversed))
+        b.1.cmp(&a.1).then(a.0.rel.cmp(&b.0.rel)).then(a.0.reversed.cmp(&b.0.reversed))
     });
     scored.truncate(k);
     Some(PairCandidates { c1, c2, rels: scored.into_iter().map(|(l, _)| l).collect() })
@@ -314,10 +303,8 @@ mod tests {
         let cfg = AnnotatorConfig::default();
         let lt = g.gen_table_for_relation(w.relations.plays_for, 8);
         let cands = TableCandidates::build(&w.catalog, &index, &lt.table, &cfg);
-        let found = cands
-            .pairs
-            .iter()
-            .any(|p| p.rels.iter().any(|l| l.rel == w.relations.plays_for));
+        let found =
+            cands.pairs.iter().any(|p| p.rels.iter().any(|l| l.rel == w.relations.plays_for));
         assert!(found, "playsFor must be proposed for some pair: {:?}", cands.pairs);
     }
 

@@ -86,8 +86,7 @@ pub fn annotate_simple(
                 best_cells = cells;
             }
         }
-        out.column_types
-            .insert(c, (best_label > 0).then(|| col.types[best_label - 1]));
+        out.column_types.insert(c, (best_label > 0).then(|| col.types[best_label - 1]));
         for (r, &cell_label) in best_cells.iter().enumerate() {
             let e = (cell_label > 0).then(|| cands.cells[r][c].entities[cell_label - 1]);
             out.cell_entities.insert((r, c), e);
@@ -164,10 +163,7 @@ mod tests {
             webtable_tables::TableId(1),
             "no relations here",
             vec![Some("Year".into()), Some("Rating".into())],
-            vec![
-                vec!["1984".into(), "7.5".into()],
-                vec!["1999".into(), "8.1".into()],
-            ],
+            vec![vec!["1984".into(), "7.5".into()], vec!["1999".into(), "8.1".into()]],
         );
         let simple = annotate_simple(&w.catalog, &index, &cfg, &weights, &table);
         let collective = annotate_collective(&w.catalog, &index, &cfg, &weights, &table);

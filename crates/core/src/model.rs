@@ -88,8 +88,7 @@ impl<'a> TableModel<'a> {
                 if ents.is_empty() {
                     continue;
                 }
-                let mut table_vals =
-                    Vec::with_capacity((1 + types.len()) * (1 + ents.len()));
+                let mut table_vals = Vec::with_capacity((1 + types.len()) * (1 + ents.len()));
                 for ti in 0..=types.len() {
                     for ei in 0..=ents.len() {
                         if ti == 0 || ei == 0 {
@@ -98,9 +97,9 @@ impl<'a> TableModel<'a> {
                         }
                         let t = types[ti - 1];
                         let e = ents[ei - 1];
-                        let v = *f3_cache.entry((t, e)).or_insert_with(|| {
-                            dot(&weights.w3, &f3(catalog, cfg, t, e))
-                        });
+                        let v = *f3_cache
+                            .entry((t, e))
+                            .or_insert_with(|| dot(&weights.w3, &f3(catalog, cfg, t, e)));
                         table_vals.push(v);
                     }
                 }
@@ -116,9 +115,8 @@ impl<'a> TableModel<'a> {
                 if e1s.is_empty() || e2s.is_empty() {
                     continue;
                 }
-                let mut vals = Vec::with_capacity(
-                    (1 + pair.rels.len()) * (1 + e1s.len()) * (1 + e2s.len()),
-                );
+                let mut vals =
+                    Vec::with_capacity((1 + pair.rels.len()) * (1 + e1s.len()) * (1 + e2s.len()));
                 for bi in 0..=pair.rels.len() {
                     for i1 in 0..=e1s.len() {
                         for i2 in 0..=e2s.len() {
@@ -166,8 +164,7 @@ impl<'a> TableModel<'a> {
                 let (pl, pr) = catalog.participation(lbl.rel);
                 rel_value[bi] = dot(&weights.w4, &[1.0, (pl + pr) / 2.0]);
             }
-            let mut vals =
-                Vec::with_capacity((1 + nb) * (1 + t1s.len()) * (1 + t2s.len()));
+            let mut vals = Vec::with_capacity((1 + nb) * (1 + t1s.len()) * (1 + t2s.len()));
             for bi in 0..=nb {
                 for i1 in 0..=t1s.len() {
                     for i2 in 0..=t2s.len() {
@@ -238,11 +235,8 @@ impl<'a> TableModel<'a> {
         iterations: usize,
         converged: bool,
     ) -> TableAnnotation {
-        let mut out = TableAnnotation {
-            bp_iterations: iterations,
-            converged,
-            ..Default::default()
-        };
+        let mut out =
+            TableAnnotation { bp_iterations: iterations, converged, ..Default::default() };
         for c in 0..self.num_cols {
             let label = assignment[self.tvar[c].index()];
             let t = (label > 0).then(|| self.cands.columns[c].types[label - 1]);
@@ -292,11 +286,9 @@ impl<'a> TableModel<'a> {
             if let Some(g) = truth.column_types.get(&c) {
                 let label = match g {
                     None => Some(0),
-                    Some(t) => self.cands.columns[c]
-                        .types
-                        .iter()
-                        .position(|x| x == t)
-                        .map(|i| i + 1),
+                    Some(t) => {
+                        self.cands.columns[c].types.iter().position(|x| x == t).map(|i| i + 1)
+                    }
                 };
                 gold[self.tvar[c].index()] = label;
             }
@@ -320,17 +312,9 @@ impl<'a> TableModel<'a> {
             // Forward, reversed, or explicit na ground truth.
             let mut label: Option<usize> = None;
             if let Some(Some(b)) = truth.relations.get(&(pair.c1, pair.c2)) {
-                label = pair
-                    .rels
-                    .iter()
-                    .position(|l| l.rel == *b && !l.reversed)
-                    .map(|i| i + 1);
+                label = pair.rels.iter().position(|l| l.rel == *b && !l.reversed).map(|i| i + 1);
             } else if let Some(Some(b)) = truth.relations.get(&(pair.c2, pair.c1)) {
-                label = pair
-                    .rels
-                    .iter()
-                    .position(|l| l.rel == *b && l.reversed)
-                    .map(|i| i + 1);
+                label = pair.rels.iter().position(|l| l.rel == *b && l.reversed).map(|i| i + 1);
             } else if truth.relations.contains_key(&(pair.c1, pair.c2))
                 || truth.relations.contains_key(&(pair.c2, pair.c1))
             {
@@ -348,8 +332,13 @@ impl<'a> TableModel<'a> {
     pub fn feature_vector(&self, assignment: &[usize], mask: Option<&[Option<usize>]>) -> Vec<f64> {
         let known = |v: VarId| mask.map(|m| m[v.index()].is_some()).unwrap_or(true);
         let mut phi = vec![0.0; TOTAL_DIM];
-        let (o1, o2, o3, o4, _o5) =
-            (0, F1_DIM, F1_DIM + F2_DIM, F1_DIM + F2_DIM + F3_DIM, F1_DIM + F2_DIM + F3_DIM + F4_DIM);
+        let (o1, o2, o3, o4, _o5) = (
+            0,
+            F1_DIM,
+            F1_DIM + F2_DIM,
+            F1_DIM + F2_DIM + F3_DIM,
+            F1_DIM + F2_DIM + F3_DIM + F4_DIM,
+        );
         let o5 = o4 + F4_DIM;
         // f2 (columns) and f1 (cells).
         for c in 0..self.num_cols {
@@ -499,9 +488,7 @@ mod tests {
         let mut pairs_covered = 0;
         for c1 in 0..n {
             for c2 in (c1 + 1)..n {
-                if ann.relation_between(c1, c2).is_some()
-                    || ann.relations.contains_key(&(c1, c2))
-                {
+                if ann.relation_between(c1, c2).is_some() || ann.relations.contains_key(&(c1, c2)) {
                     pairs_covered += 1;
                 }
             }

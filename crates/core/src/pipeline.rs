@@ -2,7 +2,7 @@
 //! processing (the 25M-table corpus run of §6.1.2, in miniature).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use webtable_catalog::Catalog;
@@ -34,12 +34,22 @@ impl Annotator {
     /// default weights and configuration.
     pub fn new(catalog: Arc<Catalog>) -> Annotator {
         let index = Arc::new(LemmaIndex::build(&catalog));
-        Annotator { catalog, index, weights: Weights::default(), config: AnnotatorConfig::default() }
+        Annotator {
+            catalog,
+            index,
+            weights: Weights::default(),
+            config: AnnotatorConfig::default(),
+        }
     }
 
     /// Builds with an existing index (avoids re-indexing).
     pub fn with_index(catalog: Arc<Catalog>, index: Arc<LemmaIndex>) -> Annotator {
-        Annotator { catalog, index, weights: Weights::default(), config: AnnotatorConfig::default() }
+        Annotator {
+            catalog,
+            index,
+            weights: Weights::default(),
+            config: AnnotatorConfig::default(),
+        }
     }
 
     /// Replaces the weights (e.g. after training).
@@ -98,8 +108,8 @@ impl Annotator {
         ann
     }
 
-    /// Annotates a batch in parallel with `threads` workers (crossbeam
-    /// scoped threads; results keep input order).
+    /// Annotates a batch in parallel with `threads` workers (std scoped
+    /// threads pulling from a shared counter; results keep input order).
     pub fn annotate_batch(
         &self,
         tables: &[Table],
@@ -110,27 +120,26 @@ impl Annotator {
             return tables.iter().map(|t| self.annotate_timed(t)).collect();
         }
         let next = AtomicUsize::new(0);
-        let mut results: Vec<Option<(TableAnnotation, PhaseTimings)>> =
-            (0..tables.len()).map(|_| None).collect();
-        let slots: Vec<parking_lot::Mutex<Option<(TableAnnotation, PhaseTimings)>>> =
-            (0..tables.len()).map(|_| parking_lot::Mutex::new(None)).collect();
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
+        let slots: Vec<Mutex<Option<(TableAnnotation, PhaseTimings)>>> =
+            (0..tables.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(tables.len()) {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= tables.len() {
                         break;
                     }
                     let out = self.annotate_timed(&tables[i]);
-                    *slots[i].lock() = Some(out);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(out);
                 });
             }
-        })
-        .expect("annotation worker panicked");
-        for (slot, out) in slots.into_iter().zip(results.iter_mut()) {
-            *out = slot.into_inner();
-        }
-        results.into_iter().map(|r| r.expect("all tables annotated")).collect()
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("slot lock poisoned").expect("all tables annotated")
+            })
+            .collect()
     }
 }
 

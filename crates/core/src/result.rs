@@ -108,7 +108,8 @@ mod tests {
 
     #[test]
     fn timing_fractions() {
-        let t = PhaseTimings { candidates_us: 80, potentials_us: 15, inference_us: 5, total_us: 100 };
+        let t =
+            PhaseTimings { candidates_us: 80, potentials_us: 15, inference_us: 5, total_us: 100 };
         assert!((t.candidate_fraction() - 0.8).abs() < 1e-12);
         assert!((t.inference_fraction() - 0.05).abs() < 1e-12);
         let mut sum = PhaseTimings::default();

@@ -99,8 +99,7 @@ mod tests {
         let mut ann = annotate_collective(&cat, &index, &cfg, &weights, &table);
         enforce_unique_columns(&cat, &cfg, &weights, &cands, &mut ann, &[0]);
 
-        let picks: Vec<Option<EntityId>> =
-            (0..3).map(|r| ann.cell_entities[&(r, 0)]).collect();
+        let picks: Vec<Option<EntityId>> = (0..3).map(|r| ann.cell_entities[&(r, 0)]).collect();
         // Row 0 must keep the exact match.
         assert_eq!(picks[0], Some(e1));
         // Row 1 cannot reuse e1; it must take e2 or na.
@@ -121,8 +120,7 @@ mod tests {
         let index = LemmaIndex::build(&cat);
         let cfg = AnnotatorConfig::default();
         let weights = Weights::default();
-        let table =
-            Table::new(TableId(0), "", vec![Some("A".into())], vec![vec!["x".into()]]);
+        let table = Table::new(TableId(0), "", vec![Some("A".into())], vec![vec!["x".into()]]);
         let cands = TableCandidates::build(&cat, &index, &table, &cfg);
         let mut ann = annotate_collective(&cat, &index, &cfg, &weights, &table);
         let before = ann.clone();

@@ -9,7 +9,7 @@ pub mod metrics;
 pub mod report;
 
 pub use metrics::{
-    average_precision, average_precision_with_base, canonical_relations, entity_accuracy, mean_average_precision,
-    point_types_as_sets, relation_f1, type_f1, Accuracy, SetF1,
+    average_precision, average_precision_with_base, canonical_relations, entity_accuracy,
+    mean_average_precision, point_types_as_sets, relation_f1, type_f1, Accuracy, SetF1,
 };
 pub use report::{pct, Report};

@@ -141,12 +141,8 @@ pub fn type_f1(
 }
 
 /// Converts point (possibly-`na`) type predictions into singleton sets.
-pub fn point_types_as_sets(
-    pred: &HashMap<usize, Option<TypeId>>,
-) -> HashMap<usize, Vec<TypeId>> {
-    pred.iter()
-        .map(|(&c, &t)| (c, t.into_iter().collect::<Vec<TypeId>>()))
-        .collect()
+pub fn point_types_as_sets(pred: &HashMap<usize, Option<TypeId>>) -> HashMap<usize, Vec<TypeId>> {
+    pred.iter().map(|(&c, &t)| (c, t.into_iter().collect::<Vec<TypeId>>())).collect()
 }
 
 /// Canonical form of an oriented relation map: key `(min, max)`, value

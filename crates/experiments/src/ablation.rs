@@ -6,7 +6,9 @@
 //! * the **entity candidate budget** `K` (the paper's ~7–8 band).
 
 use webtable_core::{annotate_collective, annotate_simple, AnnotatorConfig};
-use webtable_eval::{entity_accuracy, point_types_as_sets, relation_f1, type_f1, Accuracy, Report, SetF1};
+use webtable_eval::{
+    entity_accuracy, point_types_as_sets, relation_f1, type_f1, Accuracy, Report, SetF1,
+};
 use webtable_tables::{datasets, Dataset};
 
 use crate::workbench::Workbench;
@@ -64,10 +66,7 @@ pub fn run_ablation(wb: &Workbench) -> (Vec<(String, AblationRow)>, String) {
 
     let base = AnnotatorConfig::default();
     rows.push(("collective (full model)".into(), score_collective(wb, &ds, &base)));
-    rows.push((
-        "simple (Fig 2: no relation vars)".into(),
-        score_simple(wb, &ds, &base),
-    ));
+    rows.push(("simple (Fig 2: no relation vars)".into(), score_simple(wb, &ds, &base)));
     let no_ml = AnnotatorConfig { missing_link_feature: false, ..base.clone() };
     rows.push(("collective, missing-link OFF".into(), score_collective(wb, &ds, &no_ml)));
     for k in [4usize, 16] {

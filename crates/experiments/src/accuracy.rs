@@ -81,9 +81,7 @@ pub fn score_dataset(wb: &Workbench, ds: &Dataset, cfg: &AnnotatorConfig) -> Dat
 
         // Collective.
         let c = annotate_collective(catalog, index, cfg, weights, &lt.table);
-        out.collective
-            .entity
-            .add(entity_accuracy(&c.cell_entities, &lt.truth.cell_entities));
+        out.collective.entity.add(entity_accuracy(&c.cell_entities, &lt.truth.cell_entities));
         out.collective
             .types
             .add(type_f1(&point_types_as_sets(&c.column_types), &lt.truth.column_types));
@@ -97,8 +95,7 @@ pub fn score_dataset(wb: &Workbench, ds: &Dataset, cfg: &AnnotatorConfig) -> Dat
 pub fn run_fig6(wb: &Workbench) -> (Vec<DatasetScores>, String) {
     let cfg = AnnotatorConfig::default();
     let sets = figure5_datasets(wb);
-    let scores: Vec<DatasetScores> =
-        sets.iter().map(|ds| score_dataset(wb, ds, &cfg)).collect();
+    let scores: Vec<DatasetScores> = sets.iter().map(|ds| score_dataset(wb, ds, &cfg)).collect();
 
     let mut out = String::new();
     let mut entity = Report::new(
@@ -214,10 +211,7 @@ pub fn run_fig8(wb: &Workbench) -> (Vec<(String, String, f64, f64)>, String) {
             for lt in &ds.tables {
                 let ann = annotate_collective(catalog, index, &cfg, weights, &lt.table);
                 e_acc.add(entity_accuracy(&ann.cell_entities, &lt.truth.cell_entities));
-                t_f1.add(type_f1(
-                    &point_types_as_sets(&ann.column_types),
-                    &lt.truth.column_types,
-                ));
+                t_f1.add(type_f1(&point_types_as_sets(&ann.column_types), &lt.truth.column_types));
             }
             rows.push((ds.name.clone(), mode.name().to_string(), e_acc.percent(), t_f1.percent()));
             entity_cells.push(format!("{:.2}", e_acc.percent()));

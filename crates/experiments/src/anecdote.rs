@@ -7,11 +7,9 @@
 //! missing-link feature (§4.2.3).
 
 use webtable_catalog::{Catalog, CatalogBuilder};
-use webtable_core::{
-    annotate_collective, lca, majority, AnnotatorConfig, Weights,
-};
-use webtable_text::LemmaIndex;
+use webtable_core::{annotate_collective, lca, majority, AnnotatorConfig, Weights};
 use webtable_tables::{Table, TableId};
+use webtable_text::LemmaIndex;
 
 /// The demo outcome: which type each method picked for the column.
 #[derive(Debug, Clone)]
@@ -78,9 +76,7 @@ pub fn run_anecdote() -> (AnecdoteResult, String) {
         collective_type: c.column_types[&0].map(name),
     };
     let mut out = String::from("== Figure 12 / Appendix F: LCA over-generalizes ==\n");
-    out.push_str(
-        "Column of six Nancy Drew novels; one lost its '∈ nancy drew books' link.\n",
-    );
+    out.push_str("Column of six Nancy Drew novels; one lost its '∈ nancy drew books' link.\n");
     out.push_str(&format!("LCA        → {:?}\n", result.lca_types));
     out.push_str(&format!("Majority   → {:?}\n", result.majority_types));
     out.push_str(&format!("Collective → {:?}\n", result.collective_type));

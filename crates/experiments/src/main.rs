@@ -52,10 +52,7 @@ fn main() {
         return;
     }
 
-    eprintln!(
-        "building world (seed {}, scale {}, train {})...",
-        cfg.seed, cfg.scale, cfg.train
-    );
+    eprintln!("building world (seed {}, scale {}, train {})...", cfg.seed, cfg.scale, cfg.train);
     let wb = Workbench::new(cfg);
     match cmd.as_str() {
         "fig5" => println!("{}", accuracy::run_fig5(&wb)),

@@ -34,12 +34,8 @@ pub fn run_fig9(
 
     // Corpus: tables expressing each target relation, plus background
     // tables over the remaining relations.
-    let mut g = TableGenerator::new(
-        world,
-        NoiseConfig::web(),
-        TruthMask::full(),
-        wb.config.seed ^ 0xF19,
-    );
+    let mut g =
+        TableGenerator::new(world, NoiseConfig::web(), TruthMask::full(), wb.config.seed ^ 0xF19);
     let mut tables = Vec::new();
     for &b in &rels {
         for _ in 0..tables_per_relation {

@@ -72,10 +72,7 @@ pub fn run_fig7(wb: &Workbench, n_tables: usize, csv_path: Option<&str>) -> (Tim
         }
     }
 
-    let mut report = Report::new(
-        "Figure 7: annotation time per table",
-        &["Metric", "Value"],
-    );
+    let mut report = Report::new("Figure 7: annotation time per table", &["Metric", "Value"]);
     report.row(&["tables".into(), result.per_table_us.len().to_string()]);
     report.row(&["mean ms/table".into(), format!("{:.2}", result.mean_ms())]);
     report.row(&["p50 ms".into(), format!("{:.2}", result.percentile_ms(50))]);

@@ -47,11 +47,8 @@ impl Workbench {
             // The paper trains on Wiki Manual (§6.1.3) — always the full 36
             // tables regardless of the evaluation scale.
             let train_set = datasets::wiki_manual(&world, 1.0, config.seed);
-            let tc = TrainConfig {
-                epochs: 3,
-                init: Some(Weights::default()),
-                ..Default::default()
-            };
+            let tc =
+                TrainConfig { epochs: 3, init: Some(Weights::default()), ..Default::default() };
             let (weights, _stats) = train(
                 &world.catalog,
                 &annotator.index,

@@ -132,11 +132,8 @@ pub fn propagate(g: &FactorGraph, opts: &BpOptions) -> BpResult {
             // (2) Factor→variable messages: combine table with incoming
             // messages from the *other* slots, reduce onto each slot.
             let dims = f.table.dims();
-            let mut acc: Vec<Vec<f64>> = f
-                .vars
-                .iter()
-                .map(|&v| vec![f64::NEG_INFINITY; g.domain(v)])
-                .collect();
+            let mut acc: Vec<Vec<f64>> =
+                f.vars.iter().map(|&v| vec![f64::NEG_INFINITY; g.domain(v)]).collect();
             let in_msgs = &msg_v2f[fi];
             f.table.for_each(|idx, tval| {
                 // Total incoming excluding each slot = total − that slot's
@@ -378,13 +375,16 @@ mod tests {
         for i in 0..3 {
             let leaf = g.add_var(2);
             g.add_unary(leaf, &[0.0, 0.3]);
-            g.add_factor_with(&[c, leaf], move |idx| {
-                if idx[0] == i && idx[1] == 1 {
-                    1.5
-                } else {
-                    0.0
-                }
-            });
+            g.add_factor_with(
+                &[c, leaf],
+                move |idx| {
+                    if idx[0] == i && idx[1] == 1 {
+                        1.5
+                    } else {
+                        0.0
+                    }
+                },
+            );
         }
         let r = propagate(&g, &BpOptions::default());
         let (exact, score) = exact_map(&g).unwrap();
@@ -476,13 +476,16 @@ mod tests {
                 }
             });
         }
-        g.add_factor_with(&[b12, t1, t2], |idx| {
-            if idx[0] == 1 && idx[1] == idx[2] {
-                0.7
-            } else {
-                0.0
-            }
-        });
+        g.add_factor_with(
+            &[b12, t1, t2],
+            |idx| {
+                if idx[0] == 1 && idx[1] == idx[2] {
+                    0.7
+                } else {
+                    0.0
+                }
+            },
+        );
         let r = propagate(&g, &BpOptions::default());
         assert!(r.converged, "should converge");
         assert!(r.iterations <= 6, "paper reports ~3 sweeps; got {}", r.iterations);
@@ -522,10 +525,8 @@ mod more_tests {
             // odd cycle, hence "frustrated").
             g.add_factor_with(&[a, b], |idx| if idx[0] != idx[1] { 1.0 } else { 0.0 });
         }
-        let damped = propagate(
-            &g,
-            &BpOptions { damping: 0.5, max_iters: 50, ..Default::default() },
-        );
+        let damped =
+            propagate(&g, &BpOptions { damping: 0.5, max_iters: 50, ..Default::default() });
         let (_, exact_score) = exact_map(&g).unwrap();
         assert!(
             (g.log_score(&damped.assignment) - exact_score).abs() < 1e-9,

@@ -58,9 +58,8 @@ pub fn exact_marginals(g: &FactorGraph, limit: u128) -> Option<Vec<Vec<f64>>> {
         return None;
     }
     let n = g.num_vars();
-    let mut acc: Vec<Vec<f64>> = (0..n)
-        .map(|v| vec![0.0; g.domain(crate::graph::VarId(v as u32))])
-        .collect();
+    let mut acc: Vec<Vec<f64>> =
+        (0..n).map(|v| vec![0.0; g.domain(crate::graph::VarId(v as u32))]).collect();
     let mut idx = vec![0usize; n];
     let mut remaining = total;
     let mut z = 0.0f64;

@@ -99,12 +99,7 @@ mod tests {
         t.for_each(|idx, v| seen.push((idx.to_vec(), v)));
         assert_eq!(
             seen,
-            vec![
-                (vec![0, 0], 0.0),
-                (vec![0, 1], 1.0),
-                (vec![1, 0], 2.0),
-                (vec![1, 1], 3.0),
-            ]
+            vec![(vec![0, 0], 0.0), (vec![0, 1], 1.0), (vec![1, 0], 2.0), (vec![1, 1], 3.0),]
         );
     }
 

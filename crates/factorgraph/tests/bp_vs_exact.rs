@@ -49,7 +49,8 @@ fn arb_loopy() -> impl Strategy<Value = FactorGraph> {
     (2usize..6, 1usize..6)
         .prop_flat_map(|(n, nf)| {
             let doms = proptest::collection::vec(2usize..4, n);
-            let edges = proptest::collection::vec((0usize..n, 0usize..n, 0usize..n, any::<bool>()), nf);
+            let edges =
+                proptest::collection::vec((0usize..n, 0usize..n, 0usize..n, any::<bool>()), nf);
             let seeds = proptest::collection::vec(-2.0f64..2.0, 512);
             (doms, edges, seeds)
         })

@@ -71,10 +71,8 @@ pub fn train(
 ) -> (Weights, TrainStats) {
     let mut rng = StdRng::seed_from_u64(tc.seed);
     // Candidate sets do not depend on weights: build once.
-    let cands: Vec<TableCandidates> = tables
-        .iter()
-        .map(|lt| TableCandidates::build(catalog, index, &lt.table, cfg))
-        .collect();
+    let cands: Vec<TableCandidates> =
+        tables.iter().map(|lt| TableCandidates::build(catalog, index, &lt.table, cfg)).collect();
 
     let mut w = tc.init.clone().unwrap_or_else(Weights::zeros).to_flat();
     let mut w_sum = vec![0.0; w.len()];
@@ -89,8 +87,7 @@ pub fn train(
         for &i in &order {
             let lt = &tables[i];
             let weights = Weights::from_flat(&w);
-            let mut model =
-                TableModel::build(catalog, cfg, &weights, &lt.table, cands[i].clone());
+            let mut model = TableModel::build(catalog, cfg, &weights, &lt.table, cands[i].clone());
             let gold = model.gold_assignment(&lt.truth);
             if gold.iter().all(Option::is_none) {
                 continue;
@@ -106,13 +103,11 @@ pub fn train(
                 .count();
             violations += mistakes;
             if mistakes > 0 {
-                let gold_full: Vec<usize> =
-                    gold.iter().map(|g| g.unwrap_or(0)).collect();
+                let gold_full: Vec<usize> = gold.iter().map(|g| g.unwrap_or(0)).collect();
                 let phi_gold = model.feature_vector(&gold_full, Some(&gold));
                 let phi_pred = model.feature_vector(&pred, Some(&gold));
                 for ((wi, pg), pp) in w.iter_mut().zip(&phi_gold).zip(&phi_pred) {
-                    *wi = (1.0 - tc.learning_rate * tc.l2) * *wi
-                        + tc.learning_rate * (pg - pp);
+                    *wi = (1.0 - tc.learning_rate * tc.l2) * *wi + tc.learning_rate * (pg - pp);
                 }
             }
             if tc.average {
@@ -162,11 +157,7 @@ mod tests {
         let (_weights, stats) = train(&w.catalog, &index, &cfg, &train_set, &tc);
         assert_eq!(stats.epoch_violations.len(), 4);
         assert!(stats.usable_tables > 0);
-        assert!(
-            stats.improved(),
-            "violations should not grow: {:?}",
-            stats.epoch_violations
-        );
+        assert!(stats.improved(), "violations should not grow: {:?}", stats.epoch_violations);
     }
 
     #[test]

@@ -21,11 +21,8 @@ impl AnnotatedCorpus {
 
     /// Annotates a batch of tables with the given annotator (parallel).
     pub fn annotate(annotator: &Annotator, tables: Vec<Table>, threads: usize) -> AnnotatedCorpus {
-        let annotations = annotator
-            .annotate_batch(&tables, threads)
-            .into_iter()
-            .map(|(ann, _)| ann)
-            .collect();
+        let annotations =
+            annotator.annotate_batch(&tables, threads).into_iter().map(|(ann, _)| ann).collect();
         AnnotatedCorpus { tables, annotations }
     }
 
@@ -47,10 +44,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "misaligned corpus")]
     fn misaligned_parts_panic() {
-        AnnotatedCorpus::from_parts(
-            vec![],
-            vec![TableAnnotation::default()],
-        );
+        AnnotatedCorpus::from_parts(vec![], vec![TableAnnotation::default()]);
     }
 
     #[test]

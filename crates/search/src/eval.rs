@@ -54,11 +54,7 @@ pub fn relevant_entities(oracle: &Catalog, q: &EntityQuery) -> Vec<EntityId> {
 /// Judges a ranked answer list against the oracle: an entity answer is
 /// relevant iff it is in the relevance set; a text answer is relevant iff
 /// it equals (case-insensitively) some lemma of a relevant entity.
-pub fn judge(
-    oracle: &Catalog,
-    q: &EntityQuery,
-    answers: &[RankedAnswer],
-) -> (Vec<bool>, usize) {
+pub fn judge(oracle: &Catalog, q: &EntityQuery, answers: &[RankedAnswer]) -> (Vec<bool>, usize) {
     let truth = relevant_entities(oracle, q);
     let truth_lemmas: Vec<String> = truth
         .iter()
@@ -81,10 +77,7 @@ pub fn judge(
                 // Find a not-yet-credited truth entity with a matching lemma.
                 let hit = truth.iter().enumerate().find(|&(i, &e)| {
                     !seen_truth[i]
-                        && oracle
-                            .entity_lemmas(e)
-                            .iter()
-                            .any(|l| l.trim().to_lowercase() == *s)
+                        && oracle.entity_lemmas(e).iter().any(|l| l.trim().to_lowercase() == *s)
                 });
                 let _ = &truth_lemmas;
                 match hit {
@@ -184,10 +177,8 @@ mod tests {
             e2,
         };
         let truth = relevant_entities(&w.oracle, &q);
-        let answers: Vec<RankedAnswer> = truth
-            .iter()
-            .map(|&e| RankedAnswer { key: AnswerKey::Entity(e), score: 1.0 })
-            .collect();
+        let answers: Vec<RankedAnswer> =
+            truth.iter().map(|&e| RankedAnswer { key: AnswerKey::Entity(e), score: 1.0 }).collect();
         let ap = query_ap(&w.oracle, &q, &answers);
         assert!((ap - 1.0).abs() < 1e-12);
     }

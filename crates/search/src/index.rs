@@ -189,10 +189,7 @@ mod tests {
             TableId(0),
             "movies directed by people",
             vec![Some("Film".into()), Some("Director".into())],
-            vec![
-                vec!["Heat".into(), "Mann".into()],
-                vec!["Alien".into(), "Scott".into()],
-            ],
+            vec![vec!["Heat".into(), "Mann".into()], vec!["Alien".into(), "Scott".into()]],
         );
         let mut ann = TableAnnotation::default();
         ann.column_types.insert(0, Some(TypeId(10)));

@@ -53,12 +53,7 @@ pub fn join_search(
     let rel1 = catalog.relation(q.r1);
     let rel2 = catalog.relation(q.r2);
     // Stage 1: e2 candidates with R2(e2, E3).
-    let stage1 = EntityQuery {
-        relation: q.r2,
-        t1: rel2.left_type,
-        t2: rel2.right_type,
-        e2: q.e3,
-    };
+    let stage1 = EntityQuery { relation: q.r2, t1: rel2.left_type, t2: rel2.right_type, e2: q.e3 };
     let mids: Vec<(EntityId, f64)> = typed_search(catalog, index, corpus, &stage1, true)
         .into_iter()
         .filter_map(|a| match a.key {
@@ -73,12 +68,7 @@ pub fn join_search(
     // Stage 2: for each e2, find e1 with R1(e1, e2).
     let mut out: Vec<JoinAnswer> = Vec::new();
     for (e2, mid_score) in mids {
-        let stage2 = EntityQuery {
-            relation: q.r1,
-            t1: rel1.left_type,
-            t2: rel1.right_type,
-            e2,
-        };
+        let stage2 = EntityQuery { relation: q.r1, t1: rel1.left_type, t2: rel1.right_type, e2 };
         for RankedAnswer { key, score } in typed_search(catalog, index, corpus, &stage2, true) {
             out.push(JoinAnswer { e1: key, e2, score: mid_score * score });
         }
@@ -137,11 +127,8 @@ mod tests {
         let born_in = world.oracle.relation(world.relations.born_in);
         let mut chosen = None;
         for &(_, city) in &born_in.tuples {
-            let q = JoinQuery {
-                r1: world.relations.directed,
-                r2: world.relations.born_in,
-                e3: city,
-            };
+            let q =
+                JoinQuery { r1: world.relations.directed, r2: world.relations.born_in, e3: city };
             if !join_truth(&world.oracle, &q).is_empty() {
                 chosen = Some(q);
                 break;
@@ -180,11 +167,8 @@ mod tests {
         //   adaptedFrom(movie, novel) ∧ wrote(novel, novelist)
         let wrote = world.oracle.relation(world.relations.wrote);
         let Some(author) = wrote.rights_of(novel).first().copied() else { return };
-        let q = JoinQuery {
-            r1: world.relations.adapted_from,
-            r2: world.relations.wrote,
-            e3: author,
-        };
+        let q =
+            JoinQuery { r1: world.relations.adapted_from, r2: world.relations.wrote, e3: author };
         let truth = join_truth(&world.oracle, &q);
         // Every pair must satisfy both hops in the oracle.
         for (e1, e2) in truth {

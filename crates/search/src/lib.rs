@@ -19,7 +19,7 @@ pub mod join;
 pub mod query;
 
 pub use corpus::AnnotatedCorpus;
-pub use join::{join_search, join_truth, JoinAnswer, JoinQuery};
 pub use eval::{build_workload, judge, map_over_queries, query_ap, relevant_entities, Workload};
 pub use index::{CellRef, ColRef, PairRef, SearchIndex};
+pub use join::{join_search, join_truth, JoinAnswer, JoinQuery};
 pub use query::{baseline_search, typed_search, AnswerKey, EntityQuery, RankedAnswer};

@@ -74,10 +74,7 @@ pub fn baseline_search(
     let t2_str = catalog.type_name(q.t2);
     let r_str = catalog.relation_name(q.relation);
     let e2_tokens = to_sorted_set(
-        tokenize(catalog.entity_name(q.e2))
-            .into_iter()
-            .map(|t| hash_token(&t))
-            .collect(),
+        tokenize(catalog.entity_name(q.e2)).into_iter().map(|t| hash_token(&t)).collect(),
     );
 
     // Column sets whose headers match the type strings.
@@ -111,9 +108,8 @@ pub fn baseline_search(
             let boost = 1.0 + 0.5 * *ctx_tables.get(&t).unwrap_or(&0) as f64;
             for row in &table.rows {
                 let cell2 = &row[c2 as usize];
-                let cell2_tokens = to_sorted_set(
-                    tokenize(cell2).into_iter().map(|s| hash_token(&s)).collect(),
-                );
+                let cell2_tokens =
+                    to_sorted_set(tokenize(cell2).into_iter().map(|s| hash_token(&s)).collect());
                 let overlap = webtable_text::sim::containment(&e2_tokens, &cell2_tokens);
                 if overlap < 0.6 {
                     continue;
@@ -122,8 +118,7 @@ pub fn baseline_search(
                 if answer_text.is_empty() {
                     continue;
                 }
-                *evidence.entry(AnswerKey::Text(answer_text)).or_insert(0.0) +=
-                    boost * overlap;
+                *evidence.entry(AnswerKey::Text(answer_text)).or_insert(0.0) += boost * overlap;
             }
         }
     }
@@ -245,12 +240,7 @@ mod tests {
         // Pick a director appearing in the corpus-generating relation.
         let rel = w.oracle.relation(w.relations.directed);
         let (_, e2) = rel.tuples[0];
-        EntityQuery {
-            relation: w.relations.directed,
-            t1: w.types.movie,
-            t2: w.types.director,
-            e2,
-        }
+        EntityQuery { relation: w.relations.directed, t1: w.types.movie, t2: w.types.director, e2 }
     }
 
     #[test]

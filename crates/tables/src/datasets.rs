@@ -25,28 +25,38 @@ fn scaled(n: usize, scale: f64) -> usize {
 /// Wiki Manual: 36 Wikipedia tables, manually annotated with entities,
 /// types and relations (scaled).
 pub fn wiki_manual(world: &World, scale: f64, seed: u64) -> Dataset {
-    let mut g = TableGenerator::new(world, NoiseConfig::wiki(), TruthMask::full(), seed ^ 0x57_49_4b_49);
+    let mut g =
+        TableGenerator::new(world, NoiseConfig::wiki(), TruthMask::full(), seed ^ 0x57_49_4b_49);
     Dataset { name: "Wiki Manual".into(), tables: g.gen_corpus(scaled(36, scale), 37) }
 }
 
 /// Web Manual: 371 open-Web tables similar to Wiki Manual but noisier.
 pub fn web_manual(world: &World, scale: f64, seed: u64) -> Dataset {
-    let mut g = TableGenerator::new(world, NoiseConfig::web(), TruthMask::full(), seed ^ 0x57_45_42_4d);
+    let mut g =
+        TableGenerator::new(world, NoiseConfig::web(), TruthMask::full(), seed ^ 0x57_45_42_4d);
     Dataset { name: "Web Manual".into(), tables: g.gen_corpus(scaled(371, scale), 35) }
 }
 
 /// Web Relations: 30 Web tables with only column-pair relations labeled.
 pub fn web_relations(world: &World, scale: f64, seed: u64) -> Dataset {
-    let mut g =
-        TableGenerator::new(world, NoiseConfig::web(), TruthMask::relations_only(), seed ^ 0x57_45_42_52);
+    let mut g = TableGenerator::new(
+        world,
+        NoiseConfig::web(),
+        TruthMask::relations_only(),
+        seed ^ 0x57_45_42_52,
+    );
     Dataset { name: "Web Relations".into(), tables: g.gen_corpus(scaled(30, scale), 51) }
 }
 
 /// Wiki Link: 6085 Wikipedia tables whose cells carry entity links —
 /// entity ground truth only, at scale.
 pub fn wiki_link(world: &World, scale: f64, seed: u64) -> Dataset {
-    let mut g =
-        TableGenerator::new(world, NoiseConfig::wiki(), TruthMask::entities_only(), seed ^ 0x57_4c_4e_4b);
+    let mut g = TableGenerator::new(
+        world,
+        NoiseConfig::wiki(),
+        TruthMask::entities_only(),
+        seed ^ 0x57_4c_4e_4b,
+    );
     Dataset { name: "Wiki Link".into(), tables: g.gen_corpus(scaled(6085, scale), 20) }
 }
 
@@ -77,6 +87,7 @@ mod tests {
         assert_eq!(s[1].num_tables, 19); // 371 × 0.05
         assert_eq!(s[2].num_tables, 2);
         assert_eq!(s[3].num_tables, 304); // 6085 × 0.05
+
         // Ground-truth layers respect each dataset's mask.
         assert!(s[0].entity_annotations > 0);
         assert!(s[0].type_annotations > 0);

@@ -137,11 +137,7 @@ impl<'w> TableGenerator<'w> {
                 // Prefer the bare mention over a qualified canonical name
                 // when one exists (films are mentioned by title, not
                 // "Title (film)").
-                lemmas
-                    .iter()
-                    .find(|l| !l.contains('('))
-                    .unwrap_or(&lemmas[0])
-                    .clone()
+                lemmas.iter().find(|l| !l.contains('(')).unwrap_or(&lemmas[0]).clone()
             };
             corrupt_mention(&lemma, &gen.noise, &mut gen.rng)
         };
@@ -190,7 +186,7 @@ impl<'w> TableGenerator<'w> {
                     _ => format!(
                         "{} {} {}",
                         self.rng.gen_range(1..29),
-                        ["Jan", "Mar", "Jun", "Sep", "Nov"][self.rng.gen_range(0..5)],
+                        ["Jan", "Mar", "Jun", "Sep", "Nov"][self.rng.gen_range(0..5usize)],
                         self.rng.gen_range(1990..2010)
                     ),
                 })
@@ -251,9 +247,7 @@ impl<'w> TableGenerator<'w> {
             }
         }
         if self.mask.relations {
-            truth
-                .relations
-                .insert((physical_of(0), physical_of(1)), Some(b));
+            truth.relations.insert((physical_of(0), physical_of(1)), Some(b));
             if let Some(l2) = second_pair {
                 truth.relations.insert((physical_of(0), physical_of(l2)), second);
             }
@@ -294,11 +288,8 @@ impl<'w> TableGenerator<'w> {
 fn unknown_mention(base: &str, rng: &mut StdRng) -> String {
     const ONSETS: &[&str] = &["qu", "vr", "zel", "mor", "tak", "hul", "bex", "dov"];
     const ENDS: &[&str] = &["an", "eth", "or", "ix", "um", "ar"];
-    let fake = format!(
-        "{}{}",
-        ONSETS[rng.gen_range(0..ONSETS.len())],
-        ENDS[rng.gen_range(0..ENDS.len())]
-    );
+    let fake =
+        format!("{}{}", ONSETS[rng.gen_range(0..ONSETS.len())], ENDS[rng.gen_range(0..ENDS.len())]);
     let fake = crate::noise::capitalize_words(&fake);
     let mut tokens: Vec<&str> = base.split_whitespace().collect();
     if tokens.is_empty() {
@@ -382,8 +373,7 @@ mod tests {
             lt.truth.relations
         );
         // And the pair's columns really contain tuples of the relation.
-        let (&(c1, c2), _) =
-            lt.truth.relations.iter().find(|(_, &g)| g == Some(b)).unwrap();
+        let (&(c1, c2), _) = lt.truth.relations.iter().find(|(_, &g)| g == Some(b)).unwrap();
         for r in 0..lt.table.num_rows() {
             let e1 = lt.truth.cell_entities[&(r, c1)];
             let e2 = lt.truth.cell_entities[&(r, c2)];
@@ -449,10 +439,9 @@ mod tests {
         let mut violations = 0;
         let mut total = 0;
         for r in 0..lt.table.num_rows() {
-            if let (Some(Some(e1)), Some(Some(e2))) = (
-                lt.truth.cell_entities.get(&(r, c1)),
-                lt.truth.cell_entities.get(&(r, c2)),
-            ) {
+            if let (Some(Some(e1)), Some(Some(e2))) =
+                (lt.truth.cell_entities.get(&(r, c1)), lt.truth.cell_entities.get(&(r, c2)))
+            {
                 total += 1;
                 if !w.oracle.has_tuple(b, *e1, *e2) {
                     violations += 1;

@@ -93,7 +93,14 @@ fn extract_context(before: &str) -> String {
             return unescape(strip_tags(&before[ps + 3..pe]).trim());
         }
     }
-    unescape(strip_tags(before).trim()).chars().rev().take(120).collect::<Vec<_>>().into_iter().rev().collect()
+    unescape(strip_tags(before).trim())
+        .chars()
+        .rev()
+        .take(120)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect()
 }
 
 fn strip_tags(s: &str) -> String {
@@ -122,10 +129,8 @@ fn parse_one_table(body: &str, context: String) -> RawTable {
             Some(o) => rstart + o + 1,
             None => break,
         };
-        let rend = lower[rbody_start..]
-            .find("</tr>")
-            .map(|o| rbody_start + o)
-            .unwrap_or(body.len());
+        let rend =
+            lower[rbody_start..].find("</tr>").map(|o| rbody_start + o).unwrap_or(body.len());
         let row_html = &body[rbody_start..rend];
         let row_lower = &lower[rbody_start..rend];
         let mut cells = Vec::new();
@@ -267,7 +272,8 @@ mod tests {
 
     #[test]
     fn merged_cells_are_screened_out() {
-        let html = r#"<table><tr><td colspan="2">banner</td></tr><tr><td>a</td><td>b</td></tr></table>"#;
+        let html =
+            r#"<table><tr><td colspan="2">banner</td></tr><tr><td>a</td><td>b</td></tr></table>"#;
         let raw = &parse_tables(html)[0];
         assert!(raw.has_merged_cells);
         assert!(is_formatting_table(raw));

@@ -154,11 +154,7 @@ impl Dataset {
             avg_rows: if n == 0 { 0.0 } else { rows as f64 / n as f64 },
             entity_annotations: self.tables.iter().map(|t| t.truth.num_entity_labels()).sum(),
             type_annotations: self.tables.iter().map(|t| t.truth.num_type_labels()).sum(),
-            relation_annotations: self
-                .tables
-                .iter()
-                .map(|t| t.truth.num_relation_labels())
-                .sum(),
+            relation_annotations: self.tables.iter().map(|t| t.truth.num_relation_labels()).sum(),
         }
     }
 }

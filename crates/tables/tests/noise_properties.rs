@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use webtable_tables::noise::{abbreviate, capitalize_words, corrupt_mention, drop_token, typo, NoiseConfig};
+use webtable_tables::noise::{
+    abbreviate, capitalize_words, corrupt_mention, drop_token, typo, NoiseConfig,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]

@@ -123,12 +123,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
             s.sort_unstable();
             s
         };
-        b_matches
-            .iter()
-            .zip(&sorted)
-            .filter(|(x, y)| x != y)
-            .count()
-            / 2
+        b_matches.iter().zip(&sorted).filter(|(x, y)| x != y).count() / 2
     };
     b_matches.clear();
     let m = m as f64;
@@ -138,12 +133,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler similarity: Jaro boosted by shared prefix (≤4 chars, 0.1 scale).
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
     j + prefix as f64 * 0.1 * (1.0 - j)
 }
 

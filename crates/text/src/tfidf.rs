@@ -241,7 +241,8 @@ mod tests {
     fn term_frequency_is_sublinear() {
         let (v, idf) = setup();
         let once = WeightedVec::from_tokens(&v.tokenize_frozen("albert quest"), &idf);
-        let thrice = WeightedVec::from_tokens(&v.tokenize_frozen("albert albert albert quest"), &idf);
+        let thrice =
+            WeightedVec::from_tokens(&v.tokenize_frozen("albert albert albert quest"), &idf);
         // Repeating a token shifts weight toward it, but sublinearly.
         let q = WeightedVec::from_tokens(&v.tokenize_frozen("albert"), &idf);
         assert!(cosine(&thrice, &q) > cosine(&once, &q));

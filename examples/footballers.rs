@@ -23,9 +23,8 @@ fn main() {
 
     // A corpus of noisy open-Web tables about footballers and their clubs.
     let mut gen = TableGenerator::new(&world, NoiseConfig::web(), TruthMask::full(), 99);
-    let tables: Vec<_> = (0..12)
-        .map(|_| gen.gen_table_for_relation(world.relations.plays_for, 12).table)
-        .collect();
+    let tables: Vec<_> =
+        (0..12).map(|_| gen.gen_table_for_relation(world.relations.plays_for, 12).table).collect();
 
     // Annotate and consolidate: evidence per (footballer, club) pair.
     let mut fact_evidence: HashMap<(EntityId, EntityId), f64> = HashMap::new();

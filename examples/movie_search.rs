@@ -44,11 +44,7 @@ fn main() {
         let truth = webtable::search::relevant_entities(&world.oracle, q);
         println!(
             "oracle says: {}",
-            truth
-                .iter()
-                .map(|&e| world.oracle.entity_name(e))
-                .collect::<Vec<_>>()
-                .join("; ")
+            truth.iter().map(|&e| world.oracle.entity_name(e)).collect::<Vec<_>>().join("; ")
         );
         for (name, answers) in [
             ("Baseline (Fig 3)", baseline_search(&world.catalog, &index, &corpus, q)),

@@ -22,7 +22,9 @@ fn main() {
     let writer = b.add_type("writer", &["author"]).unwrap();
     let book = b.add_type("book", &["title", "novel"]).unwrap();
     let movie = b.add_type("movie", &["film", "title"]).unwrap();
-    for (sub, sup) in [(person, entity), (physicist, person), (writer, person), (book, entity), (movie, entity)] {
+    for (sub, sup) in
+        [(person, entity), (physicist, person), (writer, person), (book, entity), (movie, entity)]
+    {
         b.add_subtype(sub, sup);
     }
 
@@ -31,20 +33,13 @@ fn main() {
         .unwrap();
     let stannard = b.add_entity("Russell Stannard", &["Stannard"], &[writer]).unwrap();
     let doxiadis = b.add_entity("Apostolos Doxiadis", &["A. Doxiadis"], &[writer]).unwrap();
-    let b94 = b
-        .add_entity("The Time and Space of Uncle Albert", &[], &[book])
-        .unwrap();
+    let b94 = b.add_entity("The Time and Space of Uncle Albert", &[], &[book]).unwrap();
     let b95 = b.add_entity("Uncle Albert and the Quantum Quest", &[], &[book]).unwrap();
     let b41 = b
-        .add_entity(
-            "Relativity: The Special and the General Theory",
-            &["Relativity"],
-            &[book],
-        )
+        .add_entity("Relativity: The Special and the General Theory", &["Relativity"], &[book])
         .unwrap();
-    let b96 = b
-        .add_entity("Uncle Petros and Goldbach's Conjecture", &["Uncle Petros"], &[book])
-        .unwrap();
+    let b96 =
+        b.add_entity("Uncle Petros and Goldbach's Conjecture", &["Uncle Petros"], &[book]).unwrap();
     // A decoy movie sharing a title fragment, as in the figure's caption.
     b.add_entity("Uncle Albert (film)", &["Uncle Albert"], &[movie]).unwrap();
 
@@ -70,12 +65,7 @@ fn main() {
     // --- Annotate --------------------------------------------------------
     let annotator = Annotator::new(Arc::clone(&catalog));
     let model_view = {
-        let cands = TableCandidates::build(
-            &catalog,
-            &annotator.index,
-            &table,
-            &annotator.config,
-        );
+        let cands = TableCandidates::build(&catalog, &annotator.index, &table, &annotator.config);
         let model =
             TableModel::build(&catalog, &annotator.config, &annotator.weights, &table, cands);
         model.describe()
@@ -101,9 +91,8 @@ fn main() {
     }
     println!("\nColumn-pair relations:");
     for (&(c1, c2), rel) in &ann.relations {
-        let label = rel
-            .map(|b| catalog.relation_name(b).to_string())
-            .unwrap_or_else(|| "na".into());
+        let label =
+            rel.map(|b| catalog.relation_name(b).to_string()).unwrap_or_else(|| "na".into());
         println!("  ({c1} → {c2}) → {label}");
     }
     println!("\nBP converged after {} sweeps (paper: ~3).", ann.bp_iterations);

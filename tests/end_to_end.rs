@@ -7,9 +7,7 @@ use std::sync::Arc;
 
 use webtable::catalog::{generate_world, WorldConfig};
 use webtable::core::{annotate_collective, lca, majority, Annotator, AnnotatorConfig};
-use webtable::eval::{
-    entity_accuracy, point_types_as_sets, relation_f1, type_f1, Accuracy, SetF1,
-};
+use webtable::eval::{entity_accuracy, point_types_as_sets, relation_f1, type_f1, Accuracy, SetF1};
 use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
 
 #[test]
@@ -118,14 +116,10 @@ fn mean_candidate_count_is_in_paper_band() {
     let mut total = 0.0;
     let mut n = 0usize;
     for lt in gen.gen_corpus(10, 20) {
-        let cands =
-            TableCandidates::build(&world.catalog, &annotator.index, &lt.table, &cfg);
+        let cands = TableCandidates::build(&world.catalog, &annotator.index, &lt.table, &cfg);
         total += cands.mean_entity_candidates();
         n += 1;
     }
     let mean = total / n as f64;
-    assert!(
-        mean > 2.0 && mean <= 8.0,
-        "mean candidate count {mean:.2} out of band"
-    );
+    assert!(mean > 2.0 && mean <= 8.0, "mean candidate count {mean:.2} out of band");
 }

@@ -1,0 +1,58 @@
+//! Workspace wiring smoke test: the quickstart-style annotate → search
+//! round-trip on a small generated world, touching every layer the umbrella
+//! crate re-exports (catalog → tables → core → search → eval). This is the
+//! test CI leans on to catch broken cross-crate plumbing fast.
+
+use std::sync::Arc;
+
+use webtable::catalog::{generate_world, WorldConfig};
+use webtable::core::Annotator;
+use webtable::eval::entity_accuracy;
+use webtable::search::{
+    build_workload, map_over_queries, typed_search, AnnotatedCorpus, SearchIndex,
+};
+use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
+
+#[test]
+fn annotate_then_search_round_trip() {
+    // 1. Catalog layer: a miniature YAGO-like world.
+    let world = generate_world(&WorldConfig::tiny(2026)).unwrap();
+    assert!(world.catalog.num_entities() > 0, "world must contain entities");
+
+    // 2. Tables layer: render noisy tables expressing `directed`.
+    let mut gen = TableGenerator::new(&world, NoiseConfig::wiki(), TruthMask::full(), 7);
+    let labeled: Vec<_> =
+        (0..4).map(|_| gen.gen_table_for_relation(world.relations.directed, 8)).collect();
+
+    // 3. Core layer: collectively annotate; sanity-check annotation shape
+    // and that predictions beat the trivial all-na annotator on gold cells.
+    let annotator = Annotator::new(Arc::clone(&world.catalog));
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for lt in &labeled {
+        let ann = annotator.annotate(&lt.table);
+        assert_eq!(ann.column_types.len(), lt.table.num_cols());
+        let acc = entity_accuracy(&ann.cell_entities, &lt.truth.cell_entities);
+        correct += acc.correct;
+        total += acc.total;
+    }
+    assert!(total > 0, "ground truth must be recorded");
+    assert!(
+        correct * 2 > total,
+        "entity accuracy {correct}/{total} suspiciously low for wiki noise"
+    );
+
+    // 4. Search layer: index the annotated corpus and answer entity queries.
+    let tables: Vec<_> = labeled.into_iter().map(|lt| lt.table).collect();
+    let corpus = AnnotatedCorpus::annotate(&annotator, tables, 2);
+    let index = SearchIndex::build(&corpus);
+    let workload = build_workload(&world, &[world.relations.directed], 4, 5);
+    let queries = &workload.per_relation[0].1;
+    assert!(!queries.is_empty(), "workload must produce queries");
+
+    // 5. Eval layer: MAP over the workload must show retrieval happening.
+    let map = map_over_queries(&world.oracle, queries, |q| {
+        typed_search(&world.catalog, &index, &corpus, q, true)
+    });
+    assert!(map > 0.0, "typed search must retrieve at least one correct answer (MAP {map})");
+}

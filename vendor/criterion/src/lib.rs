@@ -1,0 +1,342 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion/0.5)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no registry access, so this
+//! crate implements the criterion API surface the workspace's benches use,
+//! backed by a simple calibrated wall-clock timer:
+//!
+//! * each benchmark is calibrated so one sample takes ≳2 ms, then
+//!   `sample_size` samples are measured and min/median/mean reported;
+//! * `--test` (passed by `cargo test` to `harness = false` benches) and
+//!   `--quick` run exactly one iteration per benchmark — a smoke run;
+//! * positional CLI arguments act as substring filters on benchmark ids
+//!   (so `cargo bench -- bp/` works); other flags are accepted and ignored.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting a computation.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(2);
+const MAX_CALIBRATION_ITERS: u64 = 1 << 24;
+
+/// CLI-derived run options, parsed once in [`criterion_main!`].
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Run each benchmark exactly once (smoke mode).
+    pub quick: bool,
+    /// Substring filters: a benchmark runs if any filter matches its id.
+    pub filters: Vec<String>,
+}
+
+impl RunOptions {
+    /// Parses cargo bench / cargo test harness arguments.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = RunOptions::default();
+        let mut skip_value = false;
+        for arg in args {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            match arg.as_str() {
+                "--test" | "--quick" => opts.quick = true,
+                // No-value flags criterion / libtest accept; ignored here.
+                "--bench" | "--exact" | "--nocapture" | "--list" | "-q" | "--quiet"
+                | "--verbose" => {}
+                // `--flag=value` is self-contained; ignore it whole.
+                s if s.starts_with('-') && s.contains('=') => {}
+                // Any other flag is assumed to take a separate value (e.g.
+                // `--save-baseline main`): swallow the value too, so it is
+                // not misread as a benchmark-name filter that would
+                // silently deselect everything.
+                s if s.starts_with('-') => skip_value = true,
+                s => opts.filters.push(s.to_string()),
+            }
+        }
+        opts
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+}
+
+/// The benchmark manager handed to each `criterion_group!` target.
+pub struct Criterion {
+    opts: RunOptions,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { opts: RunOptions::from_args() }
+    }
+}
+
+impl Criterion {
+    /// Creates a manager with explicit options (used by `criterion_main!`).
+    pub fn with_options(opts: RunOptions) -> Self {
+        Criterion { opts }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+
+    /// Benchmarks a single function under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.opts, id, DEFAULT_SAMPLE_SIZE, |b| f(b));
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&self.criterion.opts, &full, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&self.criterion.opts, &full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No-op; provided for API parity.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form, for groups whose name carries the function.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion of `BenchmarkId` or plain strings into a display id.
+pub trait IntoBenchmarkId {
+    /// The rendered id segment.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; its [`iter`](Bencher::iter) method
+/// does the measuring.
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    samples_ns: Vec<f64>, // per-iteration nanoseconds, one entry per sample
+}
+
+impl Bencher {
+    /// Measures `f`, which is run repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            return;
+        }
+        // Calibrate: grow the iteration count until one sample is long
+        // enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || iters >= MAX_CALIBRATION_ITERS {
+                break;
+            }
+            // Jump straight toward the target based on observed speed.
+            let scale =
+                (TARGET_SAMPLE_TIME.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil() as u64;
+            iters = (iters * scale.clamp(2, 1024)).min(MAX_CALIBRATION_ITERS);
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(opts: &RunOptions, id: &str, sample_size: usize, mut f: F) {
+    if !opts.matches(id) {
+        return;
+    }
+    let mut b = Bencher { quick: opts.quick, sample_size, samples_ns: Vec::new() };
+    f(&mut b);
+    if opts.quick {
+        println!("{id}: ok (smoke run)");
+        return;
+    }
+    if b.samples_ns.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    b.samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    let min = b.samples_ns[0];
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    let mean = b.samples_ns.iter().sum::<f64>() / b.samples_ns.len() as f64;
+    println!(
+        "{id}: min {} / median {} / mean {}  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        b.samples_ns.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(opts: &$crate::RunOptions) {
+            let mut criterion = $crate::Criterion::with_options(opts.clone());
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let opts = $crate::RunOptions::from_args();
+            $($group(&opts);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_each_bench_once() {
+        let opts = RunOptions { quick: true, filters: vec![] };
+        let mut c = Criterion::with_options(opts);
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("one", |b| b.iter(|| calls += 1));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &3u32, |b, &x| {
+                b.iter(|| calls += x)
+            });
+            g.finish();
+        }
+        assert_eq!(calls, 1 + 3);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let opts = RunOptions { quick: true, filters: vec!["match".into()] };
+        let mut c = Criterion::with_options(opts);
+        let mut ran = Vec::new();
+        c.bench_function("will_match_this", |b| b.iter(|| ran.push("a")));
+        c.bench_function("skipped", |b| b.iter(|| ran.push("b")));
+        assert_eq!(ran, ["a"]);
+    }
+
+    #[test]
+    fn unknown_value_flags_do_not_become_filters() {
+        let args = ["--save-baseline", "main", "--color=never", "bp", "--quick"];
+        let opts = RunOptions::parse(args.iter().map(|s| s.to_string()));
+        assert_eq!(opts.filters, ["bp"], "'main' must be swallowed as --save-baseline's value");
+        assert!(opts.quick);
+    }
+
+    #[test]
+    fn measured_mode_collects_samples() {
+        let opts = RunOptions::default();
+        let mut c = Criterion::with_options(opts);
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_function("busy", |b| b.iter(|| black_box((0..100).sum::<u64>())));
+        g.finish();
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest/1) crate.
+//!
+//! The build environment for this workspace has no registry access, so this
+//! crate re-implements the slice of the proptest 1.x API the workspace's
+//! property tests use, keeping module paths and macro shapes identical:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, [`strategy::Just`],
+//!   tuple strategies, integer/float range strategies;
+//! * `&str` patterns as regex-subset string strategies (see [`string`]);
+//! * [`arbitrary::any`] for primitives;
+//! * [`collection::vec`] with fixed or ranged sizes.
+//!
+//! **Differences from real proptest:** values are generated from a
+//! deterministic per-test RNG and failures are *not shrunk* — the failing
+//! case index and seed are reported instead so a failure reproduces exactly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                // Cases rejected by prop_assume! are resampled (like real
+                // proptest), up to a cap of attempts per case.
+                let mut satisfied = false;
+                for attempt in 0..$crate::test_runner::MAX_REJECTS_PER_CASE {
+                    let seed = $crate::test_runner::case_seed(stringify!($name), case)
+                        .wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let mut __rng = $crate::test_runner::rng_for(seed);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "proptest '{}' failed at case {}/{} (seed {:#x}): {}",
+                            stringify!($name), case, config.cases, seed, msg
+                        ),
+                    }
+                }
+                assert!(
+                    satisfied,
+                    "proptest '{}' case {}: prop_assume! rejected {} consecutive samples",
+                    stringify!($name), case, $crate::test_runner::MAX_REJECTS_PER_CASE
+                );
+            }
+        }
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with formatted context) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static ACCEPTED: AtomicU32 = AtomicU32::new(0);
+
+    // No #[test] meta: the macro-generated fn is invoked by the real test
+    // below so it can assert on the counter afterwards.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        fn assume_heavy(x in 0u32..100) {
+            // ~90% of samples are rejected; each case must resample until
+            // it finds a satisfying input rather than silently dropping.
+            prop_assume!(x >= 90);
+            ACCEPTED.fetch_add(1, Ordering::Relaxed);
+            prop_assert!(x >= 90);
+        }
+    }
+
+    #[test]
+    fn prop_assume_resamples_rejected_cases() {
+        assume_heavy();
+        assert_eq!(
+            ACCEPTED.load(Ordering::Relaxed),
+            64,
+            "every configured case must run on a satisfying input"
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! String generation from a regex subset.
+//!
+//! Supports the constructs the workspace's property tests use:
+//! literals, escapes (`\t`, `\n`, `\r`, `\\` and escaped metacharacters),
+//! `\PC` (any non-control char), character classes with ranges
+//! (`[a-zA-Z0-9 |%\t]`, `[ -~]`), groups, top-level alternation, and the
+//! quantifiers `{m}`, `{m,n}`, `{m,}`, `*`, `+`, `?`.
+//!
+//! Unsupported constructs (negated classes, anchors, backreferences, ...)
+//! panic with a clear message rather than silently generating wrong data.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Open-ended quantifiers (`*`, `+`, `{m,}`) cap their repetition here.
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let ast = Parser::new(pattern).parse_alternation();
+    let mut out = String::new();
+    ast.generate(rng, &mut out);
+    out
+}
+
+/// A printable (non-control) char: mostly ASCII, with a sprinkling of
+/// non-ASCII letters, symbols and wide chars to exercise Unicode handling.
+pub fn arbitrary_printable_char(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] = &[
+        'à', 'é', 'î', 'õ', 'ü', 'ß', 'ñ', 'Æ', 'ø', 'Å', 'π', 'Ω', 'λ', 'Σ', 'ж', 'Д', 'ل', 'ا',
+        '中', '文', '表', 'テ', 'ス', 'ト', '한', '𝔻', '№', '€', '±', '≈', '†', '—', '…', '·', '¡',
+        '¿', '“', '”',
+    ];
+    match rng.gen_range(0u32..10) {
+        0..=7 => char::from_u32(rng.gen_range(0x20u32..=0x7E)).unwrap(),
+        _ => EXOTIC[rng.gen_range(0..EXOTIC.len())],
+    }
+}
+
+enum Node {
+    /// A sequence of nodes.
+    Seq(Vec<Node>),
+    /// Top-level alternation `a|b|c`.
+    Alt(Vec<Node>),
+    /// A single literal char.
+    Literal(char),
+    /// A character class: inclusive ranges (single chars are `lo == hi`).
+    Class(Vec<(char, char)>),
+    /// `\PC` — any printable (non-control) character.
+    AnyPrintable,
+    /// `node{lo,hi}` with `hi` inclusive.
+    Repeat(Box<Node>, u32, u32),
+}
+
+impl Node {
+    fn generate(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Node::Seq(nodes) => {
+                for n in nodes {
+                    n.generate(rng, out);
+                }
+            }
+            Node::Alt(branches) => {
+                branches[rng.gen_range(0..branches.len())].generate(rng, out);
+            }
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                // Weight ranges by size for a roughly uniform char choice.
+                let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+                let mut x = rng.gen_range(0..total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u32 - lo as u32 + 1;
+                    if x < span {
+                        // Skip the surrogate gap if a range straddles it.
+                        let c = char::from_u32(lo as u32 + x).unwrap_or('\u{FFFD}');
+                        out.push(c);
+                        return;
+                    }
+                    x -= span;
+                }
+                unreachable!("class sampling out of bounds");
+            }
+            Node::AnyPrintable => out.push(arbitrary_printable_char(rng)),
+            Node::Repeat(node, lo, hi) => {
+                let n = rng.gen_range(*lo..=*hi);
+                for _ in 0..n {
+                    node.generate(rng, out);
+                }
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser { pattern, chars: pattern.chars().peekable() }
+    }
+
+    fn unsupported(&self, what: &str) -> ! {
+        panic!("proptest shim: unsupported regex construct {what:?} in pattern {:?}", self.pattern)
+    }
+
+    fn parse_alternation(&mut self) -> Node {
+        let mut branches = vec![self.parse_sequence()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            branches.push(self.parse_sequence());
+        }
+        if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Node::Alt(branches)
+        }
+    }
+
+    fn parse_sequence(&mut self) -> Node {
+        let mut nodes = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            nodes.push(self.parse_quantifier(atom));
+        }
+        Node::Seq(nodes)
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next().expect("atom") {
+            '(' => {
+                let inner = self.parse_alternation();
+                match self.chars.next() {
+                    Some(')') => inner,
+                    _ => self.unsupported("unclosed group"),
+                }
+            }
+            '[' => self.parse_class(),
+            '\\' => self.parse_escape(),
+            '.' => Node::AnyPrintable,
+            c @ ('*' | '+' | '?' | '{' | '^' | '$') => {
+                self.unsupported(&format!("dangling metacharacter '{c}'"))
+            }
+            c => Node::Literal(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.chars.next() {
+            Some('t') => Node::Literal('\t'),
+            Some('n') => Node::Literal('\n'),
+            Some('r') => Node::Literal('\r'),
+            Some('P') => {
+                // Only the negated-category form \PC ("not control") is
+                // supported, matching its use in the workspace's tests.
+                match self.chars.next() {
+                    Some('C') => Node::AnyPrintable,
+                    other => self.unsupported(&format!("\\P{other:?}")),
+                }
+            }
+            Some(
+                c @ ('\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '*' | '+' | '?' | '^'
+                | '$' | '-' | ' '),
+            ) => Node::Literal(c),
+            other => self.unsupported(&format!("escape \\{other:?}")),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        if self.chars.peek() == Some(&'^') {
+            self.unsupported("negated character class");
+        }
+        loop {
+            let c = match self.chars.next() {
+                None => self.unsupported("unclosed character class"),
+                Some(']') => break,
+                Some('\\') => match self.parse_escape() {
+                    Node::Literal(c) => c,
+                    _ => self.unsupported("class escape"),
+                },
+                Some(c) => c,
+            };
+            // Range `c-d` unless '-' is the closing literal.
+            if self.chars.peek() == Some(&'-') {
+                let mut ahead = self.chars.clone();
+                ahead.next(); // the '-'
+                match ahead.peek() {
+                    Some(&']') | None => ranges.push((c, c)),
+                    Some(_) => {
+                        self.chars.next();
+                        let d = match self.chars.next() {
+                            Some('\\') => match self.parse_escape() {
+                                Node::Literal(d) => d,
+                                _ => self.unsupported("class escape"),
+                            },
+                            Some(d) => d,
+                            None => self.unsupported("unclosed character class"),
+                        };
+                        assert!(c <= d, "invalid class range {c}-{d}");
+                        ranges.push((c, d));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            self.unsupported("empty character class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.chars.peek() {
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut spec = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => self.unsupported("unclosed quantifier"),
+                    }
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    None => {
+                        let n: u32 = spec.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                    Some((lo, "")) => {
+                        let lo: u32 = lo.trim().parse().expect("quantifier lower bound");
+                        (lo, lo + UNBOUNDED_CAP)
+                    }
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                };
+                assert!(lo <= hi, "invalid quantifier {{{spec}}}");
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_from_pattern;
+    use crate::test_runner::rng_for;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        generate_from_pattern(pattern, &mut rng_for(seed))
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        for seed in 0..200 {
+            let s = gen("[a-z]{0,12}", seed);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range_class() {
+        for seed in 0..200 {
+            let s = gen("[ -~]{0,30}", seed);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_escape_and_specials() {
+        let mut seen_tab = false;
+        for seed in 0..500 {
+            let s = gen("[a-zA-Z0-9 |%\\t]{1,24}", seed);
+            assert!(!s.is_empty());
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric() || c == ' ' || c == '|' || c == '%' || c == '\t',
+                    "unexpected {c:?}"
+                );
+                seen_tab |= c == '\t';
+            }
+        }
+        assert!(seen_tab, "tab never generated from class containing \\t");
+    }
+
+    #[test]
+    fn groups_and_repetition() {
+        for seed in 0..200 {
+            let s = gen("[a-z]{1,6}( [a-z]{1,6}){0,4}", seed);
+            let toks: Vec<&str> = s.split(' ').collect();
+            assert!((1..=5).contains(&toks.len()), "{s:?}");
+            for t in toks {
+                assert!((1..=6).contains(&t.len()), "{s:?}");
+                assert!(t.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn capitalized_words_pattern() {
+        for seed in 0..100 {
+            let s = gen("[A-Z][a-z]{1,8}( [A-Z][a-z]{1,8}){1,3}", seed);
+            for w in s.split(' ') {
+                assert!(w.chars().next().unwrap().is_ascii_uppercase(), "{s:?}");
+                assert!(w.chars().skip(1).all(|c| c.is_ascii_lowercase()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_control_class() {
+        for seed in 0..300 {
+            let s = gen("\\PC{0,40}", seed);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_picks_each_branch() {
+        let mut seen = [false; 2];
+        for seed in 0..100 {
+            match gen("ab|cd", seed).as_str() {
+                "ab" => seen[0] = true,
+                "cd" => seen[1] = true,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(seen, [true; 2]);
+    }
+
+    #[test]
+    fn exact_count_and_open_quantifiers() {
+        for seed in 0..50 {
+            assert_eq!(gen("[0-9]{4}", seed).len(), 4);
+            let plus = gen("x+", seed);
+            assert!(!plus.is_empty() && plus.chars().all(|c| c == 'x'));
+            let opt = gen("y?", seed);
+            assert!(opt.len() <= 1);
+        }
+    }
+}

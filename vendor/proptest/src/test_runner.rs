@@ -1,0 +1,68 @@
+//! Test-runner configuration and the per-case error type.
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's inputs were rejected by `prop_assume!` — not a failure.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The RNG driving value generation — a re-export of the workspace's
+/// deterministic `StdRng` so every strategy draws from one stream.
+pub type TestRng = rand::rngs::StdRng;
+
+/// How many `prop_assume!` rejections one case tolerates before its
+/// resampling loop gives up and the test errors out.
+pub const MAX_REJECTS_PER_CASE: u32 = 100;
+
+/// Seeds a [`TestRng`] — a free function so the `proptest!` expansion does
+/// not require `rand` traits in the caller's scope.
+pub fn rng_for(seed: u64) -> TestRng {
+    <TestRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// Derives the deterministic seed for one case of one named test: an FNV-1a
+/// hash of the test name mixed with the case index, so each test gets an
+/// independent stream and failures report a reproducible seed.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ ((case as u64) << 1 | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

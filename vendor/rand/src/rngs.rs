@@ -1,0 +1,46 @@
+//! Concrete generators. Only [`StdRng`] is provided.
+
+use crate::{RngCore, SeedableRng};
+
+/// A deterministic pseudo-random generator (xoshiro256++).
+///
+/// API-compatible with `rand::rngs::StdRng` for the operations this
+/// workspace uses. The stream differs from the real `StdRng` (which is
+/// ChaCha-based); all workspace code treats seeds as opaque, so only
+/// per-seed determinism matters.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Expand the seed with SplitMix64, as recommended by the xoshiro
+        // authors, so that low-entropy seeds (0, 1, 2, ...) still produce
+        // well-mixed initial states.
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}

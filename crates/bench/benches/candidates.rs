@@ -60,5 +60,27 @@ fn bench_entity_k_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_index_probe, bench_table_candidates, bench_entity_k_sweep);
+/// Ablation: cosine-rescoring budget (`AnnotatorConfig::rescoring_factor`),
+/// the recall/latency dial on the IDF-overlap shortlist.
+fn bench_rescoring_factor_sweep(c: &mut Criterion) {
+    let f = fixture();
+    let lt = &tables(1, 20, NoiseConfig::web(), 99)[0];
+    let mut g = c.benchmark_group("candidates/rescoring_factor");
+    g.sample_size(20);
+    for factor in [1usize, 3, 6, 12] {
+        let cfg = AnnotatorConfig { rescoring_factor: factor, ..Default::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(factor), &cfg, |b, cfg| {
+            b.iter(|| TableCandidates::build(&f.world.catalog, &f.annotator.index, &lt.table, cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_probe,
+    bench_table_candidates,
+    bench_entity_k_sweep,
+    bench_rescoring_factor_sweep
+);
 criterion_main!(benches);

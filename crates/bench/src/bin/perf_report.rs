@@ -1,0 +1,175 @@
+//! Machine-readable perf tracking for the candidate-generation hot path.
+//!
+//! Runs the `candidates/*` and `annotate/collective` workloads (the phases
+//! Figure 7 attributes ~80% of annotation time to) with a calibrated
+//! wall-clock timer and writes one JSON record per benchmark to
+//! `BENCH_candidates.json` at the repo root, so every PR leaves a perf
+//! data point behind.
+//!
+//! ```text
+//! cargo run --release -p webtable-bench --bin perf_report -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` takes 3 samples per benchmark instead of 25 (CI smoke mode).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use webtable_bench::{fixture, tables};
+use webtable_core::{AnnotatorConfig, CandidateScratch, TableCandidates};
+use webtable_tables::NoiseConfig;
+use webtable_text::ProbeScratch;
+
+/// One measured benchmark.
+struct Record {
+    group: &'static str,
+    bench: String,
+    mean_us: f64,
+    ops_per_sec: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Calibrates `f` so one sample takes ≳2 ms, then measures `samples`
+/// samples and returns the mean µs per call.
+fn measure(samples: usize, mut f: impl FnMut()) -> (f64, u64) {
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed() >= Duration::from_millis(2) || iters >= 1 << 22 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut total = Duration::ZERO;
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        total += t.elapsed();
+    }
+    (total.as_secs_f64() * 1e6 / (samples as u64 * iters) as f64, iters)
+}
+
+fn record(
+    out: &mut Vec<Record>,
+    samples: usize,
+    group: &'static str,
+    bench: &str,
+    f: impl FnMut(),
+) {
+    let (mean_us, iters_per_sample) = measure(samples, f);
+    let ops_per_sec = if mean_us > 0.0 { 1e6 / mean_us } else { f64::INFINITY };
+    eprintln!("{group}/{bench}: mean {mean_us:.2} µs ({ops_per_sec:.0} ops/s)");
+    out.push(Record {
+        group,
+        bench: bench.to_string(),
+        mean_us,
+        ops_per_sec,
+        samples,
+        iters_per_sample,
+    });
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_candidates.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_report [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let samples = if quick { 3 } else { 25 };
+
+    eprintln!("building fixture world + index...");
+    let f = fixture();
+    let index = &f.annotator.index;
+    let catalog = &f.world.catalog;
+    let cfg = AnnotatorConfig::default();
+    let mut records = Vec::new();
+
+    // --- candidates/index_probe: single-query entity probes ---
+    let mut probe = ProbeScratch::new();
+    for (label, text) in [
+        ("exact_person", "Albert Einstein"),
+        ("surname_only", "Einstein"),
+        ("long_title", "The Secret of the Old Clock and Other Mysteries"),
+        ("numeric", "1984"),
+    ] {
+        let doc = index.doc(text);
+        record(&mut records, samples, "candidates/index_probe", label, || {
+            std::hint::black_box(index.entity_candidates_with(
+                std::hint::black_box(&doc),
+                8,
+                cfg.rescoring_factor,
+                &mut probe,
+            ));
+        });
+    }
+
+    // --- candidates/table: full per-table candidate construction ---
+    let mut scratch = CandidateScratch::new();
+    for rows in [5usize, 20, 50] {
+        let lt = &tables(1, rows, NoiseConfig::web(), 7 + rows as u64)[0];
+        record(&mut records, samples, "candidates/table", &rows.to_string(), || {
+            std::hint::black_box(TableCandidates::build_with_scratch(
+                catalog,
+                index,
+                std::hint::black_box(&lt.table),
+                &cfg,
+                &mut scratch,
+            ));
+        });
+    }
+
+    // --- candidates/entity_k: recall/latency budget sweep ---
+    let lt = &tables(1, 20, NoiseConfig::web(), 99)[0];
+    for k in [4usize, 8, 16, 32] {
+        let cfg = AnnotatorConfig { entity_k: k, ..Default::default() };
+        record(&mut records, samples, "candidates/entity_k", &k.to_string(), || {
+            std::hint::black_box(TableCandidates::build_with_scratch(
+                catalog,
+                index,
+                &lt.table,
+                &cfg,
+                &mut scratch,
+            ));
+        });
+    }
+
+    // --- annotate/collective: end-to-end, candidates dominate (Fig. 7) ---
+    for (label, noise) in [("wiki", NoiseConfig::wiki()), ("web", NoiseConfig::web())] {
+        let lt = &tables(1, 25, noise, 17)[0];
+        record(&mut records, samples, "annotate/collective", label, || {
+            std::hint::black_box(f.annotator.annotate(std::hint::black_box(&lt.table)));
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"webtable-perf-report/v1\",\n");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"group\": \"{}\", \"bench\": \"{}\", \"mean_us\": {:.3}, \
+             \"ops_per_sec\": {:.3}, \"samples\": {}, \"iters_per_sample\": {}}}",
+            r.group, r.bench, r.mean_us, r.ops_per_sec, r.samples, r.iters_per_sample
+        );
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write perf report");
+    eprintln!("wrote {out_path} ({} benchmarks)", records.len());
+}

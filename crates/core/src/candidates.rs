@@ -6,18 +6,25 @@
 //! of relations holding between candidate entities of the same row, in
 //! either orientation. Every variable additionally admits the label `na` at
 //! domain index 0.
+//!
+//! Construction is the pipeline's hot phase (~80% of annotation time,
+//! Fig. 7), so it is built to be allocation-light: a [`CandidateScratch`]
+//! carries the index probe scratch, a per-table cell memo (real web tables
+//! repeat the same country/team/year strings across rows — each distinct
+//! cell text is tokenized, probed and profiled exactly once), and reusable
+//! sorted dedup buffers. Batch workers hold one scratch each.
 
 use std::collections::HashMap;
 
 use webtable_catalog::{Catalog, EntityId, RelationId, TypeId};
 use webtable_tables::Table;
-use webtable_text::{LemmaIndex, StringSim, TextDoc};
+use webtable_text::{LemmaIndex, ProbeScratch, StringSim, TextDoc};
 
 use crate::config::AnnotatorConfig;
 
 /// A relation label with orientation: `reversed == false` means column `c1`
 /// holds the relation's left (first schema) type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelLabel {
     /// The catalog relation.
     pub rel: RelationId,
@@ -66,24 +73,68 @@ pub struct TableCandidates {
     pub pairs: Vec<PairCandidates>,
 }
 
+/// Reusable worker state for [`TableCandidates::build_with_scratch`]:
+/// the index probe scratch, the per-table cell-text memo, and sorted
+/// dedup buffers. One per worker; cleared per table.
+#[derive(Debug, Default)]
+pub struct CandidateScratch {
+    probe: ProbeScratch,
+    cell_memo: HashMap<String, CellCandidates>,
+    seen_types: Vec<TypeId>,
+    seen_rels: Vec<RelLabel>,
+}
+
+impl CandidateScratch {
+    /// Creates an empty scratch; buffers grow lazily to steady state.
+    pub fn new() -> CandidateScratch {
+        CandidateScratch::default()
+    }
+}
+
 impl TableCandidates {
-    /// Builds candidate sets for a table.
+    /// Builds candidate sets for a table (one-shot convenience; batch
+    /// callers should reuse a scratch via
+    /// [`build_with_scratch`](TableCandidates::build_with_scratch)).
     pub fn build(
         catalog: &Catalog,
         index: &LemmaIndex,
         table: &Table,
         cfg: &AnnotatorConfig,
     ) -> TableCandidates {
+        TableCandidates::build_with_scratch(
+            catalog,
+            index,
+            table,
+            cfg,
+            &mut CandidateScratch::new(),
+        )
+    }
+
+    /// Builds candidate sets for a table, reusing worker scratch buffers.
+    pub fn build_with_scratch(
+        catalog: &Catalog,
+        index: &LemmaIndex,
+        table: &Table,
+        cfg: &AnnotatorConfig,
+        scratch: &mut CandidateScratch,
+    ) -> TableCandidates {
         let m = table.num_rows();
         let n = table.num_cols();
 
-        // --- cells ---
+        // --- cells (memoized per distinct cell text) ---
+        scratch.cell_memo.clear();
         let mut cells: Vec<Vec<CellCandidates>> = Vec::with_capacity(m);
         for r in 0..m {
             let mut row = Vec::with_capacity(n);
             for c in 0..n {
                 let text = table.cell(r, c);
-                row.push(cell_candidates(index, text, cfg.entity_k, cfg.min_candidate_score));
+                if let Some(hit) = scratch.cell_memo.get(text) {
+                    row.push(hit.clone());
+                } else {
+                    let cc = cell_candidates(index, text, cfg, &mut scratch.probe);
+                    scratch.cell_memo.insert(text.to_string(), cc.clone());
+                    row.push(cc);
+                }
             }
             cells.push(row);
         }
@@ -92,14 +143,24 @@ impl TableCandidates {
         let mut columns = Vec::with_capacity(n);
         for c in 0..n {
             let header_doc = table.header(c).map(|h| index.doc(h));
-            columns.push(column_candidates(catalog, index, &cells, c, header_doc.as_ref(), cfg));
+            columns.push(column_candidates(
+                catalog,
+                index,
+                &cells,
+                c,
+                header_doc.as_ref(),
+                cfg,
+                scratch,
+            ));
         }
 
         // --- pairs ---
         let mut pairs = Vec::new();
         for c1 in 0..n {
             for c2 in (c1 + 1)..n {
-                if let Some(p) = pair_candidates(catalog, &cells, c1, c2, cfg.relation_k) {
+                if let Some(p) =
+                    pair_candidates(catalog, &cells, c1, c2, cfg.relation_k, &mut scratch.seen_rels)
+                {
                     pairs.push(p);
                 }
             }
@@ -129,16 +190,21 @@ impl TableCandidates {
     }
 }
 
-fn cell_candidates(index: &LemmaIndex, text: &str, k: usize, min_score: f64) -> CellCandidates {
+fn cell_candidates(
+    index: &LemmaIndex,
+    text: &str,
+    cfg: &AnnotatorConfig,
+    probe: &mut ProbeScratch,
+) -> CellCandidates {
     let doc = index.doc(text);
     if doc.token_set.is_empty() {
         return CellCandidates { entities: Vec::new(), profiles: Vec::new() };
     }
-    let matches = index.entity_candidates(&doc, k);
+    let matches = index.entity_candidates_with(&doc, cfg.entity_k, cfg.rescoring_factor, probe);
     let mut entities = Vec::with_capacity(matches.len());
     let mut profiles = Vec::with_capacity(matches.len());
     for m in matches {
-        if m.score < min_score {
+        if m.score < cfg.min_candidate_score {
             continue; // only stop-ish token overlap with any lemma
         }
         entities.push(m.id);
@@ -147,6 +213,7 @@ fn cell_candidates(index: &LemmaIndex, text: &str, k: usize, min_score: f64) -> 
     CellCandidates { entities, profiles }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn column_candidates(
     catalog: &Catalog,
     index: &LemmaIndex,
@@ -154,47 +221,51 @@ fn column_candidates(
     c: usize,
     header_doc: Option<&TextDoc>,
     cfg: &AnnotatorConfig,
+    scratch: &mut CandidateScratch,
 ) -> ColumnCandidates {
     // Coverage: how many cells have a candidate entity inside each type.
     let mut coverage: HashMap<TypeId, u32> = HashMap::new();
     for row in cells.iter() {
         let cell = &row[c];
-        let mut seen: Vec<TypeId> = Vec::new();
+        let seen = &mut scratch.seen_types;
+        seen.clear();
         for &e in &cell.entities {
-            for &t in catalog.types_of(e) {
-                if !seen.contains(&t) {
-                    seen.push(t);
-                }
-            }
+            seen.extend_from_slice(catalog.types_of(e));
         }
-        for t in seen {
+        seen.sort_unstable();
+        seen.dedup();
+        for &t in seen.iter() {
             *coverage.entry(t).or_insert(0) += 1;
         }
     }
     // Header text can also propose types directly (e.g. header "Film" when
     // no cell disambiguates).
     if let Some(h) = header_doc {
-        for m in index.type_candidates(h, 8) {
+        for m in index.type_candidates_with(h, 8, cfg.rescoring_factor, &mut scratch.probe) {
             coverage.entry(m.id).or_insert(0);
         }
     }
-    let mut scored: Vec<(TypeId, u32, f64, f64)> = coverage
+    // The full header profile is computed once per coverage type and reused
+    // for the surviving types' `header_profiles`.
+    let mut scored: Vec<(TypeId, u32, StringSim, f64)> = coverage
         .into_iter()
         .map(|(t, cov)| {
-            let header_sim =
-                header_doc.map(|h| index.type_profile(h, t).tfidf_cosine).unwrap_or(0.0);
-            (t, cov, header_sim, catalog.specificity(t))
+            let profile = header_doc.map(|h| index.type_profile(h, t)).unwrap_or_default();
+            (t, cov, profile, catalog.specificity(t))
         })
         .collect();
     // Primary: coverage; then header similarity; then specificity (favor
     // narrow types); id for determinism.
     scored.sort_unstable_by(|a, b| {
-        b.1.cmp(&a.1).then(b.2.total_cmp(&a.2)).then(b.3.total_cmp(&a.3)).then(a.0.cmp(&b.0))
+        b.1.cmp(&a.1)
+            .then(b.2.tfidf_cosine.total_cmp(&a.2.tfidf_cosine))
+            .then(b.3.total_cmp(&a.3))
+            .then(a.0.cmp(&b.0))
     });
     scored.truncate(cfg.type_k);
     let types: Vec<TypeId> = scored.iter().map(|&(t, ..)| t).collect();
     let header_profiles: Vec<StringSim> = match header_doc {
-        Some(h) => types.iter().map(|&t| index.type_profile(h, t)).collect(),
+        Some(_) => scored.iter().map(|&(_, _, p, _)| p).collect(),
         None => vec![StringSim::default(); types.len()],
     };
     ColumnCandidates { types, header_profiles }
@@ -206,28 +277,25 @@ fn pair_candidates(
     c1: usize,
     c2: usize,
     k: usize,
+    seen_this_row: &mut Vec<RelLabel>,
 ) -> Option<PairCandidates> {
     let mut support: HashMap<RelLabel, u32> = HashMap::new();
     for row in cells.iter() {
         let (a, b) = (&row[c1], &row[c2]);
-        let mut seen_this_row: Vec<RelLabel> = Vec::new();
+        seen_this_row.clear();
         for &e1 in &a.entities {
             for &e2 in &b.entities {
                 for &rel in catalog.relations_between(e1, e2) {
-                    let l = RelLabel { rel, reversed: false };
-                    if !seen_this_row.contains(&l) {
-                        seen_this_row.push(l);
-                    }
+                    seen_this_row.push(RelLabel { rel, reversed: false });
                 }
                 for &rel in catalog.relations_between(e2, e1) {
-                    let l = RelLabel { rel, reversed: true };
-                    if !seen_this_row.contains(&l) {
-                        seen_this_row.push(l);
-                    }
+                    seen_this_row.push(RelLabel { rel, reversed: true });
                 }
             }
         }
-        for l in seen_this_row {
+        seen_this_row.sort_unstable();
+        seen_this_row.dedup();
+        for &l in seen_this_row.iter() {
             *support.entry(l).or_insert(0) += 1;
         }
     }
@@ -244,10 +312,270 @@ fn pair_candidates(
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
     use webtable_catalog::{generate_world, WorldConfig};
     use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};
 
     use super::*;
+
+    /// The pre-optimization candidate builder, kept verbatim as the
+    /// equivalence oracle: no cell memo, fresh probe scratch per query,
+    /// `Vec::contains` dedup, header profiles computed twice.
+    mod reference {
+        use super::*;
+
+        pub fn build(
+            catalog: &Catalog,
+            index: &LemmaIndex,
+            table: &Table,
+            cfg: &AnnotatorConfig,
+        ) -> TableCandidates {
+            let m = table.num_rows();
+            let n = table.num_cols();
+            let mut cells: Vec<Vec<CellCandidates>> = Vec::with_capacity(m);
+            for r in 0..m {
+                let mut row = Vec::with_capacity(n);
+                for c in 0..n {
+                    row.push(cell_candidates(index, table.cell(r, c), cfg));
+                }
+                cells.push(row);
+            }
+            let mut columns = Vec::with_capacity(n);
+            for c in 0..n {
+                let header_doc = table.header(c).map(|h| index.doc(h));
+                columns.push(column_candidates(
+                    catalog,
+                    index,
+                    &cells,
+                    c,
+                    header_doc.as_ref(),
+                    cfg,
+                ));
+            }
+            let mut pairs = Vec::new();
+            for c1 in 0..n {
+                for c2 in (c1 + 1)..n {
+                    if let Some(p) = pair_candidates(catalog, &cells, c1, c2, cfg.relation_k) {
+                        pairs.push(p);
+                    }
+                }
+            }
+            TableCandidates { cells, columns, pairs }
+        }
+
+        fn cell_candidates(
+            index: &LemmaIndex,
+            text: &str,
+            cfg: &AnnotatorConfig,
+        ) -> CellCandidates {
+            let doc = index.doc(text);
+            if doc.token_set.is_empty() {
+                return CellCandidates { entities: Vec::new(), profiles: Vec::new() };
+            }
+            let matches = index.entity_candidates_with(
+                &doc,
+                cfg.entity_k,
+                cfg.rescoring_factor,
+                &mut ProbeScratch::new(),
+            );
+            let mut entities = Vec::with_capacity(matches.len());
+            let mut profiles = Vec::with_capacity(matches.len());
+            for m in matches {
+                if m.score < cfg.min_candidate_score {
+                    continue;
+                }
+                entities.push(m.id);
+                profiles.push(index.entity_profile(&doc, m.id));
+            }
+            CellCandidates { entities, profiles }
+        }
+
+        fn column_candidates(
+            catalog: &Catalog,
+            index: &LemmaIndex,
+            cells: &[Vec<CellCandidates>],
+            c: usize,
+            header_doc: Option<&TextDoc>,
+            cfg: &AnnotatorConfig,
+        ) -> ColumnCandidates {
+            let mut coverage: HashMap<TypeId, u32> = HashMap::new();
+            for row in cells.iter() {
+                let cell = &row[c];
+                let mut seen: Vec<TypeId> = Vec::new();
+                for &e in &cell.entities {
+                    for &t in catalog.types_of(e) {
+                        if !seen.contains(&t) {
+                            seen.push(t);
+                        }
+                    }
+                }
+                for t in seen {
+                    *coverage.entry(t).or_insert(0) += 1;
+                }
+            }
+            if let Some(h) = header_doc {
+                let ms = index.type_candidates_with(
+                    h,
+                    8,
+                    cfg.rescoring_factor,
+                    &mut ProbeScratch::new(),
+                );
+                for m in ms {
+                    coverage.entry(m.id).or_insert(0);
+                }
+            }
+            let mut scored: Vec<(TypeId, u32, f64, f64)> = coverage
+                .into_iter()
+                .map(|(t, cov)| {
+                    let header_sim =
+                        header_doc.map(|h| index.type_profile(h, t).tfidf_cosine).unwrap_or(0.0);
+                    (t, cov, header_sim, catalog.specificity(t))
+                })
+                .collect();
+            scored.sort_unstable_by(|a, b| {
+                b.1.cmp(&a.1)
+                    .then(b.2.total_cmp(&a.2))
+                    .then(b.3.total_cmp(&a.3))
+                    .then(a.0.cmp(&b.0))
+            });
+            scored.truncate(cfg.type_k);
+            let types: Vec<TypeId> = scored.iter().map(|&(t, ..)| t).collect();
+            let header_profiles: Vec<StringSim> = match header_doc {
+                Some(h) => types.iter().map(|&t| index.type_profile(h, t)).collect(),
+                None => vec![StringSim::default(); types.len()],
+            };
+            ColumnCandidates { types, header_profiles }
+        }
+
+        fn pair_candidates(
+            catalog: &Catalog,
+            cells: &[Vec<CellCandidates>],
+            c1: usize,
+            c2: usize,
+            k: usize,
+        ) -> Option<PairCandidates> {
+            let mut support: HashMap<RelLabel, u32> = HashMap::new();
+            for row in cells.iter() {
+                let (a, b) = (&row[c1], &row[c2]);
+                let mut seen_this_row: Vec<RelLabel> = Vec::new();
+                for &e1 in &a.entities {
+                    for &e2 in &b.entities {
+                        for &rel in catalog.relations_between(e1, e2) {
+                            let l = RelLabel { rel, reversed: false };
+                            if !seen_this_row.contains(&l) {
+                                seen_this_row.push(l);
+                            }
+                        }
+                        for &rel in catalog.relations_between(e2, e1) {
+                            let l = RelLabel { rel, reversed: true };
+                            if !seen_this_row.contains(&l) {
+                                seen_this_row.push(l);
+                            }
+                        }
+                    }
+                }
+                for l in seen_this_row {
+                    *support.entry(l).or_insert(0) += 1;
+                }
+            }
+            if support.is_empty() {
+                return None;
+            }
+            let mut scored: Vec<(RelLabel, u32)> = support.into_iter().collect();
+            scored.sort_unstable_by(|a, b| {
+                b.1.cmp(&a.1).then(a.0.rel.cmp(&b.0.rel)).then(a.0.reversed.cmp(&b.0.reversed))
+            });
+            scored.truncate(k);
+            Some(PairCandidates { c1, c2, rels: scored.into_iter().map(|(l, _)| l).collect() })
+        }
+    }
+
+    /// Field-wise equality: ids, order, and bit-exact scores/profiles.
+    fn assert_candidates_equal(got: &TableCandidates, want: &TableCandidates) {
+        assert_eq!(got.cells.len(), want.cells.len());
+        for (gr, wr) in got.cells.iter().zip(&want.cells) {
+            for (g, w) in gr.iter().zip(wr) {
+                assert_eq!(g.entities, w.entities);
+                assert_eq!(g.profiles, w.profiles);
+            }
+        }
+        assert_eq!(got.columns.len(), want.columns.len());
+        for (g, w) in got.columns.iter().zip(&want.columns) {
+            assert_eq!(g.types, w.types);
+            assert_eq!(g.header_profiles, w.header_profiles);
+        }
+        assert_eq!(got.pairs.len(), want.pairs.len());
+        for (g, w) in got.pairs.iter().zip(&want.pairs) {
+            assert_eq!((g.c1, g.c2, &g.rels), (w.c1, w.c2, &w.rels));
+        }
+    }
+
+    fn equivalence_world() -> &'static (webtable_catalog::World, LemmaIndex) {
+        static WORLD: std::sync::OnceLock<(webtable_catalog::World, LemmaIndex)> =
+            std::sync::OnceLock::new();
+        WORLD.get_or_init(|| {
+            let w = generate_world(&WorldConfig::tiny(5)).unwrap();
+            let idx = LemmaIndex::build(&w.catalog);
+            (w, idx)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn optimized_build_matches_reference(
+            seed in 0u64..1000,
+            noise_sel in 0usize..3,
+            rows in 2usize..12,
+            entity_k in 2usize..10,
+            rescoring_factor in 1usize..8,
+        ) {
+            let (w, index) = equivalence_world();
+            let noise = [NoiseConfig::clean(), NoiseConfig::web(), NoiseConfig::wiki()]
+                [noise_sel]
+                .clone();
+            let mut g = TableGenerator::new(w, noise, TruthMask::full(), seed);
+            let lt = g.gen_table(rows);
+            let cfg = AnnotatorConfig { entity_k, rescoring_factor, ..Default::default() };
+            // The same scratch serves consecutive tables without bleed-over.
+            let mut scratch = CandidateScratch::new();
+            let fast =
+                TableCandidates::build_with_scratch(&w.catalog, index, &lt.table, &cfg, &mut scratch);
+            let naive = reference::build(&w.catalog, index, &lt.table, &cfg);
+            assert_candidates_equal(&fast, &naive);
+            let again =
+                TableCandidates::build_with_scratch(&w.catalog, index, &lt.table, &cfg, &mut scratch);
+            assert_candidates_equal(&again, &naive);
+        }
+    }
+
+    #[test]
+    fn cell_memo_returns_identical_candidates_for_duplicate_cells() {
+        let (w, index) = equivalence_world();
+        let name = w.catalog.entity_name(w.catalog.entity_ids().next().unwrap()).to_string();
+        let table = webtable_tables::Table::new(
+            webtable_tables::TableId(7),
+            "dup",
+            vec![Some("name".into()), Some("name again".into())],
+            vec![
+                vec![name.clone(), name.clone()],
+                vec![name.clone(), "something else".into()],
+                vec![name.clone(), name.clone()],
+            ],
+        );
+        let cfg = AnnotatorConfig::default();
+        let cands = TableCandidates::build(&w.catalog, index, &table, &cfg);
+        let first = &cands.cells[0][0];
+        assert!(!first.entities.is_empty(), "a real entity name must have candidates");
+        for (r, c) in [(0usize, 1usize), (1, 0), (2, 0), (2, 1)] {
+            assert_eq!(first.entities, cands.cells[r][c].entities, "cell ({r},{c})");
+            assert_eq!(first.profiles, cands.cells[r][c].profiles, "cell ({r},{c})");
+        }
+        // And the memoized path agrees with the unmemoized reference.
+        let naive = reference::build(&w.catalog, index, &table, &cfg);
+        assert_candidates_equal(&cands, &naive);
+    }
 
     #[test]
     fn candidates_cover_ground_truth_on_clean_tables() {

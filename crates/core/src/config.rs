@@ -52,6 +52,10 @@ pub struct AnnotatorConfig {
     /// candidate set. Filters spurious matches that share only stop-ish
     /// tokens ("The", "of") with a lemma.
     pub min_candidate_score: f64,
+    /// How many IDF-overlap index hits are rescored by exact cosine per
+    /// query, as a multiple of the requested `k` (floor of 16). Higher
+    /// trades latency for recall on ambiguous mentions.
+    pub rescoring_factor: usize,
 }
 
 impl Default for AnnotatorConfig {
@@ -65,6 +69,7 @@ impl Default for AnnotatorConfig {
             max_bp_iters: 10,
             bp_tol: 1e-5,
             min_candidate_score: 0.25,
+            rescoring_factor: webtable_text::DEFAULT_RESCORING_FACTOR,
         }
     }
 }
@@ -79,6 +84,7 @@ mod tests {
         assert_eq!(c.entity_k, 8);
         assert_eq!(c.compat, CompatMode::InvSqrtDist);
         assert!(c.missing_link_feature);
+        assert_eq!(c.rescoring_factor, 6);
     }
 
     #[test]

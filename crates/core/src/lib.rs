@@ -39,7 +39,9 @@ pub mod weights;
 
 pub use assignment::{assign_unique, assignment_benefit};
 pub use baselines::{lca, majority, majority_with_threshold, BaselineAnnotation};
-pub use candidates::{CellCandidates, ColumnCandidates, PairCandidates, RelLabel, TableCandidates};
+pub use candidates::{
+    CandidateScratch, CellCandidates, ColumnCandidates, PairCandidates, RelLabel, TableCandidates,
+};
 pub use config::{AnnotatorConfig, CompatMode};
 pub use infer::{annotate_collective, annotate_simple};
 pub use model::TableModel;

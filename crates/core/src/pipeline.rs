@@ -9,7 +9,7 @@ use webtable_catalog::Catalog;
 use webtable_tables::Table;
 use webtable_text::LemmaIndex;
 
-use crate::candidates::TableCandidates;
+use crate::candidates::{CandidateScratch, TableCandidates};
 use crate::config::AnnotatorConfig;
 use crate::model::TableModel;
 use crate::result::{PhaseTimings, TableAnnotation};
@@ -66,8 +66,25 @@ impl Annotator {
 
     /// Annotates one table collectively, reporting phase timings.
     pub fn annotate_timed(&self, table: &Table) -> (TableAnnotation, PhaseTimings) {
+        self.annotate_timed_with_scratch(table, &mut CandidateScratch::new())
+    }
+
+    /// [`annotate_timed`](Annotator::annotate_timed) reusing caller-owned
+    /// candidate scratch, so steady-state batch annotation stays
+    /// allocation-light. Output is identical to the one-shot path.
+    pub fn annotate_timed_with_scratch(
+        &self,
+        table: &Table,
+        scratch: &mut CandidateScratch,
+    ) -> (TableAnnotation, PhaseTimings) {
         let t0 = Instant::now();
-        let cands = TableCandidates::build(&self.catalog, &self.index, table, &self.config);
+        let cands = TableCandidates::build_with_scratch(
+            &self.catalog,
+            &self.index,
+            table,
+            &self.config,
+            scratch,
+        );
         let t1 = Instant::now();
         let model = TableModel::build(&self.catalog, &self.config, &self.weights, table, cands);
         let t2 = Instant::now();
@@ -117,20 +134,29 @@ impl Annotator {
     ) -> Vec<(TableAnnotation, PhaseTimings)> {
         let threads = threads.max(1);
         if threads == 1 || tables.len() < 2 {
-            return tables.iter().map(|t| self.annotate_timed(t)).collect();
+            let mut scratch = CandidateScratch::new();
+            return tables
+                .iter()
+                .map(|t| self.annotate_timed_with_scratch(t, &mut scratch))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<(TableAnnotation, PhaseTimings)>>> =
             (0..tables.len()).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..threads.min(tables.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tables.len() {
-                        break;
+                scope.spawn(|| {
+                    // One scratch per worker: probes and dedup buffers reach
+                    // steady state after the first few tables.
+                    let mut scratch = CandidateScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tables.len() {
+                            break;
+                        }
+                        let out = self.annotate_timed_with_scratch(&tables[i], &mut scratch);
+                        *slots[i].lock().expect("slot lock poisoned") = Some(out);
                     }
-                    let out = self.annotate_timed(&tables[i]);
-                    *slots[i].lock().expect("slot lock poisoned") = Some(out);
                 });
             }
         });

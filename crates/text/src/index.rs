@@ -9,8 +9,19 @@
 //! The paper reports that ~80% of total annotation time is spent probing
 //! this index and computing string similarities (§6.1.2, Fig. 7); the
 //! pipeline instruments this phase separately so the claim can be checked.
+//!
+//! ## Layout and the probe hot path
+//!
+//! Postings are stored in CSR form (one offset table plus one flat `u32`
+//! array), split by [`RefKind`] at build time, so a probe walks a single
+//! contiguous slice per query token with no per-posting kind check. Query
+//! accumulation uses an epoch-stamped dense scratch ([`ProbeScratch`])
+//! instead of a hash map, and the overlap shortlist is selected with
+//! `select_nth_unstable_by` rather than a full sort. Callers on a hot path
+//! should hold one `ProbeScratch` per worker and use the `*_with` variants;
+//! the plain query methods fall back to a thread-local scratch.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
 
 use webtable_catalog::{Catalog, EntityId, TypeId};
 
@@ -47,22 +58,123 @@ pub struct Match<Id> {
     pub score: f64,
 }
 
+/// A CSR (compressed sparse row) map from a dense `u32` key to a flat slice
+/// of `u32` values: `values[offsets[k]..offsets[k+1]]`.
+#[derive(Debug, Clone)]
+struct Csr {
+    offsets: Vec<u32>,
+    values: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from `(key, value)` pairs yielded in value order per key.
+    fn build(num_keys: usize, pairs: impl Iterator<Item = (u32, u32)> + Clone) -> Csr {
+        let mut counts = vec![0u32; num_keys];
+        for (k, _) in pairs.clone() {
+            counts[k as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_keys + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            total += c;
+            offsets.push(total);
+        }
+        let mut cursor: Vec<u32> = offsets[..num_keys].to_vec();
+        let mut values = vec![0u32; total as usize];
+        for (k, v) in pairs {
+            let slot = &mut cursor[k as usize];
+            values[*slot as usize] = v;
+            *slot += 1;
+        }
+        Csr { offsets, values }
+    }
+
+    #[inline]
+    fn row(&self, key: u32) -> &[u32] {
+        let k = key as usize;
+        if k + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.values[self.offsets[k] as usize..self.offsets[k + 1] as usize]
+    }
+}
+
+/// Reusable per-worker query state for [`LemmaIndex`] probes.
+///
+/// Holds an epoch-stamped dense accumulator (`score`/`stamp`) sized to the
+/// number of indexed lemmas, plus small shortlist/dedup workspaces, so a
+/// steady-state probe performs no heap allocation. One scratch may be used
+/// against any number of indexes (it grows to the largest).
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    score: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    touched: Vec<u32>,
+    hits: Vec<(u32, f64)>,
+    owners: Vec<(u32, f64)>,
+}
+
+impl ProbeScratch {
+    /// Creates an empty scratch; it grows lazily on first use.
+    pub fn new() -> ProbeScratch {
+        ProbeScratch::default()
+    }
+
+    /// Starts a new query epoch over `num_lemmas` accumulator slots.
+    fn begin(&mut self, num_lemmas: usize) {
+        if self.stamp.len() < num_lemmas {
+            self.stamp.resize(num_lemmas, 0);
+            self.score.resize(num_lemmas, 0.0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One wrap every 2^32 queries: reset stamps so stale epochs
+            // can never alias the new one.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn accumulate(&mut self, li: u32, idf: f64) {
+        let slot = li as usize;
+        if self.stamp[slot] == self.epoch {
+            self.score[slot] += idf;
+        } else {
+            self.stamp[slot] = self.epoch;
+            self.score[slot] = idf;
+            self.touched.push(li);
+        }
+    }
+}
+
+thread_local! {
+    /// Fallback scratch for the convenience query methods.
+    static SHARED_SCRATCH: RefCell<ProbeScratch> = RefCell::new(ProbeScratch::new());
+}
+
 /// Inverted index over catalog lemmas. Immutable after construction.
 #[derive(Debug)]
 pub struct LemmaIndex {
     engine: SimEngine,
     lemmas: Vec<IndexedLemma>,
-    /// token id → lemma indices (sorted, deduplicated).
-    postings: Vec<Vec<u32>>,
-    /// entity id → its lemma indices.
-    entity_lemmas: Vec<Vec<u32>>,
-    /// type id → its lemma indices.
-    type_lemmas: Vec<Vec<u32>>,
+    /// token id → entity-lemma indices (CSR, ascending per token).
+    entity_postings: Csr,
+    /// token id → type-lemma indices (CSR, ascending per token).
+    type_postings: Csr,
+    /// entity id → its lemma indices (CSR).
+    entity_lemmas: Csr,
+    /// type id → its lemma indices (CSR).
+    type_lemmas: Csr,
 }
 
-/// How many IDF-overlap hits are rescored exactly per query, as a multiple
-/// of the requested `k`.
-const RESCORING_FACTOR: usize = 6;
+/// Default number of IDF-overlap hits rescored exactly per query, as a
+/// multiple of the requested `k`. Overridable per query via the `*_with`
+/// methods (plumbed from `AnnotatorConfig::rescoring_factor` upstream).
+pub const DEFAULT_RESCORING_FACTOR: usize = 6;
 
 impl LemmaIndex {
     /// Builds the index over every entity and type lemma of a catalog.
@@ -84,25 +196,35 @@ impl LemmaIndex {
         }
         let engine = builder.freeze();
 
-        let mut lemmas = Vec::with_capacity(raw.len());
-        let mut postings: Vec<Vec<u32>> = vec![Vec::new(); engine.vocab().len()];
-        let mut entity_lemmas: Vec<Vec<u32>> = vec![Vec::new(); cat.num_entities()];
-        let mut type_lemmas: Vec<Vec<u32>> = vec![Vec::new(); cat.num_types()];
-        for (kind, owner, text) in raw {
-            let doc = engine.doc(&text);
-            let lemma_idx = lemmas.len() as u32;
-            for &tok in &doc.token_set {
-                if !Vocab::is_oov(tok) {
-                    postings[tok as usize].push(lemma_idx);
-                }
-            }
-            match kind {
-                RefKind::Entity => entity_lemmas[owner as usize].push(lemma_idx),
-                RefKind::Type => type_lemmas[owner as usize].push(lemma_idx),
-            }
-            lemmas.push(IndexedLemma { kind, owner, doc });
-        }
-        LemmaIndex { engine, lemmas, postings, entity_lemmas, type_lemmas }
+        let lemmas: Vec<IndexedLemma> = raw
+            .into_iter()
+            .map(|(kind, owner, text)| IndexedLemma { kind, owner, doc: engine.doc(&text) })
+            .collect();
+
+        let token_pairs = |want: RefKind| {
+            lemmas.iter().enumerate().filter(move |(_, l)| l.kind == want).flat_map(|(li, l)| {
+                l.doc
+                    .token_set
+                    .iter()
+                    .filter(|&&tok| !Vocab::is_oov(tok))
+                    .map(move |&tok| (tok, li as u32))
+            })
+        };
+        let vocab_len = engine.vocab().len();
+        let entity_postings = Csr::build(vocab_len, token_pairs(RefKind::Entity));
+        let type_postings = Csr::build(vocab_len, token_pairs(RefKind::Type));
+
+        let owner_pairs = |want: RefKind| {
+            lemmas
+                .iter()
+                .enumerate()
+                .filter(move |(_, l)| l.kind == want)
+                .map(|(li, l)| (l.owner, li as u32))
+        };
+        let entity_lemmas = Csr::build(cat.num_entities(), owner_pairs(RefKind::Entity));
+        let type_lemmas = Csr::build(cat.num_types(), owner_pairs(RefKind::Type));
+
+        LemmaIndex { engine, lemmas, entity_postings, type_postings, entity_lemmas, type_lemmas }
     }
 
     /// The similarity engine (frozen vocabulary + IDF).
@@ -120,77 +242,126 @@ impl LemmaIndex {
         self.engine.doc(text)
     }
 
-    /// Raw scored lemma hits: IDF-overlap shortlist rescored by cosine.
-    fn lemma_hits(&self, query: &TextDoc, kind: RefKind, shortlist: usize) -> Vec<(u32, f64)> {
-        // Accumulate IDF overlap per lemma.
-        let mut acc: HashMap<u32, f64> = HashMap::new();
+    /// Raw scored lemma hits into `scratch.hits`: IDF-overlap shortlist
+    /// (bounded top-`shortlist` selection) rescored by exact cosine, sorted
+    /// best-first with ties broken by lemma id.
+    fn lemma_hits_into(
+        &self,
+        query: &TextDoc,
+        kind: RefKind,
+        shortlist: usize,
+        scratch: &mut ProbeScratch,
+    ) {
+        scratch.begin(self.lemmas.len());
+        let postings = match kind {
+            RefKind::Entity => &self.entity_postings,
+            RefKind::Type => &self.type_postings,
+        };
         for &tok in &query.token_set {
             if Vocab::is_oov(tok) {
                 continue;
             }
             let idf = self.engine.idf().idf(tok);
-            if let Some(post) = self.postings.get(tok as usize) {
-                for &li in post {
-                    if self.lemmas[li as usize].kind == kind {
-                        *acc.entry(li).or_insert(0.0) += idf;
-                    }
-                }
+            for &li in postings.row(tok) {
+                scratch.accumulate(li, idf);
             }
         }
-        let mut hits: Vec<(u32, f64)> = acc.into_iter().collect();
-        // Shortlist by overlap, then rescore by exact cosine.
-        hits.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        hits.truncate(shortlist);
+        let (touched, score, hits) = (&scratch.touched, &scratch.score, &mut scratch.hits);
+        hits.clear();
+        hits.extend(touched.iter().map(|&li| (li, score[li as usize])));
+        let by_score_then_id =
+            |a: &(u32, f64), b: &(u32, f64)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
+        // Bounded selection: only the surviving shortlist is ever sorted.
+        if hits.len() > shortlist && shortlist > 0 {
+            hits.select_nth_unstable_by(shortlist - 1, by_score_then_id);
+            hits.truncate(shortlist);
+        }
         for (li, score) in hits.iter_mut() {
             *score = cosine(&query.vec, &self.lemmas[*li as usize].doc.vec);
         }
-        hits.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        hits
+        hits.sort_unstable_by(by_score_then_id);
     }
 
     /// Top-`k` candidate entities for a mention text (§4.3's `E_rc`),
     /// deduplicated by entity, scored by best lemma cosine, ties broken by
-    /// id for determinism.
+    /// id for determinism. Uses a thread-local scratch and the default
+    /// rescoring factor; hot paths should prefer [`entity_candidates_with`].
+    ///
+    /// [`entity_candidates_with`]: LemmaIndex::entity_candidates_with
     pub fn entity_candidates(&self, query: &TextDoc, k: usize) -> Vec<Match<EntityId>> {
-        self.owner_candidates(query, RefKind::Entity, k)
-            .into_iter()
-            .map(|(owner, score)| Match { id: EntityId(owner), score })
-            .collect()
+        SHARED_SCRATCH.with(|s| {
+            self.entity_candidates_with(query, k, DEFAULT_RESCORING_FACTOR, &mut s.borrow_mut())
+        })
     }
 
     /// Top-`k` candidate types for a header text, deduplicated by type.
+    /// Thread-local scratch variant of [`type_candidates_with`].
+    ///
+    /// [`type_candidates_with`]: LemmaIndex::type_candidates_with
     pub fn type_candidates(&self, query: &TextDoc, k: usize) -> Vec<Match<TypeId>> {
-        self.owner_candidates(query, RefKind::Type, k)
-            .into_iter()
-            .map(|(owner, score)| Match { id: TypeId(owner), score })
-            .collect()
+        SHARED_SCRATCH.with(|s| {
+            self.type_candidates_with(query, k, DEFAULT_RESCORING_FACTOR, &mut s.borrow_mut())
+        })
     }
 
-    fn owner_candidates(&self, query: &TextDoc, kind: RefKind, k: usize) -> Vec<(u32, f64)> {
-        let hits = self.lemma_hits(query, kind, k.saturating_mul(RESCORING_FACTOR).max(16));
-        let mut best: HashMap<u32, f64> = HashMap::new();
-        for (li, score) in hits {
-            let owner = self.lemmas[li as usize].owner;
-            let slot = best.entry(owner).or_insert(f64::NEG_INFINITY);
-            if score > *slot {
-                *slot = score;
-            }
-        }
-        let mut out: Vec<(u32, f64)> = best.into_iter().collect();
-        out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        out.truncate(k);
-        out
+    /// [`entity_candidates`](LemmaIndex::entity_candidates) with an explicit
+    /// rescoring factor and caller-owned scratch (allocation-free in steady
+    /// state).
+    pub fn entity_candidates_with(
+        &self,
+        query: &TextDoc,
+        k: usize,
+        rescoring_factor: usize,
+        scratch: &mut ProbeScratch,
+    ) -> Vec<Match<EntityId>> {
+        self.owner_candidates(query, RefKind::Entity, k, rescoring_factor, scratch);
+        scratch.owners.iter().map(|&(owner, score)| Match { id: EntityId(owner), score }).collect()
+    }
+
+    /// [`type_candidates`](LemmaIndex::type_candidates) with an explicit
+    /// rescoring factor and caller-owned scratch.
+    pub fn type_candidates_with(
+        &self,
+        query: &TextDoc,
+        k: usize,
+        rescoring_factor: usize,
+        scratch: &mut ProbeScratch,
+    ) -> Vec<Match<TypeId>> {
+        self.owner_candidates(query, RefKind::Type, k, rescoring_factor, scratch);
+        scratch.owners.iter().map(|&(owner, score)| Match { id: TypeId(owner), score }).collect()
+    }
+
+    /// Leaves the top-`k` `(owner, score)` pairs in `scratch.owners`.
+    fn owner_candidates(
+        &self,
+        query: &TextDoc,
+        kind: RefKind,
+        k: usize,
+        rescoring_factor: usize,
+        scratch: &mut ProbeScratch,
+    ) {
+        let shortlist = k.saturating_mul(rescoring_factor).max(16);
+        self.lemma_hits_into(query, kind, shortlist, scratch);
+        let (hits, owners) = (&scratch.hits, &mut scratch.owners);
+        owners.clear();
+        owners.extend(hits.iter().map(|&(li, score)| (self.lemmas[li as usize].owner, score)));
+        // Best score per owner: group by owner (score descending within a
+        // group), keep the head of each group.
+        owners.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.total_cmp(&a.1)));
+        owners.dedup_by_key(|p| p.0);
+        owners.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        owners.truncate(k);
     }
 
     /// Full similarity profile between a query and an entity: element-wise
     /// max over the entity's lemmas — `max_{ℓ∈L(E)} sim(D_rc, ℓ)` (§4.2.1).
     pub fn entity_profile(&self, query: &TextDoc, e: EntityId) -> StringSim {
-        self.best_profile(query, &self.entity_lemmas[e.index()])
+        self.best_profile(query, self.entity_lemmas.row(e.raw()))
     }
 
     /// Full similarity profile between a query and a type's lemmas (§4.2.2).
     pub fn type_profile(&self, query: &TextDoc, t: TypeId) -> StringSim {
-        self.best_profile(query, &self.type_lemmas[t.index()])
+        self.best_profile(query, self.type_lemmas.row(t.raw()))
     }
 
     fn best_profile(&self, query: &TextDoc, lemma_idxs: &[u32]) -> StringSim {
@@ -205,7 +376,10 @@ impl LemmaIndex {
 
 #[cfg(test)]
 mod tests {
-    use webtable_catalog::{Cardinality, CatalogBuilder};
+    use std::collections::HashMap;
+
+    use proptest::prelude::*;
+    use webtable_catalog::{generate_world, Cardinality, CatalogBuilder, WorldConfig};
 
     use super::*;
 
@@ -310,5 +484,132 @@ mod tests {
         // 5 entities with 3+2+2+1+2 = 10 lemmas; types: person(2), physicist(1),
         // book(2) = 5. (The root type contributes its own lemma when synthesized.)
         assert!(idx.num_lemmas() >= 15, "{}", idx.num_lemmas());
+    }
+
+    #[test]
+    fn explicit_scratch_matches_thread_local_path() {
+        let cat = small_catalog();
+        let idx = LemmaIndex::build(&cat);
+        let mut scratch = ProbeScratch::new();
+        for text in ["Albert Einstein", "Relativity", "people", "zzz"] {
+            let q = idx.doc(text);
+            assert_eq!(
+                idx.entity_candidates(&q, 5),
+                idx.entity_candidates_with(&q, 5, DEFAULT_RESCORING_FACTOR, &mut scratch),
+            );
+            assert_eq!(
+                idx.type_candidates(&q, 5),
+                idx.type_candidates_with(&q, 5, DEFAULT_RESCORING_FACTOR, &mut scratch),
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_survives_epoch_wraparound() {
+        let cat = small_catalog();
+        let idx = LemmaIndex::build(&cat);
+        let q = idx.doc("Albert Einstein");
+        let mut scratch = ProbeScratch::new();
+        let fresh = idx.entity_candidates_with(&q, 5, DEFAULT_RESCORING_FACTOR, &mut scratch);
+        scratch.epoch = u32::MAX; // next begin() wraps to 0 and resets
+        let wrapped = idx.entity_candidates_with(&q, 5, DEFAULT_RESCORING_FACTOR, &mut scratch);
+        assert_eq!(fresh, wrapped);
+        let again = idx.entity_candidates_with(&q, 5, DEFAULT_RESCORING_FACTOR, &mut scratch);
+        assert_eq!(fresh, again);
+    }
+
+    /// The pre-CSR implementation, kept verbatim as the equivalence oracle:
+    /// hash-map IDF accumulation over a lemma scan, full sorts, hash-map
+    /// owner dedup. The optimized path must match it bit for bit.
+    fn naive_owner_candidates(
+        idx: &LemmaIndex,
+        query: &TextDoc,
+        kind: RefKind,
+        k: usize,
+        rescoring_factor: usize,
+    ) -> Vec<(u32, f64)> {
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        for &tok in &query.token_set {
+            if Vocab::is_oov(tok) {
+                continue;
+            }
+            let idf = idx.engine.idf().idf(tok);
+            for (li, lemma) in idx.lemmas.iter().enumerate() {
+                if lemma.kind == kind && lemma.doc.token_set.binary_search(&tok).is_ok() {
+                    *acc.entry(li as u32).or_insert(0.0) += idf;
+                }
+            }
+        }
+        let mut hits: Vec<(u32, f64)> = acc.into_iter().collect();
+        hits.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits.truncate(k.saturating_mul(rescoring_factor).max(16));
+        for (li, score) in hits.iter_mut() {
+            *score = cosine(&query.vec, &idx.lemmas[*li as usize].doc.vec);
+        }
+        hits.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut best: HashMap<u32, f64> = HashMap::new();
+        for (li, score) in hits {
+            let owner = idx.lemmas[li as usize].owner;
+            let slot = best.entry(owner).or_insert(f64::NEG_INFINITY);
+            if score > *slot {
+                *slot = score;
+            }
+        }
+        let mut out: Vec<(u32, f64)> = best.into_iter().collect();
+        out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    fn assert_matches_naive(idx: &LemmaIndex, scratch: &mut ProbeScratch, text: &str, k: usize) {
+        let q = idx.doc(text);
+        for factor in [1usize, 6] {
+            let fast: Vec<(u32, f64)> = idx
+                .entity_candidates_with(&q, k, factor, scratch)
+                .into_iter()
+                .map(|m| (m.id.raw(), m.score))
+                .collect();
+            let naive = naive_owner_candidates(idx, &q, RefKind::Entity, k, factor);
+            assert_eq!(fast, naive, "entities diverge for {text:?} k={k} factor={factor}");
+            let fast: Vec<(u32, f64)> = idx
+                .type_candidates_with(&q, k, factor, scratch)
+                .into_iter()
+                .map(|m| (m.id.raw(), m.score))
+                .collect();
+            let naive = naive_owner_candidates(idx, &q, RefKind::Type, k, factor);
+            assert_eq!(fast, naive, "types diverge for {text:?} k={k} factor={factor}");
+        }
+    }
+
+    #[test]
+    fn optimized_probe_matches_naive_on_generated_world() {
+        let w = generate_world(&WorldConfig::tiny(13)).unwrap();
+        let idx = LemmaIndex::build(&w.catalog);
+        let mut scratch = ProbeScratch::new();
+        // Real lemma texts plus adversarial junk queries.
+        let mut queries: Vec<String> =
+            w.catalog.entity_ids().take(20).map(|e| w.catalog.entity_name(e).to_string()).collect();
+        queries.extend(["the of and".into(), "1984".into(), "zzz unseen".into(), "".into()]);
+        for text in &queries {
+            for k in [1usize, 3, 8] {
+                assert_matches_naive(&idx, &mut scratch, text, k);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn optimized_probe_matches_naive_on_random_queries(
+            words in proptest::collection::vec("[a-e]{1,6}", 0..6),
+            k in 1usize..12,
+        ) {
+            let cat = small_catalog();
+            let idx = LemmaIndex::build(&cat);
+            let mut scratch = ProbeScratch::new();
+            let text = words.join(" ");
+            assert_matches_naive(&idx, &mut scratch, &text, k);
+        }
     }
 }

@@ -57,29 +57,69 @@ pub fn containment(a: &[u32], b: &[u32]) -> f64 {
     intersection_size(a, b) as f64 / a.len() as f64
 }
 
+/// Stack-buffer capacity for the allocation-free similarity fast paths;
+/// strings whose (char) lengths exceed this fall back to heap buffers.
+const STACK_LEN: usize = 64;
+
 /// Levenshtein edit distance (unit costs), O(|a|·|b|) time, O(min) space.
+///
+/// ASCII inputs run directly on byte slices (no `Vec<char>` allocation) and
+/// short strings use a stack DP row; a shared prefix/suffix is stripped
+/// first, so equal or near-equal strings exit almost immediately.
 pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if a == b {
+        return 0;
+    }
+    if a.is_ascii() && b.is_ascii() {
+        levenshtein_slices(a.as_bytes(), b.as_bytes())
+    } else {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        levenshtein_slices(&a, &b)
+    }
+}
+
+fn levenshtein_slices<T: PartialEq>(mut a: &[T], mut b: &[T]) -> usize {
+    // A shared prefix or suffix never contributes edits.
+    let pre = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    (a, b) = (&a[pre..], &b[pre..]);
+    let suf = a.iter().rev().zip(b.iter().rev()).take_while(|(x, y)| x == y).count();
+    (a, b) = (&a[..a.len() - suf], &b[..b.len() - suf]);
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if short.is_empty() {
         return long.len();
     }
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut cur = vec![0usize; short.len() + 1];
-    for (i, &lc) in long.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, &sc) in short.iter().enumerate() {
-            let sub = prev[j] + usize::from(lc != sc);
-            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+    if short.len() < STACK_LEN {
+        let mut row = [0usize; STACK_LEN];
+        for (i, slot) in row[..=short.len()].iter_mut().enumerate() {
+            *slot = i;
         }
-        std::mem::swap(&mut prev, &mut cur);
+        levenshtein_rows(long, short, &mut row)
+    } else {
+        let mut row: Vec<usize> = (0..=short.len()).collect();
+        levenshtein_rows(long, short, &mut row)
     }
-    prev[short.len()]
+}
+
+/// Single-row DP: `row` holds `0..=short.len()` on entry.
+fn levenshtein_rows<T: PartialEq>(long: &[T], short: &[T], row: &mut [usize]) -> usize {
+    for (i, lc) in long.iter().enumerate() {
+        let mut diag = row[0];
+        row[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let sub = diag + usize::from(lc != sc);
+            diag = row[j + 1];
+            row[j + 1] = sub.min(diag + 1).min(row[j] + 1);
+        }
+    }
+    row[short.len()]
 }
 
 /// Normalized edit similarity `1 - lev/max(|a|,|b|)` in `[0,1]`.
 pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
     let max = a.chars().count().max(b.chars().count());
     if max == 0 {
         return 1.0;
@@ -87,47 +127,101 @@ pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
     1.0 - levenshtein(a, b) as f64 / max as f64
 }
 
-/// Jaro similarity in `[0,1]`.
+/// Jaro similarity in `[0,1]`. ASCII inputs run on byte slices and short
+/// strings use stack match buffers — no allocation on the common path.
 pub fn jaro(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    if a.is_ascii() && b.is_ascii() {
+        jaro_slices(a.as_bytes(), b.as_bytes())
+    } else {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        jaro_slices(&a, &b)
+    }
+}
+
+fn jaro_slices<T: PartialEq + Copy>(a: &[T], b: &[T]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
+    if a.len() < STACK_LEN && b.len() < STACK_LEN {
+        let mut b_used = [false; STACK_LEN];
+        let mut b_matches = [0usize; STACK_LEN];
+        jaro_matched(a, b, &mut b_used[..b.len()], &mut b_matches)
+    } else {
+        let mut b_used = vec![false; b.len()];
+        let mut b_matches = vec![0usize; a.len().min(b.len())];
+        jaro_matched(a, b, &mut b_used, &mut b_matches)
+    }
+}
+
+/// Core Jaro over match scratch: `b_used` is `false`-initialized and at
+/// least `b.len()` long; `b_matches` holds matched b-indices in a-order.
+fn jaro_matched<T: PartialEq + Copy>(
+    a: &[T],
+    b: &[T],
+    b_used: &mut [bool],
+    b_matches: &mut [usize],
+) -> f64 {
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_used = vec![false; b.len()];
-    let mut matches_a = Vec::with_capacity(a.len());
+    let mut m = 0usize;
     for (i, &ca) in a.iter().enumerate() {
-        let lo = i.saturating_sub(window);
+        let lo = i.saturating_sub(window).min(b.len());
         let hi = (i + window + 1).min(b.len());
-        for j in lo..hi {
-            if !b_used[j] && b[j] == ca {
-                b_used[j] = true;
-                matches_a.push((i, j));
+        for (j, used) in b_used[lo..hi].iter_mut().enumerate() {
+            if !*used && b[lo + j] == ca {
+                *used = true;
+                b_matches[m] = lo + j;
+                m += 1;
                 break;
             }
         }
     }
-    let m = matches_a.len();
     if m == 0 {
         return 0.0;
     }
     // Transpositions: matched characters out of order.
-    let mut b_matches: Vec<usize> = matches_a.iter().map(|&(_, j)| j).collect();
-    let t = {
-        let sorted = {
-            let mut s = b_matches.clone();
-            s.sort_unstable();
-            s
+    let t = if b_matches[..m].windows(2).all(|w| w[0] <= w[1]) {
+        0
+    } else {
+        let mut sorted = [0usize; STACK_LEN];
+        let sorted: &mut [usize] = if m <= STACK_LEN {
+            &mut sorted[..m]
+        } else {
+            return jaro_finish_heap(a, b, &b_matches[..m]);
         };
-        b_matches.iter().zip(&sorted).filter(|(x, y)| x != y).count() / 2
+        sorted.copy_from_slice(&b_matches[..m]);
+        sorted.sort_unstable();
+        b_matches[..m].iter().zip(sorted.iter()).filter(|(x, y)| x != y).count() / 2
     };
-    b_matches.clear();
     let m = m as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t as f64) / m) / 3.0
+}
+
+/// Transposition count with a heap-sorted copy (long-string fallback).
+fn jaro_finish_heap<T>(a: &[T], b: &[T], b_matches: &[usize]) -> f64 {
+    let mut sorted = b_matches.to_vec();
+    sorted.sort_unstable();
+    let t = b_matches.iter().zip(&sorted).filter(|(x, y)| x != y).count() / 2;
+    let m = b_matches.len() as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t as f64) / m) / 3.0
+}
+
+/// Cheap upper bound on [`jaro_winkler`] from character counts alone.
+///
+/// With `m ≤ min(|a|,|b|)` matches, `jaro ≤ (m/|a| + m/|b| + 1)/3`, and the
+/// Winkler boost lifts a score `j` to at most `j + 0.4·(1−j)`. Callers that
+/// compare against a threshold (e.g. the soft-TFIDF matcher) can skip the
+/// full computation whenever this bound already falls below it.
+pub fn jaro_winkler_upper_bound(a_len: usize, b_len: usize) -> f64 {
+    if a_len == 0 && b_len == 0 {
+        return 1.0;
+    }
+    let m = a_len.min(b_len) as f64;
+    let ub = (m / a_len.max(1) as f64 + m / b_len.max(1) as f64 + 1.0) / 3.0;
+    ub + 0.4 * (1.0 - ub)
 }
 
 /// Jaro-Winkler similarity: Jaro boosted by shared prefix (≤4 chars, 0.1 scale).

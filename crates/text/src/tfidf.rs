@@ -131,24 +131,40 @@ pub fn soft_tfidf_with_oov(
     b_oov: &[(u32, String)],
     threshold: f64,
 ) -> f64 {
-    let resolve = |tok: u32, oov: &[(u32, String)]| -> Option<String> {
+    fn resolve<'v>(vocab: &'v Vocab, tok: u32, oov: &'v [(u32, String)]) -> Option<&'v str> {
         if let Some(w) = vocab.word(tok) {
-            return Some(w.to_string());
+            return Some(w);
         }
-        oov.iter().find(|(t, _)| *t == tok).map(|(_, s)| s.clone())
-    };
+        oov.iter().find(|(t, _)| *t == tok).map(|(_, s)| s.as_str())
+    }
+    // Resolve each b-side token (and its char count) once, not once per
+    // (a, b) pair — the loop below is quadratic in token counts.
+    let b_resolved: Vec<(Option<&str>, usize)> = b
+        .pairs
+        .iter()
+        .map(|&(tb, _)| {
+            let s = resolve(vocab, tb, b_oov);
+            (s, s.map_or(0, |s| s.chars().count()))
+        })
+        .collect();
     let mut sim = 0.0f64;
     for &(ta, wa) in &a.pairs {
         let mut best = 0.0f64;
         let mut best_w = 0.0f64;
-        let sa = resolve(ta, a_oov);
-        for &(tb, wb) in &b.pairs {
+        let sa = resolve(vocab, ta, a_oov);
+        let sa_len = sa.map_or(0, |s| s.chars().count());
+        for (&(tb, wb), &(sb, sb_len)) in b.pairs.iter().zip(&b_resolved) {
             if ta == tb {
                 best = 1.0;
                 best_w = wb as f64;
                 break;
             }
-            if let (Some(sa), Some(sb)) = (sa.as_deref(), resolve(tb, b_oov).as_deref()) {
+            if let (Some(sa), Some(sb)) = (sa, sb) {
+                // A length ratio alone can put Jaro-Winkler below the
+                // threshold; skip the full O(|sa|·|sb|) match when so.
+                if crate::sim::jaro_winkler_upper_bound(sa_len, sb_len) < threshold {
+                    continue;
+                }
                 let s = jaro_winkler(sa, sb);
                 if s >= threshold && s > best {
                     best = s;

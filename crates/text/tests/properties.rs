@@ -32,6 +32,23 @@ proptest! {
     }
 
     #[test]
+    fn levenshtein_fast_paths_match_reference(a in "\\PC{0,16}", b in "\\PC{0,16}") {
+        prop_assert_eq!(sim::levenshtein(&a, &b), reference_levenshtein(&a, &b));
+    }
+
+    #[test]
+    fn jaro_fast_paths_match_reference(a in "\\PC{0,16}", b in "\\PC{0,16}") {
+        prop_assert!((sim::jaro(&a, &b) - reference_jaro(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_winkler_upper_bound_is_sound(a in "\\PC{0,20}", b in "\\PC{0,20}") {
+        let bound = sim::jaro_winkler_upper_bound(a.chars().count(), b.chars().count());
+        prop_assert!(sim::jaro_winkler(&a, &b) <= bound + 1e-12,
+            "bound {} below actual for {a:?} vs {b:?}", bound);
+    }
+
+    #[test]
     fn set_measures_bounds(xs in proptest::collection::vec(0u32..50, 0..12),
                            ys in proptest::collection::vec(0u32..50, 0..12)) {
         let a = to_sorted_set(xs);
@@ -87,6 +104,66 @@ proptest! {
         prop_assert!((p.jaccard - 1.0).abs() < 1e-12);
         prop_assert!((p.edit_sim - 1.0).abs() < 1e-12);
     }
+}
+
+/// Textbook two-row Levenshtein over `char`s — the pre-fast-path
+/// implementation, kept as the oracle for the ASCII/stack-buffer kernels.
+fn reference_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Heap-buffer Jaro over `char`s — the pre-fast-path implementation.
+fn reference_jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a = Vec::with_capacity(a.len());
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push((i, j));
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let b_matches: Vec<usize> = matches_a.iter().map(|&(_, j)| j).collect();
+    let t = {
+        let mut sorted = b_matches.clone();
+        sorted.sort_unstable();
+        b_matches.iter().zip(&sorted).filter(|(x, y)| x != y).count() / 2
+    };
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t as f64) / m) / 3.0
 }
 
 #[test]

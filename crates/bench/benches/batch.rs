@@ -1,0 +1,67 @@
+//! Corpus-scale benchmarks: parallel index construction and cached batch
+//! annotation — the build-time and cross-table costs that dominate once the
+//! single-table path is fast (§6.1.2's 25M-table regime, in miniature).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use webtable_bench::{batch_annotator, duplicate_heavy_corpus, fixture};
+use webtable_text::LemmaIndex;
+
+/// `index_build/threads`: `LemmaIndex::build_with_threads` across worker
+/// counts. The output is byte-identical at every count (see
+/// `webtable-text/tests/build_equivalence.rs`); only wall-clock changes.
+fn bench_index_build(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("index_build/threads");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                LemmaIndex::build_with_threads(std::hint::black_box(&f.world.catalog), threads)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// `batch/annotate`: `annotate_batch` over the duplicate-heavy corpus with
+/// the cross-table candidate cache off vs on (single worker, so the numbers
+/// isolate caching from parallelism).
+fn bench_batch_annotate(c: &mut Criterion) {
+    let a = batch_annotator();
+    let corpus = duplicate_heavy_corpus();
+    let mut g = c.benchmark_group("batch/annotate");
+    g.sample_size(10);
+    for (label, capacity) in [("uncached", 0usize), ("cached", 1 << 16)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &capacity, |b, &capacity| {
+            b.iter(|| {
+                let cache = a.new_cell_cache(capacity);
+                std::hint::black_box(a.annotate_batch_with_cache(
+                    std::hint::black_box(&corpus),
+                    1,
+                    &cache,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// `batch/threads`: the same corpus across worker counts with the default
+/// cache, the end-to-end batch configuration.
+fn bench_batch_threads(c: &mut Criterion) {
+    let a = batch_annotator();
+    let corpus = duplicate_heavy_corpus();
+    let mut g = c.benchmark_group("batch/threads");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                std::hint::black_box(a.annotate_batch(std::hint::black_box(&corpus), threads))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_index_build, bench_batch_annotate, bench_batch_threads);
+criterion_main!(benches);

@@ -1,8 +1,10 @@
 //! Machine-readable perf tracking for the candidate-generation hot path.
 //!
 //! Runs the `candidates/*` and `annotate/collective` workloads (the phases
-//! Figure 7 attributes ~80% of annotation time to) with a calibrated
-//! wall-clock timer and writes one JSON record per benchmark to
+//! Figure 7 attributes ~80% of annotation time to) plus the corpus-scale
+//! `index_build/*` (parallel `LemmaIndex::build`) and `batch/*`
+//! (cross-table candidate cache) workloads with a calibrated wall-clock
+//! timer and writes one JSON record per benchmark to
 //! `BENCH_candidates.json` at the repo root, so every PR leaves a perf
 //! data point behind.
 //!
@@ -15,10 +17,10 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use webtable_bench::{fixture, tables};
+use webtable_bench::{batch_annotator, duplicate_heavy_corpus, fixture, tables};
 use webtable_core::{AnnotatorConfig, CandidateScratch, TableCandidates};
 use webtable_tables::NoiseConfig;
-use webtable_text::ProbeScratch;
+use webtable_text::{LemmaIndex, ProbeScratch};
 
 /// One measured benchmark.
 struct Record {
@@ -153,6 +155,28 @@ fn main() {
         let lt = &tables(1, 25, noise, 17)[0];
         record(&mut records, samples, "annotate/collective", label, || {
             std::hint::black_box(f.annotator.annotate(std::hint::black_box(&lt.table)));
+        });
+    }
+
+    // --- index_build/threads: parallel LemmaIndex construction (the
+    //     output is byte-identical at every worker count) ---
+    let build_samples = if quick { 3 } else { 10 };
+    for threads in [1usize, 2, 4] {
+        record(&mut records, build_samples, "index_build/threads", &threads.to_string(), || {
+            std::hint::black_box(LemmaIndex::build_with_threads(catalog, threads));
+        });
+    }
+
+    // --- batch/annotate: duplicate-heavy corpus, cross-table candidate
+    //     cache off vs on (single worker isolates caching; the shared
+    //     corpus-scale batch profile from webtable_bench, identical for
+    //     both rows) ---
+    let batch = batch_annotator();
+    let corpus = duplicate_heavy_corpus();
+    for (label, capacity) in [("uncached", 0usize), ("cached", 1 << 16)] {
+        record(&mut records, build_samples, "batch/annotate", label, || {
+            let cache = batch.new_cell_cache(capacity);
+            std::hint::black_box(batch.annotate_batch_with_cache(&corpus, 1, &cache));
         });
     }
 

@@ -44,6 +44,33 @@ pub fn tables(n: usize, rows: usize, noise: NoiseConfig, seed: u64) -> Vec<Label
     g.gen_corpus(n, rows)
 }
 
+/// The duplicate-heavy corpus shared by the `batch/*` benchmarks and
+/// `perf_report`: a small base set of wide tables repeated several times,
+/// the common shape of real web-table crawls (the same entity strings recur
+/// across millions of tables). One definition so the criterion bench and
+/// the tracked `BENCH_candidates.json` always measure the same workload.
+pub fn duplicate_heavy_corpus() -> Vec<webtable_tables::Table> {
+    let base: Vec<webtable_tables::Table> =
+        tables(4, 50, NoiseConfig::web(), 41).into_iter().map(|lt| lt.table).collect();
+    let mut corpus = Vec::with_capacity(base.len() * 4);
+    for _ in 0..4 {
+        corpus.extend(base.iter().cloned());
+    }
+    corpus
+}
+
+/// The corpus-scale batch profile shared by the `batch/*` benchmarks and
+/// `perf_report`: the fixture's catalog and index with a lean type budget,
+/// which keeps per-table model construction proportionate so the workload
+/// is candidate-bound — the regime the cross-table cache (and the paper's
+/// Fig. 7 80% claim) targets. Cached and uncached runs both use this
+/// profile, so the comparison is apples-to-apples.
+pub fn batch_annotator() -> Annotator {
+    let f = fixture();
+    Annotator::with_index(Arc::clone(&f.annotator.catalog), Arc::clone(&f.annotator.index))
+        .with_config(webtable_core::AnnotatorConfig { type_k: 16, ..Default::default() })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,7 @@ use webtable_catalog::{Catalog, EntityId, RelationId, TypeId};
 use webtable_tables::Table;
 use webtable_text::{LemmaIndex, ProbeScratch, StringSim, TextDoc};
 
+use crate::cache::CellCandidateCache;
 use crate::config::AnnotatorConfig;
 
 /// A relation label with orientation: `reversed == false` means column `c1`
@@ -33,7 +34,7 @@ pub struct RelLabel {
 }
 
 /// Candidates for one cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellCandidates {
     /// Candidate entities, best-first.
     pub entities: Vec<EntityId>,
@@ -79,7 +80,9 @@ pub struct TableCandidates {
 #[derive(Debug, Default)]
 pub struct CandidateScratch {
     probe: ProbeScratch,
-    cell_memo: HashMap<String, CellCandidates>,
+    /// `Arc`ed so memo/cache sharing bumps a refcount; the one deep copy
+    /// per cell happens when the value lands in the table's cell grid.
+    cell_memo: HashMap<String, std::sync::Arc<CellCandidates>>,
     seen_types: Vec<TypeId>,
     seen_rels: Vec<RelLabel>,
 }
@@ -118,8 +121,27 @@ impl TableCandidates {
         cfg: &AnnotatorConfig,
         scratch: &mut CandidateScratch,
     ) -> TableCandidates {
+        TableCandidates::build_cached(catalog, index, table, cfg, scratch, None)
+    }
+
+    /// [`build_with_scratch`](TableCandidates::build_with_scratch) with an
+    /// optional cross-table candidate cache. Lookup order per cell: the
+    /// per-table memo (no lock), then the shared cache (keyed by the cell's
+    /// *normalized* text — the exact normalization [`LemmaIndex::doc`]
+    /// applies, so the key determines the result), then a fresh probe whose
+    /// result feeds both layers. Output is identical with or without a
+    /// cache; only the work performed changes.
+    pub fn build_cached(
+        catalog: &Catalog,
+        index: &LemmaIndex,
+        table: &Table,
+        cfg: &AnnotatorConfig,
+        scratch: &mut CandidateScratch,
+        cache: Option<&CellCandidateCache>,
+    ) -> TableCandidates {
         let m = table.num_rows();
         let n = table.num_cols();
+        let cache = cache.filter(|c| c.is_enabled());
 
         // --- cells (memoized per distinct cell text) ---
         scratch.cell_memo.clear();
@@ -129,12 +151,34 @@ impl TableCandidates {
             for c in 0..n {
                 let text = table.cell(r, c);
                 if let Some(hit) = scratch.cell_memo.get(text) {
-                    row.push(hit.clone());
-                } else {
-                    let cc = cell_candidates(index, text, cfg, &mut scratch.probe);
-                    scratch.cell_memo.insert(text.to_string(), cc.clone());
-                    row.push(cc);
+                    row.push(CellCandidates::clone(hit));
+                    continue;
                 }
+                let cc: std::sync::Arc<CellCandidates> = match cache {
+                    Some(cache) => {
+                        // The same normalization `index.doc` applies, so
+                        // key equality implies an identical candidate set.
+                        let key = webtable_text::normalize(text);
+                        match cache.get(&key) {
+                            Some(hit) => hit,
+                            None => {
+                                let cc = std::sync::Arc::new(cell_candidates(
+                                    index,
+                                    text,
+                                    cfg,
+                                    &mut scratch.probe,
+                                ));
+                                cache.insert(key, std::sync::Arc::clone(&cc));
+                                cc
+                            }
+                        }
+                    }
+                    None => {
+                        std::sync::Arc::new(cell_candidates(index, text, cfg, &mut scratch.probe))
+                    }
+                };
+                row.push(CellCandidates::clone(&cc));
+                scratch.cell_memo.insert(text.to_string(), cc);
             }
             cells.push(row);
         }

@@ -56,6 +56,15 @@ pub struct AnnotatorConfig {
     /// query, as a multiple of the requested `k` (floor of 16). Higher
     /// trades latency for recall on ambiguous mentions.
     pub rescoring_factor: usize,
+    /// Entry capacity of the cross-table cell-candidate LRU that
+    /// `Annotator::annotate_batch` shares across workers (repeated strings
+    /// across a corpus probe the index once). `0` disables the cache.
+    /// Caching never changes output — only which probes are skipped.
+    pub batch_cache_capacity: usize,
+    /// Worker count for `LemmaIndex::build` when the index is built through
+    /// `Annotator::new_with_config` (`0` = one worker per available core).
+    /// The built index is byte-identical at every thread count.
+    pub build_threads: usize,
 }
 
 impl Default for AnnotatorConfig {
@@ -70,6 +79,8 @@ impl Default for AnnotatorConfig {
             bp_tol: 1e-5,
             min_candidate_score: 0.25,
             rescoring_factor: webtable_text::DEFAULT_RESCORING_FACTOR,
+            batch_cache_capacity: 1 << 16,
+            build_threads: 0,
         }
     }
 }
@@ -85,6 +96,8 @@ mod tests {
         assert_eq!(c.compat, CompatMode::InvSqrtDist);
         assert!(c.missing_link_feature);
         assert_eq!(c.rescoring_factor, 6);
+        assert!(c.batch_cache_capacity > 0, "batch caching is on by default");
+        assert_eq!(c.build_threads, 0, "index builds use all cores by default");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 pub mod assignment;
 pub mod baselines;
+pub mod cache;
 pub mod candidates;
 pub mod config;
 pub mod features;
@@ -39,6 +40,7 @@ pub mod weights;
 
 pub use assignment::{assign_unique, assignment_benefit};
 pub use baselines::{lca, majority, majority_with_threshold, BaselineAnnotation};
+pub use cache::{fingerprint_for, CellCandidateCache};
 pub use candidates::{
     CandidateScratch, CellCandidates, ColumnCandidates, PairCandidates, RelLabel, TableCandidates,
 };
@@ -46,6 +48,6 @@ pub use config::{AnnotatorConfig, CompatMode};
 pub use infer::{annotate_collective, annotate_simple};
 pub use model::TableModel;
 pub use pipeline::Annotator;
-pub use result::{PhaseTimings, TableAnnotation};
+pub use result::{AnnotateStats, PhaseTimings, TableAnnotation};
 pub use unique::enforce_unique_columns;
 pub use weights::Weights;

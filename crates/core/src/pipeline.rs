@@ -9,10 +9,11 @@ use webtable_catalog::Catalog;
 use webtable_tables::Table;
 use webtable_text::LemmaIndex;
 
+use crate::cache::{fingerprint_for, CellCandidateCache};
 use crate::candidates::{CandidateScratch, TableCandidates};
 use crate::config::AnnotatorConfig;
 use crate::model::TableModel;
-use crate::result::{PhaseTimings, TableAnnotation};
+use crate::result::{AnnotateStats, PhaseTimings, TableAnnotation};
 use crate::weights::Weights;
 
 /// A ready-to-use annotator: catalog + lemma index + weights + config.
@@ -33,13 +34,15 @@ impl Annotator {
     /// Builds an annotator (and its lemma index) over a catalog with
     /// default weights and configuration.
     pub fn new(catalog: Arc<Catalog>) -> Annotator {
-        let index = Arc::new(LemmaIndex::build(&catalog));
-        Annotator {
-            catalog,
-            index,
-            weights: Weights::default(),
-            config: AnnotatorConfig::default(),
-        }
+        Annotator::new_with_config(catalog, AnnotatorConfig::default())
+    }
+
+    /// Builds an annotator over a catalog with the given configuration; the
+    /// lemma index is built with `config.build_threads` workers (`0` = all
+    /// cores — the index is byte-identical at every thread count).
+    pub fn new_with_config(catalog: Arc<Catalog>, config: AnnotatorConfig) -> Annotator {
+        let index = Arc::new(LemmaIndex::build_with_threads(&catalog, config.build_threads));
+        Annotator { catalog, index, weights: Weights::default(), config }
     }
 
     /// Builds with an existing index (avoids re-indexing).
@@ -77,13 +80,26 @@ impl Annotator {
         table: &Table,
         scratch: &mut CandidateScratch,
     ) -> (TableAnnotation, PhaseTimings) {
+        self.annotate_timed_cached(table, scratch, None)
+    }
+
+    /// The full single-table path with an optional cross-table candidate
+    /// cache (see [`CellCandidateCache`]); output is identical with or
+    /// without one.
+    fn annotate_timed_cached(
+        &self,
+        table: &Table,
+        scratch: &mut CandidateScratch,
+        cache: Option<&CellCandidateCache>,
+    ) -> (TableAnnotation, PhaseTimings) {
         let t0 = Instant::now();
-        let cands = TableCandidates::build_with_scratch(
+        let cands = TableCandidates::build_cached(
             &self.catalog,
             &self.index,
             table,
             &self.config,
             scratch,
+            cache,
         );
         let t1 = Instant::now();
         let model = TableModel::build(&self.catalog, &self.config, &self.weights, table, cands);
@@ -125,19 +141,77 @@ impl Annotator {
         ann
     }
 
+    /// The cache-compatibility fingerprint of this annotator's config and
+    /// index (see [`fingerprint_for`]).
+    pub fn cache_fingerprint(&self) -> u64 {
+        fingerprint_for(&self.config, &self.index)
+    }
+
+    /// Creates a cross-table cell-candidate cache compatible with this
+    /// annotator, bounded to `capacity` entries (`0` disables it). Reuse
+    /// one across [`annotate_batch_with_cache`] calls to carry warm
+    /// candidates from batch to batch.
+    ///
+    /// [`annotate_batch_with_cache`]: Annotator::annotate_batch_with_cache
+    pub fn new_cell_cache(&self, capacity: usize) -> CellCandidateCache {
+        CellCandidateCache::with_fingerprint(capacity, self.cache_fingerprint())
+    }
+
     /// Annotates a batch in parallel with `threads` workers (std scoped
     /// threads pulling from a shared counter; results keep input order).
+    /// Workers share a fresh cross-table candidate cache sized by
+    /// `config.batch_cache_capacity`.
     pub fn annotate_batch(
         &self,
         tables: &[Table],
         threads: usize,
     ) -> Vec<(TableAnnotation, PhaseTimings)> {
+        self.annotate_batch_stats(tables, threads).0
+    }
+
+    /// [`annotate_batch`](Annotator::annotate_batch) that also reports
+    /// aggregate [`AnnotateStats`] (cache hit/miss counters, summed phase
+    /// timings).
+    pub fn annotate_batch_stats(
+        &self,
+        tables: &[Table],
+        threads: usize,
+    ) -> (Vec<(TableAnnotation, PhaseTimings)>, AnnotateStats) {
+        let cache = self.new_cell_cache(self.config.batch_cache_capacity);
+        let results = self.annotate_batch_with_cache(tables, threads, &cache);
+        let mut stats = AnnotateStats {
+            tables: tables.len(),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            timings: PhaseTimings::default(),
+        };
+        for (_, t) in &results {
+            stats.timings.add(t);
+        }
+        (results, stats)
+    }
+
+    /// Batch annotation against a caller-owned candidate cache (reusable
+    /// across batches; counters accumulate on the cache). The cache is
+    /// bypassed — never consulted or filled — if its fingerprint does not
+    /// match this annotator's [`cache_fingerprint`], so a stale cache can
+    /// slow a run down but never corrupt it.
+    ///
+    /// [`cache_fingerprint`]: Annotator::cache_fingerprint
+    pub fn annotate_batch_with_cache(
+        &self,
+        tables: &[Table],
+        threads: usize,
+        cache: &CellCandidateCache,
+    ) -> Vec<(TableAnnotation, PhaseTimings)> {
+        let cache = (cache.fingerprint() == self.cache_fingerprint() && cache.is_enabled())
+            .then_some(cache);
         let threads = threads.max(1);
         if threads == 1 || tables.len() < 2 {
             let mut scratch = CandidateScratch::new();
             return tables
                 .iter()
-                .map(|t| self.annotate_timed_with_scratch(t, &mut scratch))
+                .map(|t| self.annotate_timed_cached(t, &mut scratch, cache))
                 .collect();
         }
         let next = AtomicUsize::new(0);
@@ -154,7 +228,7 @@ impl Annotator {
                         if i >= tables.len() {
                             break;
                         }
-                        let out = self.annotate_timed_with_scratch(&tables[i], &mut scratch);
+                        let out = self.annotate_timed_cached(&tables[i], &mut scratch, cache);
                         *slots[i].lock().expect("slot lock poisoned") = Some(out);
                     }
                 });

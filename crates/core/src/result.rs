@@ -91,9 +91,46 @@ impl PhaseTimings {
     }
 }
 
+/// Aggregate statistics for one batch-annotation run
+/// (`Annotator::annotate_batch_stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AnnotateStats {
+    /// Number of tables annotated.
+    pub tables: usize,
+    /// Cross-table cell-candidate cache hits (0 when the cache is disabled).
+    /// Exact totals; deterministic per key only with a single worker (two
+    /// workers may both miss the same key before either inserts).
+    pub cache_hits: u64,
+    /// Cross-table cell-candidate cache misses.
+    pub cache_misses: u64,
+    /// Element-wise sum of every table's phase timings.
+    pub timings: PhaseTimings,
+}
+
+impl AnnotateStats {
+    /// Fraction of cache lookups that hit, or 0.0 when none were made.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_hit_rate_handles_empty_and_mixed() {
+        let mut s = AnnotateStats::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
 
     #[test]
     fn relation_between_checks_both_orientations() {

@@ -92,6 +92,17 @@ impl SimEngineBuilder {
         toks
     }
 
+    /// Adds one pre-tokenized document. `words` must be exactly
+    /// `tokenize(text)` for the corresponding text; interning then produces
+    /// the same vocabulary and document frequencies as
+    /// [`add_document`](SimEngineBuilder::add_document). This lets callers
+    /// tokenize in parallel while keeping the order-dependent interning
+    /// pass serial (parallel `LemmaIndex` construction relies on it).
+    pub fn add_tokens(&mut self, words: &[String]) {
+        let toks: Vec<u32> = words.iter().map(|w| self.vocab.intern(w)).collect();
+        self.docs.push(to_sorted_set(toks));
+    }
+
     /// Freezes the vocabulary and document frequencies.
     pub fn freeze(self) -> SimEngine {
         let mut idf = IdfTable::new(self.vocab.len());
@@ -120,9 +131,10 @@ impl SimEngine {
         &self.idf
     }
 
-    /// Prepares a text for repeated similarity computation.
+    /// Prepares a text for repeated similarity computation. Every field of
+    /// the result is a function of [`crate::tokenize::normalize`]`(text)`.
     pub fn doc(&self, text: &str) -> TextDoc {
-        let norm = text.trim().to_lowercase();
+        let norm = crate::tokenize::normalize(text);
         let words = crate::tokenize::tokenize(&norm);
         let tokens = self.vocab.tokenize_frozen(&norm);
         debug_assert_eq!(words.len(), tokens.len());

@@ -20,14 +20,40 @@
 //! `select_nth_unstable_by` rather than a full sort. Callers on a hot path
 //! should hold one `ProbeScratch` per worker and use the `*_with` variants;
 //! the plain query methods fall back to a thread-local scratch.
+//!
+//! ## Parallel construction
+//!
+//! [`LemmaIndex::build_with_threads`] shards the expensive build phases —
+//! lemma tokenization, query-document preparation, and the two-pass
+//! counting/filling CSR construction — over `std::thread::scope` workers.
+//! Shards are contiguous, ascending lemma ranges, so concatenating each
+//! worker's contribution reproduces the serial iteration order exactly:
+//! the resulting offsets, posting arrays, and upper-bound tables are
+//! byte-identical to a single-threaded build at any thread count
+//! (asserted by `tests/build_equivalence.rs`; [`LemmaIndex::layout`]
+//! exposes the raw arrays for that comparison).
+//!
+//! ## WAND top-k early termination
+//!
+//! Alongside each posting row the index stores its maximum IDF-overlap
+//! contribution (the token's IDF — every posting of a row contributes the
+//! same weight). The probe can then run the IDF-overlap pass
+//! document-at-a-time in WAND style ([`ProbeMode::Wand`]): posting cursors
+//! advance in lemma-id order, and whole runs of lemmas are skipped whenever
+//! the sum of upper bounds of the rows that could still contain them cannot
+//! beat the current top-`shortlist` threshold. The skip test uses a small
+//! relative safety margin so floating-point reassociation can never drop a
+//! qualifying lemma, which keeps the early-terminated result bit-identical
+//! to the exhaustive pass ([`ProbeMode::Exhaustive`], the PR 2 reference).
 
 use std::cell::RefCell;
+use std::ops::Range;
 
 use webtable_catalog::{Catalog, EntityId, TypeId};
 
 use crate::engine::{SimEngine, SimEngineBuilder, StringSim, TextDoc};
 use crate::tfidf::cosine;
-use crate::tokenize::Vocab;
+use crate::tokenize::{tokenize, Vocab};
 
 /// What a lemma belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,6 +84,21 @@ pub struct Match<Id> {
     pub score: f64,
 }
 
+/// How the IDF-overlap pass of a probe is executed. All modes produce
+/// bit-identical results; they differ only in work skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeMode {
+    /// Pick per query: WAND when the posting volume dwarfs the shortlist,
+    /// exhaustive otherwise.
+    #[default]
+    Auto,
+    /// Term-at-a-time accumulation over every posting of every query token
+    /// (the PR 2 reference path).
+    Exhaustive,
+    /// Document-at-a-time top-k with upper-bound skipping.
+    Wand,
+}
+
 /// A CSR (compressed sparse row) map from a dense `u32` key to a flat slice
 /// of `u32` values: `values[offsets[k]..offsets[k+1]]`.
 #[derive(Debug, Clone)]
@@ -66,26 +107,108 @@ struct Csr {
     values: Vec<u32>,
 }
 
+/// Raw `*mut` wrapper so scoped workers can fill disjoint slots of one
+/// shared output buffer.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+// SAFETY: only used for writes to slot indices that the two-pass cursor
+// construction proves disjoint across workers.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
 impl Csr {
-    /// Builds a CSR from `(key, value)` pairs yielded in value order per key.
-    fn build(num_keys: usize, pairs: impl Iterator<Item = (u32, u32)> + Clone) -> Csr {
-        let mut counts = vec![0u32; num_keys];
-        for (k, _) in pairs.clone() {
-            counts[k as usize] += 1;
-        }
+    /// Builds a CSR from `(key, value)` pairs with the classic two-pass
+    /// counting/filling scheme, sharded over `ranges` (one worker per
+    /// range). `pairs_in` must yield the same pairs for a range in both
+    /// passes, in value order per key within the range.
+    ///
+    /// Each worker counts its shard into a private histogram; a serial
+    /// prefix pass turns the histograms into global offsets plus per-shard
+    /// write cursors; the fill pass then writes disjoint slots. Because
+    /// shards are contiguous ascending ranges, every row's values are the
+    /// concatenation of the shards' contributions in shard order — exactly
+    /// the serial iteration order, so the layout is byte-identical to a
+    /// single-shard build.
+    fn build_sharded<I, F>(num_keys: usize, ranges: &[Range<usize>], pairs_in: F) -> Csr
+    where
+        F: Fn(Range<usize>) -> I + Sync,
+        I: Iterator<Item = (u32, u32)>,
+    {
+        // Pass 1: count keys per shard.
+        let shard_counts: Vec<Vec<u32>> = if ranges.len() == 1 {
+            let mut counts = vec![0u32; num_keys];
+            for (k, _) in pairs_in(ranges[0].clone()) {
+                counts[k as usize] += 1;
+            }
+            vec![counts]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|range| {
+                        let range = range.clone();
+                        let pairs_in = &pairs_in;
+                        scope.spawn(move || {
+                            let mut counts = vec![0u32; num_keys];
+                            for (k, _) in pairs_in(range) {
+                                counts[k as usize] += 1;
+                            }
+                            counts
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("csr count worker")).collect()
+            })
+        };
+
+        // Serial prefix pass: global offsets and per-shard write cursors.
         let mut offsets = Vec::with_capacity(num_keys + 1);
+        offsets.push(0u32);
         let mut total = 0u32;
-        offsets.push(0);
-        for &c in &counts {
-            total += c;
+        for k in 0..num_keys {
+            for counts in &shard_counts {
+                total += counts[k];
+            }
             offsets.push(total);
         }
-        let mut cursor: Vec<u32> = offsets[..num_keys].to_vec();
+        let mut running: Vec<u32> = offsets[..num_keys].to_vec();
+        let cursors: Vec<Vec<u32>> = shard_counts
+            .iter()
+            .map(|counts| {
+                let cur = running.clone();
+                for (r, c) in running.iter_mut().zip(counts) {
+                    *r += c;
+                }
+                cur
+            })
+            .collect();
+
+        // Pass 2: fill.
         let mut values = vec![0u32; total as usize];
-        for (k, v) in pairs {
-            let slot = &mut cursor[k as usize];
-            values[*slot as usize] = v;
-            *slot += 1;
+        if ranges.len() == 1 {
+            let mut cursor = cursors.into_iter().next().expect("one shard");
+            for (k, v) in pairs_in(ranges[0].clone()) {
+                let slot = &mut cursor[k as usize];
+                values[*slot as usize] = v;
+                *slot += 1;
+            }
+        } else {
+            let ptr = SendPtr(values.as_mut_ptr());
+            std::thread::scope(|scope| {
+                for (range, mut cursor) in ranges.iter().cloned().zip(cursors) {
+                    let pairs_in = &pairs_in;
+                    scope.spawn(move || {
+                        let ptr = ptr;
+                        for (k, v) in pairs_in(range) {
+                            let slot = &mut cursor[k as usize];
+                            // SAFETY: cursor ranges partition each row, so
+                            // no two workers ever write the same slot.
+                            unsafe { ptr.0.add(*slot as usize).write(v) };
+                            *slot += 1;
+                        }
+                    });
+                }
+            });
         }
         Csr { offsets, values }
     }
@@ -98,6 +221,33 @@ impl Csr {
         }
         &self.values[self.offsets[k] as usize..self.offsets[k + 1] as usize]
     }
+
+    /// `(start, end)` bounds of a row in `values`.
+    #[inline]
+    fn row_bounds(&self, key: u32) -> (u32, u32) {
+        let k = key as usize;
+        if k + 1 >= self.offsets.len() {
+            return (0, 0);
+        }
+        (self.offsets[k], self.offsets[k + 1])
+    }
+}
+
+/// One query term of a WAND probe: a posting-row cursor plus the row's
+/// upper-bound contribution.
+#[derive(Debug, Clone, Copy)]
+struct WandTerm {
+    /// Token id (terms tie-sort by token, which keeps score accumulation in
+    /// ascending-token order — bit-identical to the exhaustive pass).
+    tok: u32,
+    /// Max contribution of this row per matching lemma (= the token IDF).
+    ub: f64,
+    /// Row start in the postings `values` array.
+    start: u32,
+    /// Row end.
+    end: u32,
+    /// Cursor offset from `start`.
+    pos: u32,
 }
 
 /// Reusable per-worker query state for [`LemmaIndex`] probes.
@@ -106,6 +256,23 @@ impl Csr {
 /// number of indexed lemmas, plus small shortlist/dedup workspaces, so a
 /// steady-state probe performs no heap allocation. One scratch may be used
 /// against any number of indexes (it grows to the largest).
+///
+/// ## Epoch wraparound audit (u32 overflow after 2³² probes)
+///
+/// `epoch` is a `u32` that increments once per exhaustive-mode query, so it
+/// wraps after ~4.3 B probes. Correctness relies on two invariants:
+/// 1. between two wraps every `begin` gets a *unique* epoch value, so a
+///    stamp written by an earlier query can never equal the current epoch;
+/// 2. at the wrap itself (`epoch == 0` after `wrapping_add`), **all**
+///    stamps are reset to 0 and the epoch restarts at 1, so no stamp
+///    written before the wrap survives into the new numbering.
+///
+/// Growth via `begin`'s `resize` only appends zero stamps (never equal to a
+/// live epoch, which is ≥ 1), so using one scratch against indexes of
+/// different sizes cannot alias either. The WAND path keeps its own cursor
+/// state (`wand_terms`) that is rebuilt per query and never consults the
+/// epoch. Regression tests force a wrap (including mid-sequence and across
+/// probe modes) in `index::tests` and `tests/properties.rs`.
 #[derive(Debug, Default)]
 pub struct ProbeScratch {
     score: Vec<f64>,
@@ -114,12 +281,19 @@ pub struct ProbeScratch {
     touched: Vec<u32>,
     hits: Vec<(u32, f64)>,
     owners: Vec<(u32, f64)>,
+    wand_terms: Vec<WandTerm>,
 }
 
 impl ProbeScratch {
     /// Creates an empty scratch; it grows lazily on first use.
     pub fn new() -> ProbeScratch {
         ProbeScratch::default()
+    }
+
+    /// Forces the epoch counter to its maximum value so the next exhaustive
+    /// probe exercises the wraparound reset (test hook).
+    pub fn force_epoch_wrap(&mut self) {
+        self.epoch = u32::MAX;
     }
 
     /// Starts a new query epoch over `num_lemmas` accumulator slots.
@@ -156,6 +330,76 @@ thread_local! {
     static SHARED_SCRATCH: RefCell<ProbeScratch> = RefCell::new(ProbeScratch::new());
 }
 
+/// `true` if hit `a` ranks strictly worse than `b` in the shortlist order
+/// (higher score first, ties to the smaller lemma id).
+#[inline]
+fn worse(a: (u32, f64), b: (u32, f64)) -> bool {
+    a.1 < b.1 || (a.1 == b.1 && a.0 > b.0)
+}
+
+/// Pushes onto a binary heap whose root is the *worst* kept hit.
+fn heap_push(heap: &mut Vec<(u32, f64)>, item: (u32, f64)) {
+    heap.push(item);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if worse(heap[i], heap[parent]) {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Replaces the heap root (the worst kept hit) and restores the invariant.
+fn heap_replace_root(heap: &mut [(u32, f64)], item: (u32, f64)) {
+    heap[0] = item;
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut w = i;
+        if l < heap.len() && worse(heap[l], heap[w]) {
+            w = l;
+        }
+        if r < heap.len() && worse(heap[r], heap[w]) {
+            w = r;
+        }
+        if w == i {
+            break;
+        }
+        heap.swap(i, w);
+        i = w;
+    }
+}
+
+/// Borrowed view of the index's internal CSR layout and WAND upper-bound
+/// tables, exposed so equivalence tests can assert that parallel builds
+/// are bit-identical to the serial build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexLayout<'a> {
+    /// Entity postings offset table (token id → row bounds).
+    pub entity_posting_offsets: &'a [u32],
+    /// Entity postings flat value array (lemma indices).
+    pub entity_posting_values: &'a [u32],
+    /// Type postings offset table.
+    pub type_posting_offsets: &'a [u32],
+    /// Type postings flat value array.
+    pub type_posting_values: &'a [u32],
+    /// Entity-owner offset table (entity id → lemma indices).
+    pub entity_lemma_offsets: &'a [u32],
+    /// Entity-owner flat value array.
+    pub entity_lemma_values: &'a [u32],
+    /// Type-owner offset table.
+    pub type_lemma_offsets: &'a [u32],
+    /// Type-owner flat value array.
+    pub type_lemma_values: &'a [u32],
+    /// WAND upper bounds per token for the entity postings.
+    pub entity_token_ub: &'a [f64],
+    /// WAND upper bounds per token for the type postings.
+    pub type_token_ub: &'a [f64],
+}
+
 /// Inverted index over catalog lemmas. Immutable after construction.
 #[derive(Debug)]
 pub struct LemmaIndex {
@@ -169,6 +413,14 @@ pub struct LemmaIndex {
     entity_lemmas: Csr,
     /// type id → its lemma indices (CSR).
     type_lemmas: Csr,
+    /// token id → max IDF-overlap contribution of its entity posting row
+    /// (the token IDF; 0 for empty rows). WAND skip bounds.
+    entity_token_ub: Vec<f64>,
+    /// token id → max contribution of its type posting row.
+    type_token_ub: Vec<f64>,
+    /// Build-time digest of the whole index content (see
+    /// [`content_digest`](LemmaIndex::content_digest)).
+    content_digest: u64,
 }
 
 /// Default number of IDF-overlap hits rescored exactly per query, as a
@@ -176,10 +428,102 @@ pub struct LemmaIndex {
 /// methods (plumbed from `AnnotatorConfig::rescoring_factor` upstream).
 pub const DEFAULT_RESCORING_FACTOR: usize = 6;
 
+/// Relative safety margin applied to WAND upper-bound sums before the skip
+/// test. Upper-bound prefixes are summed in cursor order while real scores
+/// accumulate in ascending-token order; reassociation of ≤ a few dozen
+/// positive IDFs perturbs the sum by well under one part in 10⁻¹², so this
+/// margin keeps the bound admissible (never skips a qualifying lemma)
+/// without ever admitting meaningfully more work.
+const WAND_SAFETY: f64 = 1.0 + 1e-9;
+
+/// Splits `0..n` into at most `threads` contiguous, ascending ranges.
+fn shard_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    let mut ranges: Vec<Range<usize>> =
+        (0..n).step_by(chunk).map(|s| s..(s + chunk).min(n)).collect();
+    if ranges.is_empty() {
+        ranges.push(0..0);
+    }
+    ranges
+}
+
+/// Order-preserving parallel map over contiguous chunks of `items`.
+fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|chunk| {
+                let f = &f;
+                scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("par_map worker"));
+        }
+        out
+    })
+}
+
+/// Per-shard `(token, lemma)` pairs for one [`RefKind`], in serial order.
+fn token_pairs(
+    lemmas: &[IndexedLemma],
+    want: RefKind,
+    range: Range<usize>,
+) -> impl Iterator<Item = (u32, u32)> + '_ {
+    lemmas[range.clone()].iter().zip(range).filter(move |(l, _)| l.kind == want).flat_map(
+        |(l, li)| {
+            l.doc
+                .token_set
+                .iter()
+                .filter(|&&tok| !Vocab::is_oov(tok))
+                .map(move |&tok| (tok, li as u32))
+        },
+    )
+}
+
+/// Per-shard `(owner, lemma)` pairs for one [`RefKind`], in serial order.
+fn owner_pairs(
+    lemmas: &[IndexedLemma],
+    want: RefKind,
+    range: Range<usize>,
+) -> impl Iterator<Item = (u32, u32)> + '_ {
+    lemmas[range.clone()]
+        .iter()
+        .zip(range)
+        .filter(move |(l, _)| l.kind == want)
+        .map(|(l, li)| (l.owner, li as u32))
+}
+
 impl LemmaIndex {
-    /// Builds the index over every entity and type lemma of a catalog.
+    /// Builds the index over every entity and type lemma of a catalog,
+    /// using all available cores (see [`build_with_threads`]).
+    ///
+    /// [`build_with_threads`]: LemmaIndex::build_with_threads
     pub fn build(cat: &Catalog) -> LemmaIndex {
-        let mut builder = SimEngineBuilder::new();
+        LemmaIndex::build_with_threads(cat, 0)
+    }
+
+    /// Builds the index with an explicit worker count (`0` = one worker per
+    /// available core). The output is byte-identical at every thread count:
+    /// tokenization and document preparation are order-preserving parallel
+    /// maps, and the CSR postings use contiguous ascending shards whose
+    /// concatenation reproduces the serial layout (see the module docs).
+    pub fn build_with_threads(cat: &Catalog, threads: usize) -> LemmaIndex {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
         let mut raw: Vec<(RefKind, u32, String)> = Vec::new();
         for e in cat.entity_ids() {
             for l in cat.entity_lemmas(e) {
@@ -191,40 +535,96 @@ impl LemmaIndex {
                 raw.push((RefKind::Type, t.raw(), l.clone()));
             }
         }
-        for (_, _, text) in &raw {
-            builder.add_document(text);
+
+        // Vocabulary interning must run serially (ids depend on first-seen
+        // order), but the tokenization feeding it parallelizes cleanly.
+        let token_lists: Vec<Vec<String>> = par_map(&raw, threads, |(_, _, text)| tokenize(text));
+        let mut builder = SimEngineBuilder::new();
+        for words in &token_lists {
+            builder.add_tokens(words);
         }
+        drop(token_lists);
         let engine = builder.freeze();
 
-        let lemmas: Vec<IndexedLemma> = raw
-            .into_iter()
-            .map(|(kind, owner, text)| IndexedLemma { kind, owner, doc: engine.doc(&text) })
-            .collect();
+        // Query-document preparation is the heaviest build phase
+        // (re-tokenization + TFIDF vectors); the engine is frozen, so it
+        // shards trivially.
+        let lemmas: Vec<IndexedLemma> = par_map(&raw, threads, |&(kind, owner, ref text)| {
+            IndexedLemma { kind, owner, doc: engine.doc(text) }
+        });
+        drop(raw);
 
-        let token_pairs = |want: RefKind| {
-            lemmas.iter().enumerate().filter(move |(_, l)| l.kind == want).flat_map(|(li, l)| {
-                l.doc
-                    .token_set
-                    .iter()
-                    .filter(|&&tok| !Vocab::is_oov(tok))
-                    .map(move |&tok| (tok, li as u32))
-            })
-        };
+        let ranges = shard_ranges(lemmas.len(), threads);
         let vocab_len = engine.vocab().len();
-        let entity_postings = Csr::build(vocab_len, token_pairs(RefKind::Entity));
-        let type_postings = Csr::build(vocab_len, token_pairs(RefKind::Type));
+        let entity_postings =
+            Csr::build_sharded(vocab_len, &ranges, |r| token_pairs(&lemmas, RefKind::Entity, r));
+        let type_postings =
+            Csr::build_sharded(vocab_len, &ranges, |r| token_pairs(&lemmas, RefKind::Type, r));
+        let entity_lemmas = Csr::build_sharded(cat.num_entities(), &ranges, |r| {
+            owner_pairs(&lemmas, RefKind::Entity, r)
+        });
+        let type_lemmas = Csr::build_sharded(cat.num_types(), &ranges, |r| {
+            owner_pairs(&lemmas, RefKind::Type, r)
+        });
 
-        let owner_pairs = |want: RefKind| {
-            lemmas
-                .iter()
-                .enumerate()
-                .filter(move |(_, l)| l.kind == want)
-                .map(|(li, l)| (l.owner, li as u32))
+        // WAND upper bounds: every posting of a row contributes exactly the
+        // token's IDF to the overlap score, so the row bound *is* the IDF.
+        let ub_table = |csr: &Csr| -> Vec<f64> {
+            (0..vocab_len as u32)
+                .map(|tok| if csr.row(tok).is_empty() { 0.0 } else { engine.idf().idf(tok) })
+                .collect()
         };
-        let entity_lemmas = Csr::build(cat.num_entities(), owner_pairs(RefKind::Entity));
-        let type_lemmas = Csr::build(cat.num_types(), owner_pairs(RefKind::Type));
+        let entity_token_ub = ub_table(&entity_postings);
+        let type_token_ub = ub_table(&type_postings);
 
-        LemmaIndex { engine, lemmas, entity_postings, type_postings, entity_lemmas, type_lemmas }
+        let mut idx = LemmaIndex {
+            engine,
+            lemmas,
+            entity_postings,
+            type_postings,
+            entity_lemmas,
+            type_lemmas,
+            entity_token_ub,
+            type_token_ub,
+            content_digest: 0,
+        };
+        idx.content_digest = idx.compute_content_digest();
+        idx
+    }
+
+    /// Hashes every lemma (kind, owner, normalized text), the CSR layouts,
+    /// and the upper-bound tables. Deterministic for a given content —
+    /// independent of build thread count by the shard-order argument in the
+    /// module docs.
+    fn compute_content_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.engine.vocab().len().hash(&mut h);
+        self.lemmas.len().hash(&mut h);
+        for l in &self.lemmas {
+            (l.kind == RefKind::Entity).hash(&mut h);
+            l.owner.hash(&mut h);
+            l.doc.norm.hash(&mut h);
+        }
+        let layout = self.layout();
+        for arr in [
+            layout.entity_posting_offsets,
+            layout.entity_posting_values,
+            layout.type_posting_offsets,
+            layout.type_posting_values,
+            layout.entity_lemma_offsets,
+            layout.entity_lemma_values,
+            layout.type_lemma_offsets,
+            layout.type_lemma_values,
+        ] {
+            arr.hash(&mut h);
+        }
+        for ub in [layout.entity_token_ub, layout.type_token_ub] {
+            for x in ub {
+                x.to_bits().hash(&mut h);
+            }
+        }
+        h.finish()
     }
 
     /// The similarity engine (frozen vocabulary + IDF).
@@ -237,49 +637,109 @@ impl LemmaIndex {
         self.lemmas.len()
     }
 
+    /// A digest of the full index content: every lemma's kind, owner, and
+    /// normalized text, the CSR layouts, and the upper-bound tables. Two
+    /// indexes with equal digests are interchangeable for candidate
+    /// generation (same probes, same scores, same similarity profiles) —
+    /// downstream caches use this as their compatibility fingerprint.
+    /// Computed once at build time (the index is immutable after
+    /// construction), so reading it is free.
+    pub fn content_digest(&self) -> u64 {
+        self.content_digest
+    }
+
+    /// The raw CSR layout and upper-bound tables (equivalence-test hook).
+    pub fn layout(&self) -> IndexLayout<'_> {
+        IndexLayout {
+            entity_posting_offsets: &self.entity_postings.offsets,
+            entity_posting_values: &self.entity_postings.values,
+            type_posting_offsets: &self.type_postings.offsets,
+            type_posting_values: &self.type_postings.values,
+            entity_lemma_offsets: &self.entity_lemmas.offsets,
+            entity_lemma_values: &self.entity_lemmas.values,
+            type_lemma_offsets: &self.type_lemmas.offsets,
+            type_lemma_values: &self.type_lemmas.values,
+            entity_token_ub: &self.entity_token_ub,
+            type_token_ub: &self.type_token_ub,
+        }
+    }
+
     /// Prepares a query document (convenience passthrough).
     pub fn doc(&self, text: &str) -> TextDoc {
         self.engine.doc(text)
     }
 
     /// Raw scored lemma hits into `scratch.hits`: IDF-overlap shortlist
-    /// (bounded top-`shortlist` selection) rescored by exact cosine, sorted
-    /// best-first with ties broken by lemma id.
+    /// (bounded top-`shortlist` selection, exhaustive or WAND) rescored by
+    /// exact cosine, sorted best-first with ties broken by lemma id.
     fn lemma_hits_into(
         &self,
         query: &TextDoc,
         kind: RefKind,
         shortlist: usize,
+        mode: ProbeMode,
         scratch: &mut ProbeScratch,
     ) {
-        scratch.begin(self.lemmas.len());
-        let postings = match kind {
-            RefKind::Entity => &self.entity_postings,
-            RefKind::Type => &self.type_postings,
+        let (postings, ub_table) = match kind {
+            RefKind::Entity => (&self.entity_postings, &self.entity_token_ub),
+            RefKind::Type => (&self.type_postings, &self.type_token_ub),
         };
+        // Gather the query terms (non-OOV tokens with non-empty rows) in
+        // ascending token order; both probe modes consume them.
+        scratch.wand_terms.clear();
+        let mut total_postings = 0usize;
         for &tok in &query.token_set {
             if Vocab::is_oov(tok) {
                 continue;
             }
-            let idf = self.engine.idf().idf(tok);
-            for &li in postings.row(tok) {
-                scratch.accumulate(li, idf);
+            let (start, end) = postings.row_bounds(tok);
+            if start == end {
+                continue;
+            }
+            total_postings += (end - start) as usize;
+            scratch.wand_terms.push(WandTerm {
+                tok,
+                ub: ub_table[tok as usize],
+                start,
+                end,
+                pos: 0,
+            });
+        }
+        let use_wand = match mode {
+            ProbeMode::Exhaustive => false,
+            ProbeMode::Wand => true,
+            // WAND pays for its cursor bookkeeping only when the candidate
+            // volume dwarfs what the shortlist keeps.
+            ProbeMode::Auto => scratch.wand_terms.len() >= 2 && total_postings > 8 * shortlist,
+        };
+        if use_wand {
+            wand_hits(postings, shortlist, scratch);
+        } else {
+            scratch.begin(self.lemmas.len());
+            for ti in 0..scratch.wand_terms.len() {
+                let WandTerm { ub: idf, start, end, .. } = scratch.wand_terms[ti];
+                // Slice iteration (not indexed access) keeps the hottest
+                // loop of the crate free of per-posting bounds checks.
+                for &li in &postings.values[start as usize..end as usize] {
+                    scratch.accumulate(li, idf);
+                }
+            }
+            let (touched, score, hits) = (&scratch.touched, &scratch.score, &mut scratch.hits);
+            hits.clear();
+            hits.extend(touched.iter().map(|&li| (li, score[li as usize])));
+            // Bounded selection: only the surviving shortlist is ever sorted.
+            if hits.len() > shortlist && shortlist > 0 {
+                hits.select_nth_unstable_by(shortlist - 1, |a, b| {
+                    b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+                });
+                hits.truncate(shortlist);
             }
         }
-        let (touched, score, hits) = (&scratch.touched, &scratch.score, &mut scratch.hits);
-        hits.clear();
-        hits.extend(touched.iter().map(|&li| (li, score[li as usize])));
-        let by_score_then_id =
-            |a: &(u32, f64), b: &(u32, f64)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
-        // Bounded selection: only the surviving shortlist is ever sorted.
-        if hits.len() > shortlist && shortlist > 0 {
-            hits.select_nth_unstable_by(shortlist - 1, by_score_then_id);
-            hits.truncate(shortlist);
-        }
+        let hits = &mut scratch.hits;
         for (li, score) in hits.iter_mut() {
             *score = cosine(&query.vec, &self.lemmas[*li as usize].doc.vec);
         }
-        hits.sort_unstable_by(by_score_then_id);
+        hits.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     }
 
     /// Top-`k` candidate entities for a mention text (§4.3's `E_rc`),
@@ -314,8 +774,7 @@ impl LemmaIndex {
         rescoring_factor: usize,
         scratch: &mut ProbeScratch,
     ) -> Vec<Match<EntityId>> {
-        self.owner_candidates(query, RefKind::Entity, k, rescoring_factor, scratch);
-        scratch.owners.iter().map(|&(owner, score)| Match { id: EntityId(owner), score }).collect()
+        self.entity_candidates_mode(query, k, rescoring_factor, ProbeMode::Auto, scratch)
     }
 
     /// [`type_candidates`](LemmaIndex::type_candidates) with an explicit
@@ -327,7 +786,34 @@ impl LemmaIndex {
         rescoring_factor: usize,
         scratch: &mut ProbeScratch,
     ) -> Vec<Match<TypeId>> {
-        self.owner_candidates(query, RefKind::Type, k, rescoring_factor, scratch);
+        self.type_candidates_mode(query, k, rescoring_factor, ProbeMode::Auto, scratch)
+    }
+
+    /// [`entity_candidates_with`](LemmaIndex::entity_candidates_with) with
+    /// an explicit [`ProbeMode`]. All modes return bit-identical results.
+    pub fn entity_candidates_mode(
+        &self,
+        query: &TextDoc,
+        k: usize,
+        rescoring_factor: usize,
+        mode: ProbeMode,
+        scratch: &mut ProbeScratch,
+    ) -> Vec<Match<EntityId>> {
+        self.owner_candidates(query, RefKind::Entity, k, rescoring_factor, mode, scratch);
+        scratch.owners.iter().map(|&(owner, score)| Match { id: EntityId(owner), score }).collect()
+    }
+
+    /// [`type_candidates_with`](LemmaIndex::type_candidates_with) with an
+    /// explicit [`ProbeMode`]. All modes return bit-identical results.
+    pub fn type_candidates_mode(
+        &self,
+        query: &TextDoc,
+        k: usize,
+        rescoring_factor: usize,
+        mode: ProbeMode,
+        scratch: &mut ProbeScratch,
+    ) -> Vec<Match<TypeId>> {
+        self.owner_candidates(query, RefKind::Type, k, rescoring_factor, mode, scratch);
         scratch.owners.iter().map(|&(owner, score)| Match { id: TypeId(owner), score }).collect()
     }
 
@@ -338,10 +824,11 @@ impl LemmaIndex {
         kind: RefKind,
         k: usize,
         rescoring_factor: usize,
+        mode: ProbeMode,
         scratch: &mut ProbeScratch,
     ) {
         let shortlist = k.saturating_mul(rescoring_factor).max(16);
-        self.lemma_hits_into(query, kind, shortlist, scratch);
+        self.lemma_hits_into(query, kind, shortlist, mode, scratch);
         let (hits, owners) = (&scratch.hits, &mut scratch.owners);
         owners.clear();
         owners.extend(hits.iter().map(|&(li, score)| (self.lemmas[li as usize].owner, score)));
@@ -371,6 +858,77 @@ impl LemmaIndex {
             best.max_with(&p);
         }
         best
+    }
+}
+
+/// WAND document-at-a-time top-`shortlist` over the terms prepared in
+/// `scratch.wand_terms`, leaving `(lemma, overlap score)` hits in
+/// `scratch.hits` (unordered — the caller rescans and sorts anyway).
+///
+/// The kept set is exactly the exhaustive pass's top-`shortlist` under
+/// (score desc, lemma id asc): lemmas are scored in ascending id order, so
+/// at equal score an incumbent (smaller id) always wins, which means a
+/// candidate enters the full heap only with a strictly higher score — and a
+/// pivot whose upper bound (with [`WAND_SAFETY`] margin) cannot beat the
+/// current worst kept score is skipped without scoring.
+fn wand_hits(postings: &Csr, shortlist: usize, scratch: &mut ProbeScratch) {
+    let terms = &mut scratch.wand_terms;
+    let heap = &mut scratch.hits;
+    heap.clear();
+    if shortlist == 0 {
+        return;
+    }
+    let cur_doc = |t: &WandTerm, values: &[u32]| values[(t.start + t.pos) as usize];
+    let values = &postings.values;
+    loop {
+        terms.retain(|t| t.start + t.pos < t.end);
+        if terms.is_empty() {
+            return;
+        }
+        terms.sort_unstable_by_key(|t| (cur_doc(t, values), t.tok));
+        let threshold = if heap.len() == shortlist { heap[0].1 } else { f64::NEG_INFINITY };
+        // Pivot: first cursor position where the cumulative upper bound
+        // could still beat the threshold.
+        let mut acc = 0.0f64;
+        let mut pivot = None;
+        for (i, t) in terms.iter().enumerate() {
+            acc += t.ub;
+            if acc * WAND_SAFETY > threshold {
+                pivot = Some(i);
+                break;
+            }
+        }
+        let Some(p) = pivot else {
+            // Even all remaining rows together cannot beat the worst kept
+            // hit: every unseen lemma is dominated. Done.
+            return;
+        };
+        let pivot_doc = cur_doc(&terms[p], values);
+        if cur_doc(&terms[0], values) == pivot_doc {
+            // Terms are sorted by (cursor doc, token), so the rows
+            // containing `pivot_doc` form a token-ascending prefix run —
+            // accumulating over the run reproduces the exhaustive pass's
+            // addition order bit for bit.
+            let mut score = 0.0f64;
+            for t in terms.iter_mut() {
+                if values[(t.start + t.pos) as usize] != pivot_doc {
+                    break;
+                }
+                score += t.ub;
+                t.pos += 1;
+            }
+            if heap.len() < shortlist {
+                heap_push(heap, (pivot_doc, score));
+            } else if score > heap[0].1 {
+                heap_replace_root(heap, (pivot_doc, score));
+            }
+        } else {
+            // Skip: advance every cursor below the pivot straight to it.
+            for t in terms[..p].iter_mut() {
+                let row = &values[t.start as usize..t.end as usize];
+                t.pos += row[t.pos as usize..].partition_point(|&d| d < pivot_doc) as u32;
+            }
+        }
     }
 }
 
@@ -518,6 +1076,46 @@ mod tests {
         assert_eq!(fresh, again);
     }
 
+    #[test]
+    fn epoch_wrap_with_stale_stamps_from_other_queries() {
+        // Wraparound regression for the stale-stamp alias class: slots
+        // stamped by *different* queries before the wrap must not leak
+        // scores into queries after the wrap (the wrap resets every stamp,
+        // including slots the wrapping query does not touch).
+        let cat = small_catalog();
+        let idx = LemmaIndex::build(&cat);
+        let albert = idx.doc("albert einstein relativity theory");
+        let russell = idx.doc("russell stannard");
+        let mut scratch = ProbeScratch::new();
+        let mut fresh = ProbeScratch::new();
+        // Stamp a broad set of slots, then force the wrap on a query that
+        // touches a *different* subset.
+        let _ = idx.entity_candidates_with(&albert, 8, 6, &mut scratch);
+        scratch.force_epoch_wrap();
+        assert_eq!(
+            idx.entity_candidates_with(&russell, 8, 6, &mut scratch),
+            idx.entity_candidates_with(&russell, 8, 6, &mut fresh),
+        );
+        // And the epoch numbering stays self-consistent after the wrap.
+        for _ in 0..3 {
+            assert_eq!(
+                idx.entity_candidates_with(&albert, 8, 6, &mut scratch),
+                idx.entity_candidates_with(&albert, 8, 6, &mut fresh),
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_on_small_catalog() {
+        let cat = small_catalog();
+        let serial = LemmaIndex::build_with_threads(&cat, 1);
+        for threads in [2usize, 3, 8] {
+            let par = LemmaIndex::build_with_threads(&cat, threads);
+            assert_eq!(par.num_lemmas(), serial.num_lemmas());
+            assert_eq!(par.layout(), serial.layout(), "threads={threads}");
+        }
+    }
+
     /// The pre-CSR implementation, kept verbatim as the equivalence oracle:
     /// hash-map IDF accumulation over a lemma scan, full sorts, hash-map
     /// owner dedup. The optimized path must match it bit for bit.
@@ -564,20 +1162,28 @@ mod tests {
     fn assert_matches_naive(idx: &LemmaIndex, scratch: &mut ProbeScratch, text: &str, k: usize) {
         let q = idx.doc(text);
         for factor in [1usize, 6] {
-            let fast: Vec<(u32, f64)> = idx
-                .entity_candidates_with(&q, k, factor, scratch)
-                .into_iter()
-                .map(|m| (m.id.raw(), m.score))
-                .collect();
-            let naive = naive_owner_candidates(idx, &q, RefKind::Entity, k, factor);
-            assert_eq!(fast, naive, "entities diverge for {text:?} k={k} factor={factor}");
-            let fast: Vec<(u32, f64)> = idx
-                .type_candidates_with(&q, k, factor, scratch)
-                .into_iter()
-                .map(|m| (m.id.raw(), m.score))
-                .collect();
-            let naive = naive_owner_candidates(idx, &q, RefKind::Type, k, factor);
-            assert_eq!(fast, naive, "types diverge for {text:?} k={k} factor={factor}");
+            for mode in [ProbeMode::Auto, ProbeMode::Exhaustive, ProbeMode::Wand] {
+                let fast: Vec<(u32, f64)> = idx
+                    .entity_candidates_mode(&q, k, factor, mode, scratch)
+                    .into_iter()
+                    .map(|m| (m.id.raw(), m.score))
+                    .collect();
+                let naive = naive_owner_candidates(idx, &q, RefKind::Entity, k, factor);
+                assert_eq!(
+                    fast, naive,
+                    "entities diverge for {text:?} k={k} factor={factor} mode={mode:?}"
+                );
+                let fast: Vec<(u32, f64)> = idx
+                    .type_candidates_mode(&q, k, factor, mode, scratch)
+                    .into_iter()
+                    .map(|m| (m.id.raw(), m.score))
+                    .collect();
+                let naive = naive_owner_candidates(idx, &q, RefKind::Type, k, factor);
+                assert_eq!(
+                    fast, naive,
+                    "types diverge for {text:?} k={k} factor={factor} mode={mode:?}"
+                );
+            }
         }
     }
 

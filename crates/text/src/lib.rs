@@ -16,6 +16,9 @@ pub mod tfidf;
 pub mod tokenize;
 
 pub use engine::{SimEngine, SimEngineBuilder, StringSim, TextDoc, SOFT_TFIDF_THRESHOLD};
-pub use index::{IndexedLemma, LemmaIndex, Match, ProbeScratch, RefKind, DEFAULT_RESCORING_FACTOR};
+pub use index::{
+    IndexLayout, IndexedLemma, LemmaIndex, Match, ProbeMode, ProbeScratch, RefKind,
+    DEFAULT_RESCORING_FACTOR,
+};
 pub use tfidf::{cosine, soft_tfidf, soft_tfidf_with_oov, IdfTable, WeightedVec};
-pub use tokenize::{to_sorted_set, tokenize, Vocab};
+pub use tokenize::{normalize, to_sorted_set, tokenize, Vocab};

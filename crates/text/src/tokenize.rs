@@ -7,6 +7,15 @@
 
 use std::collections::HashMap;
 
+/// Canonical text normalization applied before tokenization: trim +
+/// Unicode lowercase. This is the *single* definition of "normalized
+/// text": [`crate::engine::SimEngine::doc`] derives everything in a
+/// `TextDoc` from it, and the cross-table candidate cache keys on it —
+/// equal normalized text therefore implies an identical candidate set.
+pub fn normalize(text: &str) -> String {
+    text.trim().to_lowercase()
+}
+
 /// Splits text into lowercase alphanumeric tokens.
 ///
 /// Runs of letters/digits form tokens; everything else separates. This is

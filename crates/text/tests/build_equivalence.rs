@@ -1,0 +1,118 @@
+//! Parallel-build equivalence: `LemmaIndex::build_with_threads` must
+//! produce a **bit-identical** index at every thread count — same CSR
+//! offsets, same flat posting arrays, same WAND upper-bound tables, and
+//! identical probe results. The serial build (1 thread) is the reference;
+//! randomized catalogs come from a property-driven `CatalogBuilder` and
+//! from the seeded world generator.
+
+use proptest::prelude::*;
+use webtable_catalog::{generate_world, Catalog, CatalogBuilder, WorldConfig};
+use webtable_text::{IndexLayout, LemmaIndex, ProbeScratch, DEFAULT_RESCORING_FACTOR};
+
+/// Builds a small randomized catalog from generated word material:
+/// `type_words[i]` names type `i`, `entity_words[j]` names entity `j`
+/// (suffixed to stay unique), with round-robin type membership and the
+/// first word reused as an alias lemma so entities get multiple lemmas.
+fn catalog_from(type_words: &[String], entity_words: &[Vec<String>]) -> Catalog {
+    let mut b = CatalogBuilder::new();
+    let mut types = Vec::new();
+    for (i, w) in type_words.iter().enumerate() {
+        types.push(b.add_type(format!("{w} type{i}"), &[w.as_str()]).unwrap());
+    }
+    if types.is_empty() {
+        types.push(b.add_type("thing", &[]).unwrap());
+    }
+    for (j, words) in entity_words.iter().enumerate() {
+        let name = format!("{} e{j}", words.join(" "));
+        let alias = words.first().map(String::as_str).unwrap_or("x");
+        let e = b.add_entity(name, &[alias], &[types[j % types.len()]]).unwrap();
+        // A second alias with repeated tokens stresses term frequencies.
+        if words.len() > 1 {
+            b.add_entity_lemma(e, &format!("{} {}", words[0], words[0]));
+        }
+    }
+    b.finish().unwrap()
+}
+
+/// Asserts every array of two layouts equal, with f64 tables compared by
+/// bits (NaN-proof, and stricter than `==` about signed zeros).
+fn assert_layouts_bit_identical(got: &IndexLayout<'_>, want: &IndexLayout<'_>, ctx: &str) {
+    assert_eq!(got.entity_posting_offsets, want.entity_posting_offsets, "{ctx}: entity offsets");
+    assert_eq!(got.entity_posting_values, want.entity_posting_values, "{ctx}: entity postings");
+    assert_eq!(got.type_posting_offsets, want.type_posting_offsets, "{ctx}: type offsets");
+    assert_eq!(got.type_posting_values, want.type_posting_values, "{ctx}: type postings");
+    assert_eq!(got.entity_lemma_offsets, want.entity_lemma_offsets, "{ctx}: entity lemma offsets");
+    assert_eq!(got.entity_lemma_values, want.entity_lemma_values, "{ctx}: entity lemma values");
+    assert_eq!(got.type_lemma_offsets, want.type_lemma_offsets, "{ctx}: type lemma offsets");
+    assert_eq!(got.type_lemma_values, want.type_lemma_values, "{ctx}: type lemma values");
+    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(got.entity_token_ub), bits(want.entity_token_ub), "{ctx}: entity upper bounds");
+    assert_eq!(bits(got.type_token_ub), bits(want.type_token_ub), "{ctx}: type upper bounds");
+}
+
+fn assert_parallel_builds_match_serial(cat: &Catalog, queries: &[&str]) {
+    let serial = LemmaIndex::build_with_threads(cat, 1);
+    let mut scratch = ProbeScratch::new();
+    for threads in [2usize, 4, 8] {
+        let par = LemmaIndex::build_with_threads(cat, threads);
+        assert_eq!(par.num_lemmas(), serial.num_lemmas(), "threads={threads}");
+        assert_eq!(par.content_digest(), serial.content_digest(), "threads={threads}");
+        assert_layouts_bit_identical(
+            &par.layout(),
+            &serial.layout(),
+            &format!("{threads} threads"),
+        );
+        // Probes through both indexes agree bit for bit as well.
+        for text in queries {
+            let qs = serial.doc(text);
+            let qp = par.doc(text);
+            assert_eq!(qs.token_set, qp.token_set, "threads={threads} {text:?}");
+            assert_eq!(
+                serial.entity_candidates_with(&qs, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+                par.entity_candidates_with(&qp, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+                "threads={threads} {text:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_build_is_bit_identical_on_random_catalogs(
+        type_words in proptest::collection::vec("[a-f]{1,5}", 0..4),
+        entity_words in proptest::collection::vec(
+            proptest::collection::vec("[a-h]{1,6}", 1..4),
+            1..40,
+        ),
+    ) {
+        let cat = catalog_from(&type_words, &entity_words);
+        let queries: Vec<String> = entity_words.iter().take(3).map(|w| w.join(" ")).collect();
+        let query_refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+        assert_parallel_builds_match_serial(&cat, &query_refs);
+    }
+}
+
+#[test]
+fn parallel_build_is_bit_identical_on_generated_worlds() {
+    for seed in [5u64, 13] {
+        let w = generate_world(&WorldConfig::tiny(seed)).unwrap();
+        let queries: Vec<String> =
+            w.catalog.entity_ids().take(5).map(|e| w.catalog.entity_name(e).to_string()).collect();
+        let query_refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+        assert_parallel_builds_match_serial(&w.catalog, &query_refs);
+    }
+}
+
+#[test]
+fn thread_count_beyond_lemma_count_is_fine() {
+    // More workers than lemmas: shards degenerate to singletons/empties.
+    let mut b = CatalogBuilder::new();
+    let t = b.add_type("thing", &[]).unwrap();
+    b.add_entity("solo entity", &[], &[t]).unwrap();
+    let cat = b.finish().unwrap();
+    let serial = LemmaIndex::build_with_threads(&cat, 1);
+    let par = LemmaIndex::build_with_threads(&cat, 64);
+    assert_layouts_bit_identical(&par.layout(), &serial.layout(), "64 threads, 1 entity");
+}

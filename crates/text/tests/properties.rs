@@ -1,7 +1,10 @@
 //! Property tests for the similarity kernels and the lemma index.
 
 use proptest::prelude::*;
-use webtable_text::{sim, to_sorted_set, tokenize, SimEngineBuilder};
+use webtable_catalog::CatalogBuilder;
+use webtable_text::{
+    sim, to_sorted_set, tokenize, LemmaIndex, ProbeMode, ProbeScratch, SimEngineBuilder,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -166,9 +169,105 @@ fn reference_jaro(a: &str, b: &str) -> f64 {
     (m / a.len() as f64 + m / b.len() as f64 + (m - t as f64) / m) / 3.0
 }
 
+/// WAND admissibility: the early-terminated probe must return exactly the
+/// exhaustive probe's top-k — same ids, same order, bit-identical scores.
+fn assert_wand_matches_exhaustive(idx: &LemmaIndex, text: &str, ks: &[usize], factors: &[usize]) {
+    let q = idx.doc(text);
+    let mut s_wand = ProbeScratch::new();
+    let mut s_ref = ProbeScratch::new();
+    for &k in ks {
+        for &factor in factors {
+            let wand = idx.entity_candidates_mode(&q, k, factor, ProbeMode::Wand, &mut s_wand);
+            let exhaustive =
+                idx.entity_candidates_mode(&q, k, factor, ProbeMode::Exhaustive, &mut s_ref);
+            assert_eq!(wand.len(), exhaustive.len(), "{text:?} k={k} factor={factor}");
+            for (w, e) in wand.iter().zip(&exhaustive) {
+                assert_eq!(w.id, e.id, "{text:?} k={k} factor={factor}");
+                assert_eq!(
+                    w.score.to_bits(),
+                    e.score.to_bits(),
+                    "{text:?} k={k} factor={factor}: {} vs {}",
+                    w.score,
+                    e.score
+                );
+            }
+            let wand = idx.type_candidates_mode(&q, k, factor, ProbeMode::Wand, &mut s_wand);
+            let exhaustive =
+                idx.type_candidates_mode(&q, k, factor, ProbeMode::Exhaustive, &mut s_ref);
+            assert_eq!(wand, exhaustive, "types {text:?} k={k} factor={factor}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wand_topk_matches_exhaustive_on_random_indexes(
+        entity_words in proptest::collection::vec(
+            proptest::collection::vec("[a-e]{1,4}", 1..4),
+            1..30,
+        ),
+        query_words in proptest::collection::vec("[a-e]{1,4}", 0..8),
+        k in 1usize..10,
+    ) {
+        let mut b = CatalogBuilder::new();
+        let t = b.add_type("thing", &["stuff"]).unwrap();
+        for (j, words) in entity_words.iter().enumerate() {
+            b.add_entity(format!("{} e{j}", words.join(" ")), &[words[0].as_str()], &[t])
+                .unwrap();
+        }
+        let idx = LemmaIndex::build(&b.finish().unwrap());
+        assert_wand_matches_exhaustive(&idx, &query_words.join(" "), &[k], &[1, 6]);
+    }
+}
+
+#[test]
+fn wand_handles_all_upper_bounds_tied() {
+    // Adversarial case: every lemma is one distinct token that occurs in
+    // exactly one document, so every posting row has the same IDF and all
+    // WAND upper bounds tie. Overlap scores then tie across every matched
+    // lemma and ranking is decided purely by the id tie-break — the regime
+    // where a sloppy (non-strict) skip test would drop qualifying lemmas.
+    let mut b = CatalogBuilder::new();
+    let t = b.add_type("q0", &[]).unwrap(); // one-token type name, same df
+    let n = 60usize;
+    for i in 0..n {
+        b.add_entity(format!("w{i}"), &[], &[t]).unwrap();
+    }
+    let cat = b.finish().unwrap();
+    let idx = LemmaIndex::build(&cat);
+    // Query mentioning many distinct single-occurrence tokens: every
+    // matched lemma scores exactly one identical IDF.
+    let all: String = (0..n).map(|i| format!("w{i} ")).collect();
+    for query in [all.as_str(), "w0 w1 w2 w3 w4 w5 w6 w7", "w59 w58 w57", "w10"] {
+        assert_wand_matches_exhaustive(&idx, query, &[1, 2, 5, 16, 64], &[1, 2, 6]);
+    }
+}
+
+#[test]
+fn wand_survives_epoch_wraparound() {
+    // The exhaustive path advances the epoch-stamped scratch; the WAND path
+    // keeps separate cursor state. Force the u32 epoch to wrap between and
+    // during interleaved probes of both modes: results must stay identical.
+    let mut b = CatalogBuilder::new();
+    let t = b.add_type("team", &[]).unwrap();
+    for i in 0..20 {
+        b.add_entity(format!("club {i}"), &[&format!("fc {i}")[..]], &[t]).unwrap();
+    }
+    let idx = LemmaIndex::build(&b.finish().unwrap());
+    let q = idx.doc("club fc 7");
+    let mut scratch = ProbeScratch::new();
+    let baseline = idx.entity_candidates_mode(&q, 8, 6, ProbeMode::Exhaustive, &mut scratch);
+    scratch.force_epoch_wrap();
+    let wand = idx.entity_candidates_mode(&q, 8, 6, ProbeMode::Wand, &mut scratch);
+    assert_eq!(baseline, wand, "wand probe straddling the wrap");
+    let wrapped = idx.entity_candidates_mode(&q, 8, 6, ProbeMode::Exhaustive, &mut scratch);
+    assert_eq!(baseline, wrapped, "exhaustive probe after the wrap");
+}
+
 #[test]
 fn index_is_deterministic_and_ranked() {
-    use webtable_catalog::CatalogBuilder;
     let mut b = CatalogBuilder::new();
     let t = b.add_type("thing", &[]).unwrap();
     for i in 0..50 {

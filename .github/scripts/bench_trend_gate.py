@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Bench trend gate: the perf report must never silently lose coverage.
+
+Compares the committed BENCH_candidates.json against a freshly generated
+one and fails if any (group, bench) row present in the committed report is
+missing from the fresh run — a renamed or dropped benchmark must show up
+as an explicit diff in the PR, not as a quietly shrinking report. Numbers
+are deliberately NOT gated: shared CI runners are far too noisy for that;
+the JSON artifact exists for trend tracking.
+
+Usage: bench_trend_gate.py COMMITTED.json FRESH.json
+"""
+
+import json
+import sys
+
+
+def rows(path: str) -> set[tuple[str, str]]:
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+    if report.get("schema") != "webtable-perf-report/v1":
+        sys.exit(f"{path}: unknown schema {report.get('schema')!r}")
+    return {(r["group"], r["bench"]) for r in report["results"]}
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    committed, fresh = rows(sys.argv[1]), rows(sys.argv[2])
+    missing = sorted(committed - fresh)
+    added = sorted(fresh - committed)
+    for group, bench in added:
+        print(f"new bench row: {group}/{bench}")
+    if missing:
+        for group, bench in missing:
+            print(f"MISSING bench row: {group}/{bench}", file=sys.stderr)
+        sys.exit(
+            f"{len(missing)} bench row(s) present in the committed "
+            "BENCH_candidates.json are missing from the fresh perf report. "
+            "If a benchmark was intentionally renamed or removed, update the "
+            "committed BENCH_candidates.json in the same PR."
+        )
+    print(f"trend gate ok: {len(committed & fresh)} rows covered, {len(added)} new")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,28 @@ fn bench_index_build(c: &mut Criterion) {
     g.finish();
 }
 
+/// `index_build/snapshot_load`: restoring the fixture index from an
+/// on-disk snapshot vs rebuilding it from the catalog. The loaded index is
+/// bit-identical to the rebuilt one (`tests/snapshot_roundtrip.rs` in
+/// `webtable-text`); only wall-clock differs — the load path performs no
+/// tokenization, interning, or TFIDF computation.
+fn bench_snapshot_load(c: &mut Criterion) {
+    let f = fixture();
+    let path =
+        std::env::temp_dir().join(format!("webtable-bench-snapshot-{}.idx", std::process::id()));
+    f.annotator.index.save(&path).expect("snapshot save");
+    let mut g = c.benchmark_group("index_build/snapshot_load");
+    g.sample_size(10);
+    g.bench_function("load", |b| {
+        b.iter(|| LemmaIndex::load(std::hint::black_box(&path)).expect("snapshot load"))
+    });
+    g.bench_function("rebuild", |b| {
+        b.iter(|| LemmaIndex::build_with_threads(std::hint::black_box(&f.world.catalog), 1))
+    });
+    g.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
 /// `batch/annotate`: `annotate_batch` over the duplicate-heavy corpus with
 /// the cross-table candidate cache off vs on (single worker, so the numbers
 /// isolate caching from parallelism).
@@ -63,5 +85,11 @@ fn bench_batch_threads(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_index_build, bench_batch_annotate, bench_batch_threads);
+criterion_group!(
+    benches,
+    bench_index_build,
+    bench_snapshot_load,
+    bench_batch_annotate,
+    bench_batch_threads
+);
 criterion_main!(benches);

@@ -2,11 +2,13 @@
 //!
 //! Runs the `candidates/*` and `annotate/collective` workloads (the phases
 //! Figure 7 attributes ~80% of annotation time to) plus the corpus-scale
-//! `index_build/*` (parallel `LemmaIndex::build`) and `batch/*`
-//! (cross-table candidate cache) workloads with a calibrated wall-clock
-//! timer and writes one JSON record per benchmark to
-//! `BENCH_candidates.json` at the repo root, so every PR leaves a perf
-//! data point behind.
+//! `index_build/*` (parallel `LemmaIndex::build` and snapshot load vs
+//! rebuild) and `batch/*` (cross-table candidate cache) workloads with a
+//! calibrated wall-clock timer and writes one JSON record per benchmark to
+//! `BENCH_candidates.json` at the **workspace root** (resolved from the
+//! crate's manifest directory, so CI and a human running from inside a
+//! crate directory agree on the output location), so every PR leaves a
+//! perf data point behind.
 //!
 //! ```text
 //! cargo run --release -p webtable-bench --bin perf_report -- [--quick] [--out PATH]
@@ -77,9 +79,23 @@ fn record(
     });
 }
 
+/// `BENCH_candidates.json` at the workspace root, wherever the binary is
+/// launched from (previously a cwd-relative path: running from a crate
+/// directory silently wrote a second copy there instead of updating the
+/// tracked one).
+fn default_out_path() -> String {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .join("BENCH_candidates.json")
+        .to_string_lossy()
+        .into_owned()
+}
+
 fn main() {
     let mut quick = false;
-    let mut out_path = "BENCH_candidates.json".to_string();
+    let mut out_path = default_out_path();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -100,6 +116,25 @@ fn main() {
     let catalog = &f.world.catalog;
     let cfg = AnnotatorConfig::default();
     let mut records = Vec::new();
+    let build_samples = if quick { 3 } else { 10 };
+
+    // --- index_build/snapshot_load: restart-free serving — restoring the
+    //     index from an on-disk snapshot vs rebuilding it from the catalog
+    //     (bit-identical outputs; see webtable-text/tests/snapshot_roundtrip.rs).
+    //     Measured first, on a near-fresh heap: snapshot load happens at
+    //     process start in real deployments, and the alloc-dominated load
+    //     path is far more sensitive to a bench-fragmented heap than the
+    //     compute-dominated rebuild is. ---
+    let snap_path =
+        std::env::temp_dir().join(format!("webtable-perf-snapshot-{}.idx", std::process::id()));
+    index.save(&snap_path).expect("snapshot save");
+    record(&mut records, build_samples, "index_build/snapshot_load", "load", || {
+        std::hint::black_box(LemmaIndex::load(&snap_path).expect("snapshot load"));
+    });
+    record(&mut records, build_samples, "index_build/snapshot_load", "rebuild", || {
+        std::hint::black_box(LemmaIndex::build_with_threads(catalog, 1));
+    });
+    let _ = std::fs::remove_file(&snap_path);
 
     // --- candidates/index_probe: single-query entity probes ---
     let mut probe = ProbeScratch::new();
@@ -160,7 +195,6 @@ fn main() {
 
     // --- index_build/threads: parallel LemmaIndex construction (the
     //     output is byte-identical at every worker count) ---
-    let build_samples = if quick { 3 } else { 10 };
     for threads in [1usize, 2, 4] {
         record(&mut records, build_samples, "index_build/threads", &threads.to_string(), || {
             std::hint::black_box(LemmaIndex::build_with_threads(catalog, threads));

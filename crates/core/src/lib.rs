@@ -50,4 +50,5 @@ pub use model::TableModel;
 pub use pipeline::Annotator;
 pub use result::{AnnotateStats, PhaseTimings, TableAnnotation};
 pub use unique::enforce_unique_columns;
+pub use webtable_text::SnapshotError;
 pub use weights::Weights;

@@ -1,13 +1,24 @@
 //! The end-to-end annotation pipeline with phase timing and parallel batch
 //! processing (the 25M-table corpus run of §6.1.2, in miniature).
+//!
+//! ## Restart-free serving
+//!
+//! Index construction front-loads the pipeline's cost; the snapshot hooks
+//! ([`Annotator::save_snapshot`] / [`Annotator::from_snapshot`]) move it
+//! out of the process lifetime entirely. A loaded index is bit-identical
+//! to the one saved — including [`LemmaIndex::content_digest`], which
+//! [`Annotator::cache_fingerprint`] is derived from — so a warmed
+//! [`CellCandidateCache`] remains valid across a save/load restart
+//! boundary without invalidation or rescanning.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use webtable_catalog::Catalog;
 use webtable_tables::Table;
-use webtable_text::LemmaIndex;
+use webtable_text::{LemmaIndex, SnapshotError};
 
 use crate::cache::{fingerprint_for, CellCandidateCache};
 use crate::candidates::{CandidateScratch, TableCandidates};
@@ -53,6 +64,53 @@ impl Annotator {
             weights: Weights::default(),
             config: AnnotatorConfig::default(),
         }
+    }
+
+    /// Builds an annotator from a lemma-index snapshot file instead of
+    /// re-indexing the catalog (default weights/config; see
+    /// [`from_snapshot_with_config`]). The loaded index is bit-identical to
+    /// the one [`save_snapshot`] wrote — same content digest, hence the
+    /// same [`cache_fingerprint`] — so candidate caches warmed before the
+    /// restart keep hitting after it.
+    ///
+    /// [`from_snapshot_with_config`]: Annotator::from_snapshot_with_config
+    /// [`save_snapshot`]: Annotator::save_snapshot
+    /// [`cache_fingerprint`]: Annotator::cache_fingerprint
+    pub fn from_snapshot(
+        catalog: Arc<Catalog>,
+        path: impl AsRef<Path>,
+    ) -> Result<Annotator, SnapshotError> {
+        Annotator::from_snapshot_with_config(catalog, path, AnnotatorConfig::default())
+    }
+
+    /// [`from_snapshot`](Annotator::from_snapshot) with an explicit
+    /// configuration. Fails with [`SnapshotError::CatalogMismatch`] if the
+    /// snapshot's entity/type id spaces do not cover the given catalog —
+    /// the one compatibility property the snapshot cannot validate alone.
+    pub fn from_snapshot_with_config(
+        catalog: Arc<Catalog>,
+        path: impl AsRef<Path>,
+        config: AnnotatorConfig,
+    ) -> Result<Annotator, SnapshotError> {
+        let index = LemmaIndex::load(path)?;
+        if let Err(detail) = index.verify_catalog(&catalog) {
+            return Err(SnapshotError::CatalogMismatch {
+                snapshot: (index.num_indexed_entities(), index.num_indexed_types()),
+                catalog: (catalog.num_entities(), catalog.num_types()),
+                detail,
+            });
+        }
+        Ok(Annotator { catalog, index: Arc::new(index), weights: Weights::default(), config })
+    }
+
+    /// Persists this annotator's lemma index as a snapshot file (see
+    /// [`LemmaIndex::save`]); a later [`from_snapshot`] restores it without
+    /// paying the index build. Weights and config are cheap to reconstruct
+    /// and are not part of the snapshot.
+    ///
+    /// [`from_snapshot`]: Annotator::from_snapshot
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        self.index.save(path)
     }
 
     /// Replaces the weights (e.g. after training).

@@ -1,0 +1,103 @@
+//! Restart-free serving through the pipeline: `Annotator::save_snapshot` →
+//! `Annotator::from_snapshot` must reproduce annotations exactly, keep the
+//! cache fingerprint stable (so a warmed `CellCandidateCache` survives the
+//! "restart"), and reject snapshots attached to the wrong catalog.
+
+use std::sync::Arc;
+
+use webtable_catalog::{generate_world, WorldConfig};
+use webtable_core::{Annotator, SnapshotError};
+use webtable_tables::{NoiseConfig, Table, TableGenerator, TruthMask};
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("webtable-snap-pipeline-{tag}-{}.idx", std::process::id()))
+}
+
+fn world_and_tables(seed: u64) -> (webtable_catalog::World, Vec<Table>) {
+    let w = generate_world(&WorldConfig::tiny(seed)).unwrap();
+    let mut g = TableGenerator::new(&w, NoiseConfig::wiki(), TruthMask::full(), 7);
+    let tables: Vec<Table> = g.gen_corpus(6, 8).into_iter().map(|lt| lt.table).collect();
+    (w, tables)
+}
+
+#[test]
+fn snapshot_restart_reproduces_annotations_exactly() {
+    let (w, tables) = world_and_tables(11);
+    let original = Annotator::new(Arc::clone(&w.catalog));
+    let path = temp_path("annotations");
+    original.save_snapshot(&path).expect("save");
+
+    let restored = Annotator::from_snapshot(Arc::clone(&w.catalog), &path).expect("load");
+    assert_eq!(restored.index.content_digest(), original.index.content_digest());
+    for t in &tables {
+        let a = original.annotate(t);
+        let b = restored.annotate(t);
+        assert_eq!(a.cell_entities, b.cell_entities);
+        assert_eq!(a.column_types, b.column_types);
+        assert_eq!(a.relations, b.relations);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn warmed_cache_stays_valid_across_restart() {
+    let (w, tables) = world_and_tables(13);
+    let original = Annotator::new(Arc::clone(&w.catalog));
+    let path = temp_path("cache");
+    original.save_snapshot(&path).expect("save");
+
+    // Warm a cross-table candidate cache before the "restart".
+    let cache = original.new_cell_cache(1 << 12);
+    let before = original.annotate_batch_with_cache(&tables, 1, &cache);
+    assert!(!cache.is_empty(), "warm-up must populate the cache");
+    let warm_misses = cache.misses();
+
+    // The restored annotator derives the same fingerprint from the loaded
+    // index, so the cache is *used* (hits accrue, no bypass) and outputs
+    // stay identical.
+    let restored = Annotator::from_snapshot(Arc::clone(&w.catalog), &path).expect("load");
+    assert_eq!(restored.cache_fingerprint(), original.cache_fingerprint());
+    assert_eq!(cache.fingerprint(), restored.cache_fingerprint());
+    let hits_before = cache.hits();
+    let after = restored.annotate_batch_with_cache(&tables, 1, &cache);
+    assert!(cache.hits() > hits_before, "restored annotator must hit the warmed cache");
+    assert_eq!(
+        cache.misses(),
+        warm_misses,
+        "every repeated cell should hit — a miss means the fingerprint broke"
+    );
+    for ((a, _), (b, _)) in before.iter().zip(&after) {
+        assert_eq!(a.cell_entities, b.cell_entities);
+        assert_eq!(a.column_types, b.column_types);
+        assert_eq!(a.relations, b.relations);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn snapshot_rejects_foreign_catalog() {
+    let (w, _) = world_and_tables(17);
+    let mut b = webtable_catalog::CatalogBuilder::new();
+    let t = b.add_type("thing", &[]).unwrap();
+    b.add_entity("lonely entity", &[], &[t]).unwrap();
+    let foreign = Arc::new(b.finish().unwrap());
+    let original = Annotator::new(Arc::clone(&w.catalog));
+    let path = temp_path("foreign");
+    original.save_snapshot(&path).expect("save");
+    match Annotator::from_snapshot(Arc::clone(&foreign), &path) {
+        Err(SnapshotError::CatalogMismatch { snapshot, catalog, .. }) => {
+            assert_eq!(snapshot, (w.catalog.num_entities(), w.catalog.num_types()));
+            assert_eq!(catalog, (foreign.num_entities(), foreign.num_types()));
+        }
+        other => panic!("expected CatalogMismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_snapshot_file_is_io_error() {
+    let (w, _) = world_and_tables(19);
+    let err = Annotator::from_snapshot(Arc::clone(&w.catalog), temp_path("never-written-anywhere"))
+        .expect_err("no file");
+    assert!(matches!(err, SnapshotError::Io(_)), "{err:?}");
+}

@@ -121,6 +121,14 @@ pub struct SimEngine {
 }
 
 impl SimEngine {
+    /// Rebuilds an engine from a persisted vocabulary and IDF table (the
+    /// snapshot-load path; see `crate::snapshot`). The result is
+    /// indistinguishable from the [`SimEngineBuilder`] that originally
+    /// produced those parts.
+    pub(crate) fn from_parts(vocab: Vocab, idf: IdfTable) -> SimEngine {
+        SimEngine { vocab, idf }
+    }
+
     /// The frozen vocabulary.
     pub fn vocab(&self) -> &Vocab {
         &self.vocab
@@ -133,10 +141,39 @@ impl SimEngine {
 
     /// Prepares a text for repeated similarity computation. Every field of
     /// the result is a function of [`crate::tokenize::normalize`]`(text)`.
+    /// This is the query hot path: the token sequence is consumed in place
+    /// (no clone — see
+    /// [`doc_with_token_ids_from_norm`](SimEngine::doc_with_token_ids_from_norm)
+    /// for the build-time variant that keeps it).
     pub fn doc(&self, text: &str) -> TextDoc {
         let norm = crate::tokenize::normalize(text);
-        let words = crate::tokenize::tokenize(&norm);
-        let tokens = self.vocab.tokenize_frozen(&norm);
+        let (tokens, oov_terms) = self.prepare_norm(&norm);
+        let vec = WeightedVec::from_tokens(&tokens, &self.idf);
+        TextDoc { norm, token_set: to_sorted_set(tokens), vec, oov_terms }
+    }
+
+    /// [`doc`](SimEngine::doc) over text the caller has **already
+    /// normalized** (`normalize` is idempotent, so the result equals
+    /// `doc(&norm)` — without re-walking the string), also returning the
+    /// in-order token-id sequence (duplicates preserved — the term
+    /// frequencies behind the TFIDF vector). The index build normalizes
+    /// every lemma once up front and stores the sequence beside the
+    /// document, so snapshots and incremental extends can rebuild documents
+    /// without re-tokenizing any string. Pays one extra `Vec` clone over
+    /// [`doc`](SimEngine::doc); only build-time paths should call it.
+    pub(crate) fn doc_with_token_ids_from_norm(&self, norm: String) -> (TextDoc, Vec<u32>) {
+        debug_assert_eq!(norm, crate::tokenize::normalize(&norm));
+        let (tokens, oov_terms) = self.prepare_norm(&norm);
+        let vec = WeightedVec::from_tokens(&tokens, &self.idf);
+        let doc = TextDoc { norm, token_set: to_sorted_set(tokens.clone()), vec, oov_terms };
+        (doc, tokens)
+    }
+
+    /// Shared back half of document preparation over normalized text:
+    /// in-order token ids and the deduplicated out-of-vocabulary terms.
+    fn prepare_norm(&self, norm: &str) -> (Vec<u32>, Vec<(u32, String)>) {
+        let words = crate::tokenize::tokenize(norm);
+        let tokens = self.vocab.tokenize_frozen(norm);
         debug_assert_eq!(words.len(), tokens.len());
         let mut oov_terms: Vec<(u32, String)> = tokens
             .iter()
@@ -146,8 +183,19 @@ impl SimEngine {
             .collect();
         oov_terms.sort_unstable_by_key(|t| t.0);
         oov_terms.dedup_by(|a, b| a.0 == b.0);
-        let vec = WeightedVec::from_tokens(&tokens, &self.idf);
-        TextDoc { norm, token_set: to_sorted_set(tokens), vec, oov_terms }
+        (tokens, oov_terms)
+    }
+
+    /// Reconstructs the [`TextDoc`] that [`doc`](SimEngine::doc) would
+    /// produce for a text whose normalized form is `norm` and whose in-order
+    /// token ids are `tokens`, without touching any string machinery. Only
+    /// valid when every token is in-vocabulary (true for every indexed
+    /// lemma: the vocabulary is built from exactly these token streams), so
+    /// `oov_terms` is empty by construction.
+    pub(crate) fn doc_from_token_ids(&self, norm: String, tokens: &[u32]) -> TextDoc {
+        debug_assert!(tokens.iter().all(|&t| !Vocab::is_oov(t)));
+        let vec = WeightedVec::from_tokens(tokens, &self.idf);
+        TextDoc { norm, token_set: to_sorted_set(tokens.to_vec()), vec, oov_terms: Vec::new() }
     }
 
     /// Computes the full similarity profile between two prepared texts.

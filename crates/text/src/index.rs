@@ -33,6 +33,19 @@
 //! (asserted by `tests/build_equivalence.rs`; [`LemmaIndex::layout`]
 //! exposes the raw arrays for that comparison).
 //!
+//! ## Persistence and incremental growth
+//!
+//! The index keeps each lemma's in-order token-id sequence beside the CSR
+//! tables. That side table makes the whole structure self-contained: a
+//! snapshot ([`LemmaIndex::save`] / [`LemmaIndex::load`], format in
+//! [`crate::snapshot`]) round-trips bit-identically without re-tokenizing a
+//! single string, and [`LemmaIndex::extend`] grows the index over an
+//! append-only catalog change by reusing the stored sequences for every
+//! pre-existing lemma — only genuinely new lemma text is ever tokenized.
+//! `extend` reproduces `build` exactly (same interning order, same IDF,
+//! same CSR layout), so the grown index is bit-identical to a from-scratch
+//! rebuild on the grown catalog (asserted by `tests/extend_equivalence.rs`).
+//!
 //! ## WAND top-k early termination
 //!
 //! Alongside each posting row the index stores its maximum IDF-overlap
@@ -52,8 +65,8 @@ use std::ops::Range;
 use webtable_catalog::{Catalog, EntityId, TypeId};
 
 use crate::engine::{SimEngine, SimEngineBuilder, StringSim, TextDoc};
-use crate::tfidf::cosine;
-use crate::tokenize::{tokenize, Vocab};
+use crate::tfidf::{cosine, IdfTable};
+use crate::tokenize::{normalize, to_sorted_set, tokenize, Vocab};
 
 /// What a lemma belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,9 +115,9 @@ pub enum ProbeMode {
 /// A CSR (compressed sparse row) map from a dense `u32` key to a flat slice
 /// of `u32` values: `values[offsets[k]..offsets[k+1]]`.
 #[derive(Debug, Clone)]
-struct Csr {
-    offsets: Vec<u32>,
-    values: Vec<u32>,
+pub(crate) struct Csr {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) values: Vec<u32>,
 }
 
 /// Raw `*mut` wrapper so scoped workers can fill disjoint slots of one
@@ -213,8 +226,25 @@ impl Csr {
         Csr { offsets, values }
     }
 
+    /// An empty map with zero rows (rows are appended with
+    /// [`push_row`](Csr::push_row)).
+    fn empty() -> Csr {
+        Csr { offsets: vec![0], values: Vec::new() }
+    }
+
+    /// Appends one row holding `values` (row key = current row count).
+    fn push_row(&mut self, values: &[u32]) {
+        self.values.extend_from_slice(values);
+        self.offsets.push(self.values.len() as u32);
+    }
+
+    /// Number of rows.
+    fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
     #[inline]
-    fn row(&self, key: u32) -> &[u32] {
+    pub(crate) fn row(&self, key: u32) -> &[u32] {
         let k = key as usize;
         if k + 1 >= self.offsets.len() {
             return &[];
@@ -394,6 +424,10 @@ pub struct IndexLayout<'a> {
     pub type_lemma_offsets: &'a [u32],
     /// Type-owner flat value array.
     pub type_lemma_values: &'a [u32],
+    /// Per-lemma token-sequence offset table (lemma index → row bounds).
+    pub lemma_token_offsets: &'a [u32],
+    /// Per-lemma token sequences, flat (in text order, duplicates kept).
+    pub lemma_token_values: &'a [u32],
     /// WAND upper bounds per token for the entity postings.
     pub entity_token_ub: &'a [f64],
     /// WAND upper bounds per token for the type postings.
@@ -401,26 +435,34 @@ pub struct IndexLayout<'a> {
 }
 
 /// Inverted index over catalog lemmas. Immutable after construction.
+///
+/// Fields are `pub(crate)` so the snapshot codec (`crate::snapshot`) can
+/// persist and reconstruct the structure verbatim.
 #[derive(Debug)]
 pub struct LemmaIndex {
-    engine: SimEngine,
-    lemmas: Vec<IndexedLemma>,
+    pub(crate) engine: SimEngine,
+    pub(crate) lemmas: Vec<IndexedLemma>,
+    /// lemma index → its in-order token-id sequence (duplicates kept — the
+    /// term frequencies behind the TFIDF vectors). This is the material
+    /// snapshots and [`extend`](LemmaIndex::extend) rebuild documents from
+    /// without re-tokenizing any string.
+    pub(crate) lemma_tokens: Csr,
     /// token id → entity-lemma indices (CSR, ascending per token).
-    entity_postings: Csr,
+    pub(crate) entity_postings: Csr,
     /// token id → type-lemma indices (CSR, ascending per token).
-    type_postings: Csr,
+    pub(crate) type_postings: Csr,
     /// entity id → its lemma indices (CSR).
-    entity_lemmas: Csr,
+    pub(crate) entity_lemmas: Csr,
     /// type id → its lemma indices (CSR).
-    type_lemmas: Csr,
+    pub(crate) type_lemmas: Csr,
     /// token id → max IDF-overlap contribution of its entity posting row
     /// (the token IDF; 0 for empty rows). WAND skip bounds.
-    entity_token_ub: Vec<f64>,
+    pub(crate) entity_token_ub: Vec<f64>,
     /// token id → max contribution of its type posting row.
-    type_token_ub: Vec<f64>,
+    pub(crate) type_token_ub: Vec<f64>,
     /// Build-time digest of the whole index content (see
     /// [`content_digest`](LemmaIndex::content_digest)).
-    content_digest: u64,
+    pub(crate) content_digest: u64,
 }
 
 /// Default number of IDF-overlap hits rescored exactly per query, as a
@@ -435,6 +477,73 @@ pub const DEFAULT_RESCORING_FACTOR: usize = 6;
 /// margin keeps the bound admissible (never skips a qualifying lemma)
 /// without ever admitting meaningfully more work.
 const WAND_SAFETY: f64 = 1.0 + 1e-9;
+
+/// Why [`LemmaIndex::extend`] rejected a grown catalog. The base index is
+/// never modified: on error no partially-merged state exists anywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtendError {
+    /// The grown catalog has fewer entities or types than the base index
+    /// was built over — not an append-only change.
+    BaseShrunk {
+        /// `"entities"` or `"types"`.
+        what: &'static str,
+        /// Count in the base index.
+        base: usize,
+        /// Count in the grown catalog.
+        grown: usize,
+    },
+    /// A base entity's or type's lemma list differs from what the index was
+    /// built over (compared on normalized text).
+    BaseChanged {
+        /// `"entity"` or `"type"`.
+        what: &'static str,
+        /// Raw id of the offending owner.
+        owner: u32,
+        /// Human-readable description of the difference.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ExtendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtendError::BaseShrunk { what, base, grown } => write!(
+                f,
+                "grown catalog has {grown} {what}, fewer than the {base} the index was built over"
+            ),
+            ExtendError::BaseChanged { what, owner, detail } => {
+                write!(f, "base {what} {owner} changed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtendError {}
+
+/// One slot of [`LemmaIndex::extend`]'s merged lemma stream.
+enum Slot<'a> {
+    /// Reuse the base lemma at this index (norm + token sequence).
+    Reuse(u32),
+    /// New lemma text to normalize and tokenize.
+    Fresh(RefKind, u32, &'a str),
+}
+
+/// `"entity"` / `"type"`, for error messages.
+fn kind_name(kind: RefKind) -> &'static str {
+    match kind {
+        RefKind::Entity => "entity",
+        RefKind::Type => "type",
+    }
+}
+
+/// `0` = one worker per available core.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
 
 /// Splits `0..n` into at most `threads` contiguous, ascending ranges.
 fn shard_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
@@ -519,11 +628,7 @@ impl LemmaIndex {
     /// maps, and the CSR postings use contiguous ascending shards whose
     /// concatenation reproduces the serial layout (see the module docs).
     pub fn build_with_threads(cat: &Catalog, threads: usize) -> LemmaIndex {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            threads
-        };
+        let threads = resolve_threads(threads);
         let mut raw: Vec<(RefKind, u32, String)> = Vec::new();
         for e in cat.entity_ids() {
             for l in cat.entity_lemmas(e) {
@@ -536,9 +641,15 @@ impl LemmaIndex {
             }
         }
 
+        // Normalize once up front: interning and document preparation then
+        // see the *same* token streams (`normalize` is idempotent), which
+        // makes the vocabulary a pure function of the lemma norms — the
+        // property `extend` and the snapshot codec rebuild from.
+        let norms: Vec<String> = par_map(&raw, threads, |(_, _, text)| normalize(text));
+
         // Vocabulary interning must run serially (ids depend on first-seen
         // order), but the tokenization feeding it parallelizes cleanly.
-        let token_lists: Vec<Vec<String>> = par_map(&raw, threads, |(_, _, text)| tokenize(text));
+        let token_lists: Vec<Vec<String>> = par_map(&norms, threads, |text| tokenize(text));
         let mut builder = SimEngineBuilder::new();
         for words in &token_lists {
             builder.add_tokens(words);
@@ -548,24 +659,61 @@ impl LemmaIndex {
 
         // Query-document preparation is the heaviest build phase
         // (re-tokenization + TFIDF vectors); the engine is frozen, so it
-        // shards trivially.
-        let lemmas: Vec<IndexedLemma> = par_map(&raw, threads, |&(kind, owner, ref text)| {
-            IndexedLemma { kind, owner, doc: engine.doc(text) }
-        });
-        drop(raw);
+        // shards trivially. Each lemma's in-order token-id sequence is kept
+        // beside its document for persistence and incremental growth.
+        let prepped: Vec<(RefKind, u32, String)> = raw
+            .into_iter()
+            .zip(norms)
+            .map(|((kind, owner, _), norm)| (kind, owner, norm))
+            .collect();
+        let docs: Vec<(IndexedLemma, Vec<u32>)> =
+            par_map(&prepped, threads, |&(kind, owner, ref norm)| {
+                let (doc, tokens) = engine.doc_with_token_ids_from_norm(norm.clone());
+                (IndexedLemma { kind, owner, doc }, tokens)
+            });
+        drop(prepped);
+        let mut lemmas = Vec::with_capacity(docs.len());
+        let mut lemma_tokens = Csr::empty();
+        for (lemma, tokens) in docs {
+            lemma_tokens.push_row(&tokens);
+            lemmas.push(lemma);
+        }
 
+        LemmaIndex::assemble(
+            engine,
+            lemmas,
+            lemma_tokens,
+            cat.num_entities(),
+            cat.num_types(),
+            threads,
+        )
+    }
+
+    /// Final assembly shared by [`build_with_threads`] and [`extend`]: CSR
+    /// postings and owner maps, WAND upper bounds, content digest. Pure in
+    /// its inputs, so two callers arriving with identical engines, lemmas,
+    /// and token sequences produce bit-identical indexes.
+    ///
+    /// [`build_with_threads`]: LemmaIndex::build_with_threads
+    /// [`extend`]: LemmaIndex::extend
+    fn assemble(
+        engine: SimEngine,
+        lemmas: Vec<IndexedLemma>,
+        lemma_tokens: Csr,
+        num_entities: usize,
+        num_types: usize,
+        threads: usize,
+    ) -> LemmaIndex {
         let ranges = shard_ranges(lemmas.len(), threads);
         let vocab_len = engine.vocab().len();
         let entity_postings =
             Csr::build_sharded(vocab_len, &ranges, |r| token_pairs(&lemmas, RefKind::Entity, r));
         let type_postings =
             Csr::build_sharded(vocab_len, &ranges, |r| token_pairs(&lemmas, RefKind::Type, r));
-        let entity_lemmas = Csr::build_sharded(cat.num_entities(), &ranges, |r| {
-            owner_pairs(&lemmas, RefKind::Entity, r)
-        });
-        let type_lemmas = Csr::build_sharded(cat.num_types(), &ranges, |r| {
-            owner_pairs(&lemmas, RefKind::Type, r)
-        });
+        let entity_lemmas =
+            Csr::build_sharded(num_entities, &ranges, |r| owner_pairs(&lemmas, RefKind::Entity, r));
+        let type_lemmas =
+            Csr::build_sharded(num_types, &ranges, |r| owner_pairs(&lemmas, RefKind::Type, r));
 
         // WAND upper bounds: every posting of a row contributes exactly the
         // token's IDF to the overlap score, so the row bound *is* the IDF.
@@ -580,6 +728,7 @@ impl LemmaIndex {
         let mut idx = LemmaIndex {
             engine,
             lemmas,
+            lemma_tokens,
             entity_postings,
             type_postings,
             entity_lemmas,
@@ -592,20 +741,231 @@ impl LemmaIndex {
         idx
     }
 
-    /// Hashes every lemma (kind, owner, normalized text), the CSR layouts,
-    /// and the upper-bound tables. Deterministic for a given content —
-    /// independent of build thread count by the shard-order argument in the
-    /// module docs.
-    fn compute_content_digest(&self) -> u64 {
+    /// Grows the index over an append-only catalog change, using all
+    /// available cores (see [`extend_with_threads`]).
+    ///
+    /// [`extend_with_threads`]: LemmaIndex::extend_with_threads
+    pub fn extend(&self, grown: &Catalog) -> Result<LemmaIndex, ExtendError> {
+        self.extend_with_threads(grown, 0)
+    }
+
+    /// Builds the index for `grown` — a catalog whose entity/type id prefix
+    /// is exactly this index's catalog, with new entities and types appended
+    /// — reusing this index's stored tokenization for every pre-existing
+    /// lemma. Only new lemma text is normalized and tokenized.
+    ///
+    /// The result is **bit-identical** to `LemmaIndex::build(grown)`: the
+    /// interning walk replays the build's first-occurrence order (stored
+    /// token sequences stand in for re-tokenized base lemmas), the IDF table
+    /// is recounted over the full lemma stream, and the same sharded CSR
+    /// assembly runs over the merged lemma list. (IDF weights shift whenever
+    /// the collection grows, so TFIDF vectors are recomputed for all lemmas
+    /// — that recomputation is integer/float work on the stored sequences,
+    /// not string processing.)
+    ///
+    /// Returns [`ExtendError`] if `grown` is not an append-only superset:
+    /// fewer entities/types than the base, or any base entity/type whose
+    /// lemma list differs from what this index was built over.
+    pub fn extend_with_threads(
+        &self,
+        grown: &Catalog,
+        threads: usize,
+    ) -> Result<LemmaIndex, ExtendError> {
+        let threads = resolve_threads(threads);
+        let base_entities = self.entity_lemmas.num_rows();
+        let base_types = self.type_lemmas.num_rows();
+        if grown.num_entities() < base_entities {
+            return Err(ExtendError::BaseShrunk {
+                what: "entities",
+                base: base_entities,
+                grown: grown.num_entities(),
+            });
+        }
+        if grown.num_types() < base_types {
+            return Err(ExtendError::BaseShrunk {
+                what: "types",
+                base: base_types,
+                grown: grown.num_types(),
+            });
+        }
+
+        // Plan the merged lemma stream in build() order (entities in id
+        // order then types, each owner's lemmas in declaration order):
+        // every slot either reuses a base lemma's prepared data or carries
+        // new text. The base prefix is verified lemma-by-lemma on the
+        // *normalized* text — the form every downstream artifact derives
+        // from — so a reworded base lemma is rejected, not silently merged.
+        let mut slots: Vec<Slot<'_>> = Vec::new();
+        for e in grown.entity_ids() {
+            self.plan_owner(
+                &mut slots,
+                RefKind::Entity,
+                e.raw(),
+                grown.entity_lemmas(e),
+                base_entities,
+            )?;
+        }
+        for t in grown.type_ids() {
+            self.plan_owner(&mut slots, RefKind::Type, t.raw(), grown.type_lemmas(t), base_types)?;
+        }
+
+        // Serial interning walk replaying build()'s first-occurrence order.
+        // Reused lemmas walk their stored id sequences through a lazy
+        // old-id → new-id remap (one hash insert per *distinct* surviving
+        // token, array lookups after that); only fresh text is tokenized.
+        const UNSET: u32 = u32::MAX;
+        let old_words = self.engine.vocab().words();
+        let mut vocab = Vocab::new();
+        let mut remap = vec![UNSET; old_words.len()];
+        let mut lemma_tokens = Csr::empty();
+        let mut row = Vec::new();
+        let mut meta: Vec<(RefKind, u32, String)> = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            row.clear();
+            match *slot {
+                Slot::Reuse(li) => {
+                    for &old in self.lemma_tokens.row(li) {
+                        let mapped = &mut remap[old as usize];
+                        if *mapped == UNSET {
+                            *mapped = vocab.intern(&old_words[old as usize]);
+                        }
+                        row.push(*mapped);
+                    }
+                    let l = &self.lemmas[li as usize];
+                    meta.push((l.kind, l.owner, l.doc.norm.clone()));
+                }
+                Slot::Fresh(kind, owner, text) => {
+                    let norm = normalize(text);
+                    for word in tokenize(&norm) {
+                        row.push(vocab.intern(&word));
+                    }
+                    meta.push((kind, owner, norm));
+                }
+            }
+            lemma_tokens.push_row(&row);
+        }
+
+        // IDF recount over the merged stream (document frequencies and the
+        // collection size both changed), exactly as `SimEngineBuilder::freeze`
+        // counts them.
+        let mut idf = IdfTable::new(vocab.len());
+        for i in 0..meta.len() {
+            idf.add_document(&to_sorted_set(lemma_tokens.row(i as u32).to_vec()));
+        }
+        let engine = SimEngine::from_parts(vocab, idf);
+
+        // Document rebuild from the merged sequences — integer/float work
+        // only, sharded like build()'s preparation phase.
+        let idxs: Vec<u32> = (0..meta.len() as u32).collect();
+        let lemmas: Vec<IndexedLemma> = par_map(&idxs, threads, |&i| {
+            let (kind, owner, ref norm) = meta[i as usize];
+            let doc = engine.doc_from_token_ids(norm.clone(), lemma_tokens.row(i));
+            IndexedLemma { kind, owner, doc }
+        });
+
+        Ok(LemmaIndex::assemble(
+            engine,
+            lemmas,
+            lemma_tokens,
+            grown.num_entities(),
+            grown.num_types(),
+            threads,
+        ))
+    }
+
+    /// Verifies one grown-catalog owner against the base index and appends
+    /// its lemma slots to the [`extend`](LemmaIndex::extend) stream plan.
+    fn plan_owner<'a>(
+        &self,
+        slots: &mut Vec<Slot<'a>>,
+        kind: RefKind,
+        owner: u32,
+        texts: &'a [String],
+        base_count: usize,
+    ) -> Result<(), ExtendError> {
+        if (owner as usize) >= base_count {
+            for text in texts {
+                slots.push(Slot::Fresh(kind, owner, text));
+            }
+            return Ok(());
+        }
+        let owner_rows = match kind {
+            RefKind::Entity => &self.entity_lemmas,
+            RefKind::Type => &self.type_lemmas,
+        };
+        let row = owner_rows.row(owner);
+        if row.len() != texts.len() {
+            return Err(ExtendError::BaseChanged {
+                what: kind_name(kind),
+                owner,
+                detail: format!("lemma count changed from {} to {}", row.len(), texts.len()),
+            });
+        }
+        for (&li, text) in row.iter().zip(texts) {
+            if self.lemmas[li as usize].doc.norm != normalize(text) {
+                return Err(ExtendError::BaseChanged {
+                    what: kind_name(kind),
+                    owner,
+                    detail: format!("lemma {text:?} was reworded"),
+                });
+            }
+            slots.push(Slot::Reuse(li));
+        }
+        Ok(())
+    }
+
+    /// Hashes every part of the index a probe can observe: the vocabulary
+    /// words, the IDF table, every lemma (kind, owner, normalized text,
+    /// TFIDF vector), the per-lemma token sequences, the CSR layouts, and
+    /// the upper-bound tables. The snapshot loader recomputes this over the
+    /// *reconstructed* structure, so a snapshot whose stored vectors, vocab
+    /// spellings, or document frequencies were altered cannot pass the
+    /// digest check — not just one whose hashed metadata changed.
+    /// Deterministic for a given content — independent of build thread
+    /// count by the shard-order argument in the module docs.
+    pub(crate) fn compute_content_digest(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.engine.vocab().len().hash(&mut h);
         self.lemmas.len().hash(&mut h);
-        for l in &self.lemmas {
-            (l.kind == RefKind::Entity).hash(&mut h);
-            l.owner.hash(&mut h);
-            l.doc.norm.hash(&mut h);
+        // Variable-length pieces are flattened into length-prefixed buffers
+        // and hashed with one write each: the hasher's per-call overhead
+        // would otherwise dominate these loops (the digest runs on the
+        // snapshot-load hot path, where it is the index's integrity proof).
+        let word_bytes: usize = self.engine.vocab().words().iter().map(String::len).sum();
+        let mut flat: Vec<u8> = Vec::with_capacity(self.engine.vocab().len() * 4 + word_bytes);
+        for w in self.engine.vocab().words() {
+            flat.extend_from_slice(&(w.len() as u32).to_le_bytes());
+            flat.extend_from_slice(w.as_bytes());
         }
+        flat.hash(&mut h);
+        self.engine.idf().num_documents().hash(&mut h);
+        self.engine.idf().doc_frequencies().hash(&mut h);
+        let norm_bytes: usize = self.lemmas.iter().map(|l| l.doc.norm.len()).sum();
+        let mut flat: Vec<u8> = Vec::with_capacity(self.lemmas.len() * 9 + norm_bytes);
+        for l in &self.lemmas {
+            flat.push(match l.kind {
+                RefKind::Entity => 0,
+                RefKind::Type => 1,
+            });
+            flat.extend_from_slice(&l.owner.to_le_bytes());
+            flat.extend_from_slice(&(l.doc.norm.len() as u32).to_le_bytes());
+            flat.extend_from_slice(l.doc.norm.as_bytes());
+        }
+        flat.hash(&mut h);
+        // TFIDF vectors, packed one pair per u64 (weight bits ‖ token) with a
+        // length word between lemmas: integer-slice hashing compiles to a
+        // single hasher write over the buffer, so binding the vectors into
+        // the digest costs one push per pair, not a byte-copy loop.
+        let pair_count: usize = self.lemmas.iter().map(|l| l.doc.vec.pairs().len()).sum();
+        let mut pair_words: Vec<u64> = Vec::with_capacity(pair_count + self.lemmas.len());
+        for l in &self.lemmas {
+            pair_words.push(l.doc.vec.pairs().len() as u64);
+            for &(tok, w) in l.doc.vec.pairs() {
+                pair_words.push(((w.to_bits() as u64) << 32) | tok as u64);
+            }
+        }
+        pair_words.hash(&mut h);
         let layout = self.layout();
         for arr in [
             layout.entity_posting_offsets,
@@ -616,6 +976,8 @@ impl LemmaIndex {
             layout.entity_lemma_values,
             layout.type_lemma_offsets,
             layout.type_lemma_values,
+            layout.lemma_token_offsets,
+            layout.lemma_token_values,
         ] {
             arr.hash(&mut h);
         }
@@ -659,6 +1021,8 @@ impl LemmaIndex {
             entity_lemma_values: &self.entity_lemmas.values,
             type_lemma_offsets: &self.type_lemmas.offsets,
             type_lemma_values: &self.type_lemmas.values,
+            lemma_token_offsets: &self.lemma_tokens.offsets,
+            lemma_token_values: &self.lemma_tokens.values,
             entity_token_ub: &self.entity_token_ub,
             type_token_ub: &self.type_token_ub,
         }

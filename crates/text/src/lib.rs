@@ -12,13 +12,15 @@
 pub mod engine;
 pub mod index;
 pub mod sim;
+pub mod snapshot;
 pub mod tfidf;
 pub mod tokenize;
 
 pub use engine::{SimEngine, SimEngineBuilder, StringSim, TextDoc, SOFT_TFIDF_THRESHOLD};
 pub use index::{
-    IndexLayout, IndexedLemma, LemmaIndex, Match, ProbeMode, ProbeScratch, RefKind,
+    ExtendError, IndexLayout, IndexedLemma, LemmaIndex, Match, ProbeMode, ProbeScratch, RefKind,
     DEFAULT_RESCORING_FACTOR,
 };
+pub use snapshot::SnapshotError;
 pub use tfidf::{cosine, soft_tfidf, soft_tfidf_with_oov, IdfTable, WeightedVec};
 pub use tokenize::{normalize, to_sorted_set, tokenize, Vocab};

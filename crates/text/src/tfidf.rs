@@ -44,6 +44,20 @@ impl IdfTable {
         self.n_docs
     }
 
+    /// The raw per-token document frequencies (id order). Together with
+    /// [`num_documents`](IdfTable::num_documents) this is the table's entire
+    /// state; the snapshot format persists exactly these.
+    pub fn doc_frequencies(&self) -> &[u32] {
+        &self.df
+    }
+
+    /// Rebuilds a table from persisted raw parts (the inverse of
+    /// [`doc_frequencies`](IdfTable::doc_frequencies) +
+    /// [`num_documents`](IdfTable::num_documents)).
+    pub(crate) fn from_parts(df: Vec<u32>, n_docs: u32) -> IdfTable {
+        IdfTable { df, n_docs }
+    }
+
     /// Smoothed inverse document frequency `ln(1 + N / (1 + df))`.
     ///
     /// Out-of-vocabulary ids get the maximum weight (df = 0): a rare query
@@ -91,6 +105,12 @@ impl WeightedVec {
     /// The sorted `(token, weight)` pairs.
     pub fn pairs(&self) -> &[(u32, f32)] {
         &self.pairs
+    }
+
+    /// Rebuilds a vector from persisted `(token, weight)` pairs, bit for
+    /// bit (the snapshot-load path; no renormalization is applied).
+    pub(crate) fn from_raw_pairs(pairs: Vec<(u32, f32)>) -> WeightedVec {
+        WeightedVec { pairs }
     }
 
     /// True if the vector has no terms.

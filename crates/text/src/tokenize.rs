@@ -86,6 +86,24 @@ impl Vocab {
         self.map.get(token).copied()
     }
 
+    /// The interned token strings in id order (id `i` ↔ `words()[i]`).
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Rebuilds a vocabulary from its id-ordered word list (the inverse of
+    /// [`words`](Vocab::words)). Returns `None` if the list contains a
+    /// duplicate — a valid vocabulary maps every word to a unique id.
+    pub(crate) fn from_words(words: Vec<String>) -> Option<Vocab> {
+        let mut map = HashMap::with_capacity(words.len());
+        for (id, w) in words.iter().enumerate() {
+            if map.insert(w.clone(), id as u32).is_some() {
+                return None;
+            }
+        }
+        Some(Vocab { map, words })
+    }
+
     /// The token string for an in-vocabulary id.
     pub fn word(&self, id: u32) -> Option<&str> {
         self.words.get(id as usize).map(String::as_str)

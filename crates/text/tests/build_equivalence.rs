@@ -45,6 +45,8 @@ fn assert_layouts_bit_identical(got: &IndexLayout<'_>, want: &IndexLayout<'_>, c
     assert_eq!(got.entity_lemma_values, want.entity_lemma_values, "{ctx}: entity lemma values");
     assert_eq!(got.type_lemma_offsets, want.type_lemma_offsets, "{ctx}: type lemma offsets");
     assert_eq!(got.type_lemma_values, want.type_lemma_values, "{ctx}: type lemma values");
+    assert_eq!(got.lemma_token_offsets, want.lemma_token_offsets, "{ctx}: lemma token offsets");
+    assert_eq!(got.lemma_token_values, want.lemma_token_values, "{ctx}: lemma token values");
     let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
     assert_eq!(bits(got.entity_token_ub), bits(want.entity_token_ub), "{ctx}: entity upper bounds");
     assert_eq!(bits(got.type_token_ub), bits(want.type_token_ub), "{ctx}: type upper bounds");

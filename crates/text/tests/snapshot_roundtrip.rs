@@ -1,0 +1,305 @@
+//! Snapshot round-trip: `save` → `load` must reconstruct a **bit-identical**
+//! index (same `IndexLayout`, same `content_digest`, same probe results)
+//! with zero re-tokenization, and every failure mode — truncation, foreign
+//! files, future formats, bit rot, digest forgery — must surface as a typed
+//! [`SnapshotError`], never a panic or a partially-initialized index.
+
+use proptest::prelude::*;
+use webtable_catalog::{generate_world, Catalog, CatalogBuilder, WorldConfig};
+use webtable_text::snapshot::{FORMAT_VERSION, MAGIC};
+use webtable_text::{
+    IndexLayout, LemmaIndex, ProbeScratch, SnapshotError, DEFAULT_RESCORING_FACTOR,
+};
+
+/// Builds a small randomized catalog from generated word material (same
+/// scheme as `build_equivalence.rs`): types and entities named from the
+/// word pools, round-robin membership, an alias lemma plus a
+/// repeated-token lemma to stress term frequencies.
+fn catalog_from(type_words: &[String], entity_words: &[Vec<String>]) -> Catalog {
+    let mut b = CatalogBuilder::new();
+    let mut types = Vec::new();
+    for (i, w) in type_words.iter().enumerate() {
+        types.push(b.add_type(format!("{w} type{i}"), &[w.as_str()]).unwrap());
+    }
+    if types.is_empty() {
+        types.push(b.add_type("thing", &[]).unwrap());
+    }
+    for (j, words) in entity_words.iter().enumerate() {
+        let name = format!("{} e{j}", words.join(" "));
+        let alias = words.first().map(String::as_str).unwrap_or("x");
+        let e = b.add_entity(name, &[alias], &[types[j % types.len()]]).unwrap();
+        if words.len() > 1 {
+            b.add_entity_lemma(e, &format!("{} {}", words[0], words[0]));
+        }
+    }
+    b.finish().unwrap()
+}
+
+fn figure1_catalog() -> Catalog {
+    let mut b = CatalogBuilder::new();
+    let person = b.add_type("person", &["people"]).unwrap();
+    let physicist = b.add_type("physicist", &[]).unwrap();
+    let book = b.add_type("book", &["title"]).unwrap();
+    b.add_subtype(physicist, person);
+    b.add_entity("Albert Einstein", &["A. Einstein", "Einstein"], &[physicist]).unwrap();
+    b.add_entity("Russell Stannard", &["Stannard"], &[person]).unwrap();
+    b.add_entity("The Time and Space of Uncle Albert", &[], &[book]).unwrap();
+    b.add_entity("Relativity: The Special and the General Theory", &["Relativity"], &[book])
+        .unwrap();
+    b.finish().unwrap()
+}
+
+fn assert_layouts_bit_identical(got: &IndexLayout<'_>, want: &IndexLayout<'_>, ctx: &str) {
+    assert_eq!(got.entity_posting_offsets, want.entity_posting_offsets, "{ctx}: entity offsets");
+    assert_eq!(got.entity_posting_values, want.entity_posting_values, "{ctx}: entity postings");
+    assert_eq!(got.type_posting_offsets, want.type_posting_offsets, "{ctx}: type offsets");
+    assert_eq!(got.type_posting_values, want.type_posting_values, "{ctx}: type postings");
+    assert_eq!(got.entity_lemma_offsets, want.entity_lemma_offsets, "{ctx}: entity lemma offsets");
+    assert_eq!(got.entity_lemma_values, want.entity_lemma_values, "{ctx}: entity lemma values");
+    assert_eq!(got.type_lemma_offsets, want.type_lemma_offsets, "{ctx}: type lemma offsets");
+    assert_eq!(got.type_lemma_values, want.type_lemma_values, "{ctx}: type lemma values");
+    assert_eq!(got.lemma_token_offsets, want.lemma_token_offsets, "{ctx}: lemma token offsets");
+    assert_eq!(got.lemma_token_values, want.lemma_token_values, "{ctx}: lemma token values");
+    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(got.entity_token_ub), bits(want.entity_token_ub), "{ctx}: entity upper bounds");
+    assert_eq!(bits(got.type_token_ub), bits(want.type_token_ub), "{ctx}: type upper bounds");
+}
+
+/// Round-trips through the byte format and asserts the reconstruction is
+/// indistinguishable from the original: digest, layout, and probes.
+fn assert_roundtrip(cat: &Catalog, queries: &[&str]) {
+    let built = LemmaIndex::build(cat);
+    let bytes = built.to_snapshot_bytes().expect("serialize");
+    let loaded = LemmaIndex::from_snapshot_bytes(&bytes).expect("deserialize");
+    assert_eq!(loaded.num_lemmas(), built.num_lemmas());
+    assert_eq!(loaded.content_digest(), built.content_digest());
+    assert_layouts_bit_identical(&loaded.layout(), &built.layout(), "roundtrip");
+    let mut scratch = ProbeScratch::new();
+    for text in queries {
+        let qb = built.doc(text);
+        let ql = loaded.doc(text);
+        assert_eq!(qb.token_set, ql.token_set, "{text:?}");
+        assert_eq!(qb.vec.pairs(), ql.vec.pairs(), "{text:?}");
+        assert_eq!(
+            built.entity_candidates_with(&qb, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+            loaded.entity_candidates_with(&ql, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+            "{text:?}"
+        );
+        assert_eq!(
+            built.type_candidates_with(&qb, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+            loaded.type_candidates_with(&ql, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+            "{text:?}"
+        );
+    }
+}
+
+#[test]
+fn roundtrip_is_bit_identical_on_figure1_catalog() {
+    assert_roundtrip(
+        &figure1_catalog(),
+        &["Albert Einstein", "A. Einstein", "Relativity", "people", "zzz unseen", ""],
+    );
+}
+
+#[test]
+fn roundtrip_is_bit_identical_on_generated_world() {
+    let w = generate_world(&WorldConfig::tiny(29)).unwrap();
+    let queries: Vec<String> =
+        w.catalog.entity_ids().take(5).map(|e| w.catalog.entity_name(e).to_string()).collect();
+    let query_refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+    assert_roundtrip(&w.catalog, &query_refs);
+}
+
+#[test]
+fn file_save_load_roundtrip() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("webtable-snap-roundtrip-{}.idx", std::process::id()));
+    let built = LemmaIndex::build(&figure1_catalog());
+    built.save(&path).expect("save");
+    let loaded = LemmaIndex::load(&path).expect("load");
+    assert_eq!(loaded.content_digest(), built.content_digest());
+    assert_layouts_bit_identical(&loaded.layout(), &built.layout(), "file roundtrip");
+    let _ = std::fs::remove_file(&path);
+}
+
+// ------------------------------------------------------------- failures --
+
+fn snapshot_bytes() -> Vec<u8> {
+    LemmaIndex::build(&figure1_catalog()).to_snapshot_bytes().expect("serialize")
+}
+
+#[test]
+fn truncated_file_is_a_typed_error_at_every_cut() {
+    let bytes = snapshot_bytes();
+    // Cut the file at a spread of lengths: inside the header, inside the
+    // section table, on a page boundary, one short of complete.
+    for cut in [0usize, 4, 7, 23, 55, 200, 4096, bytes.len() / 2, bytes.len() - 1] {
+        let cut = cut.min(bytes.len() - 1);
+        let err = LemmaIndex::from_snapshot_bytes(&bytes[..cut]).expect_err("must fail");
+        assert!(
+            matches!(err, SnapshotError::Truncated { .. } | SnapshotError::BadMagic),
+            "cut at {cut}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    bytes[..8].copy_from_slice(b"NOTANIDX");
+    assert!(matches!(LemmaIndex::from_snapshot_bytes(&bytes), Err(SnapshotError::BadMagic)));
+    // A short garbage file is also BadMagic territory, not a panic.
+    assert!(LemmaIndex::from_snapshot_bytes(b"hello").is_err());
+    assert!(LemmaIndex::from_snapshot_bytes(b"").is_err());
+}
+
+#[test]
+fn future_format_version_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    // Version lives at bytes 8..12 (after the 8-byte magic).
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    match LemmaIndex::from_snapshot_bytes(&bytes) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_bit_rot_is_caught_by_the_checksum() {
+    let bytes = snapshot_bytes();
+    // Flip one byte in the middle of the payload (past the first page).
+    let mut corrupt = bytes.clone();
+    let at = 4096 + (corrupt.len() - 4096) / 2;
+    corrupt[at] ^= 0x40;
+    assert!(
+        matches!(
+            LemmaIndex::from_snapshot_bytes(&corrupt),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ),
+        "flipped payload byte at {at} must fail the checksum"
+    );
+}
+
+#[test]
+fn forged_content_digest_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    // The stored content digest lives at bytes 24..32 (magic 8 + version 4
+    // + section count 4 + config fingerprint 8).
+    for b in bytes[24..32].iter_mut() {
+        *b ^= 0xff;
+    }
+    assert!(matches!(
+        LemmaIndex::from_snapshot_bytes(&bytes),
+        Err(SnapshotError::DigestMismatch { .. })
+    ));
+}
+
+#[test]
+fn foreign_config_fingerprint_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    // Config fingerprint lives at bytes 16..24.
+    for b in bytes[16..24].iter_mut() {
+        *b ^= 0xff;
+    }
+    assert!(matches!(
+        LemmaIndex::from_snapshot_bytes(&bytes),
+        Err(SnapshotError::ConfigMismatch { .. })
+    ));
+}
+
+/// Reference copy of the format's payload checksum (FNV-1a 64 over 8-byte
+/// LE words, zero-padded tail) so tampering tests can *fix* the checksum
+/// and prove the content digest is the layer that catches them.
+fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().unwrap());
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Flips the last byte of the section with the given id, then re-stamps a
+/// valid payload checksum so only the digest can object.
+fn tamper_section_with_fixed_checksum(bytes: &mut [u8], section_id: u32) {
+    let section_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let payload_start = u64::from_le_bytes(bytes[40..48].try_into().unwrap()) as usize;
+    let (mut off, mut len) = (None, 0usize);
+    for i in 0..section_count {
+        let at = 56 + i * 24;
+        if u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) == section_id {
+            off = Some(u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()) as usize);
+            len = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap()) as usize;
+        }
+    }
+    let off = off.expect("section present");
+    bytes[off + len - 1] ^= 0x01;
+    let sum = checksum64(&bytes[payload_start..]);
+    bytes[32..40].copy_from_slice(&sum.to_le_bytes());
+}
+
+#[test]
+fn checksum_fixed_tampering_is_caught_by_the_digest() {
+    // The digest must bind everything the loaded index serves from — not
+    // just the CSR layouts. Altering stored TFIDF weights (section 11) or
+    // vocabulary spellings (section 1) with a *re-stamped* checksum must
+    // still fail, and fail at the digest layer.
+    // Section 11's last byte is a weight bit and section 1's is an ASCII
+    // letter of the last vocab word: both parse cleanly, so the digest is
+    // the only layer left to object — and it must.
+    for section_id in [11u32, 1] {
+        let mut bytes = snapshot_bytes();
+        tamper_section_with_fixed_checksum(&mut bytes, section_id);
+        match LemmaIndex::from_snapshot_bytes(&bytes) {
+            Err(SnapshotError::DigestMismatch { .. }) => {}
+            other => panic!("section {section_id}: expected DigestMismatch, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn magic_constant_is_stable() {
+    // The on-disk contract: first 8 bytes of every snapshot, forever.
+    assert_eq!(&MAGIC, b"WTLEMIDX");
+    assert_eq!(FORMAT_VERSION, 1);
+    let bytes = snapshot_bytes();
+    assert_eq!(&bytes[..8], b"WTLEMIDX");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn roundtrip_is_bit_identical_on_random_catalogs(
+        type_words in proptest::collection::vec("[a-f]{1,5}", 0..4),
+        entity_words in proptest::collection::vec(
+            proptest::collection::vec("[a-h]{1,6}", 1..4),
+            1..30,
+        ),
+    ) {
+        let cat = catalog_from(&type_words, &entity_words);
+        let queries: Vec<String> = entity_words.iter().take(3).map(|w| w.join(" ")).collect();
+        let query_refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+        assert_roundtrip(&cat, &query_refs);
+    }
+
+    #[test]
+    fn random_truncation_never_panics(
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = snapshot_bytes();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(LemmaIndex::from_snapshot_bytes(&bytes[..cut]).is_err());
+    }
+}

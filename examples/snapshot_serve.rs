@@ -1,0 +1,120 @@
+//! Build-once / serve-many: persistent lemma-index snapshots.
+//!
+//! The annotator front-loads its cost into catalog index construction
+//! (§6 of the paper); this example shows the restart-free serving story:
+//!
+//! 1. build the quickstart (Figure 1) catalog and its lemma index,
+//! 2. `save` the index as a versioned binary snapshot,
+//! 3. `load` it back — zero re-tokenization — and *prove* the loaded
+//!    index is bit-identical (content digest + full CSR layout),
+//! 4. annotate the Figure 1 table with both and compare outputs,
+//! 5. report load-vs-rebuild wall-clock.
+//!
+//! Run with: `cargo run --release --example snapshot_serve [-- SNAPSHOT_PATH]`
+//!
+//! CI runs this as the `snapshot-roundtrip` job and uploads the snapshot
+//! file as a build artifact, so restart-free serving is proven on every PR.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use webtable::catalog::{Cardinality, CatalogBuilder};
+use webtable::core::Annotator;
+use webtable::tables::{Table, TableId};
+use webtable::text::LemmaIndex;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "snapshot.bin".to_string());
+
+    // --- The catalog of Figure 1 (same as examples/quickstart.rs) -------
+    let mut b = CatalogBuilder::new();
+    let entity = b.add_type("entity", &[]).unwrap();
+    let person = b.add_type("person", &["people"]).unwrap();
+    let physicist = b.add_type("physicist", &[]).unwrap();
+    let writer = b.add_type("writer", &["author"]).unwrap();
+    let book = b.add_type("book", &["title", "novel"]).unwrap();
+    let movie = b.add_type("movie", &["film", "title"]).unwrap();
+    for (sub, sup) in
+        [(person, entity), (physicist, person), (writer, person), (book, entity), (movie, entity)]
+    {
+        b.add_subtype(sub, sup);
+    }
+    let einstein = b
+        .add_entity("Albert Einstein", &["A. Einstein", "Einstein"], &[physicist, writer])
+        .unwrap();
+    let stannard = b.add_entity("Russell Stannard", &["Stannard"], &[writer]).unwrap();
+    b.add_entity("Apostolos Doxiadis", &["A. Doxiadis"], &[writer]).unwrap();
+    let b94 = b.add_entity("The Time and Space of Uncle Albert", &[], &[book]).unwrap();
+    let b95 = b.add_entity("Uncle Albert and the Quantum Quest", &[], &[book]).unwrap();
+    let b41 = b
+        .add_entity("Relativity: The Special and the General Theory", &["Relativity"], &[book])
+        .unwrap();
+    b.add_entity("Uncle Albert (film)", &["Uncle Albert"], &[movie]).unwrap();
+    let writes = b.add_relation("writes", book, writer, Cardinality::ManyToOne).unwrap();
+    b.add_tuple(writes, b94, stannard);
+    b.add_tuple(writes, b95, stannard);
+    b.add_tuple(writes, b41, einstein);
+    let catalog = Arc::new(b.finish().unwrap());
+
+    // --- Build once ------------------------------------------------------
+    let t0 = Instant::now();
+    let built = LemmaIndex::build(&catalog);
+    let build_time = t0.elapsed();
+    println!(
+        "built index: {} lemmas, digest {:#018x}, in {build_time:?}",
+        built.num_lemmas(),
+        built.content_digest()
+    );
+
+    // --- Save ------------------------------------------------------------
+    built.save(&path).expect("snapshot save");
+    let file_len = std::fs::metadata(&path).expect("snapshot stat").len();
+    println!("saved snapshot: {path} ({file_len} bytes)");
+
+    // --- Load (the restart) ----------------------------------------------
+    let t1 = Instant::now();
+    let loaded = LemmaIndex::load(&path).expect("snapshot load");
+    let load_time = t1.elapsed();
+    println!("loaded snapshot in {load_time:?}");
+
+    // --- Prove bit-identity ----------------------------------------------
+    assert_eq!(loaded.content_digest(), built.content_digest(), "content digest must survive");
+    assert_eq!(loaded.layout(), built.layout(), "CSR layout must be bit-identical");
+    assert_eq!(loaded.num_lemmas(), built.num_lemmas());
+    println!("verified: loaded index is bit-identical (digest + full layout)");
+
+    // --- Serve: annotate the Figure 1 table from the loaded index --------
+    let table = Table::new(
+        TableId(1),
+        "books and who wrote them",
+        vec![Some("Title".into()), Some("written by".into())],
+        vec![
+            vec!["Uncle Albert and the Quantum Quest".into(), "Russell Stannard".into()],
+            vec!["Relativity: The Special and the General Theory".into(), "A. Einstein".into()],
+            vec!["Uncle Petros and the Goldbach conjecture".into(), "A. Doxiadis".into()],
+        ],
+    );
+    let fresh = Annotator::with_index(Arc::clone(&catalog), Arc::new(built));
+    let served = Annotator::from_snapshot(Arc::clone(&catalog), &path).expect("annotator restore");
+    assert_eq!(
+        fresh.cache_fingerprint(),
+        served.cache_fingerprint(),
+        "warm candidate caches must stay valid across the restart"
+    );
+    let a = fresh.annotate(&table);
+    let b = served.annotate(&table);
+    assert_eq!(a.cell_entities, b.cell_entities);
+    assert_eq!(a.column_types, b.column_types);
+    assert_eq!(a.relations, b.relations);
+    println!("verified: snapshot-served annotations match the fresh index exactly");
+
+    let speedup = build_time.as_secs_f64() / load_time.as_secs_f64().max(1e-9);
+    println!("\nload vs rebuild: {load_time:?} vs {build_time:?} ({speedup:.1}x)");
+    println!(
+        "(cell {:?} → {})",
+        table.cell(0, 0),
+        b.cell_entities[&(0, 0)]
+            .map(|e| catalog.entity_name(e).to_string())
+            .unwrap_or_else(|| "na".into())
+    );
+}

@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use webtable_bench::{fixture, tables};
-use webtable_core::{annotate_simple, lca, majority, AnnotatorConfig, Weights};
+use webtable_core::{annotate_simple, lca, majority, AnnotateRequest, AnnotatorConfig, Weights};
 use webtable_tables::NoiseConfig;
 
 fn bench_collective(c: &mut Criterion) {
@@ -13,7 +13,7 @@ fn bench_collective(c: &mut Criterion) {
     for (label, noise) in [("wiki", NoiseConfig::wiki()), ("web", NoiseConfig::web())] {
         let lt = &tables(1, 25, noise, 17)[0];
         g.bench_with_input(BenchmarkId::from_parameter(label), &lt.table, |b, table| {
-            b.iter(|| f.annotator.annotate(black_box(table)))
+            b.iter(|| f.annotator.run(&AnnotateRequest::one(black_box(table))))
         });
     }
     g.finish();
@@ -28,7 +28,9 @@ fn bench_algorithms(c: &mut Criterion) {
     let index = &f.annotator.index;
     let mut g = c.benchmark_group("annotate/algorithm");
     g.sample_size(10);
-    g.bench_function("collective", |b| b.iter(|| f.annotator.annotate(black_box(&lt.table))));
+    g.bench_function("collective", |b| {
+        b.iter(|| f.annotator.run(&AnnotateRequest::one(black_box(&lt.table))))
+    });
     g.bench_function("simple_fig2", |b| {
         b.iter(|| annotate_simple(catalog, index, &cfg, &weights, black_box(&lt.table)))
     });

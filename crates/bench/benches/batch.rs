@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use webtable_bench::{batch_annotator, duplicate_heavy_corpus, fixture};
+use webtable_core::{AnnotateRequest, StreamOptions};
 use webtable_text::LemmaIndex;
 
 /// `index_build/threads`: `LemmaIndex::build_with_threads` across worker
@@ -45,7 +46,7 @@ fn bench_snapshot_load(c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
 }
 
-/// `batch/annotate`: `annotate_batch` over the duplicate-heavy corpus with
+/// `batch/annotate`: one batch request over the duplicate-heavy corpus with
 /// the cross-table candidate cache off vs on (single worker, so the numbers
 /// isolate caching from parallelism).
 fn bench_batch_annotate(c: &mut Criterion) {
@@ -57,11 +58,11 @@ fn bench_batch_annotate(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(label), &capacity, |b, &capacity| {
             b.iter(|| {
                 let cache = a.new_cell_cache(capacity);
-                std::hint::black_box(a.annotate_batch_with_cache(
-                    std::hint::black_box(&corpus),
-                    1,
-                    &cache,
-                ))
+                std::hint::black_box(
+                    a.run(
+                        &AnnotateRequest::new(std::hint::black_box(&corpus)).shared_cache(&cache),
+                    ),
+                )
             })
         });
     }
@@ -78,7 +79,41 @@ fn bench_batch_threads(c: &mut Criterion) {
     for threads in [1usize, 4] {
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
             b.iter(|| {
-                std::hint::black_box(a.annotate_batch(std::hint::black_box(&corpus), threads))
+                std::hint::black_box(
+                    a.run(&AnnotateRequest::new(std::hint::black_box(&corpus)).workers(threads)),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// `stream/annotate`: streaming vs batch at equal worker counts over the
+/// same duplicate-heavy corpus. The stream holds at most
+/// `buffer_bound` tables in flight (here 8) yet must match batch
+/// throughput closely — the price of bounded memory is the comparison
+/// this group tracks. Outputs are byte-identical
+/// (`crates/core/tests/api_equivalence.rs`).
+fn bench_stream_annotate(c: &mut Criterion) {
+    let a = batch_annotator();
+    let corpus = duplicate_heavy_corpus();
+    let mut g = c.benchmark_group("stream/annotate");
+    g.sample_size(10);
+    for workers in [1usize, 2] {
+        g.bench_with_input(BenchmarkId::new("batch", workers), &workers, |b, &workers| {
+            b.iter(|| {
+                std::hint::black_box(
+                    a.run(&AnnotateRequest::new(std::hint::black_box(&corpus)).workers(workers)),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("stream", workers), &workers, |b, &workers| {
+            b.iter(|| {
+                let stream = a.annotate_stream(
+                    std::hint::black_box(corpus.clone()),
+                    StreamOptions::default().workers(workers).buffer_bound(8),
+                );
+                std::hint::black_box(stream.count())
             })
         });
     }
@@ -90,6 +125,7 @@ criterion_group!(
     bench_index_build,
     bench_snapshot_load,
     bench_batch_annotate,
-    bench_batch_threads
+    bench_batch_threads,
+    bench_stream_annotate
 );
 criterion_main!(benches);

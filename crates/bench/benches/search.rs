@@ -1,14 +1,12 @@
-//! Search benchmarks (§5, Figure 9): index construction and per-query
-//! latency for the three processors.
+//! Search benchmarks (§5, Figure 9): engine construction and per-query
+//! latency for the three processors, all through `SearchEngine::search`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use webtable_bench::fixture;
-use webtable_search::{
-    baseline_search, build_workload, typed_search, AnnotatedCorpus, SearchIndex,
-};
+use webtable_search::{build_workload, AnnotatedCorpus, Query, SearchEngine, SearchIndex};
 use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};
 
-fn corpus() -> (AnnotatedCorpus, SearchIndex) {
+fn engine() -> SearchEngine {
     let f = fixture();
     let mut g = TableGenerator::new(&f.world, NoiseConfig::web(), TruthMask::full(), 31);
     let mut tables = Vec::new();
@@ -17,45 +15,46 @@ fn corpus() -> (AnnotatedCorpus, SearchIndex) {
             tables.push(g.gen_table_for_relation(b, 15).table);
         }
     }
-    let corpus = AnnotatedCorpus::annotate(&f.annotator, tables, 4);
-    let index = SearchIndex::build(&corpus);
-    (corpus, index)
+    SearchEngine::from_tables(&f.annotator, tables, 4)
 }
 
 fn bench_index_build(c: &mut Criterion) {
-    let (corpus, _) = corpus();
+    let f = fixture();
+    let engine = engine();
+    let corpus: &AnnotatedCorpus = engine.corpus();
     let mut g = c.benchmark_group("search/index_build");
     g.sample_size(10);
-    g.bench_function("50_tables", |b| b.iter(|| SearchIndex::build(black_box(&corpus))));
+    g.bench_function("50_tables", |b| {
+        b.iter(|| SearchIndex::build(black_box(corpus), &f.world.catalog))
+    });
     g.finish();
 }
 
 fn bench_query_processors(c: &mut Criterion) {
     let f = fixture();
-    let (corpus, index) = corpus();
+    let engine = engine();
     let workload = build_workload(&f.world, &f.world.relations.figure13(), 5, 77);
     let queries: Vec<_> =
         workload.per_relation.iter().flat_map(|(_, qs)| qs.iter().copied()).collect();
-    let catalog = &f.world.catalog;
     let mut g = c.benchmark_group("search/query");
     g.bench_function("baseline_fig3", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(baseline_search(catalog, &index, &corpus, q));
+                black_box(engine.search(&Query::Baseline(*q)));
             }
         })
     });
     g.bench_function("type_only", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(typed_search(catalog, &index, &corpus, q, false));
+                black_box(engine.search(&Query::Typed { query: *q, use_relations: false }));
             }
         })
     });
     g.bench_function("type_rel_fig4", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(typed_search(catalog, &index, &corpus, q, true));
+                black_box(engine.search(&Query::Typed { query: *q, use_relations: true }));
             }
         })
     });

@@ -20,7 +20,9 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use webtable_bench::{batch_annotator, duplicate_heavy_corpus, fixture, tables};
-use webtable_core::{AnnotatorConfig, CandidateScratch, TableCandidates};
+use webtable_core::{
+    AnnotateRequest, AnnotatorConfig, CandidateScratch, StreamOptions, TableCandidates,
+};
 use webtable_tables::NoiseConfig;
 use webtable_text::{LemmaIndex, ProbeScratch};
 
@@ -189,7 +191,9 @@ fn main() {
     for (label, noise) in [("wiki", NoiseConfig::wiki()), ("web", NoiseConfig::web())] {
         let lt = &tables(1, 25, noise, 17)[0];
         record(&mut records, samples, "annotate/collective", label, || {
-            std::hint::black_box(f.annotator.annotate(std::hint::black_box(&lt.table)));
+            std::hint::black_box(
+                f.annotator.run(&AnnotateRequest::one(std::hint::black_box(&lt.table))),
+            );
         });
     }
 
@@ -210,8 +214,38 @@ fn main() {
     for (label, capacity) in [("uncached", 0usize), ("cached", 1 << 16)] {
         record(&mut records, build_samples, "batch/annotate", label, || {
             let cache = batch.new_cell_cache(capacity);
-            std::hint::black_box(batch.annotate_batch_with_cache(&corpus, 1, &cache));
+            std::hint::black_box(batch.run(&AnnotateRequest::new(&corpus).shared_cache(&cache)));
         });
+    }
+
+    // --- stream/annotate: bounded-memory streaming vs the batch request
+    //     path at equal worker counts (same corpus, same shared-profile
+    //     annotator; the stream holds at most 8 tables in flight).
+    //     Outputs are byte-identical (core/tests/api_equivalence.rs);
+    //     this group tracks the throughput price of bounded memory. ---
+    for workers in [1usize, 2] {
+        record(
+            &mut records,
+            build_samples,
+            "stream/annotate",
+            &format!("batch_w{workers}"),
+            || {
+                std::hint::black_box(batch.run(&AnnotateRequest::new(&corpus).workers(workers)));
+            },
+        );
+        record(
+            &mut records,
+            build_samples,
+            "stream/annotate",
+            &format!("stream_w{workers}"),
+            || {
+                let stream = batch.annotate_stream(
+                    corpus.clone(),
+                    StreamOptions::default().workers(workers).buffer_bound(8),
+                );
+                std::hint::black_box(stream.count());
+            },
+        );
     }
 
     let mut json = String::new();

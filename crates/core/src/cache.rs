@@ -54,13 +54,11 @@ struct Shard {
 
 impl Shard {
     fn new(cap: u32) -> Shard {
-        Shard {
-            map: HashMap::with_capacity(cap.min(1024) as usize),
-            entries: Vec::new(),
-            head: NIL,
-            tail: NIL,
-            cap,
-        }
+        // Lazy allocation: map and slab grow on first use. Run-private
+        // caches are built per `Annotator::run` (including one-table
+        // requests), so construction must cost near nothing when the run
+        // never exercises a shard.
+        Shard { map: HashMap::new(), entries: Vec::new(), head: NIL, tail: NIL, cap }
     }
 
     fn unlink(&mut self, i: u32) {

@@ -244,7 +244,13 @@ fn cell_candidates(
     if doc.token_set.is_empty() {
         return CellCandidates { entities: Vec::new(), profiles: Vec::new() };
     }
-    let matches = index.entity_candidates_with(&doc, cfg.entity_k, cfg.rescoring_factor, probe);
+    let matches = index.entity_candidates_mode(
+        &doc,
+        cfg.entity_k,
+        cfg.rescoring_factor,
+        cfg.probe_mode,
+        probe,
+    );
     let mut entities = Vec::with_capacity(matches.len());
     let mut profiles = Vec::with_capacity(matches.len());
     for m in matches {
@@ -285,7 +291,13 @@ fn column_candidates(
     // Header text can also propose types directly (e.g. header "Film" when
     // no cell disambiguates).
     if let Some(h) = header_doc {
-        for m in index.type_candidates_with(h, 8, cfg.rescoring_factor, &mut scratch.probe) {
+        for m in index.type_candidates_mode(
+            h,
+            8,
+            cfg.rescoring_factor,
+            cfg.probe_mode,
+            &mut scratch.probe,
+        ) {
             coverage.entry(m.id).or_insert(0);
         }
     }

@@ -65,6 +65,11 @@ pub struct AnnotatorConfig {
     /// `Annotator::new_with_config` (`0` = one worker per available core).
     /// The built index is byte-identical at every thread count.
     pub build_threads: usize,
+    /// How index probes execute their IDF-overlap pass (`Auto` picks WAND
+    /// or exhaustive per query). All modes return bit-identical candidates
+    /// — this knob trades work skipped, never output. Overridable per
+    /// request via `AnnotateRequest::probe_mode`.
+    pub probe_mode: webtable_text::ProbeMode,
 }
 
 impl Default for AnnotatorConfig {
@@ -81,6 +86,7 @@ impl Default for AnnotatorConfig {
             rescoring_factor: webtable_text::DEFAULT_RESCORING_FACTOR,
             batch_cache_capacity: 1 << 16,
             build_threads: 0,
+            probe_mode: webtable_text::ProbeMode::Auto,
         }
     }
 }

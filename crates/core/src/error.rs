@@ -1,0 +1,119 @@
+//! The unified error type of the annotation front door.
+//!
+//! Before the request/response redesign, callers matched three unrelated
+//! error surfaces: [`SnapshotError`] (persistence), [`ExtendError`]
+//! (incremental catalog growth), and the catalog-compatibility guard that
+//! `Annotator::from_snapshot` smuggled through a `SnapshotError` variant.
+//! [`Error`] consolidates them behind one non-exhaustive enum so every
+//! fallible `Annotator` entry point returns the same type, and new failure
+//! classes can be added without breaking downstream matches.
+
+use webtable_text::{ExtendError, SnapshotError};
+
+/// Every way an [`Annotator`](crate::Annotator) front-door operation can
+/// fail. Non-exhaustive: match with a `_` arm.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Persisting or restoring a lemma-index snapshot failed (I/O,
+    /// truncation, checksum, version, …).
+    Snapshot(SnapshotError),
+    /// Growing an index over an extended catalog failed because the new
+    /// catalog is not an append-only superset of the indexed one.
+    Extend(ExtendError),
+    /// A restored index does not cover the catalog it was attached to —
+    /// the one compatibility property a snapshot cannot validate alone.
+    CatalogMismatch {
+        /// `(entities, types)` the snapshot was built over.
+        snapshot: (usize, usize),
+        /// `(entities, types)` of the catalog it was attached to.
+        catalog: (usize, usize),
+        /// Human-readable mismatch detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Snapshot(e) => write!(f, "{e}"),
+            Error::Extend(e) => write!(f, "{e}"),
+            Error::CatalogMismatch { snapshot, catalog, detail } => write!(
+                f,
+                "index covers {} entities / {} types but the catalog has {} / {}: {detail}",
+                snapshot.0, snapshot.1, catalog.0, catalog.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Snapshot(e) => Some(e),
+            Error::Extend(e) => Some(e),
+            Error::CatalogMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for Error {
+    fn from(e: SnapshotError) -> Error {
+        match e {
+            // The guard variant predates this enum; fold it into the
+            // first-class variant so callers match one shape.
+            SnapshotError::CatalogMismatch { snapshot, catalog, detail } => {
+                Error::CatalogMismatch { snapshot, catalog, detail }
+            }
+            other => Error::Snapshot(other),
+        }
+    }
+}
+
+impl From<ExtendError> for Error {
+    fn from(e: ExtendError) -> Error {
+        Error::Extend(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Snapshot(SnapshotError::Io(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_catalog_mismatch_folds_into_first_class_variant() {
+        let e: Error = SnapshotError::CatalogMismatch {
+            snapshot: (10, 2),
+            catalog: (3, 1),
+            detail: "fewer entities".into(),
+        }
+        .into();
+        match e {
+            Error::CatalogMismatch { snapshot, catalog, .. } => {
+                assert_eq!(snapshot, (10, 2));
+                assert_eq!(catalog, (3, 1));
+            }
+            other => panic!("expected CatalogMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sources_chain_to_the_underlying_error() {
+        use std::error::Error as _;
+        let e: Error = SnapshotError::BadMagic.into();
+        assert!(e.source().is_some());
+        assert!(format!("{e}").contains("magic"));
+        let io: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(io, Error::Snapshot(SnapshotError::Io(_))));
+        let mismatch =
+            Error::CatalogMismatch { snapshot: (1, 1), catalog: (2, 2), detail: "x".into() };
+        assert!(mismatch.source().is_none());
+        assert!(format!("{mismatch}").contains("catalog"));
+    }
+}

@@ -13,16 +13,22 @@
 //! * [`infer`] — collective BP inference (Fig. 11) and the simplified exact
 //!   special case (Fig. 2);
 //! * [`baselines`] — LCA and Majority/threshold voting (§4.5);
-//! * [`pipeline`] — the batch annotator with phase timing (Fig. 7).
+//! * [`pipeline`] — annotator construction, persistence, the worker pool;
+//! * [`session`] — the request/response front door
+//!   ([`AnnotateRequest`] → [`Annotator::run`] → [`AnnotateResponse`]);
+//! * [`stream`] — bounded-memory streaming annotation
+//!   ([`Annotator::annotate_stream`]).
 //!
 //! ```no_run
 //! use std::sync::Arc;
 //! use webtable_catalog::{generate_world, WorldConfig};
-//! use webtable_core::Annotator;
+//! use webtable_core::{AnnotateRequest, Annotator};
 //!
 //! let world = generate_world(&WorldConfig::default()).unwrap();
 //! let annotator = Annotator::new(Arc::clone(&world.catalog));
-//! // annotate any `webtable_tables::Table`...
+//! let tables: Vec<webtable_tables::Table> = Vec::new(); // your corpus
+//! let response = annotator.run(&AnnotateRequest::new(&tables).workers(4));
+//! // response.annotations, response.timings, response.stats
 //! ```
 
 pub mod assignment;
@@ -30,11 +36,14 @@ pub mod baselines;
 pub mod cache;
 pub mod candidates;
 pub mod config;
+pub mod error;
 pub mod features;
 pub mod infer;
 pub mod model;
 pub mod pipeline;
 pub mod result;
+pub mod session;
+pub mod stream;
 pub mod unique;
 pub mod weights;
 
@@ -45,10 +54,13 @@ pub use candidates::{
     CandidateScratch, CellCandidates, ColumnCandidates, PairCandidates, RelLabel, TableCandidates,
 };
 pub use config::{AnnotatorConfig, CompatMode};
+pub use error::Error;
 pub use infer::{annotate_collective, annotate_simple};
 pub use model::TableModel;
 pub use pipeline::Annotator;
 pub use result::{AnnotateStats, PhaseTimings, TableAnnotation};
+pub use session::{AnnotateRequest, AnnotateResponse};
+pub use stream::{AnnotateStream, StreamOptions};
 pub use unique::enforce_unique_columns;
-pub use webtable_text::SnapshotError;
+pub use webtable_text::{ExtendError, ProbeMode, SnapshotError};
 pub use weights::Weights;

@@ -1,5 +1,16 @@
-//! The end-to-end annotation pipeline with phase timing and parallel batch
-//! processing (the 25M-table corpus run of §6.1.2, in miniature).
+//! The annotator: construction, persistence, and the execution engine
+//! behind the request/response front door (the 25M-table corpus run of
+//! §6.1.2, in miniature).
+//!
+//! ## One front door
+//!
+//! [`Annotator::run`](crate::session) executes an
+//! [`AnnotateRequest`](crate::AnnotateRequest) and is the only
+//! non-deprecated batch entry point;
+//! [`Annotator::annotate_stream`](crate::stream) is its bounded-memory
+//! streaming twin. The seven legacy `annotate*` methods below are
+//! `#[deprecated]` one-line wrappers over `run`, pinned bit-identical by
+//! `crates/core/tests/api_equivalence.rs`.
 //!
 //! ## Restart-free serving
 //!
@@ -18,13 +29,15 @@ use std::time::Instant;
 
 use webtable_catalog::Catalog;
 use webtable_tables::Table;
-use webtable_text::{LemmaIndex, SnapshotError};
+use webtable_text::LemmaIndex;
 
 use crate::cache::{fingerprint_for, CellCandidateCache};
 use crate::candidates::{CandidateScratch, TableCandidates};
 use crate::config::AnnotatorConfig;
+use crate::error::Error;
 use crate::model::TableModel;
 use crate::result::{AnnotateStats, PhaseTimings, TableAnnotation};
+use crate::session::AnnotateRequest;
 use crate::weights::Weights;
 
 /// A ready-to-use annotator: catalog + lemma index + weights + config.
@@ -79,22 +92,22 @@ impl Annotator {
     pub fn from_snapshot(
         catalog: Arc<Catalog>,
         path: impl AsRef<Path>,
-    ) -> Result<Annotator, SnapshotError> {
+    ) -> Result<Annotator, Error> {
         Annotator::from_snapshot_with_config(catalog, path, AnnotatorConfig::default())
     }
 
     /// [`from_snapshot`](Annotator::from_snapshot) with an explicit
-    /// configuration. Fails with [`SnapshotError::CatalogMismatch`] if the
+    /// configuration. Fails with [`Error::CatalogMismatch`] if the
     /// snapshot's entity/type id spaces do not cover the given catalog —
     /// the one compatibility property the snapshot cannot validate alone.
     pub fn from_snapshot_with_config(
         catalog: Arc<Catalog>,
         path: impl AsRef<Path>,
         config: AnnotatorConfig,
-    ) -> Result<Annotator, SnapshotError> {
+    ) -> Result<Annotator, Error> {
         let index = LemmaIndex::load(path)?;
         if let Err(detail) = index.verify_catalog(&catalog) {
-            return Err(SnapshotError::CatalogMismatch {
+            return Err(Error::CatalogMismatch {
                 snapshot: (index.num_indexed_entities(), index.num_indexed_types()),
                 catalog: (catalog.num_entities(), catalog.num_types()),
                 detail,
@@ -109,8 +122,24 @@ impl Annotator {
     /// and are not part of the snapshot.
     ///
     /// [`from_snapshot`]: Annotator::from_snapshot
-    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-        self.index.save(path)
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        self.index.save(path).map_err(Error::from)
+    }
+
+    /// Re-targets this annotator at an append-only grown catalog by
+    /// extending the lemma index incrementally (only new text is
+    /// tokenized; bit-identical to a from-scratch rebuild — see
+    /// [`LemmaIndex::extend`]). Weights and config carry over. Fails with
+    /// [`Error::Extend`] if `grown` is not an append-only superset of the
+    /// indexed catalog.
+    pub fn extend_to(&self, grown: Arc<Catalog>) -> Result<Annotator, Error> {
+        let index = Arc::new(self.index.extend(&grown)?);
+        Ok(Annotator {
+            catalog: grown,
+            index,
+            weights: self.weights.clone(),
+            config: self.config.clone(),
+        })
     }
 
     /// Replaces the weights (e.g. after training).
@@ -125,44 +154,55 @@ impl Annotator {
         self
     }
 
-    /// Annotates one table collectively, reporting phase timings.
-    pub fn annotate_timed(&self, table: &Table) -> (TableAnnotation, PhaseTimings) {
-        self.annotate_timed_with_scratch(table, &mut CandidateScratch::new())
+    /// The cache-compatibility fingerprint of this annotator's config and
+    /// index (see [`fingerprint_for`]).
+    pub fn cache_fingerprint(&self) -> u64 {
+        fingerprint_for(&self.config, &self.index)
     }
 
-    /// [`annotate_timed`](Annotator::annotate_timed) reusing caller-owned
-    /// candidate scratch, so steady-state batch annotation stays
-    /// allocation-light. Output is identical to the one-shot path.
-    pub fn annotate_timed_with_scratch(
-        &self,
-        table: &Table,
-        scratch: &mut CandidateScratch,
-    ) -> (TableAnnotation, PhaseTimings) {
-        self.annotate_timed_cached(table, scratch, None)
+    /// Creates a cross-table cell-candidate cache compatible with this
+    /// annotator, bounded to `capacity` entries (`0` disables it). Reuse
+    /// one across [`run`](Annotator::run) calls (via
+    /// [`AnnotateRequest::shared_cache`](crate::AnnotateRequest::shared_cache))
+    /// to carry warm candidates from batch to batch.
+    pub fn new_cell_cache(&self, capacity: usize) -> CellCandidateCache {
+        CellCandidateCache::with_fingerprint(capacity, self.cache_fingerprint())
     }
 
-    /// The full single-table path with an optional cross-table candidate
-    /// cache (see [`CellCandidateCache`]); output is identical with or
-    /// without one.
-    fn annotate_timed_cached(
+    // ------------------------------------------------------------------
+    // Execution engine (shared by `run` and `annotate_stream`)
+    // ------------------------------------------------------------------
+
+    /// The full single-table path: candidates → potentials → inference,
+    /// with optional cross-table caching and unique-column enforcement.
+    /// `cfg` is the annotator's config, possibly with a per-request probe
+    /// override. Output is a pure function of (catalog, index, weights,
+    /// cfg, table) — scratch and cache only skip work.
+    pub(crate) fn annotate_one(
         &self,
+        cfg: &AnnotatorConfig,
         table: &Table,
         scratch: &mut CandidateScratch,
         cache: Option<&CellCandidateCache>,
+        unique_columns: Option<&[usize]>,
     ) -> (TableAnnotation, PhaseTimings) {
         let t0 = Instant::now();
-        let cands = TableCandidates::build_cached(
-            &self.catalog,
-            &self.index,
-            table,
-            &self.config,
-            scratch,
-            cache,
-        );
+        let cands =
+            TableCandidates::build_cached(&self.catalog, &self.index, table, cfg, scratch, cache);
         let t1 = Instant::now();
-        let model = TableModel::build(&self.catalog, &self.config, &self.weights, table, cands);
+        let model = TableModel::build(&self.catalog, cfg, &self.weights, table, cands);
         let t2 = Instant::now();
-        let ann = model.decode();
+        let mut ann = model.decode();
+        if let Some(columns) = unique_columns {
+            crate::unique::enforce_unique_columns(
+                &self.catalog,
+                cfg,
+                &self.weights,
+                &model.cands,
+                &mut ann,
+                columns,
+            );
+        }
         let t3 = Instant::now();
         let timings = PhaseTimings {
             candidates_us: (t1 - t0).as_micros() as u64,
@@ -173,110 +213,30 @@ impl Annotator {
         (ann, timings)
     }
 
-    /// Annotates one table collectively.
-    pub fn annotate(&self, table: &Table) -> TableAnnotation {
-        self.annotate_timed(table).0
-    }
-
-    /// Annotates one table and then enforces a uniqueness (primary-key)
-    /// constraint on the given columns via optimal assignment (§4.4.1).
-    pub fn annotate_with_unique_columns(
+    /// Runs the worker pool over a table slice (std scoped threads pulling
+    /// from a shared counter; results keep input order). One
+    /// [`CandidateScratch`] per worker.
+    pub(crate) fn execute(
         &self,
-        table: &Table,
-        unique_columns: &[usize],
-    ) -> TableAnnotation {
-        let cands = TableCandidates::build(&self.catalog, &self.index, table, &self.config);
-        let model = TableModel::build(&self.catalog, &self.config, &self.weights, table, cands);
-        let mut ann = model.decode();
-        crate::unique::enforce_unique_columns(
-            &self.catalog,
-            &self.config,
-            &self.weights,
-            &model.cands,
-            &mut ann,
-            unique_columns,
-        );
-        ann
-    }
-
-    /// The cache-compatibility fingerprint of this annotator's config and
-    /// index (see [`fingerprint_for`]).
-    pub fn cache_fingerprint(&self) -> u64 {
-        fingerprint_for(&self.config, &self.index)
-    }
-
-    /// Creates a cross-table cell-candidate cache compatible with this
-    /// annotator, bounded to `capacity` entries (`0` disables it). Reuse
-    /// one across [`annotate_batch_with_cache`] calls to carry warm
-    /// candidates from batch to batch.
-    ///
-    /// [`annotate_batch_with_cache`]: Annotator::annotate_batch_with_cache
-    pub fn new_cell_cache(&self, capacity: usize) -> CellCandidateCache {
-        CellCandidateCache::with_fingerprint(capacity, self.cache_fingerprint())
-    }
-
-    /// Annotates a batch in parallel with `threads` workers (std scoped
-    /// threads pulling from a shared counter; results keep input order).
-    /// Workers share a fresh cross-table candidate cache sized by
-    /// `config.batch_cache_capacity`.
-    pub fn annotate_batch(
-        &self,
+        cfg: &AnnotatorConfig,
         tables: &[Table],
-        threads: usize,
+        workers: usize,
+        cache: Option<&CellCandidateCache>,
+        unique_columns: Option<&[usize]>,
     ) -> Vec<(TableAnnotation, PhaseTimings)> {
-        self.annotate_batch_stats(tables, threads).0
-    }
-
-    /// [`annotate_batch`](Annotator::annotate_batch) that also reports
-    /// aggregate [`AnnotateStats`] (cache hit/miss counters, summed phase
-    /// timings).
-    pub fn annotate_batch_stats(
-        &self,
-        tables: &[Table],
-        threads: usize,
-    ) -> (Vec<(TableAnnotation, PhaseTimings)>, AnnotateStats) {
-        let cache = self.new_cell_cache(self.config.batch_cache_capacity);
-        let results = self.annotate_batch_with_cache(tables, threads, &cache);
-        let mut stats = AnnotateStats {
-            tables: tables.len(),
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
-            timings: PhaseTimings::default(),
-        };
-        for (_, t) in &results {
-            stats.timings.add(t);
-        }
-        (results, stats)
-    }
-
-    /// Batch annotation against a caller-owned candidate cache (reusable
-    /// across batches; counters accumulate on the cache). The cache is
-    /// bypassed — never consulted or filled — if its fingerprint does not
-    /// match this annotator's [`cache_fingerprint`], so a stale cache can
-    /// slow a run down but never corrupt it.
-    ///
-    /// [`cache_fingerprint`]: Annotator::cache_fingerprint
-    pub fn annotate_batch_with_cache(
-        &self,
-        tables: &[Table],
-        threads: usize,
-        cache: &CellCandidateCache,
-    ) -> Vec<(TableAnnotation, PhaseTimings)> {
-        let cache = (cache.fingerprint() == self.cache_fingerprint() && cache.is_enabled())
-            .then_some(cache);
-        let threads = threads.max(1);
-        if threads == 1 || tables.len() < 2 {
+        let workers = workers.max(1);
+        if workers == 1 || tables.len() < 2 {
             let mut scratch = CandidateScratch::new();
             return tables
                 .iter()
-                .map(|t| self.annotate_timed_cached(t, &mut scratch, cache))
+                .map(|t| self.annotate_one(cfg, t, &mut scratch, cache, unique_columns))
                 .collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<(TableAnnotation, PhaseTimings)>>> =
             (0..tables.len()).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            for _ in 0..threads.min(tables.len()) {
+            for _ in 0..workers.min(tables.len()) {
                 scope.spawn(|| {
                     // One scratch per worker: probes and dedup buffers reach
                     // steady state after the first few tables.
@@ -286,7 +246,8 @@ impl Annotator {
                         if i >= tables.len() {
                             break;
                         }
-                        let out = self.annotate_timed_cached(&tables[i], &mut scratch, cache);
+                        let out =
+                            self.annotate_one(cfg, &tables[i], &mut scratch, cache, unique_columns);
                         *slots[i].lock().expect("slot lock poisoned") = Some(out);
                     }
                 });
@@ -298,6 +259,94 @@ impl Annotator {
                 slot.into_inner().expect("slot lock poisoned").expect("all tables annotated")
             })
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Deprecated entry points — one-line wrappers over `run`
+    // ------------------------------------------------------------------
+
+    /// Annotates one table collectively.
+    #[deprecated(since = "0.2.0", note = "use `Annotator::run` with `AnnotateRequest::one`")]
+    pub fn annotate(&self, table: &Table) -> TableAnnotation {
+        self.run(&AnnotateRequest::one(table).without_cache()).into_single().0
+    }
+
+    /// Annotates one table collectively, reporting phase timings.
+    #[deprecated(since = "0.2.0", note = "use `Annotator::run` with `AnnotateRequest::one`")]
+    pub fn annotate_timed(&self, table: &Table) -> (TableAnnotation, PhaseTimings) {
+        self.run(&AnnotateRequest::one(table).without_cache()).into_single()
+    }
+
+    /// `annotate_timed` with caller-owned scratch. The argument is ignored
+    /// (output is identical): the engine reuses scratch per worker *within*
+    /// a request, so the allocation-light migration for a loop of
+    /// single-table calls is to batch the tables into one request.
+    #[deprecated(
+        since = "0.2.0",
+        note = "batch the tables into one `AnnotateRequest` — scratch is reused across a request"
+    )]
+    pub fn annotate_timed_with_scratch(
+        &self,
+        table: &Table,
+        _scratch: &mut CandidateScratch,
+    ) -> (TableAnnotation, PhaseTimings) {
+        self.run(&AnnotateRequest::one(table).without_cache()).into_single()
+    }
+
+    /// Annotates one table and then enforces a uniqueness (primary-key)
+    /// constraint on the given columns via optimal assignment (§4.4.1).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Annotator::run` with `AnnotateRequest::unique_columns`"
+    )]
+    pub fn annotate_with_unique_columns(
+        &self,
+        table: &Table,
+        unique_columns: &[usize],
+    ) -> TableAnnotation {
+        self.run(&AnnotateRequest::one(table).without_cache().unique_columns(unique_columns))
+            .into_single()
+            .0
+    }
+
+    /// Annotates a batch in parallel with `threads` workers; workers share
+    /// a fresh cross-table candidate cache sized by
+    /// `config.batch_cache_capacity`.
+    #[deprecated(since = "0.2.0", note = "use `Annotator::run` with `AnnotateRequest::workers`")]
+    pub fn annotate_batch(
+        &self,
+        tables: &[Table],
+        threads: usize,
+    ) -> Vec<(TableAnnotation, PhaseTimings)> {
+        self.run(&AnnotateRequest::new(tables).workers(threads)).into_pairs()
+    }
+
+    /// `annotate_batch` that also reports aggregate [`AnnotateStats`].
+    #[deprecated(since = "0.2.0", note = "use `Annotator::run`; stats ride on `AnnotateResponse`")]
+    pub fn annotate_batch_stats(
+        &self,
+        tables: &[Table],
+        threads: usize,
+    ) -> (Vec<(TableAnnotation, PhaseTimings)>, AnnotateStats) {
+        let response = self.run(&AnnotateRequest::new(tables).workers(threads));
+        let stats = response.stats;
+        (response.into_pairs(), stats)
+    }
+
+    /// Batch annotation against a caller-owned candidate cache (reusable
+    /// across batches; counters accumulate on the cache). An incompatible
+    /// cache is bypassed, never corrupting output.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Annotator::run` with `AnnotateRequest::shared_cache`"
+    )]
+    pub fn annotate_batch_with_cache(
+        &self,
+        tables: &[Table],
+        threads: usize,
+        cache: &CellCandidateCache,
+    ) -> Vec<(TableAnnotation, PhaseTimings)> {
+        self.run(&AnnotateRequest::new(tables).workers(threads).shared_cache(cache)).into_pairs()
     }
 }
 
@@ -319,7 +368,7 @@ mod tests {
         let (w, a) = annotator();
         let mut g = TableGenerator::new(&w, NoiseConfig::wiki(), TruthMask::full(), 41);
         let lt = g.gen_table(20);
-        let (_, t) = a.annotate_timed(&lt.table);
+        let (_, t) = a.run(&AnnotateRequest::one(&lt.table).without_cache()).into_single();
         assert!(t.total_us > 0);
         assert!(t.candidates_us + t.potentials_us + t.inference_us <= t.total_us + 1000);
         // The paper's Figure 7 drill-down: candidate generation (index
@@ -337,11 +386,10 @@ mod tests {
         let (w, a) = annotator();
         let mut g = TableGenerator::new(&w, NoiseConfig::wiki(), TruthMask::full(), 42);
         let tables: Vec<Table> = g.gen_corpus(6, 6).into_iter().map(|lt| lt.table).collect();
-        let seq: Vec<TableAnnotation> = tables.iter().map(|t| a.annotate(t)).collect();
-        let par: Vec<TableAnnotation> =
-            a.annotate_batch(&tables, 4).into_iter().map(|(ann, _)| ann).collect();
-        assert_eq!(seq.len(), par.len());
-        for (s, p) in seq.iter().zip(&par) {
+        let seq = a.run(&AnnotateRequest::new(&tables).without_cache());
+        let par = a.run(&AnnotateRequest::new(&tables).workers(4));
+        assert_eq!(seq.annotations.len(), par.annotations.len());
+        for (s, p) in seq.annotations.iter().zip(&par.annotations) {
             assert_eq!(s.cell_entities, p.cell_entities);
             assert_eq!(s.column_types, p.column_types);
             assert_eq!(s.relations, p.relations);

@@ -1,4 +1,4 @@
-//! Cross-table candidate-cache equivalence: `annotate_batch` with the
+//! Cross-table candidate-cache equivalence: `Annotator::run` with the
 //! shared LRU enabled — at any capacity, thread count, or reuse pattern —
 //! must return annotations identical to the uncached path, and its hit/miss
 //! counters must be exact on duplicate-heavy corpora.
@@ -7,7 +7,7 @@ use std::collections::HashSet;
 use std::sync::{Arc, OnceLock};
 
 use proptest::prelude::*;
-use webtable_core::{Annotator, AnnotatorConfig, TableAnnotation};
+use webtable_core::{AnnotateRequest, Annotator, AnnotatorConfig, TableAnnotation};
 use webtable_tables::{NoiseConfig, Table, TableGenerator, TruthMask};
 
 fn world_and_annotator() -> &'static (webtable_catalog::World, Annotator) {
@@ -48,13 +48,12 @@ proptest! {
         let (_, a) = world_and_annotator();
         let tables = corpus(seed, 4, rows);
         // Reference: the plain single-table path, no cache anywhere.
-        let baseline: Vec<TableAnnotation> = tables.iter().map(|t| a.annotate(t)).collect();
+        let baseline =
+            a.run(&AnnotateRequest::new(&tables).without_cache()).annotations;
         let cache = a.new_cell_cache(capacity);
-        let cached: Vec<TableAnnotation> = a
-            .annotate_batch_with_cache(&tables, threads, &cache)
-            .into_iter()
-            .map(|(ann, _)| ann)
-            .collect();
+        let cached = a
+            .run(&AnnotateRequest::new(&tables).workers(threads).shared_cache(&cache))
+            .annotations;
         assert_same_annotations(
             &cached,
             &baseline,
@@ -68,11 +67,9 @@ proptest! {
 fn worker_count_does_not_change_results() {
     let (_, a) = world_and_annotator();
     let tables = corpus(77, 6, 6);
-    let reference: Vec<TableAnnotation> =
-        a.annotate_batch(&tables, 1).into_iter().map(|(ann, _)| ann).collect();
+    let reference = a.run(&AnnotateRequest::new(&tables)).annotations;
     for threads in [2usize, 3, 4, 8] {
-        let par: Vec<TableAnnotation> =
-            a.annotate_batch(&tables, threads).into_iter().map(|(ann, _)| ann).collect();
+        let par = a.run(&AnnotateRequest::new(&tables).workers(threads)).annotations;
         assert_same_annotations(&par, &reference, &format!("{threads} workers"));
     }
 }
@@ -95,8 +92,9 @@ fn hit_miss_counters_are_exact_on_duplicated_tables() {
     let (r, d) = (raw.len() as u64, normalized.len() as u64);
     assert!(d > 0);
     // Single worker: per-key counter behaviour is deterministic.
-    let (results, stats) = a.annotate_batch_stats(&tables, 1);
-    assert_eq!(results.len(), 2);
+    let response = a.run(&AnnotateRequest::new(&tables));
+    let stats = response.stats;
+    assert_eq!(response.annotations.len(), 2);
     assert_eq!(stats.tables, 2);
     assert_eq!(stats.cache_misses, d, "one miss per distinct normalized cell text");
     assert_eq!(stats.cache_hits, 2 * r - d, "every other lookup hits");
@@ -108,14 +106,12 @@ fn cache_reuse_across_batches_accumulates_hits() {
     let (_, a) = world_and_annotator();
     let tables = corpus(321, 3, 5);
     let cache = a.new_cell_cache(1 << 16);
-    let first: Vec<TableAnnotation> =
-        a.annotate_batch_with_cache(&tables, 1, &cache).into_iter().map(|(ann, _)| ann).collect();
+    let first = a.run(&AnnotateRequest::new(&tables).shared_cache(&cache)).annotations;
     let misses_after_first = cache.misses();
     assert!(misses_after_first > 0);
     // Re-annotating the same corpus against the warm cache: no new misses,
     // identical output.
-    let second: Vec<TableAnnotation> =
-        a.annotate_batch_with_cache(&tables, 1, &cache).into_iter().map(|(ann, _)| ann).collect();
+    let second = a.run(&AnnotateRequest::new(&tables).shared_cache(&cache)).annotations;
     assert_eq!(cache.misses(), misses_after_first, "warm cache misses nothing");
     assert!(cache.hits() >= misses_after_first, "every probe now hits");
     assert_same_annotations(&second, &first, "warm-cache batch");
@@ -156,9 +152,8 @@ fn mismatched_fingerprint_bypasses_the_cache() {
         .with_config(AnnotatorConfig { entity_k: 3, ..Default::default() });
     let stale = other.new_cell_cache(1 << 12);
     assert_ne!(stale.fingerprint(), a.cache_fingerprint());
-    let baseline: Vec<TableAnnotation> = tables.iter().map(|t| a.annotate(t)).collect();
-    let got: Vec<TableAnnotation> =
-        a.annotate_batch_with_cache(&tables, 2, &stale).into_iter().map(|(ann, _)| ann).collect();
+    let baseline = a.run(&AnnotateRequest::new(&tables).without_cache()).annotations;
+    let got = a.run(&AnnotateRequest::new(&tables).workers(2).shared_cache(&stale)).annotations;
     assert_same_annotations(&got, &baseline, "stale cache bypassed");
     assert_eq!((stale.hits(), stale.misses()), (0, 0), "bypassed cache never consulted");
     assert!(stale.is_empty(), "bypassed cache never filled");

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use webtable_catalog::{generate_world, WorldConfig};
-use webtable_core::{Annotator, SnapshotError};
+use webtable_core::{AnnotateRequest, Annotator, Error, SnapshotError};
 use webtable_tables::{NoiseConfig, Table, TableGenerator, TruthMask};
 
 fn temp_path(tag: &str) -> std::path::PathBuf {
@@ -30,8 +30,8 @@ fn snapshot_restart_reproduces_annotations_exactly() {
     let restored = Annotator::from_snapshot(Arc::clone(&w.catalog), &path).expect("load");
     assert_eq!(restored.index.content_digest(), original.index.content_digest());
     for t in &tables {
-        let a = original.annotate(t);
-        let b = restored.annotate(t);
+        let a = original.run(&AnnotateRequest::one(t)).into_single().0;
+        let b = restored.run(&AnnotateRequest::one(t)).into_single().0;
         assert_eq!(a.cell_entities, b.cell_entities);
         assert_eq!(a.column_types, b.column_types);
         assert_eq!(a.relations, b.relations);
@@ -48,7 +48,7 @@ fn warmed_cache_stays_valid_across_restart() {
 
     // Warm a cross-table candidate cache before the "restart".
     let cache = original.new_cell_cache(1 << 12);
-    let before = original.annotate_batch_with_cache(&tables, 1, &cache);
+    let before = original.run(&AnnotateRequest::new(&tables).shared_cache(&cache)).annotations;
     assert!(!cache.is_empty(), "warm-up must populate the cache");
     let warm_misses = cache.misses();
 
@@ -59,14 +59,14 @@ fn warmed_cache_stays_valid_across_restart() {
     assert_eq!(restored.cache_fingerprint(), original.cache_fingerprint());
     assert_eq!(cache.fingerprint(), restored.cache_fingerprint());
     let hits_before = cache.hits();
-    let after = restored.annotate_batch_with_cache(&tables, 1, &cache);
+    let after = restored.run(&AnnotateRequest::new(&tables).shared_cache(&cache)).annotations;
     assert!(cache.hits() > hits_before, "restored annotator must hit the warmed cache");
     assert_eq!(
         cache.misses(),
         warm_misses,
         "every repeated cell should hit — a miss means the fingerprint broke"
     );
-    for ((a, _), (b, _)) in before.iter().zip(&after) {
+    for (a, b) in before.iter().zip(&after) {
         assert_eq!(a.cell_entities, b.cell_entities);
         assert_eq!(a.column_types, b.column_types);
         assert_eq!(a.relations, b.relations);
@@ -85,7 +85,7 @@ fn snapshot_rejects_foreign_catalog() {
     let path = temp_path("foreign");
     original.save_snapshot(&path).expect("save");
     match Annotator::from_snapshot(Arc::clone(&foreign), &path) {
-        Err(SnapshotError::CatalogMismatch { snapshot, catalog, .. }) => {
+        Err(Error::CatalogMismatch { snapshot, catalog, .. }) => {
             assert_eq!(snapshot, (w.catalog.num_entities(), w.catalog.num_types()));
             assert_eq!(catalog, (foreign.num_entities(), foreign.num_types()));
         }
@@ -99,5 +99,5 @@ fn missing_snapshot_file_is_io_error() {
     let (w, _) = world_and_tables(19);
     let err = Annotator::from_snapshot(Arc::clone(&w.catalog), temp_path("never-written-anywhere"))
         .expect_err("no file");
-    assert!(matches!(err, SnapshotError::Io(_)), "{err:?}");
+    assert!(matches!(err, Error::Snapshot(SnapshotError::Io(_))), "{err:?}");
 }

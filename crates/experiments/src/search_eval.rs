@@ -2,9 +2,7 @@
 //! Baseline (no annotations), Type (column types only), Type+Rel.
 
 use webtable_eval::Report;
-use webtable_search::{
-    baseline_search, build_workload, map_over_queries, typed_search, AnnotatedCorpus, SearchIndex,
-};
+use webtable_search::{build_workload, map_over_queries, Query, SearchEngine};
 use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};
 
 use crate::workbench::Workbench;
@@ -50,11 +48,9 @@ pub fn run_fig9(
         }
     }
 
-    let corpus = AnnotatedCorpus::annotate(&wb.annotator, tables, wb.config.threads);
-    let index = SearchIndex::build(&corpus);
+    let engine = SearchEngine::from_tables(&wb.annotator, tables, wb.config.threads);
     let workload = build_workload(world, &rels, queries_per_relation, wb.config.seed ^ 0x0A11);
 
-    let catalog = &wb.annotator.catalog;
     let oracle = &world.oracle;
     let mut rows = Vec::new();
     let mut report = Report::new(
@@ -62,12 +58,13 @@ pub fn run_fig9(
         &["Relation", "Baseline", "Type", "Type+Rel"],
     );
     for (b, queries) in &workload.per_relation {
-        let baseline =
-            map_over_queries(oracle, queries, |q| baseline_search(catalog, &index, &corpus, q));
-        let type_only =
-            map_over_queries(oracle, queries, |q| typed_search(catalog, &index, &corpus, q, false));
-        let type_rel =
-            map_over_queries(oracle, queries, |q| typed_search(catalog, &index, &corpus, q, true));
+        let baseline = map_over_queries(oracle, queries, |q| engine.search(&Query::Baseline(*q)));
+        let type_only = map_over_queries(oracle, queries, |q| {
+            engine.search(&Query::Typed { query: *q, use_relations: false })
+        });
+        let type_rel = map_over_queries(oracle, queries, |q| {
+            engine.search(&Query::Typed { query: *q, use_relations: true })
+        });
         let name = oracle.relation_name(*b).to_string();
         report.row(&[
             name.clone(),

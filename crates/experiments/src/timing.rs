@@ -4,7 +4,7 @@
 
 use std::io::Write;
 
-use webtable_core::PhaseTimings;
+use webtable_core::{AnnotateRequest, PhaseTimings};
 use webtable_eval::Report;
 use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};
 
@@ -50,10 +50,10 @@ pub fn run_fig7(wb: &Workbench, n_tables: usize, csv_path: Option<&str>) -> (Tim
     );
     let tables: Vec<webtable_tables::Table> =
         g.gen_corpus(n_tables, 25).into_iter().map(|lt| lt.table).collect();
-    let results = wb.annotator.annotate_batch(&tables, wb.config.threads);
-    let mut per_table_us = Vec::with_capacity(results.len());
+    let response = wb.annotator.run(&AnnotateRequest::new(&tables).workers(wb.config.threads));
+    let mut per_table_us = Vec::with_capacity(response.timings.len());
     let mut phases = PhaseTimings::default();
-    for (_, t) in &results {
+    for t in &response.timings {
         per_table_us.push(t.total_us);
         phases.add(t);
     }
@@ -62,7 +62,7 @@ pub fn run_fig7(wb: &Workbench, n_tables: usize, csv_path: Option<&str>) -> (Tim
     if let Some(path) = csv_path {
         let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("csv file"));
         writeln!(f, "table,total_us,candidates_us,potentials_us,inference_us").unwrap();
-        for (i, (_, t)) in results.iter().enumerate() {
+        for (i, t) in response.timings.iter().enumerate() {
             writeln!(
                 f,
                 "{i},{},{},{},{}",

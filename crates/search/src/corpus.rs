@@ -4,7 +4,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use webtable_catalog::Catalog;
-use webtable_core::{Annotator, SnapshotError, TableAnnotation};
+use webtable_core::{AnnotateRequest, Annotator, Error, TableAnnotation};
 use webtable_tables::Table;
 
 /// Tables plus their (machine-produced) annotations, aligned by index.
@@ -23,10 +23,11 @@ impl AnnotatedCorpus {
         AnnotatedCorpus { tables, annotations }
     }
 
-    /// Annotates a batch of tables with the given annotator (parallel).
+    /// Annotates a batch of tables with the given annotator (parallel,
+    /// via [`Annotator::run`]).
     pub fn annotate(annotator: &Annotator, tables: Vec<Table>, threads: usize) -> AnnotatedCorpus {
         let annotations =
-            annotator.annotate_batch(&tables, threads).into_iter().map(|(ann, _)| ann).collect();
+            annotator.run(&AnnotateRequest::new(&tables).workers(threads)).annotations;
         AnnotatedCorpus { tables, annotations }
     }
 
@@ -41,7 +42,7 @@ impl AnnotatedCorpus {
         snapshot: impl AsRef<Path>,
         tables: Vec<Table>,
         threads: usize,
-    ) -> Result<AnnotatedCorpus, SnapshotError> {
+    ) -> Result<AnnotatedCorpus, Error> {
         let annotator = Annotator::from_snapshot(catalog, snapshot)?;
         Ok(AnnotatedCorpus::annotate(&annotator, tables, threads))
     }

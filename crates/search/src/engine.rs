@@ -1,0 +1,208 @@
+//! The search front door: one engine, one query type, one entry point.
+//!
+//! Before the API redesign the three processors of §5 were free functions
+//! (`baseline_search`, `typed_search`, `join_search`) that each threaded
+//! `catalog` / `index` / `corpus` by hand at every call site. The
+//! [`SearchEngine`] owns those three pieces — built once, queried many
+//! times — and a [`Query`] value names the processor:
+//!
+//! ```text
+//! tables ─► Annotator::run ─► AnnotatedCorpus ─► SearchEngine::build
+//!                                                      │
+//! Query::Baseline / Typed / Join ─► SearchEngine::search ─► Vec<RankedAnswer>
+//! ```
+//!
+//! The deprecated free functions remain as wrappers over the same
+//! processor bodies, pinned result-identical by
+//! `crates/search/tests/engine_equivalence.rs`.
+
+use std::sync::Arc;
+
+use webtable_catalog::Catalog;
+use webtable_core::{AnnotateRequest, Annotator};
+use webtable_tables::Table;
+
+use crate::corpus::AnnotatedCorpus;
+use crate::index::SearchIndex;
+use crate::join::{join_search_impl, JoinQuery};
+use crate::query::{baseline_search_impl, typed_search_impl, AnswerKey, EntityQuery, RankedAnswer};
+
+/// One search request: which processor of §5 to run, with its inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// Figure 3: strings only, no annotations consulted. Answers are
+    /// normalized cell strings.
+    Baseline(EntityQuery),
+    /// Figure 4: column-type annotations qualify tables; with
+    /// `use_relations` the column pair must additionally carry the
+    /// relation annotation in the correct orientation.
+    Typed {
+        /// The select-project query.
+        query: EntityQuery,
+        /// Whether relation annotations are required (full Figure 4).
+        use_relations: bool,
+    },
+    /// Two-hop join `R1(e1, e2) ∧ R2(e2, E3)` (§2.1's declared future
+    /// work): answers are the outer `e1`, scored by multiplied evidence
+    /// along the chain, best `e2` per answer.
+    Join {
+        /// The join query.
+        query: JoinQuery,
+        /// How many join-variable candidates stage one explores.
+        mid_k: usize,
+    },
+}
+
+/// The engine owning everything a query needs: the catalog the corpus was
+/// annotated against, the annotated corpus, and the two-layer
+/// [`SearchIndex`] over it. Build once, [`search`](SearchEngine::search)
+/// many times; cheap to share behind an `Arc`.
+#[derive(Debug)]
+pub struct SearchEngine {
+    catalog: Arc<Catalog>,
+    corpus: AnnotatedCorpus,
+    index: SearchIndex,
+}
+
+impl SearchEngine {
+    /// Builds the engine (and its search index) over an already-annotated
+    /// corpus.
+    pub fn build(catalog: Arc<Catalog>, corpus: AnnotatedCorpus) -> SearchEngine {
+        let index = SearchIndex::build(&corpus, &catalog);
+        SearchEngine { catalog, corpus, index }
+    }
+
+    /// The full ingest path: annotates raw tables with `workers` threads
+    /// (via [`Annotator::run`]) and builds the engine over the result.
+    pub fn from_tables(annotator: &Annotator, tables: Vec<Table>, workers: usize) -> SearchEngine {
+        let annotations =
+            annotator.run(&AnnotateRequest::new(&tables).workers(workers)).annotations;
+        SearchEngine::build(
+            Arc::clone(&annotator.catalog),
+            AnnotatedCorpus::from_parts(tables, annotations),
+        )
+    }
+
+    /// Executes one query — the single search entry point. Results are
+    /// deterministic (score descending, key ascending on ties).
+    ///
+    /// `Query::Join` answers are projected onto the outer entity `e1`
+    /// keeping the best-scoring join chain per answer; use the corpus and
+    /// annotations directly (or the deprecated `join_search`) if the join
+    /// variable itself is needed.
+    pub fn search(&self, query: &Query) -> Vec<RankedAnswer> {
+        match *query {
+            Query::Baseline(ref q) => {
+                baseline_search_impl(&self.catalog, &self.index, &self.corpus, q)
+            }
+            Query::Typed { ref query, use_relations } => {
+                typed_search_impl(&self.index, &self.corpus, query, use_relations)
+            }
+            Query::Join { ref query, mid_k } => {
+                // join_search_impl sorts score-desc, so the first sighting
+                // of each e1 carries its best chain.
+                let mut out: Vec<RankedAnswer> = Vec::new();
+                let mut seen: std::collections::HashSet<AnswerKey> =
+                    std::collections::HashSet::new();
+                for a in join_search_impl(&self.catalog, &self.index, &self.corpus, query, mid_k) {
+                    if seen.insert(a.e1.clone()) {
+                        out.push(RankedAnswer { key: a.e1, score: a.score });
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The catalog queries resolve against.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The annotated corpus being searched.
+    pub fn corpus(&self) -> &AnnotatedCorpus {
+        &self.corpus
+    }
+
+    /// The two-layer search index.
+    pub fn index(&self) -> &SearchIndex {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use webtable_catalog::{generate_world, WorldConfig};
+    use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};
+
+    use super::*;
+
+    fn engine() -> (webtable_catalog::World, SearchEngine) {
+        let w = generate_world(&WorldConfig::tiny(5)).unwrap();
+        let annotator = Annotator::new(Arc::clone(&w.catalog));
+        let mut g = TableGenerator::new(&w, NoiseConfig::wiki(), TruthMask::full(), 61);
+        let mut tables = Vec::new();
+        for _ in 0..6 {
+            tables.push(g.gen_table_for_relation(w.relations.directed, 10).table);
+        }
+        let e = SearchEngine::from_tables(&annotator, tables, 2);
+        (w, e)
+    }
+
+    #[test]
+    fn one_entry_point_serves_all_three_processors() {
+        let (w, engine) = engine();
+        let rel = w.oracle.relation(w.relations.directed);
+        let (_, e2) = rel.tuples[0];
+        let q = EntityQuery {
+            relation: w.relations.directed,
+            t1: w.types.movie,
+            t2: w.types.director,
+            e2,
+        };
+        for query in [
+            Query::Baseline(q),
+            Query::Typed { query: q, use_relations: false },
+            Query::Typed { query: q, use_relations: true },
+        ] {
+            let res = engine.search(&query);
+            let again = engine.search(&query);
+            assert_eq!(res, again, "search must be deterministic: {query:?}");
+            for pair in res.windows(2) {
+                assert!(pair[0].score >= pair[1].score, "ranking must be sorted: {query:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_projection_dedups_on_best_chain() {
+        let (w, engine) = engine();
+        // A join over relations the corpus doesn't express yields nothing
+        // (rather than fuzzy text matches).
+        let q = Query::Join {
+            query: JoinQuery {
+                r1: w.relations.directed,
+                r2: w.relations.born_in,
+                e3: webtable_catalog::EntityId(0),
+            },
+            mid_k: 5,
+        };
+        let res = engine.search(&q);
+        let mut keys: Vec<&AnswerKey> = res.iter().map(|a| &a.key).collect();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(before, keys.len(), "projected join answers must be unique per e1");
+        for pair in res.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn accessors_expose_the_owned_parts() {
+        let (w, engine) = engine();
+        assert_eq!(engine.catalog().num_entities(), w.catalog.num_entities());
+        assert_eq!(engine.corpus().len(), 6);
+        // The index is usable directly for lower-level probes.
+        assert!(engine.index().columns_of_type(w.types.movie).len() <= engine.corpus().len() * 4);
+    }
+}

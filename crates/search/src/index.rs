@@ -33,7 +33,9 @@ pub struct SearchIndex {
     header_postings: Vec<Vec<ColRef>>,
     /// token → cells containing it.
     cell_postings: Vec<Vec<CellRef>>,
-    /// annotated type → columns.
+    /// query type → columns annotated with it *or any subtype*, merged and
+    /// sorted at build time (the subtype expansion Figure 4's "column
+    /// labeled T1" implies), so lookups return a precomputed slice.
     type_cols: HashMap<TypeId, Vec<ColRef>>,
     /// relation → oriented column pairs.
     rel_pairs: HashMap<RelationId, Vec<PairRef>>,
@@ -42,8 +44,10 @@ pub struct SearchIndex {
 }
 
 impl SearchIndex {
-    /// Builds the index over a corpus.
-    pub fn build(corpus: &AnnotatedCorpus) -> SearchIndex {
+    /// Builds the index over a corpus. The catalog supplies the type DAG
+    /// for the build-time subtype expansion of
+    /// [`columns_of_type`](SearchIndex::columns_of_type).
+    pub fn build(corpus: &AnnotatedCorpus, catalog: &Catalog) -> SearchIndex {
         let mut vocab = Vocab::new();
         let mut context_postings: Vec<Vec<u32>> = Vec::new();
         let mut header_postings: Vec<Vec<ColRef>> = Vec::new();
@@ -110,6 +114,24 @@ impl SearchIndex {
                 }
             }
         }
+        // Subtype expansion, once, at build time: a column annotated
+        // `film` must answer queries for `work` too. Every ancestor of an
+        // annotated type gets the merged posting; queries for types no
+        // annotated type reaches return the empty slice. (Annotated ids
+        // outside the catalog's range — foreign annotations — keep a
+        // posting under their own id only.)
+        let mut expanded: HashMap<TypeId, Vec<ColRef>> = HashMap::new();
+        for (&t, cols) in &type_cols {
+            if t.index() < catalog.num_types() {
+                for &ancestor in catalog.ancestors(t) {
+                    expanded.entry(ancestor).or_default().extend_from_slice(cols);
+                }
+            } else {
+                expanded.entry(t).or_default().extend_from_slice(cols);
+            }
+        }
+        let mut type_cols = expanded;
+
         // Deterministic ordering for annotation postings.
         for v in type_cols.values_mut() {
             v.sort_unstable();
@@ -153,17 +175,13 @@ impl SearchIndex {
         }
     }
 
-    /// Columns annotated with a type `T' ⊆* query_type` (subtype-expanded
-    /// through the catalog, as Figure 4's "column labeled T1" implies).
-    pub fn columns_of_type(&self, catalog: &Catalog, query_type: TypeId) -> Vec<ColRef> {
-        let mut out = Vec::new();
-        for (&t, cols) in &self.type_cols {
-            if catalog.is_subtype(t, query_type) {
-                out.extend_from_slice(cols);
-            }
-        }
-        out.sort_unstable();
-        out
+    /// Columns annotated with a type `T' ⊆* query_type`. The subtype
+    /// expansion happens once at [`build`](SearchIndex::build) time (it
+    /// used to be recomputed — and a fresh `Vec` allocated — on every
+    /// call), so this is now a plain posting lookup like its sibling
+    /// accessors.
+    pub fn columns_of_type(&self, query_type: TypeId) -> &[ColRef] {
+        self.type_cols.get(&query_type).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Oriented column pairs annotated with a relation.
@@ -179,10 +197,20 @@ impl SearchIndex {
 
 #[cfg(test)]
 mod tests {
+    use webtable_catalog::CatalogBuilder;
     use webtable_core::TableAnnotation;
     use webtable_tables::{Table, TableId};
 
     use super::*;
+
+    /// A minimal catalog; the tiny corpus annotates with ids outside its
+    /// range on purpose (foreign annotations keep working).
+    fn tiny_catalog() -> Catalog {
+        let mut b = CatalogBuilder::new();
+        let t = b.add_type("thing", &[]).unwrap();
+        b.add_entity("something", &[], &[t]).unwrap();
+        b.finish().unwrap()
+    }
 
     fn tiny_corpus() -> AnnotatedCorpus {
         let t0 = Table::new(
@@ -203,7 +231,7 @@ mod tests {
 
     #[test]
     fn text_layer_finds_tokens() {
-        let idx = SearchIndex::build(&tiny_corpus());
+        let idx = SearchIndex::build(&tiny_corpus(), &tiny_catalog());
         assert_eq!(idx.tables_with_context_token("directed"), &[0]);
         assert_eq!(idx.header_cols_with_token("film"), &[(0, 0)]);
         assert_eq!(idx.header_cols_with_token("director"), &[(0, 1)]);
@@ -215,7 +243,7 @@ mod tests {
 
     #[test]
     fn annotation_layer_finds_labels() {
-        let idx = SearchIndex::build(&tiny_corpus());
+        let idx = SearchIndex::build(&tiny_corpus(), &tiny_catalog());
         assert_eq!(idx.pairs_of_relation(RelationId(5)), &[(0, 0, 1)]);
         assert!(idx.pairs_of_relation(RelationId(9)).is_empty());
         assert_eq!(idx.cells_of_entity(EntityId(100)), &[(0, 0, 0)]);
@@ -224,7 +252,6 @@ mod tests {
 
     #[test]
     fn type_lookup_expands_subtypes() {
-        use webtable_catalog::CatalogBuilder;
         let mut b = CatalogBuilder::new();
         let work = b.add_type("work", &[]).unwrap();
         let film = b.add_type("film", &[]).unwrap();
@@ -235,9 +262,9 @@ mod tests {
         let mut ann = TableAnnotation::default();
         ann.column_types.insert(0, Some(film));
         let corpus = AnnotatedCorpus::from_parts(vec![t0], vec![ann]);
-        let idx = SearchIndex::build(&corpus);
+        let idx = SearchIndex::build(&corpus, &cat);
         // Query for the supertype must find the film column.
-        assert_eq!(idx.columns_of_type(&cat, work), vec![(0, 0)]);
-        assert_eq!(idx.columns_of_type(&cat, film), vec![(0, 0)]);
+        assert_eq!(idx.columns_of_type(work), &[(0, 0)]);
+        assert_eq!(idx.columns_of_type(film), &[(0, 0)]);
     }
 }

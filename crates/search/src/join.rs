@@ -16,7 +16,7 @@ use webtable_catalog::{Catalog, EntityId, RelationId};
 
 use crate::corpus::AnnotatedCorpus;
 use crate::index::SearchIndex;
-use crate::query::{typed_search, AnswerKey, EntityQuery, RankedAnswer};
+use crate::query::{typed_search_impl, AnswerKey, EntityQuery, RankedAnswer};
 
 /// A two-hop join query: find `(e1, e2)` with `R1(e1, e2) ∧ R2(e2, E3)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +43,20 @@ pub struct JoinAnswer {
 /// Executes a join query over the annotated corpus using the Type+Rel
 /// processor for both hops. `mid_k` bounds the number of join-variable
 /// candidates explored (best-first).
+#[deprecated(since = "0.2.0", note = "use `SearchEngine::search` with `Query::Join`")]
 pub fn join_search(
+    catalog: &Catalog,
+    index: &SearchIndex,
+    corpus: &AnnotatedCorpus,
+    q: &JoinQuery,
+    mid_k: usize,
+) -> Vec<JoinAnswer> {
+    join_search_impl(catalog, index, corpus, q, mid_k)
+}
+
+/// The join processor body; shared by the deprecated free function and
+/// [`SearchEngine::search`](crate::SearchEngine::search).
+pub(crate) fn join_search_impl(
     catalog: &Catalog,
     index: &SearchIndex,
     corpus: &AnnotatedCorpus,
@@ -54,7 +67,7 @@ pub fn join_search(
     let rel2 = catalog.relation(q.r2);
     // Stage 1: e2 candidates with R2(e2, E3).
     let stage1 = EntityQuery { relation: q.r2, t1: rel2.left_type, t2: rel2.right_type, e2: q.e3 };
-    let mids: Vec<(EntityId, f64)> = typed_search(catalog, index, corpus, &stage1, true)
+    let mids: Vec<(EntityId, f64)> = typed_search_impl(index, corpus, &stage1, true)
         .into_iter()
         .filter_map(|a| match a.key {
             // Only resolved entities can act as join keys — exactly the
@@ -69,7 +82,7 @@ pub fn join_search(
     let mut out: Vec<JoinAnswer> = Vec::new();
     for (e2, mid_score) in mids {
         let stage2 = EntityQuery { relation: q.r1, t1: rel1.left_type, t2: rel1.right_type, e2 };
-        for RankedAnswer { key, score } in typed_search(catalog, index, corpus, &stage2, true) {
+        for RankedAnswer { key, score } in typed_search_impl(index, corpus, &stage2, true) {
             out.push(JoinAnswer { e1: key, e2, score: mid_score * score });
         }
     }
@@ -121,7 +134,7 @@ mod tests {
             tables.push(gen.gen_table_for_relation(world.relations.born_in, 16).table);
         }
         let corpus = AnnotatedCorpus::annotate(&annotator, tables, 2);
-        let index = SearchIndex::build(&corpus);
+        let index = SearchIndex::build(&corpus, &world.catalog);
 
         // Pick a city that actually yields a two-hop answer in the oracle.
         let born_in = world.oracle.relation(world.relations.born_in);
@@ -138,9 +151,9 @@ mod tests {
         let truth = join_truth(&world.oracle, &q);
         assert!(!truth.is_empty());
 
-        let answers = join_search(&world.catalog, &index, &corpus, &q, 20);
+        let answers = join_search_impl(&world.catalog, &index, &corpus, &q, 20);
         // Determinism and ranking.
-        let again = join_search(&world.catalog, &index, &corpus, &q, 20);
+        let again = join_search_impl(&world.catalog, &index, &corpus, &q, 20);
         assert_eq!(answers, again);
         for w in answers.windows(2) {
             assert!(w[0].score >= w[1].score);
@@ -185,12 +198,12 @@ mod tests {
         let world = generate_world(&WorldConfig::tiny(10)).unwrap();
         let annotator = Annotator::new(Arc::clone(&world.catalog));
         let corpus = AnnotatedCorpus::annotate(&annotator, Vec::new(), 1);
-        let index = SearchIndex::build(&corpus);
+        let index = SearchIndex::build(&corpus, &world.catalog);
         let q = JoinQuery {
             r1: world.relations.directed,
             r2: world.relations.born_in,
             e3: webtable_catalog::EntityId(0),
         };
-        assert!(join_search(&world.catalog, &index, &corpus, &q, 5).is_empty());
+        assert!(join_search_impl(&world.catalog, &index, &corpus, &q, 5).is_empty());
     }
 }

@@ -5,21 +5,32 @@
 //! `R(E1 ∈ T1, E2 ∈ T2)` — "all movies directed by X" — can be answered
 //! over the open Web corpus.
 //!
+//! * [`SearchEngine`] — the front door: owns catalog + corpus + index,
+//!   executes every [`Query`] variant through one
+//!   [`search`](SearchEngine::search) entry point;
 //! * [`AnnotatedCorpus`] — tables plus machine annotations;
 //! * [`SearchIndex`] — text layer (Lucene stand-in) + annotation layer;
-//! * [`baseline_search`] — Figure 3 (strings only);
-//! * [`typed_search`] — Figure 4 (type annotations, optionally + relations);
 //! * [`eval`] — workload sampling and MAP judging against the oracle
 //!   (the DBPedia stand-in).
+//!
+//! The former free-function processors (`baseline_search` — Figure 3,
+//! `typed_search` — Figure 4, `join_search`) are deprecated wrappers over
+//! the engine's processor bodies.
 
 pub mod corpus;
+pub mod engine;
 pub mod eval;
 pub mod index;
 pub mod join;
 pub mod query;
 
 pub use corpus::AnnotatedCorpus;
+pub use engine::{Query, SearchEngine};
 pub use eval::{build_workload, judge, map_over_queries, query_ap, relevant_entities, Workload};
 pub use index::{CellRef, ColRef, PairRef, SearchIndex};
-pub use join::{join_search, join_truth, JoinAnswer, JoinQuery};
-pub use query::{baseline_search, typed_search, AnswerKey, EntityQuery, RankedAnswer};
+#[allow(deprecated)]
+pub use join::join_search;
+pub use join::{join_truth, JoinAnswer, JoinQuery};
+#[allow(deprecated)]
+pub use query::{baseline_search, typed_search};
+pub use query::{AnswerKey, EntityQuery, RankedAnswer};

@@ -64,7 +64,19 @@ fn rank(evidence: HashMap<AnswerKey, f64>) -> Vec<RankedAnswer> {
 /// column header; `E2`'s string is sought in the `T2` column by token
 /// overlap; the co-row `T1` cells are collected, clustered by normalized
 /// text, and ranked by (context-boosted) frequency.
+#[deprecated(since = "0.2.0", note = "use `SearchEngine::search` with `Query::Baseline`")]
 pub fn baseline_search(
+    catalog: &Catalog,
+    index: &SearchIndex,
+    corpus: &AnnotatedCorpus,
+    q: &EntityQuery,
+) -> Vec<RankedAnswer> {
+    baseline_search_impl(catalog, index, corpus, q)
+}
+
+/// The Figure 3 processor body; shared by the deprecated free function and
+/// [`SearchEngine::search`](crate::SearchEngine::search).
+pub(crate) fn baseline_search_impl(
     catalog: &Catalog,
     index: &SearchIndex,
     corpus: &AnnotatedCorpus,
@@ -129,8 +141,22 @@ pub fn baseline_search(
 /// tables qualify through column-type annotations alone (`T1`, `T2`
 /// columns in the same table); with `use_relations = true`, the pair must
 /// additionally be annotated with `R` in the correct orientation.
+#[deprecated(since = "0.2.0", note = "use `SearchEngine::search` with `Query::Typed`")]
 pub fn typed_search(
-    catalog: &Catalog,
+    _catalog: &Catalog,
+    index: &SearchIndex,
+    corpus: &AnnotatedCorpus,
+    q: &EntityQuery,
+    use_relations: bool,
+) -> Vec<RankedAnswer> {
+    typed_search_impl(index, corpus, q, use_relations)
+}
+
+/// The Figure 4 processor body; shared by the deprecated free function,
+/// the join processor, and [`SearchEngine::search`](crate::SearchEngine::search).
+/// (The catalog is no longer needed here: the subtype expansion moved into
+/// `SearchIndex::build`.)
+pub(crate) fn typed_search_impl(
     index: &SearchIndex,
     corpus: &AnnotatedCorpus,
     q: &EntityQuery,
@@ -143,13 +169,13 @@ pub fn typed_search(
             triples.push((t, c_left, c_right));
         }
     } else {
-        let t1_cols = index.columns_of_type(catalog, q.t1);
-        let t2_cols = index.columns_of_type(catalog, q.t2);
+        let t1_cols = index.columns_of_type(q.t1);
+        let t2_cols = index.columns_of_type(q.t2);
         let mut by_table: HashMap<u32, (Vec<u16>, Vec<u16>)> = HashMap::new();
-        for (t, c) in t1_cols {
+        for &(t, c) in t1_cols {
             by_table.entry(t).or_default().0.push(c);
         }
-        for (t, c) in t2_cols {
+        for &(t, c) in t2_cols {
             by_table.entry(t).or_default().1.push(c);
         }
         for (t, (cs1, cs2)) in by_table {
@@ -232,7 +258,7 @@ mod tests {
             tables.push(g.gen_table_for_relation(w.relations.acted_in, 8).table);
         }
         let corpus = AnnotatedCorpus::annotate(&annotator, tables, 2);
-        let index = SearchIndex::build(&corpus);
+        let index = SearchIndex::build(&corpus, &w.catalog);
         (w, corpus, index)
     }
 
@@ -247,12 +273,12 @@ mod tests {
     fn typed_search_returns_ranked_answers() {
         let (w, corpus, index) = searchable_world();
         let q = a_query(&w);
-        let res = typed_search(&w.catalog, &index, &corpus, &q, true);
+        let res = typed_search_impl(&index, &corpus, &q, true);
         // Ranking is sorted.
         for pair in res.windows(2) {
             assert!(pair[0].score >= pair[1].score);
         }
-        let res2 = typed_search(&w.catalog, &index, &corpus, &q, true);
+        let res2 = typed_search_impl(&index, &corpus, &q, true);
         assert_eq!(res, res2, "search must be deterministic");
     }
 
@@ -268,7 +294,7 @@ mod tests {
             t2: w.types.city,
             e2,
         };
-        let res = typed_search(&w.catalog, &index, &corpus, &q, true);
+        let res = typed_search_impl(&index, &corpus, &q, true);
         assert!(res.is_empty(), "no annotated capital pairs exist: {res:?}");
     }
 
@@ -276,7 +302,7 @@ mod tests {
     fn baseline_returns_text_answers() {
         let (w, corpus, index) = searchable_world();
         let q = a_query(&w);
-        let res = baseline_search(&w.catalog, &index, &corpus, &q);
+        let res = baseline_search_impl(&w.catalog, &index, &corpus, &q);
         for a in &res {
             assert!(matches!(a.key, AnswerKey::Text(_)), "baseline answers are strings");
         }

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use webtable::catalog::{generate_world, EntityId, WorldConfig};
-use webtable::core::Annotator;
+use webtable::core::{AnnotateRequest, Annotator};
 use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
 
 fn main() {
@@ -29,8 +29,9 @@ fn main() {
     // Annotate and consolidate: evidence per (footballer, club) pair.
     let mut fact_evidence: HashMap<(EntityId, EntityId), f64> = HashMap::new();
     let mut tables_used = 0;
-    for table in &tables {
-        let ann = annotator.annotate(table);
+    // One batch request over the whole corpus (2 workers), then consolidate.
+    let annotations = annotator.run(&AnnotateRequest::new(&tables).workers(2)).annotations;
+    for (table, ann) in tables.iter().zip(&annotations) {
         // Find the column pair annotated with playsFor.
         let pair = ann
             .relations

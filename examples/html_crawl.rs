@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use webtable::catalog::{generate_world, WorldConfig};
-use webtable::core::Annotator;
+use webtable::core::{AnnotateRequest, Annotator};
 use webtable::tables::html::{extract_tables, is_formatting_table, parse_tables, render_html};
 use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
 
@@ -61,8 +61,8 @@ fn main() {
     let mut linked_cells = 0usize;
     let mut total_cells = 0usize;
     let mut relations_found = 0usize;
-    for table in &kept {
-        let ann = annotator.annotate(table);
+    let annotations = annotator.run(&AnnotateRequest::new(&kept).workers(2)).annotations;
+    for (table, ann) in kept.iter().zip(&annotations) {
         linked_cells += ann.num_entity_links();
         total_cells += table.num_rows() * table.num_cols();
         relations_found += ann.relations.values().flatten().count();
@@ -72,7 +72,7 @@ fn main() {
          {relations_found} column-pair relations recognized"
     );
     let sample = &kept[0];
-    let ann = annotator.annotate(sample);
+    let ann = &annotations[0];
     println!("\nsample table (context: {:?}):", sample.context);
     for c in 0..sample.num_cols() {
         println!(

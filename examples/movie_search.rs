@@ -1,18 +1,18 @@
 //! The search application of §5: answer "which movies did X direct?" over
 //! a noisy annotated Web-table corpus, comparing the three processors of
-//! Figure 9 (Baseline / Type / Type+Rel) on live queries.
+//! Figure 9 (Baseline / Type / Type+Rel) on live queries — all through the
+//! one front door: tables go in via `SearchEngine::from_tables` (which
+//! runs the annotator), queries come back out via `SearchEngine::search`
+//! with a `Query` value naming the processor.
 //!
 //! Run with: `cargo run --release --example movie_search`
 
-use std::sync::Arc;
-
 use webtable::catalog::{generate_world, WorldConfig};
 use webtable::core::Annotator;
-use webtable::search::{
-    baseline_search, build_workload, query_ap, typed_search, AnnotatedCorpus, AnswerKey,
-    SearchIndex,
-};
+use webtable::search::{build_workload, query_ap, AnswerKey, Query, SearchEngine};
 use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
+
+use std::sync::Arc;
 
 fn main() {
     let world = generate_world(&WorldConfig { seed: 21, scale: 0.4, ..Default::default() })
@@ -31,9 +31,8 @@ fn main() {
         tables.push(gen.gen_table_for_relation(world.relations.acted_in, 12).table);
     }
 
-    println!("Annotating {} tables…", tables.len());
-    let corpus = AnnotatedCorpus::annotate(&annotator, tables, 4);
-    let index = SearchIndex::build(&corpus);
+    println!("Annotating {} tables and building the search engine…", tables.len());
+    let engine = SearchEngine::from_tables(&annotator, tables, 4);
 
     // Three queries: movies directed by sampled directors.
     let workload = build_workload(&world, &[world.relations.directed], 3, 17);
@@ -46,11 +45,12 @@ fn main() {
             "oracle says: {}",
             truth.iter().map(|&e| world.oracle.entity_name(e)).collect::<Vec<_>>().join("; ")
         );
-        for (name, answers) in [
-            ("Baseline (Fig 3)", baseline_search(&world.catalog, &index, &corpus, q)),
-            ("Type only       ", typed_search(&world.catalog, &index, &corpus, q, false)),
-            ("Type+Rel (Fig 4)", typed_search(&world.catalog, &index, &corpus, q, true)),
+        for (name, query) in [
+            ("Baseline (Fig 3)", Query::Baseline(*q)),
+            ("Type only       ", Query::Typed { query: *q, use_relations: false }),
+            ("Type+Rel (Fig 4)", Query::Typed { query: *q, use_relations: true }),
         ] {
+            let answers = engine.search(&query);
             let ap = query_ap(&world.oracle, q, &answers);
             let shown: Vec<String> = answers
                 .iter()

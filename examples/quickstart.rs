@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use webtable::catalog::{Cardinality, CatalogBuilder};
-use webtable::core::{Annotator, TableCandidates, TableModel};
+use webtable::core::{AnnotateRequest, Annotator, TableCandidates, TableModel};
 use webtable::tables::{Table, TableId};
 
 fn main() {
@@ -62,7 +62,11 @@ fn main() {
         ],
     );
 
-    // --- Annotate --------------------------------------------------------
+    // --- Annotate through the front door ---------------------------------
+    // One request, one response: `Annotator::run` is the single execution
+    // entry point (the former `annotate*` methods are deprecated wrappers
+    // over it). A request scales from this one table to a corpus by
+    // swapping the slice and adding `.workers(n)`.
     let annotator = Annotator::new(Arc::clone(&catalog));
     let model_view = {
         let cands = TableCandidates::build(&catalog, &annotator.index, &table, &annotator.config);
@@ -70,7 +74,8 @@ fn main() {
             TableModel::build(&catalog, &annotator.config, &annotator.weights, &table, cands);
         model.describe()
     };
-    let ann = annotator.annotate(&table);
+    let response = annotator.run(&AnnotateRequest::one(&table));
+    let ann = &response.annotations[0];
 
     println!("The graphical model (cf. Figure 10):\n  {model_view}\n");
     println!("Column types:");
@@ -96,4 +101,10 @@ fn main() {
         println!("  ({c1} → {c2}) → {label}");
     }
     println!("\nBP converged after {} sweeps (paper: ~3).", ann.bp_iterations);
+    println!(
+        "annotated {} table in {} µs (candidates {} µs).",
+        response.stats.tables,
+        response.stats.timings.total_us,
+        response.stats.timings.candidates_us
+    );
 }

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use webtable::catalog::{Cardinality, CatalogBuilder};
-use webtable::core::Annotator;
+use webtable::core::{AnnotateRequest, Annotator};
 use webtable::tables::{Table, TableId};
 use webtable::text::LemmaIndex;
 
@@ -101,8 +101,8 @@ fn main() {
         served.cache_fingerprint(),
         "warm candidate caches must stay valid across the restart"
     );
-    let a = fresh.annotate(&table);
-    let b = served.annotate(&table);
+    let a = fresh.run(&AnnotateRequest::one(&table)).into_single().0;
+    let b = served.run(&AnnotateRequest::one(&table)).into_single().0;
     assert_eq!(a.cell_entities, b.cell_entities);
     assert_eq!(a.column_types, b.column_types);
     assert_eq!(a.relations, b.relations);

@@ -25,7 +25,7 @@
 //! ```
 //! use std::sync::Arc;
 //! use webtable::catalog::{generate_world, WorldConfig};
-//! use webtable::core::Annotator;
+//! use webtable::core::{AnnotateRequest, Annotator};
 //! use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
 //!
 //! // A miniature synthetic world standing in for YAGO + the Web corpus.
@@ -36,8 +36,10 @@
 //! let mut gen = TableGenerator::new(&world, NoiseConfig::wiki(), TruthMask::full(), 1);
 //! let labeled = gen.gen_table_for_relation(world.relations.directed, 6);
 //!
-//! // Collectively annotate cells, columns and column pairs.
-//! let annotation = annotator.annotate(&labeled.table);
+//! // Collectively annotate cells, columns and column pairs through the
+//! // request/response front door.
+//! let response = annotator.run(&AnnotateRequest::one(&labeled.table));
+//! let annotation = &response.annotations[0];
 //! assert_eq!(annotation.column_types.len(), labeled.table.num_cols());
 //! ```
 //!

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use webtable::catalog::{generate_world, WorldConfig};
-use webtable::core::Annotator;
+use webtable::core::{AnnotateRequest, Annotator};
 use webtable::tables::{datasets, NoiseConfig, TableGenerator, TruthMask};
 
 #[test]
@@ -16,7 +16,7 @@ fn full_pipeline_is_deterministic_per_seed() {
         tables
             .iter()
             .map(|lt| {
-                let ann = annotator.annotate(&lt.table);
+                let ann = annotator.run(&AnnotateRequest::one(&lt.table)).into_single().0;
                 let mut cells: Vec<_> = ann.cell_entities.into_iter().collect();
                 cells.sort_unstable_by_key(|&(k, _)| k);
                 let mut types: Vec<_> = ann.column_types.into_iter().collect();

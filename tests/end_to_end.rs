@@ -6,7 +6,9 @@
 use std::sync::Arc;
 
 use webtable::catalog::{generate_world, WorldConfig};
-use webtable::core::{annotate_collective, lca, majority, Annotator, AnnotatorConfig};
+use webtable::core::{
+    annotate_collective, lca, majority, AnnotateRequest, Annotator, AnnotatorConfig,
+};
 use webtable::eval::{entity_accuracy, point_types_as_sets, relation_f1, type_f1, Accuracy, SetF1};
 use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
 
@@ -86,7 +88,7 @@ fn annotations_respect_catalog_structure() {
     let annotator = Annotator::new(Arc::clone(&world.catalog));
     let mut gen = TableGenerator::new(&world, NoiseConfig::wiki(), TruthMask::full(), 3);
     for lt in gen.gen_corpus(5, 10) {
-        let ann = annotator.annotate(&lt.table);
+        let ann = annotator.run(&AnnotateRequest::one(&lt.table)).into_single().0;
         for e in ann.cell_entities.values().flatten() {
             assert!(e.index() < world.catalog.num_entities());
         }

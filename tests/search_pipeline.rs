@@ -5,9 +5,7 @@ use std::sync::Arc;
 
 use webtable::catalog::{generate_world, WorldConfig};
 use webtable::core::Annotator;
-use webtable::search::{
-    baseline_search, build_workload, map_over_queries, typed_search, AnnotatedCorpus, SearchIndex,
-};
+use webtable::search::{build_workload, map_over_queries, Query, SearchEngine};
 use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
 
 #[test]
@@ -37,22 +35,20 @@ fn typed_search_beats_baseline_map() {
             tables.push(gen.gen_table_for_relation(b, 10).table);
         }
     }
-    let corpus = AnnotatedCorpus::annotate(&annotator, tables, 2);
-    let index = SearchIndex::build(&corpus);
+    let engine = SearchEngine::from_tables(&annotator, tables, 2);
     let workload = build_workload(&world, &rels, 8, 3);
 
     let mut base_sum = 0.0;
     let mut type_sum = 0.0;
     let mut rel_sum = 0.0;
     for (_, queries) in &workload.per_relation {
-        base_sum += map_over_queries(&world.oracle, queries, |q| {
-            baseline_search(&world.catalog, &index, &corpus, q)
-        });
+        base_sum +=
+            map_over_queries(&world.oracle, queries, |q| engine.search(&Query::Baseline(*q)));
         type_sum += map_over_queries(&world.oracle, queries, |q| {
-            typed_search(&world.catalog, &index, &corpus, q, false)
+            engine.search(&Query::Typed { query: *q, use_relations: false })
         });
         rel_sum += map_over_queries(&world.oracle, queries, |q| {
-            typed_search(&world.catalog, &index, &corpus, q, true)
+            engine.search(&Query::Typed { query: *q, use_relations: true })
         });
     }
     assert!(
@@ -73,12 +69,11 @@ fn search_is_deterministic() {
     let mut gen = TableGenerator::new(&world, NoiseConfig::wiki(), TruthMask::full(), 31);
     let tables: Vec<_> =
         (0..5).map(|_| gen.gen_table_for_relation(world.relations.directed, 10).table).collect();
-    let corpus = AnnotatedCorpus::annotate(&annotator, tables, 2);
-    let index = SearchIndex::build(&corpus);
+    let engine = SearchEngine::from_tables(&annotator, tables, 2);
     let workload = build_workload(&world, &[world.relations.directed], 4, 9);
     for q in &workload.per_relation[0].1 {
-        let a = typed_search(&world.catalog, &index, &corpus, q, true);
-        let b = typed_search(&world.catalog, &index, &corpus, q, true);
+        let a = engine.search(&Query::Typed { query: *q, use_relations: true });
+        let b = engine.search(&Query::Typed { query: *q, use_relations: true });
         assert_eq!(a, b);
     }
 }

@@ -6,11 +6,9 @@
 use std::sync::Arc;
 
 use webtable::catalog::{generate_world, WorldConfig};
-use webtable::core::Annotator;
+use webtable::core::{AnnotateRequest, Annotator};
 use webtable::eval::entity_accuracy;
-use webtable::search::{
-    build_workload, map_over_queries, typed_search, AnnotatedCorpus, SearchIndex,
-};
+use webtable::search::{build_workload, map_over_queries, Query, SearchEngine};
 use webtable::tables::{NoiseConfig, TableGenerator, TruthMask};
 
 #[test]
@@ -30,7 +28,7 @@ fn annotate_then_search_round_trip() {
     let mut correct = 0usize;
     let mut total = 0usize;
     for lt in &labeled {
-        let ann = annotator.annotate(&lt.table);
+        let ann = annotator.run(&AnnotateRequest::one(&lt.table)).into_single().0;
         assert_eq!(ann.column_types.len(), lt.table.num_cols());
         let acc = entity_accuracy(&ann.cell_entities, &lt.truth.cell_entities);
         correct += acc.correct;
@@ -42,17 +40,17 @@ fn annotate_then_search_round_trip() {
         "entity accuracy {correct}/{total} suspiciously low for wiki noise"
     );
 
-    // 4. Search layer: index the annotated corpus and answer entity queries.
+    // 4. Search layer: build the engine over the annotated corpus and
+    // answer entity queries through the one front door.
     let tables: Vec<_> = labeled.into_iter().map(|lt| lt.table).collect();
-    let corpus = AnnotatedCorpus::annotate(&annotator, tables, 2);
-    let index = SearchIndex::build(&corpus);
+    let engine = SearchEngine::from_tables(&annotator, tables, 2);
     let workload = build_workload(&world, &[world.relations.directed], 4, 5);
     let queries = &workload.per_relation[0].1;
     assert!(!queries.is_empty(), "workload must produce queries");
 
     // 5. Eval layer: MAP over the workload must show retrieval happening.
     let map = map_over_queries(&world.oracle, queries, |q| {
-        typed_search(&world.catalog, &index, &corpus, q, true)
+        engine.search(&Query::Typed { query: *q, use_relations: true })
     });
     assert!(map > 0.0, "typed search must retrieve at least one correct answer (MAP {map})");
 }

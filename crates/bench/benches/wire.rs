@@ -1,0 +1,78 @@
+//! Wire-format benchmarks: JSON encode/decode cost of the HTTP body
+//! schemas (`core::wire` and `search::wire`), which sit on every
+//! `webtable-serve` request.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use webtable_bench::fixture;
+use webtable_core::wire::{decode_response, encode_response, WireAnnotateRequest};
+use webtable_core::AnnotateRequest;
+use webtable_search::wire::{decode_answers, decode_query, encode_answers, encode_query};
+use webtable_search::{Query, SearchEngine};
+use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};
+
+fn corpus() -> Vec<webtable_tables::Table> {
+    let f = fixture();
+    let mut g = TableGenerator::new(&f.world, NoiseConfig::web(), TruthMask::full(), 93);
+    let mut tables = Vec::new();
+    for _ in 0..10 {
+        tables.push(g.gen_table_for_relation(f.world.relations.directed, 15).table);
+    }
+    tables
+}
+
+fn bench_request_roundtrip(c: &mut Criterion) {
+    let tables = corpus();
+    let req = WireAnnotateRequest::new(tables);
+    let body = req.encode();
+    let mut g = c.benchmark_group("wire/request");
+    g.bench_function("encode_10_tables", |b| b.iter(|| black_box(&req).encode()));
+    g.bench_function("decode_10_tables", |b| {
+        b.iter(|| WireAnnotateRequest::decode(black_box(&body)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_response_roundtrip(c: &mut Criterion) {
+    let f = fixture();
+    let tables = corpus();
+    let response = f.annotator.run(&AnnotateRequest::new(&tables).workers(2));
+    let body = encode_response(&response);
+    let mut g = c.benchmark_group("wire/response");
+    g.bench_function("encode_10_tables", |b| b.iter(|| encode_response(black_box(&response))));
+    g.bench_function("decode_10_tables", |b| b.iter(|| decode_response(black_box(&body)).unwrap()));
+    g.finish();
+}
+
+fn bench_query_answers_roundtrip(c: &mut Criterion) {
+    let f = fixture();
+    let engine = SearchEngine::from_tables(&f.annotator, corpus(), 2);
+    let (_, e2) = f.world.oracle.relation(f.world.relations.directed).tuples[0];
+    let query = Query::Typed {
+        query: webtable_search::EntityQuery {
+            relation: f.world.relations.directed,
+            t1: f.world.types.movie,
+            t2: f.world.types.director,
+            e2,
+        },
+        use_relations: true,
+    };
+    let query_body = encode_query(&query);
+    let answers = engine.search(&query);
+    let answers_body = encode_answers(&answers);
+    let mut g = c.benchmark_group("wire/query_answers");
+    g.bench_function("encode_query", |b| b.iter(|| encode_query(black_box(&query))));
+    g.bench_function("decode_query", |b| b.iter(|| decode_query(black_box(&query_body)).unwrap()));
+    g.bench_function("encode_answers", |b| b.iter(|| encode_answers(black_box(&answers))));
+    g.bench_function("decode_answers", |b| {
+        b.iter(|| decode_answers(black_box(&answers_body)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_request_roundtrip,
+    bench_response_roundtrip,
+    bench_query_answers_roundtrip
+);
+criterion_main!(benches);

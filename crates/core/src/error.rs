@@ -12,6 +12,18 @@ use webtable_text::{ExtendError, SnapshotError};
 
 /// Every way an [`Annotator`](crate::Annotator) front-door operation can
 /// fail. Non-exhaustive: match with a `_` arm.
+///
+/// Every variant carries a stable machine-readable code
+/// ([`Error::code`]) that serving layers map onto transport status; the
+/// canonical HTTP mapping (implemented by `webtable-server`, documented in
+/// the README's error-code table) is:
+///
+/// | code                 | HTTP |
+/// |----------------------|------|
+/// | `snapshot`           | 503  |
+/// | `extend`             | 409  |
+/// | `catalog_mismatch`   | 409  |
+/// | `deadline_exceeded`  | 504  |
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum Error {
@@ -31,6 +43,35 @@ pub enum Error {
         /// Human-readable mismatch detail.
         detail: String,
     },
+    /// A deadline-bearing [`AnnotateRequest`](crate::AnnotateRequest)
+    /// expired before every table was annotated (see
+    /// [`Annotator::try_run`](crate::Annotator::try_run)). The worker pool
+    /// is already torn down when this is returned — completed work is
+    /// discarded, nothing keeps running.
+    DeadlineExceeded {
+        /// Tables fully annotated before the deadline hit.
+        completed: usize,
+        /// Tables in the request.
+        total: usize,
+    },
+}
+
+impl Error {
+    /// The stable machine-readable code of this error, the contract wire
+    /// protocols key on. Codes never change meaning once released; new
+    /// variants get new codes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::Snapshot(_) => "snapshot",
+            Error::Extend(_) => "extend",
+            Error::CatalogMismatch { .. } => "catalog_mismatch",
+            Error::DeadlineExceeded { .. } => "deadline_exceeded",
+            // Future variants added under #[non_exhaustive] report
+            // `internal` until they get a first-class code.
+            #[allow(unreachable_patterns)]
+            _ => "internal",
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -43,6 +84,9 @@ impl std::fmt::Display for Error {
                 "index covers {} entities / {} types but the catalog has {} / {}: {detail}",
                 snapshot.0, snapshot.1, catalog.0, catalog.1
             ),
+            Error::DeadlineExceeded { completed, total } => {
+                write!(f, "request deadline exceeded after {completed} of {total} tables")
+            }
         }
     }
 }
@@ -52,7 +96,7 @@ impl std::error::Error for Error {
         match self {
             Error::Snapshot(e) => Some(e),
             Error::Extend(e) => Some(e),
-            Error::CatalogMismatch { .. } => None,
+            _ => None,
         }
     }
 }
@@ -101,6 +145,23 @@ mod tests {
             }
             other => panic!("expected CatalogMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn codes_are_stable_and_cover_every_variant() {
+        let cases: Vec<(Error, &str)> = vec![
+            (SnapshotError::BadMagic.into(), "snapshot"),
+            (
+                Error::CatalogMismatch { snapshot: (1, 1), catalog: (2, 2), detail: "x".into() },
+                "catalog_mismatch",
+            ),
+            (Error::DeadlineExceeded { completed: 1, total: 4 }, "deadline_exceeded"),
+        ];
+        for (e, code) in cases {
+            assert_eq!(e.code(), code, "{e:?}");
+        }
+        let d = Error::DeadlineExceeded { completed: 1, total: 4 };
+        assert!(format!("{d}").contains("1 of 4"));
     }
 
     #[test]

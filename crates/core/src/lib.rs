@@ -46,6 +46,7 @@ pub mod session;
 pub mod stream;
 pub mod unique;
 pub mod weights;
+pub mod wire;
 
 pub use assignment::{assign_unique, assignment_benefit};
 pub use baselines::{lca, majority, majority_with_threshold, BaselineAnnotation};
@@ -64,3 +65,4 @@ pub use stream::{AnnotateStream, StreamOptions};
 pub use unique::enforce_unique_columns;
 pub use webtable_text::{ExtendError, ProbeMode, SnapshotError};
 pub use weights::Weights;
+pub use wire::{Json, WireAnnotateRequest, WireError};

@@ -216,6 +216,13 @@ impl Annotator {
     /// Runs the worker pool over a table slice (std scoped threads pulling
     /// from a shared counter; results keep input order). One
     /// [`CandidateScratch`] per worker.
+    ///
+    /// With a `deadline`, every worker re-checks the clock before claiming
+    /// the next table and stops claiming once it has passed — the same
+    /// stop-feeding-then-join teardown the streaming path's `Drop` uses.
+    /// The in-progress table of each worker is finished (annotation is not
+    /// interruptible mid-table), the scope joins, and `Err(completed)`
+    /// reports how many tables were fully annotated before the cut.
     pub(crate) fn execute(
         &self,
         cfg: &AnnotatorConfig,
@@ -223,16 +230,27 @@ impl Annotator {
         workers: usize,
         cache: Option<&CellCandidateCache>,
         unique_columns: Option<&[usize]>,
-    ) -> Vec<(TableAnnotation, PhaseTimings)> {
+        deadline: Option<Instant>,
+    ) -> Result<Vec<(TableAnnotation, PhaseTimings)>, usize> {
+        let expired = |done: usize| {
+            // The last claim never needs a clock check: there is no next
+            // table left to cut.
+            done < tables.len() && deadline.is_some_and(|d| Instant::now() >= d)
+        };
         let workers = workers.max(1);
         if workers == 1 || tables.len() < 2 {
             let mut scratch = CandidateScratch::new();
-            return tables
-                .iter()
-                .map(|t| self.annotate_one(cfg, t, &mut scratch, cache, unique_columns))
-                .collect();
+            let mut out = Vec::with_capacity(tables.len());
+            for t in tables {
+                if expired(out.len()) {
+                    return Err(out.len());
+                }
+                out.push(self.annotate_one(cfg, t, &mut scratch, cache, unique_columns));
+            }
+            return Ok(out);
         }
         let next = AtomicUsize::new(0);
+        let cut = std::sync::atomic::AtomicBool::new(false);
         let slots: Vec<Mutex<Option<(TableAnnotation, PhaseTimings)>>> =
             (0..tables.len()).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
@@ -242,6 +260,13 @@ impl Annotator {
                     // steady state after the first few tables.
                     let mut scratch = CandidateScratch::new();
                     loop {
+                        if cut.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            cut.store(true, Ordering::Relaxed);
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= tables.len() {
                             break;
@@ -253,12 +278,19 @@ impl Annotator {
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner().expect("slot lock poisoned").expect("all tables annotated")
-            })
-            .collect()
+        let mut out = Vec::with_capacity(tables.len());
+        for slot in slots {
+            match slot.into_inner().expect("slot lock poisoned") {
+                Some(pair) => out.push(pair),
+                // A hole means a worker observed the deadline before
+                // claiming this index; everything after it is unclaimed
+                // too (indices are claimed in order).
+                None => return Err(out.len()),
+            }
+        }
+        // All slots filled: the run beat the deadline even if the flag
+        // tripped after the last claim.
+        Ok(out)
     }
 
     // ------------------------------------------------------------------

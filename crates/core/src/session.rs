@@ -32,11 +32,14 @@
 //! println!("cache hit rate: {:.2}", response.stats.cache_hit_rate());
 //! ```
 
+use std::time::{Duration, Instant};
+
 use webtable_tables::Table;
 use webtable_text::ProbeMode;
 
 use crate::cache::CellCandidateCache;
 use crate::config::AnnotatorConfig;
+use crate::error::Error;
 use crate::pipeline::Annotator;
 use crate::result::{AnnotateStats, PhaseTimings, TableAnnotation};
 
@@ -67,6 +70,7 @@ pub struct AnnotateRequest<'a> {
     cache: CachePlan<'a>,
     unique_columns: Option<&'a [usize]>,
     probe_mode: Option<ProbeMode>,
+    deadline: Option<Instant>,
 }
 
 impl<'a> AnnotateRequest<'a> {
@@ -121,6 +125,23 @@ impl<'a> AnnotateRequest<'a> {
         self
     }
 
+    /// Sets a hard wall-clock deadline. A deadline-bearing request must be
+    /// executed with [`Annotator::try_run`]: once the deadline passes,
+    /// workers stop claiming tables, the pool joins, and the run fails
+    /// with [`Error::DeadlineExceeded`] instead of returning partial
+    /// output. Annotation of the in-flight table is not interrupted
+    /// mid-table, so expiry overshoots by at most one table per worker.
+    pub fn deadline(mut self, deadline: Instant) -> AnnotateRequest<'a> {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// [`deadline`](AnnotateRequest::deadline) as a budget relative to
+    /// *now* (the moment this setter is called, not `try_run`).
+    pub fn timeout(self, budget: Duration) -> AnnotateRequest<'a> {
+        self.deadline(Instant::now() + budget)
+    }
+
     /// The tables this request covers.
     pub fn tables(&self) -> &'a [Table] {
         self.tables
@@ -172,7 +193,27 @@ impl Annotator {
     /// pure function of (catalog, index, weights, config, tables):
     /// worker count, caching, and probe mode never change output, only
     /// wall-clock and the work skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request carries a [`deadline`] and it expires
+    /// mid-run; deadline-bearing requests belong on the fallible twin
+    /// [`try_run`](Annotator::try_run).
+    ///
+    /// [`deadline`]: AnnotateRequest::deadline
     pub fn run(&self, request: &AnnotateRequest<'_>) -> AnnotateResponse {
+        self.try_run(request).unwrap_or_else(|e| {
+            panic!("Annotator::run on a deadline-bearing request that expired ({e}); use try_run")
+        })
+    }
+
+    /// The fallible twin of [`run`](Annotator::run): identical output on
+    /// success, but a request whose [`deadline`](AnnotateRequest::deadline)
+    /// expires mid-run returns [`Error::DeadlineExceeded`] after the
+    /// worker pool has fully torn down (workers stop claiming tables and
+    /// join — the same stop-feeding teardown the streaming path's `Drop`
+    /// uses — so no annotation work outlives the error).
+    pub fn try_run(&self, request: &AnnotateRequest<'_>) -> Result<AnnotateResponse, Error> {
         // Per-request probe override without touching the shared config.
         let cfg_override;
         let cfg: &AnnotatorConfig = match request.probe_mode {
@@ -197,8 +238,19 @@ impl Annotator {
         let (hits_before, misses_before) =
             cache.map(|c| (c.hits(), c.misses())).unwrap_or_default();
 
-        let results =
-            self.execute(cfg, request.tables, request.workers, cache, request.unique_columns);
+        let results = self
+            .execute(
+                cfg,
+                request.tables,
+                request.workers,
+                cache,
+                request.unique_columns,
+                request.deadline,
+            )
+            .map_err(|completed| Error::DeadlineExceeded {
+                completed,
+                total: request.tables.len(),
+            })?;
 
         let (hits_after, misses_after) = cache.map(|c| (c.hits(), c.misses())).unwrap_or_default();
         let mut annotations = Vec::with_capacity(results.len());
@@ -209,7 +261,7 @@ impl Annotator {
             annotations.push(ann);
             timings.push(t);
         }
-        AnnotateResponse {
+        Ok(AnnotateResponse {
             annotations,
             timings,
             stats: AnnotateStats {
@@ -218,7 +270,7 @@ impl Annotator {
                 cache_misses: misses_after - misses_before,
                 timings: summed,
             },
-        }
+        })
     }
 }
 
@@ -299,6 +351,43 @@ mod tests {
                 seen.push(*e);
             }
         }
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast_and_releases_the_pool() {
+        let (w, tables) = world_tables(43, 6);
+        let a = Annotator::new(Arc::clone(&w.catalog));
+        for workers in [1usize, 4] {
+            let req = AnnotateRequest::new(&tables)
+                .workers(workers)
+                .deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+            match a.try_run(&req) {
+                Err(crate::Error::DeadlineExceeded { completed, total }) => {
+                    assert_eq!(total, tables.len());
+                    assert!(completed < total, "an expired deadline must cut the run");
+                }
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+        // The pool tore down cleanly: the annotator keeps serving.
+        let ok = a.run(&AnnotateRequest::new(&tables).workers(2));
+        assert_eq!(ok.annotations.len(), tables.len());
+    }
+
+    #[test]
+    fn generous_deadline_output_is_bit_identical_to_no_deadline() {
+        let (w, tables) = world_tables(47, 4);
+        let a = Annotator::new(Arc::clone(&w.catalog));
+        let base = a.run(&AnnotateRequest::new(&tables).workers(2));
+        let timed = a
+            .try_run(
+                &AnnotateRequest::new(&tables)
+                    .workers(2)
+                    .timeout(std::time::Duration::from_secs(600)),
+            )
+            .expect("10-minute budget cannot expire on 4 tiny tables");
+        assert_eq!(base.annotations, timed.annotations);
+        assert_eq!(base.stats.tables, timed.stats.tables);
     }
 
     #[test]

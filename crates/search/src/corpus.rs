@@ -25,6 +25,10 @@ impl AnnotatedCorpus {
 
     /// Annotates a batch of tables with the given annotator (parallel,
     /// via [`Annotator::run`]).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `SearchEngine::from_tables`, or `Annotator::run` + `from_parts`"
+    )]
     pub fn annotate(annotator: &Annotator, tables: Vec<Table>, threads: usize) -> AnnotatedCorpus {
         let annotations =
             annotator.run(&AnnotateRequest::new(&tables).workers(threads)).annotations;
@@ -37,6 +41,11 @@ impl AnnotatedCorpus {
     /// the build entirely. Annotations are identical to
     /// [`annotate`](AnnotatedCorpus::annotate) with a freshly built
     /// annotator (the loaded index is bit-identical to the saved one).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Annotator::from_snapshot` + `run` + `from_parts` (or `webtable-serve`, \
+                which owns the snapshot-to-corpus path)"
+    )]
     pub fn annotate_from_snapshot(
         catalog: Arc<Catalog>,
         snapshot: impl AsRef<Path>,
@@ -44,7 +53,9 @@ impl AnnotatedCorpus {
         threads: usize,
     ) -> Result<AnnotatedCorpus, Error> {
         let annotator = Annotator::from_snapshot(catalog, snapshot)?;
-        Ok(AnnotatedCorpus::annotate(&annotator, tables, threads))
+        let annotations =
+            annotator.run(&AnnotateRequest::new(&tables).workers(threads)).annotations;
+        Ok(AnnotatedCorpus { tables, annotations })
     }
 
     /// Number of tables.
@@ -76,6 +87,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // deliberately exercises the deprecated wrappers
     fn snapshot_roundtrip_corpus_matches_fresh_annotator() {
         use webtable_catalog::{generate_world, WorldConfig};
         use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};

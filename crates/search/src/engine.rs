@@ -28,7 +28,14 @@ use crate::join::{join_search_impl, JoinQuery};
 use crate::query::{baseline_search_impl, typed_search_impl, AnswerKey, EntityQuery, RankedAnswer};
 
 /// One search request: which processor of §5 to run, with its inputs.
+///
+/// `#[non_exhaustive]`, matching [`webtable_core::Error`]'s contract: new
+/// workloads (keyword table retrieval, row/column population, …) land as
+/// new variants without breaking downstream matches — match with a `_`
+/// arm. Existing variants stay constructible; the wire names in
+/// [`crate::wire`] are the stable serialized form.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum Query {
     /// Figure 3: strings only, no annotations consulted. Answers are
     /// normalized cell strings.

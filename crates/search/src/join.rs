@@ -133,7 +133,9 @@ mod tests {
         for _ in 0..14 {
             tables.push(gen.gen_table_for_relation(world.relations.born_in, 16).table);
         }
-        let corpus = AnnotatedCorpus::annotate(&annotator, tables, 2);
+        let annotations =
+            annotator.run(&webtable_core::AnnotateRequest::new(&tables).workers(2)).annotations;
+        let corpus = AnnotatedCorpus::from_parts(tables, annotations);
         let index = SearchIndex::build(&corpus, &world.catalog);
 
         // Pick a city that actually yields a two-hop answer in the oracle.
@@ -196,8 +198,8 @@ mod tests {
         // column annotations failed produces no joins (rather than fuzzy
         // text matches) — the paper's "precise join" point.
         let world = generate_world(&WorldConfig::tiny(10)).unwrap();
-        let annotator = Annotator::new(Arc::clone(&world.catalog));
-        let corpus = AnnotatedCorpus::annotate(&annotator, Vec::new(), 1);
+        let _annotator = Annotator::new(Arc::clone(&world.catalog));
+        let corpus = AnnotatedCorpus::from_parts(Vec::new(), Vec::new());
         let index = SearchIndex::build(&corpus, &world.catalog);
         let q = JoinQuery {
             r1: world.relations.directed,

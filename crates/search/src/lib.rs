@@ -23,6 +23,7 @@ pub mod eval;
 pub mod index;
 pub mod join;
 pub mod query;
+pub mod wire;
 
 pub use corpus::AnnotatedCorpus;
 pub use engine::{Query, SearchEngine};

@@ -257,7 +257,9 @@ mod tests {
         for _ in 0..4 {
             tables.push(g.gen_table_for_relation(w.relations.acted_in, 8).table);
         }
-        let corpus = AnnotatedCorpus::annotate(&annotator, tables, 2);
+        let annotations =
+            annotator.run(&webtable_core::AnnotateRequest::new(&tables).workers(2)).annotations;
+        let corpus = AnnotatedCorpus::from_parts(tables, annotations);
         let index = SearchIndex::build(&corpus, &w.catalog);
         (w, corpus, index)
     }

@@ -1,0 +1,82 @@
+//! A tiny blocking HTTP/1.1 client — just enough to talk to
+//! `webtable-serve`. Used by the integration tests, the CI smoke
+//! script (`webtable-serve client …`), and the serving example.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One request/response exchange. Returns `(status, body)`.
+pub fn request(addr: &str, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(120)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Splits a raw HTTP/1.1 response into status and body.
+pub fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let text = std::str::from_utf8(raw).map_err(|_| bad("response is not UTF-8"))?;
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(bad("response has no header/body separator"));
+    };
+    let status_line = head.lines().next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad(&format!("bad status line: {status_line}")))?;
+    Ok((status, body.to_string()))
+}
+
+/// [`request`] with a few connect retries — lets callers race a server
+/// that is still binding its listener.
+pub fn request_with_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    attempts: u32,
+) -> std::io::Result<(u16, String)> {
+    let mut last = None;
+    for i in 0..attempts.max(1) {
+        match request(addr, method, path, body) {
+            Ok(out) => return Ok(out),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(50 * u64::from(i + 1)));
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("no attempts made")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 409 Conflict\r\nContent-Length: 2\r\n\r\n{}";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 409);
+        assert_eq!(body, "{}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Demo data directories: a deterministic two-generation corpus used
+//! by `webtable-serve prepare` / `promote`, the integration tests, and
+//! the CI smoke job.
+//!
+//! Generation 1 is a small corpus of `directed(movie, director)`
+//! tables; generation 2 keeps the same catalog and index snapshot but
+//! grows the corpus (more tables, plus `bornIn` coverage), so a swap
+//! observably changes search results while annotate stays
+//! catalog-compatible.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use webtable_catalog::{generate_world, WorldConfig};
+use webtable_core::Annotator;
+use webtable_search::wire::encode_query;
+use webtable_search::{EntityQuery, Query};
+use webtable_tables::{NoiseConfig, Table, TableGenerator, TruthMask};
+
+use crate::error::ServeError;
+use crate::manifest::Manifest;
+use crate::state::tables_to_wire;
+
+/// Number of generation-1 tables.
+pub const GEN1_TABLES: usize = 4;
+/// Number of generation-2 tables (a strict superset of generation 1).
+pub const GEN2_TABLES: usize = 8;
+
+fn io_err(context: &str, source: std::io::Error) -> ServeError {
+    ServeError::Io { context: context.to_string(), source }
+}
+
+/// Builds both generations' table files, the catalog TSV, the index
+/// snapshot, and a manifest pointing at generation 1.
+pub fn prepare_data_dir(dir: &Path, seed: u64) -> Result<(), ServeError> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err("creating data dir", e))?;
+    let world = generate_world(&WorldConfig::tiny(seed))
+        .map_err(|e| ServeError::Manifest(format!("world generation: {e}")))?;
+    webtable_catalog::io::save_catalog(&world.catalog, dir.join("catalog.tsv"))?;
+
+    let annotator = Annotator::new(Arc::clone(&world.catalog));
+    annotator.save_snapshot(dir.join("index.snap"))?;
+
+    let mut generator = TableGenerator::new(&world, NoiseConfig::wiki(), TruthMask::full(), seed);
+    let mut tables: Vec<Table> = Vec::with_capacity(GEN2_TABLES);
+    for _ in 0..GEN1_TABLES {
+        tables.push(generator.gen_table_for_relation(world.relations.directed, 8).table);
+    }
+    std::fs::write(dir.join("tables-g1.json"), tables_to_wire(&tables))
+        .map_err(|e| io_err("writing tables-g1.json", e))?;
+    // Growth: generation 2 = generation 1 plus new tables.
+    for i in GEN1_TABLES..GEN2_TABLES {
+        let relation = if i % 2 == 0 { world.relations.directed } else { world.relations.born_in };
+        tables.push(generator.gen_table_for_relation(relation, 10).table);
+    }
+    std::fs::write(dir.join("tables-g2.json"), tables_to_wire(&tables))
+        .map_err(|e| io_err("writing tables-g2.json", e))?;
+
+    // A ready-made search body for shell-driven smoke tests (the CI
+    // job cats this straight into `webtable-serve client`).
+    let (_, director) = world.oracle.relation(world.relations.directed).tuples[0];
+    let sample = Query::Typed {
+        query: EntityQuery {
+            relation: world.relations.directed,
+            t1: world.types.movie,
+            t2: world.types.director,
+            e2: director,
+        },
+        use_relations: false,
+    };
+    std::fs::write(dir.join("sample-query.json"), encode_query(&sample))
+        .map_err(|e| io_err("writing sample-query.json", e))?;
+
+    Manifest {
+        generation: 1,
+        catalog: "catalog.tsv".into(),
+        index: "index.snap".into(),
+        tables: "tables-g1.json".into(),
+    }
+    .save_dir(dir)
+}
+
+/// Promotes the data directory to generation 2 (rewrites the manifest
+/// atomically; the serving process picks it up on the next
+/// `/admin/swap`). Returns the new generation number.
+pub fn promote(dir: &Path) -> Result<u64, ServeError> {
+    let mut manifest = Manifest::load_dir(dir)?;
+    manifest.generation += 1;
+    manifest.tables = "tables-g2.json".into();
+    manifest.save_dir(dir)?;
+    Ok(manifest.generation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::load_generation;
+
+    #[test]
+    fn prepare_promote_load_both_generations() {
+        let dir = std::env::temp_dir().join(format!("webtable-demo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        prepare_data_dir(&dir, 11).unwrap();
+
+        let g1 = load_generation(&dir, 2).unwrap();
+        assert_eq!(g1.generation, 1);
+        assert_eq!(g1.engine.corpus().len(), GEN1_TABLES);
+
+        assert_eq!(promote(&dir).unwrap(), 2);
+        let g2 = load_generation(&dir, 2).unwrap();
+        assert_eq!(g2.generation, 2);
+        assert_eq!(g2.engine.corpus().len(), GEN2_TABLES);
+        // Same catalog + snapshot: the annotators agree bit-for-bit.
+        assert_eq!(g1.annotator.cache_fingerprint(), g2.annotator.cache_fingerprint());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

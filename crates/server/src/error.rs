@@ -1,0 +1,136 @@
+//! Serving-layer errors, with the same stable-code discipline as
+//! [`webtable_core::Error`]: every variant maps to a machine-readable
+//! `code()` and an HTTP status, and JSON error bodies always look like
+//! `{"error":{"code":...,"message":...}}`.
+
+use std::fmt;
+
+use webtable_catalog::CatalogError;
+use webtable_core::wire::{Json, WireError};
+use webtable_core::Error as CoreError;
+
+/// Everything that can go wrong loading or serving a generation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Filesystem trouble reading the data directory.
+    Io {
+        /// What was being read or written.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The manifest file is missing or malformed.
+    Manifest(String),
+    /// Catalog TSV failed to load.
+    Catalog(CatalogError),
+    /// Annotator-side failure (snapshot load, catalog mismatch, …).
+    Core(CoreError),
+    /// A wire document in the data directory failed to parse.
+    Wire(WireError),
+    /// An `/admin/swap` arrived while another swap was still building.
+    SwapInProgress,
+}
+
+impl ServeError {
+    /// Stable machine-readable code (same contract as
+    /// [`webtable_core::Error::code`]). Core errors pass their code
+    /// through, so `catalog_mismatch` / `snapshot` / `deadline_exceeded`
+    /// look identical whether raised in-process or over the wire.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Io { .. } => "io",
+            ServeError::Manifest(_) => "manifest",
+            ServeError::Catalog(_) => "catalog",
+            ServeError::Core(e) => e.code(),
+            ServeError::Wire(_) => "bad_request",
+            ServeError::SwapInProgress => "swap_in_progress",
+        }
+    }
+
+    /// The HTTP status this error maps to (the table in the README's
+    /// "Serving" section).
+    pub fn http_status(&self) -> u16 {
+        match self.code() {
+            "bad_request" => 400,
+            "catalog_mismatch" | "extend" | "swap_in_progress" => 409,
+            "snapshot" | "io" | "manifest" | "catalog" => 503,
+            "deadline_exceeded" => 504,
+            _ => 500,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { context, source } => write!(f, "{context}: {source}"),
+            ServeError::Manifest(msg) => write!(f, "manifest: {msg}"),
+            ServeError::Catalog(e) => write!(f, "catalog: {e}"),
+            ServeError::Core(e) => e.fmt(f),
+            ServeError::Wire(e) => write!(f, "wire: {e}"),
+            ServeError::SwapInProgress => f.write_str("a generation swap is already in progress"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io { source, .. } => Some(source),
+            ServeError::Catalog(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> ServeError {
+        ServeError::Core(e)
+    }
+}
+
+impl From<CatalogError> for ServeError {
+    fn from(e: CatalogError) -> ServeError {
+        ServeError::Catalog(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> ServeError {
+        ServeError::Wire(e)
+    }
+}
+
+/// Renders the uniform JSON error body.
+pub fn error_body(code: &str, message: &str) -> String {
+    Json::Obj(vec![(
+        "error".into(),
+        Json::Obj(vec![("code".into(), Json::str(code)), ("message".into(), Json::str(message))]),
+    )])
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_codes_pass_through_with_documented_statuses() {
+        let e = ServeError::from(CoreError::DeadlineExceeded { completed: 1, total: 2 });
+        assert_eq!(e.code(), "deadline_exceeded");
+        assert_eq!(e.http_status(), 504);
+        assert_eq!(ServeError::SwapInProgress.http_status(), 409);
+        assert_eq!(ServeError::Manifest("x".into()).http_status(), 503);
+    }
+
+    #[test]
+    fn error_body_shape_is_stable() {
+        let body = error_body("bad_request", "no \"tables\" field");
+        let j = Json::parse(&body).unwrap();
+        let err = j.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("bad_request"));
+        assert!(err.get("message").and_then(Json::as_str).unwrap().contains("tables"));
+    }
+}

@@ -1,0 +1,151 @@
+//! `webtable-serve`: the serving binary.
+//!
+//! ```text
+//! webtable-serve prepare --data DIR [--seed N]    build a demo data dir
+//! webtable-serve promote --data DIR               promote it to the next generation
+//! webtable-serve serve   --data DIR [--addr A] [--workers N] [--queue N]
+//!                        [--timeout-ms N] [--quiet]
+//! webtable-serve client  --addr A METHOD PATH [BODY]
+//! ```
+//!
+//! `serve` prints `listening on ADDR generation N` once ready and runs
+//! until `POST /admin/shutdown`. `client` prints the response body and
+//! exits non-zero on non-2xx — the CI smoke job is built from it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use webtable_server::server::{serve, ServerConfig};
+use webtable_server::state::{load_generation, AppState};
+use webtable_server::{client, demo};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("usage: webtable-serve <prepare|promote|serve|client> ...");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "prepare" => cmd_prepare(rest),
+        "promote" => cmd_promote(rest),
+        "serve" => cmd_serve(rest),
+        "client" => return cmd_client(rest),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("webtable-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--flag value` out of `args`; returns remaining positionals.
+fn parse_flags(
+    args: &[String],
+    flags: &mut [(&str, &mut Option<String>)],
+) -> Result<Vec<String>, String> {
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some((_, slot)) = flags.iter_mut().find(|(name, _)| name == arg) {
+            let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+            **slot = Some(value.clone());
+        } else if arg.starts_with("--") && arg != "--quiet" {
+            return Err(format!("unknown flag `{arg}`"));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok(positional)
+}
+
+fn data_dir(value: Option<String>) -> Result<PathBuf, String> {
+    value.map(PathBuf::from).ok_or_else(|| "--data DIR is required".into())
+}
+
+fn cmd_prepare(args: &[String]) -> Result<(), String> {
+    let (mut data, mut seed) = (None, None);
+    parse_flags(args, &mut [("--data", &mut data), ("--seed", &mut seed)])?;
+    let dir = data_dir(data)?;
+    let seed: u64 = seed.as_deref().unwrap_or("11").parse().map_err(|_| "bad --seed")?;
+    demo::prepare_data_dir(&dir, seed).map_err(|e| e.to_string())?;
+    println!("prepared {} (generation 1 of 2)", dir.display());
+    Ok(())
+}
+
+fn cmd_promote(args: &[String]) -> Result<(), String> {
+    let mut data = None;
+    parse_flags(args, &mut [("--data", &mut data)])?;
+    let dir = data_dir(data)?;
+    let generation = demo::promote(&dir).map_err(|e| e.to_string())?;
+    println!("promoted {} to generation {generation}", dir.display());
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (mut data, mut addr, mut workers, mut queue, mut timeout_ms) =
+        (None, None, None, None, None);
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("--data", &mut data),
+            ("--addr", &mut addr),
+            ("--workers", &mut workers),
+            ("--queue", &mut queue),
+            ("--timeout-ms", &mut timeout_ms),
+        ],
+    )?;
+    let quiet = positional.iter().any(|a| a == "--quiet");
+    let dir = data_dir(data)?;
+    let addr = addr.unwrap_or_else(|| "127.0.0.1:8191".into());
+    let workers: usize = workers.as_deref().unwrap_or("4").parse().map_err(|_| "bad --workers")?;
+    let queue: usize = queue.as_deref().unwrap_or("64").parse().map_err(|_| "bad --queue")?;
+    let timeout_ms: u64 =
+        timeout_ms.as_deref().unwrap_or("30000").parse().map_err(|_| "bad --timeout-ms")?;
+
+    let initial = load_generation(&dir, 2).map_err(|e| e.to_string())?;
+    let generation = initial.generation;
+    let state = Arc::new(AppState::new(dir, initial, Duration::from_millis(timeout_ms)));
+    let config = ServerConfig { workers, queue_depth: queue, log_requests: !quiet };
+    let handle = serve(&addr, state, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("listening on {} generation {generation}", handle.addr());
+    handle.wait();
+    println!("shut down cleanly");
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> ExitCode {
+    let mut addr = None;
+    let positional = match parse_flags(args, &mut [("--addr", &mut addr)]) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("webtable-serve client: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = addr.unwrap_or_else(|| "127.0.0.1:8191".into());
+    let [method, path, rest @ ..] = positional.as_slice() else {
+        eprintln!("usage: webtable-serve client --addr A METHOD PATH [BODY]");
+        return ExitCode::FAILURE;
+    };
+    let body = rest.first().cloned().unwrap_or_default();
+    match client::request_with_retry(&addr, method, path, &body, 20) {
+        Ok((status, body)) => {
+            println!("{body}");
+            if (200..300).contains(&status) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("webtable-serve client: HTTP {status}");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("webtable-serve client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The data-directory manifest: what a serving generation is made of.
+//!
+//! A data directory holds everything `webtable-serve` needs:
+//!
+//! ```text
+//! data/
+//!   MANIFEST            <- this file: which generation to serve
+//!   catalog.tsv         <- the catalog (webtable_catalog::io format)
+//!   index.snap          <- the lemma-index snapshot (PR-4 format)
+//!   tables-g1.json      <- corpus for generation 1 (wire JSON)
+//!   tables-g2.json      <- corpus for generation 2 (after growth)
+//! ```
+//!
+//! The manifest is a tiny line-oriented text file so that promoting a
+//! new generation is one atomic file replace:
+//!
+//! ```text
+//! webtable-manifest v1
+//! generation 2
+//! catalog catalog.tsv
+//! index index.snap
+//! tables tables-g2.json
+//! ```
+//!
+//! `/admin/swap` re-reads the manifest; if its generation differs from
+//! the one being served, the server rebuilds off the request path and
+//! atomically publishes the result.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::ServeError;
+
+/// The magic first line.
+pub const MAGIC: &str = "webtable-manifest v1";
+/// The manifest filename inside a data directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// A parsed manifest. Paths are relative to the data directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotonically increasing generation number.
+    pub generation: u64,
+    /// Catalog TSV path.
+    pub catalog: PathBuf,
+    /// Lemma-index snapshot path.
+    pub index: PathBuf,
+    /// Corpus tables (wire JSON) path.
+    pub tables: PathBuf,
+}
+
+impl Manifest {
+    /// Parses the manifest text.
+    pub fn parse(text: &str) -> Result<Manifest, ServeError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(MAGIC) {
+            return Err(ServeError::Manifest(format!("missing magic line `{MAGIC}`")));
+        }
+        let (mut generation, mut catalog, mut index, mut tables) = (None, None, None, None);
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once(' ') else {
+                return Err(ServeError::Manifest(format!("malformed line `{line}`")));
+            };
+            let value = value.trim();
+            match key {
+                "generation" => {
+                    generation =
+                        Some(value.parse::<u64>().map_err(|_| {
+                            ServeError::Manifest(format!("bad generation `{value}`"))
+                        })?);
+                }
+                "catalog" => catalog = Some(PathBuf::from(value)),
+                "index" => index = Some(PathBuf::from(value)),
+                "tables" => tables = Some(PathBuf::from(value)),
+                _ => return Err(ServeError::Manifest(format!("unknown key `{key}`"))),
+            }
+        }
+        let missing = |what: &str| ServeError::Manifest(format!("missing `{what}` line"));
+        Ok(Manifest {
+            generation: generation.ok_or_else(|| missing("generation"))?,
+            catalog: catalog.ok_or_else(|| missing("catalog"))?,
+            index: index.ok_or_else(|| missing("index"))?,
+            tables: tables.ok_or_else(|| missing("tables"))?,
+        })
+    }
+
+    /// Renders the manifest text (inverse of [`parse`](Manifest::parse)).
+    pub fn render(&self) -> String {
+        format!(
+            "{MAGIC}\ngeneration {}\ncatalog {}\nindex {}\ntables {}\n",
+            self.generation,
+            self.catalog.display(),
+            self.index.display(),
+            self.tables.display()
+        )
+    }
+
+    /// Reads `dir/MANIFEST`.
+    pub fn load_dir(dir: &Path) -> Result<Manifest, ServeError> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).map_err(|source| ServeError::Io {
+            context: format!("reading {}", path.display()),
+            source,
+        })?;
+        Manifest::parse(&text)
+    }
+
+    /// Writes `dir/MANIFEST` atomically (write-temp + rename), so a
+    /// concurrent swap never observes a torn manifest.
+    pub fn save_dir(&self, dir: &Path) -> Result<(), ServeError> {
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp.{}", std::process::id()));
+        let path = dir.join(MANIFEST_FILE);
+        std::fs::write(&tmp, self.render()).map_err(|source| ServeError::Io {
+            context: format!("writing {}", tmp.display()),
+            source,
+        })?;
+        std::fs::rename(&tmp, &path).map_err(|source| ServeError::Io {
+            context: format!("renaming {} into place", path.display()),
+            source,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrips() {
+        let m = Manifest {
+            generation: 7,
+            catalog: "catalog.tsv".into(),
+            index: "index.snap".into(),
+            tables: "tables-g7.json".into(),
+        };
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text =
+            format!("{MAGIC}\n\n# promoted by ops\ngeneration 3\ncatalog c\nindex i\ntables t\n");
+        assert_eq!(Manifest::parse(&text).unwrap().generation, 3);
+    }
+
+    #[test]
+    fn missing_fields_and_bad_magic_are_rejected() {
+        assert!(Manifest::parse("nope").is_err());
+        let text = format!("{MAGIC}\ngeneration 1\ncatalog c\nindex i\n");
+        let err = Manifest::parse(&text).unwrap_err();
+        assert_eq!(err.code(), "manifest");
+        assert!(err.to_string().contains("tables"));
+        let text = format!("{MAGIC}\ngeneration x\ncatalog c\nindex i\ntables t\n");
+        assert!(Manifest::parse(&text).is_err());
+    }
+
+    #[test]
+    fn save_and_load_dir() {
+        let dir = std::env::temp_dir().join(format!("webtable-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = Manifest {
+            generation: 1,
+            catalog: "c.tsv".into(),
+            index: "i.snap".into(),
+            tables: "t.json".into(),
+        };
+        m.save_dir(&dir).unwrap();
+        assert_eq!(Manifest::load_dir(&dir).unwrap(), m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,232 @@
+//! Process counters behind `/admin/stats`.
+//!
+//! Every counter is a relaxed atomic — observability must never contend
+//! with the request path. The stats endpoint renders a point-in-time
+//! JSON view; cache hit/miss figures are read live from the current
+//! generation's shared candidate cache, so consecutive scrapes expose
+//! deltas without the server keeping its own copy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use webtable_core::wire::Json;
+use webtable_core::{PhaseTimings, ProbeMode};
+
+/// Request endpoints tracked separately. `Other` covers 404s and admin
+/// endpoints not worth their own row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/annotate`.
+    Annotate,
+    /// `POST /v1/search`.
+    Search,
+    /// `POST /admin/swap`.
+    Swap,
+    /// `GET /admin/stats`.
+    Stats,
+    /// `GET /health`.
+    Health,
+    /// Everything else.
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 6] = [
+        Endpoint::Annotate,
+        Endpoint::Search,
+        Endpoint::Swap,
+        Endpoint::Stats,
+        Endpoint::Health,
+        Endpoint::Other,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Endpoint::Annotate => "annotate",
+            Endpoint::Search => "search",
+            Endpoint::Swap => "swap",
+            Endpoint::Stats => "stats",
+            Endpoint::Health => "health",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Endpoint::Annotate => 0,
+            Endpoint::Search => 1,
+            Endpoint::Swap => 2,
+            Endpoint::Stats => 3,
+            Endpoint::Health => 4,
+            Endpoint::Other => 5,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct EndpointRow {
+    requests: AtomicU64,
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    duration_us: AtomicU64,
+}
+
+/// All process counters. One instance per server, shared by reference.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    rows: [EndpointRow; 6],
+    /// Requests rejected at the accept queue (503 before routing).
+    pub queue_rejections: AtomicU64,
+    /// Annotate requests that hit their deadline (504).
+    pub deadlines_exceeded: AtomicU64,
+    /// Completed generation swaps.
+    pub swaps_completed: AtomicU64,
+    /// The generation currently being served (gauge).
+    pub swap_generation: AtomicU64,
+    /// Annotate requests by probe mode: auto / exhaustive / wand.
+    pub probe_auto: AtomicU64,
+    /// Explicit exhaustive-probe requests.
+    pub probe_exhaustive: AtomicU64,
+    /// Explicit WAND-probe requests.
+    pub probe_wand: AtomicU64,
+    /// Accumulated per-phase annotate timings (microseconds).
+    pub phase_candidates_us: AtomicU64,
+    /// Potential-computation phase total.
+    pub phase_potentials_us: AtomicU64,
+    /// Inference phase total.
+    pub phase_inference_us: AtomicU64,
+}
+
+impl Metrics {
+    /// Records one finished request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, duration_us: u64) {
+        let row = &self.rows[endpoint.idx()];
+        row.requests.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &row.status_2xx,
+            400..=499 => &row.status_4xx,
+            _ => &row.status_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        row.duration_us.fetch_add(duration_us, Ordering::Relaxed);
+    }
+
+    /// Folds one annotate response's phase timings into the process
+    /// totals and counts its probe mode.
+    pub fn record_annotate(&self, timings: &PhaseTimings, mode: ProbeMode) {
+        self.phase_candidates_us.fetch_add(timings.candidates_us, Ordering::Relaxed);
+        self.phase_potentials_us.fetch_add(timings.potentials_us, Ordering::Relaxed);
+        self.phase_inference_us.fetch_add(timings.inference_us, Ordering::Relaxed);
+        let counter = match mode {
+            ProbeMode::Auto => &self.probe_auto,
+            ProbeMode::Exhaustive => &self.probe_exhaustive,
+            ProbeMode::Wand => &self.probe_wand,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.rows.iter().map(|r| r.requests.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Renders the stats document. `cache_hits` / `cache_misses` come
+    /// from the current generation's shared candidate cache;
+    /// `uptime_us` from the server's start instant.
+    pub fn to_json(&self, uptime_us: u64, cache_hits: u64, cache_misses: u64) -> Json {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let endpoints = Endpoint::ALL
+            .iter()
+            .map(|&e| {
+                let row = &self.rows[e.idx()];
+                Json::Obj(vec![
+                    ("2xx".into(), Json::u64(ld(&row.status_2xx))),
+                    ("4xx".into(), Json::u64(ld(&row.status_4xx))),
+                    ("5xx".into(), Json::u64(ld(&row.status_5xx))),
+                    ("duration_us".into(), Json::u64(ld(&row.duration_us))),
+                    ("name".into(), Json::str(e.name())),
+                    ("requests".into(), Json::u64(ld(&row.requests))),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "annotate_phases_us".into(),
+                Json::Obj(vec![
+                    ("candidates".into(), Json::u64(ld(&self.phase_candidates_us))),
+                    ("inference".into(), Json::u64(ld(&self.phase_inference_us))),
+                    ("potentials".into(), Json::u64(ld(&self.phase_potentials_us))),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::u64(cache_hits)),
+                    ("misses".into(), Json::u64(cache_misses)),
+                ]),
+            ),
+            ("deadlines_exceeded".into(), Json::u64(ld(&self.deadlines_exceeded))),
+            ("endpoints".into(), Json::Arr(endpoints)),
+            (
+                "probe_modes".into(),
+                Json::Obj(vec![
+                    ("auto".into(), Json::u64(ld(&self.probe_auto))),
+                    ("exhaustive".into(), Json::u64(ld(&self.probe_exhaustive))),
+                    ("wand".into(), Json::u64(ld(&self.probe_wand))),
+                ]),
+            ),
+            ("queue_rejections".into(), Json::u64(ld(&self.queue_rejections))),
+            ("requests_total".into(), Json::u64(self.total_requests())),
+            ("swap_generation".into(), Json::u64(ld(&self.swap_generation))),
+            ("swaps_completed".into(), Json::u64(ld(&self.swaps_completed))),
+            ("uptime_us".into(), Json::u64(uptime_us)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_buckets_by_endpoint_and_status() {
+        let m = Metrics::default();
+        m.record(Endpoint::Annotate, 200, 10);
+        m.record(Endpoint::Annotate, 400, 20);
+        m.record(Endpoint::Search, 504, 30);
+        assert_eq!(m.total_requests(), 3);
+        let doc = m.to_json(1, 0, 0);
+        let rows = doc.get("endpoints").and_then(Json::as_arr).unwrap();
+        let annotate =
+            rows.iter().find(|r| r.get("name").and_then(Json::as_str) == Some("annotate")).unwrap();
+        assert_eq!(annotate.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(annotate.get("2xx").and_then(Json::as_u64), Some(1));
+        assert_eq!(annotate.get("4xx").and_then(Json::as_u64), Some(1));
+        assert_eq!(annotate.get("duration_us").and_then(Json::as_u64), Some(30));
+        let search =
+            rows.iter().find(|r| r.get("name").and_then(Json::as_str) == Some("search")).unwrap();
+        assert_eq!(search.get("5xx").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn stats_json_is_deterministic_and_sorted() {
+        let m = Metrics::default();
+        m.record(Endpoint::Health, 200, 5);
+        let a = m.to_json(9, 2, 3).encode();
+        let b = m.to_json(9, 2, 3).encode();
+        assert_eq!(a, b);
+        assert!(a.contains("\"swap_generation\":0"));
+        assert!(a.contains("\"hits\":2"));
+    }
+
+    #[test]
+    fn annotate_recording_accumulates_phases() {
+        let m = Metrics::default();
+        let t = PhaseTimings { candidates_us: 7, potentials_us: 5, inference_us: 3, total_us: 15 };
+        m.record_annotate(&t, ProbeMode::Auto);
+        m.record_annotate(&t, ProbeMode::Wand);
+        assert_eq!(m.phase_candidates_us.load(Ordering::Relaxed), 14);
+        assert_eq!(m.probe_auto.load(Ordering::Relaxed), 1);
+        assert_eq!(m.probe_wand.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! The serving loop: bounded accept queue, fixed worker pool,
+//! structured request logs, clean shutdown.
+//!
+//! One acceptor thread polls the listener and pushes connections onto a
+//! bounded queue; `workers` threads pop, parse, route, respond. When
+//! the queue is full the acceptor answers 503 `queue_full` inline and
+//! drops the connection — load sheds at the front door instead of
+//! queueing unboundedly. Shutdown (via `POST /admin/shutdown` or
+//! [`ServerHandle::stop`]) stops accepting, drains the queue, and joins
+//! every thread — the same stop-feeding-then-join discipline the
+//! annotator's deadline cancellation uses.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use webtable_core::wire::Json;
+
+use crate::error::error_body;
+use crate::http::{read_request, write_response, Response};
+use crate::metrics::Endpoint;
+use crate::router::{endpoint_of, handle};
+use crate::state::AppState;
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted-but-unserviced connection bound; beyond it new
+    /// connections get an immediate 503.
+    pub queue_depth: usize,
+    /// Whether to emit one JSON log line per request to stderr.
+    pub log_requests: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { workers: 4, queue_depth: 64, log_requests: true }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    conns: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`stop`](ServerHandle::stop) (or POST `/admin/shutdown`).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (tests inspect metrics and swap directly).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Requests shutdown and joins every thread. Idempotent with an
+    /// `/admin/shutdown` that already set the flag.
+    pub fn stop(mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// True once the shutdown flag is set (by stop or the admin route).
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Blocks until shutdown has been requested, then joins threads.
+    pub fn wait(self) {
+        while !self.is_shutting_down() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.stop();
+    }
+}
+
+/// Binds `addr` and starts the accept + worker threads.
+pub fn serve(
+    addr: &str,
+    state: Arc<AppState>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let queue = Arc::new(Queue::default());
+    let mut threads = Vec::with_capacity(config.workers + 1);
+
+    {
+        let state = Arc::clone(&state);
+        let queue = Arc::clone(&queue);
+        let depth = config.queue_depth.max(1);
+        threads.push(std::thread::spawn(move || accept_loop(listener, state, queue, depth)));
+    }
+    for _ in 0..config.workers.max(1) {
+        let state = Arc::clone(&state);
+        let queue = Arc::clone(&queue);
+        let log = config.log_requests;
+        threads.push(std::thread::spawn(move || worker_loop(state, queue, log)));
+    }
+    Ok(ServerHandle { addr: local, state, threads })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<AppState>, queue: Arc<Queue>, depth: usize) {
+    while !state.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((mut conn, _)) => {
+                let mut q = queue.conns.lock().unwrap_or_else(|e| e.into_inner());
+                if q.len() >= depth {
+                    drop(q);
+                    state.metrics.queue_rejections.fetch_add(1, Ordering::Relaxed);
+                    write_response(
+                        &mut conn,
+                        &Response {
+                            status: 503,
+                            body: error_body("queue_full", "accept queue is full; retry"),
+                        },
+                    );
+                } else {
+                    q.push_back(conn);
+                    drop(q);
+                    queue.ready.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Wake every worker so they observe the flag and drain out.
+    queue.ready.notify_all();
+}
+
+fn worker_loop(state: Arc<AppState>, queue: Arc<Queue>, log: bool) {
+    loop {
+        let conn = {
+            let mut q = queue.conns.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(conn) = q.pop_front() {
+                    break Some(conn);
+                }
+                if state.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (guard, _) = queue
+                    .ready
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        let Some(mut conn) = conn else { return };
+        serve_connection(&state, &mut conn, log);
+    }
+}
+
+/// Reads, routes, responds, records, logs — one connection, one
+/// request (`Connection: close`).
+fn serve_connection(state: &AppState, conn: &mut TcpStream, log: bool) {
+    // A stalled peer must not pin a worker: bound both directions.
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(10)));
+    let ingress = Instant::now();
+    let (endpoint, method, path, response) = match read_request(conn) {
+        Ok(Some(req)) => {
+            let resp = handle(state, &req, ingress);
+            (endpoint_of(&req.path), req.method, req.path, resp)
+        }
+        Ok(None) => return, // peer connected and left; nothing to answer
+        Err(e) => (
+            Endpoint::Other,
+            String::from("-"),
+            String::from("-"),
+            Response { status: e.status, body: error_body(e.code, &e.message) },
+        ),
+    };
+    let duration_us = ingress.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    state.metrics.record(endpoint, response.status, duration_us);
+    write_response(conn, &response);
+    if log {
+        eprintln!("{}", log_line(state, &method, &path, response.status, duration_us));
+    }
+}
+
+/// One structured request-log line (sorted keys, stable shape).
+fn log_line(state: &AppState, method: &str, path: &str, status: u16, duration_us: u64) -> String {
+    let ts_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0);
+    Json::Obj(vec![
+        ("dur_us".into(), Json::u64(duration_us)),
+        ("gen".into(), Json::u64(state.metrics.swap_generation.load(Ordering::Relaxed))),
+        ("method".into(), Json::str(method)),
+        ("path".into(), Json::str(path)),
+        ("status".into(), Json::u64(u64::from(status))),
+        ("ts_ms".into(), Json::u64(ts_ms)),
+    ])
+    .encode()
+}

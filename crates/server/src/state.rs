@@ -1,0 +1,157 @@
+//! Serving state: one immutable [`Generation`] behind a [`SwapCell`],
+//! plus the process-wide [`Metrics`].
+//!
+//! A generation is everything derived from one manifest: the annotator
+//! restored from the index snapshot, the search engine over that
+//! generation's corpus, and a shared candidate cache. Generations are
+//! immutable once built — a swap builds a complete new one off the
+//! request path and publishes it atomically; requests that already
+//! loaded the old `Arc` finish on it untouched.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use webtable_core::wire::{table_from_json, Json};
+use webtable_core::{Annotator, CellCandidateCache};
+use webtable_search::SearchEngine;
+use webtable_tables::Table;
+
+use crate::error::ServeError;
+use crate::manifest::Manifest;
+use crate::metrics::Metrics;
+use crate::swap::SwapCell;
+
+/// Cross-request candidate-cache capacity per generation.
+const CACHE_CAPACITY: usize = 4096;
+
+/// One immutable serving generation.
+#[derive(Debug)]
+pub struct Generation {
+    /// The manifest generation number this was built from.
+    pub generation: u64,
+    /// Annotator restored from the generation's index snapshot.
+    pub annotator: Annotator,
+    /// Search engine over the generation's annotated corpus.
+    pub engine: SearchEngine,
+    /// Shared cell-candidate cache (hit/miss counters feed
+    /// `/admin/stats`).
+    pub cache: CellCandidateCache,
+}
+
+/// Parses a corpus file: `{"tables":[...]}` in the core wire format.
+pub fn tables_from_wire(text: &str) -> Result<Vec<Table>, ServeError> {
+    let doc = Json::parse(text)?;
+    let arr = doc
+        .get("tables")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::Manifest("corpus file has no \"tables\" array".into()))?;
+    arr.iter().map(|t| table_from_json(t).map_err(ServeError::from)).collect()
+}
+
+/// Renders a corpus file (inverse of [`tables_from_wire`]).
+pub fn tables_to_wire(tables: &[Table]) -> String {
+    let arr = tables.iter().map(webtable_core::wire::table_to_json).collect();
+    Json::Obj(vec![("tables".into(), Json::Arr(arr))]).encode()
+}
+
+/// Loads the generation the data directory's manifest currently names:
+/// catalog TSV → index snapshot (with the catalog-mismatch guard) →
+/// corpus tables → search engine. Annotation parallelism only affects
+/// wall-clock, never output.
+pub fn load_generation(dir: &Path, workers: usize) -> Result<Generation, ServeError> {
+    let manifest = Manifest::load_dir(dir)?;
+    load_manifest(dir, &manifest, workers)
+}
+
+/// [`load_generation`] for an already-parsed manifest.
+pub fn load_manifest(
+    dir: &Path,
+    manifest: &Manifest,
+    workers: usize,
+) -> Result<Generation, ServeError> {
+    let catalog = Arc::new(webtable_catalog::io::load_catalog(dir.join(&manifest.catalog))?);
+    let annotator = Annotator::from_snapshot(Arc::clone(&catalog), dir.join(&manifest.index))?;
+    let tables_path = dir.join(&manifest.tables);
+    let text = std::fs::read_to_string(&tables_path).map_err(|source| ServeError::Io {
+        context: format!("reading {}", tables_path.display()),
+        source,
+    })?;
+    let tables = tables_from_wire(&text)?;
+    let engine = SearchEngine::from_tables(&annotator, tables, workers);
+    let cache = annotator.new_cell_cache(CACHE_CAPACITY);
+    Ok(Generation { generation: manifest.generation, annotator, engine, cache })
+}
+
+/// Everything request handlers see: the swappable generation, the
+/// counters, and the swap bookkeeping.
+#[derive(Debug)]
+pub struct AppState {
+    /// The data directory the server was pointed at.
+    pub data_dir: PathBuf,
+    /// The current generation; handlers `load()` once per request.
+    pub current: SwapCell<Generation>,
+    /// Process counters.
+    pub metrics: Metrics,
+    /// Set while a swap is rebuilding, so concurrent `/admin/swap`
+    /// calls get 409 instead of racing.
+    pub swapping: AtomicBool,
+    /// Set by `POST /admin/shutdown`; the accept loop drains and exits.
+    pub shutdown: AtomicBool,
+    /// Server start time, for the uptime gauge.
+    pub started: Instant,
+    /// Deadline budget applied to annotate requests that don't carry
+    /// their own `timeout_ms`.
+    pub default_timeout: Duration,
+    /// Annotation worker threads per request.
+    pub annotate_workers: usize,
+}
+
+impl AppState {
+    /// Builds the state around an initial generation.
+    pub fn new(data_dir: PathBuf, initial: Generation, default_timeout: Duration) -> AppState {
+        let metrics = Metrics::default();
+        metrics.swap_generation.store(initial.generation, Ordering::Relaxed);
+        AppState {
+            data_dir,
+            current: SwapCell::new(Arc::new(initial)),
+            metrics,
+            swapping: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            default_timeout,
+            annotate_workers: 2,
+        }
+    }
+
+    /// Executes one manifest-driven swap: re-reads the manifest and, if
+    /// it names a different generation, rebuilds and publishes it.
+    /// Returns `(serving_generation, swapped)`. Concurrent calls fail
+    /// with [`ServeError::SwapInProgress`] — the rebuild happens on the
+    /// caller's thread, never on other requests' paths.
+    pub fn swap(&self) -> Result<(u64, bool), ServeError> {
+        if self.swapping.swap(true, Ordering::AcqRel) {
+            return Err(ServeError::SwapInProgress);
+        }
+        let result = self.swap_locked();
+        self.swapping.store(false, Ordering::Release);
+        result
+    }
+
+    fn swap_locked(&self) -> Result<(u64, bool), ServeError> {
+        let manifest = Manifest::load_dir(&self.data_dir)?;
+        let serving = self.current.load().generation;
+        if manifest.generation == serving {
+            return Ok((serving, false));
+        }
+        // The expensive part: build the complete new generation while
+        // every other thread keeps serving the old one.
+        let next = load_manifest(&self.data_dir, &manifest, self.annotate_workers)?;
+        let gen = next.generation;
+        self.current.store(Arc::new(next));
+        self.metrics.swap_generation.store(gen, Ordering::Relaxed);
+        self.metrics.swaps_completed.fetch_add(1, Ordering::Relaxed);
+        Ok((gen, true))
+    }
+}

@@ -1,0 +1,55 @@
+//! Shared scaffolding for the server integration tests: a demo data
+//! directory plus a running in-process server.
+//!
+//! Each test binary compiles this module independently and uses a
+//! different subset of it.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use webtable_server::demo;
+use webtable_server::server::{serve, ServerConfig, ServerHandle};
+use webtable_server::state::{load_generation, AppState};
+
+pub const SEED: u64 = 11;
+
+/// A running server over a fresh demo data dir; cleans up on drop.
+pub struct TestServer {
+    pub dir: PathBuf,
+    pub handle: Option<ServerHandle>,
+    pub addr: String,
+}
+
+impl TestServer {
+    pub fn start(name: &str) -> TestServer {
+        let dir = std::env::temp_dir().join(format!("webtable-srv-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        demo::prepare_data_dir(&dir, SEED).expect("prepare demo data");
+        let initial = load_generation(&dir, 2).expect("load generation 1");
+        let state = Arc::new(AppState::new(dir.clone(), initial, Duration::from_secs(30)));
+        let config = ServerConfig { workers: 4, queue_depth: 64, log_requests: false };
+        let handle = serve("127.0.0.1:0", state, config).expect("bind");
+        let addr = handle.addr().to_string();
+        TestServer { dir, handle: Some(handle), addr }
+    }
+
+    pub fn state(&self) -> &Arc<AppState> {
+        self.handle.as_ref().unwrap().state()
+    }
+
+    pub fn request(&self, method: &str, path: &str, body: &str) -> (u16, String) {
+        webtable_server::client::request_with_retry(&self.addr, method, path, body, 10)
+            .expect("request")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            handle.stop();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}

@@ -1,0 +1,58 @@
+//! Deadline-expiry cancellation over HTTP: an exhausted budget maps to
+//! 504 `deadline_exceeded`, the worker pool survives, and the counters
+//! record it.
+
+mod common;
+
+use webtable_core::wire::{Json, WireAnnotateRequest};
+use webtable_server::state::tables_from_wire;
+
+use common::TestServer;
+
+#[test]
+fn expired_budget_maps_to_504_and_server_keeps_serving() {
+    let srv = TestServer::start("deadline");
+    let corpus = std::fs::read_to_string(srv.dir.join("tables-g1.json")).unwrap();
+    let tables = tables_from_wire(&corpus).unwrap();
+    let total = tables.len();
+
+    // A zero budget is already expired at ingress: no table may start.
+    let mut wire_req = WireAnnotateRequest::new(tables);
+    wire_req.timeout_ms = Some(0);
+    let (status, body) = srv.request("POST", "/v1/annotate", &wire_req.encode());
+    assert_eq!(status, 504, "{body}");
+    let err = Json::parse(&body).unwrap();
+    let err = err.get("error").expect("error body");
+    assert_eq!(err.get("code").and_then(Json::as_str), Some("deadline_exceeded"));
+    let message = err.get("message").and_then(Json::as_str).unwrap();
+    assert!(message.contains(&format!("of {total} tables")), "{message}");
+
+    // Cancellation released the pool: the same request without the
+    // budget completes normally, repeatedly.
+    wire_req.timeout_ms = None;
+    for _ in 0..2 {
+        let (status, body) = srv.request("POST", "/v1/annotate", &wire_req.encode());
+        assert_eq!(status, 200, "{body}");
+    }
+
+    // The expiry shows up in the process counters, and the annotate
+    // endpoint records both outcomes.
+    let (status, stats) = srv.request("GET", "/admin/stats", "");
+    assert_eq!(status, 200);
+    let stats = Json::parse(&stats).unwrap();
+    assert_eq!(stats.get("deadlines_exceeded").and_then(Json::as_u64), Some(1));
+    let rows = stats.get("endpoints").and_then(Json::as_arr).unwrap();
+    let annotate =
+        rows.iter().find(|r| r.get("name").and_then(Json::as_str) == Some("annotate")).unwrap();
+    assert_eq!(annotate.get("requests").and_then(Json::as_u64), Some(3));
+    assert_eq!(annotate.get("2xx").and_then(Json::as_u64), Some(2));
+    assert_eq!(annotate.get("5xx").and_then(Json::as_u64), Some(1));
+
+    // The successful runs flowed through the shared candidate cache:
+    // hit/miss deltas are visible to the scrape.
+    let cache = stats.get("cache").unwrap();
+    let hits = cache.get("hits").and_then(Json::as_u64).unwrap();
+    let misses = cache.get("misses").and_then(Json::as_u64).unwrap();
+    assert!(misses > 0, "first annotate must miss the cache");
+    assert!(hits > 0, "second annotate must hit the warm cache");
+}

@@ -1,0 +1,117 @@
+//! End-to-end: HTTP responses carry exactly what the in-process front
+//! door produces — annotations bit-identical to [`Annotator::run`],
+//! search bodies byte-identical to [`SearchEngine::search`] run through
+//! the wire encoder.
+
+mod common;
+
+use webtable_catalog::{generate_world, WorldConfig};
+use webtable_core::wire::{annotation_to_json, decode_response, Json, WireAnnotateRequest};
+use webtable_search::wire::{encode_answers, encode_query};
+use webtable_search::Query;
+use webtable_server::state::{load_generation, tables_from_wire};
+
+use common::{TestServer, SEED};
+
+/// A typed query with answers in the demo corpus, built from the same
+/// deterministic world `prepare_data_dir` used.
+fn demo_query() -> Query {
+    let world = generate_world(&WorldConfig::tiny(SEED)).unwrap();
+    let rel = world.oracle.relation(world.relations.directed);
+    let (_, director) = rel.tuples[0];
+    Query::Typed {
+        query: webtable_search::EntityQuery {
+            relation: world.relations.directed,
+            t1: world.types.movie,
+            t2: world.types.director,
+            e2: director,
+        },
+        use_relations: false,
+    }
+}
+
+#[test]
+fn http_annotate_matches_in_process_run_bit_for_bit() {
+    let srv = TestServer::start("roundtrip-annotate");
+    let corpus = std::fs::read_to_string(srv.dir.join("tables-g1.json")).unwrap();
+    let tables = tables_from_wire(&corpus).unwrap();
+    let wire_req = WireAnnotateRequest::new(tables);
+
+    let (status, body) = srv.request("POST", "/v1/annotate", &wire_req.encode());
+    assert_eq!(status, 200, "{body}");
+    let over_http = decode_response(&body).expect("wire response");
+
+    // The same request through the in-process front door (the server
+    // holds the same snapshot-restored annotator).
+    let generation = load_generation(&srv.dir, 2).unwrap();
+    let in_process = generation.annotator.run(&wire_req.as_request());
+
+    assert_eq!(over_http.annotations.len(), in_process.annotations.len());
+    for (http, local) in over_http.annotations.iter().zip(&in_process.annotations) {
+        // Canonical sorted-key encoding makes this a bit-for-bit
+        // comparison of every cell/column/relation label.
+        assert_eq!(annotation_to_json(http).encode(), annotation_to_json(local).encode());
+    }
+    assert_eq!(over_http.stats.tables, in_process.stats.tables);
+}
+
+#[test]
+fn http_search_body_is_byte_identical_to_in_process_search() {
+    let srv = TestServer::start("roundtrip-search");
+    let query = demo_query();
+
+    let (status, body) = srv.request("POST", "/v1/search", &encode_query(&query));
+    assert_eq!(status, 200, "{body}");
+
+    let generation = load_generation(&srv.dir, 2).unwrap();
+    let expected = encode_answers(&generation.engine.search(&query));
+    assert!(!body.is_empty());
+    assert_eq!(body, expected, "HTTP search body must be byte-identical");
+}
+
+#[test]
+fn health_stats_and_error_mapping() {
+    let srv = TestServer::start("roundtrip-admin");
+    let (status, body) = srv.request("GET", "/health", "");
+    assert_eq!(status, 200);
+    let health = Json::parse(&body).unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("generation").and_then(Json::as_u64), Some(1));
+
+    // Drive one of each endpoint, then read the counters.
+    let (s, _) = srv.request("POST", "/v1/search", &encode_query(&demo_query()));
+    assert_eq!(s, 200);
+    let (s, body) = srv.request("POST", "/v1/search", "{\"kind\":\"nope\"}");
+    assert_eq!(s, 400);
+    let err = Json::parse(&body).unwrap();
+    assert_eq!(err.get("error").unwrap().get("code").and_then(Json::as_str), Some("bad_request"));
+
+    let (s, body) = srv.request("GET", "/nowhere", "");
+    assert_eq!(s, 404);
+    assert!(body.contains("not_found"));
+    let (s, body) = srv.request("GET", "/v1/search", "");
+    assert_eq!(s, 405, "{body}");
+
+    let (s, body) = srv.request("GET", "/admin/stats", "");
+    assert_eq!(s, 200);
+    let stats = Json::parse(&body).unwrap();
+    assert!(stats.get("requests_total").and_then(Json::as_u64).unwrap() >= 5);
+    assert_eq!(stats.get("swap_generation").and_then(Json::as_u64), Some(1));
+    let rows = stats.get("endpoints").and_then(Json::as_arr).unwrap();
+    let search_row =
+        rows.iter().find(|r| r.get("name").and_then(Json::as_str) == Some("search")).unwrap();
+    assert_eq!(search_row.get("2xx").and_then(Json::as_u64), Some(1));
+    // The 400 bad-query and the 405 method mismatch both land on the
+    // search endpoint's 4xx bucket.
+    assert_eq!(search_row.get("4xx").and_then(Json::as_u64), Some(2));
+}
+
+#[test]
+fn shutdown_route_stops_the_server_cleanly() {
+    let mut srv = TestServer::start("roundtrip-shutdown");
+    let (status, body) = srv.request("POST", "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("shutting down"));
+    // stop() joins every thread; a hang here is a failed drain.
+    srv.handle.take().unwrap().stop();
+}

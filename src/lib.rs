@@ -18,6 +18,7 @@
 //! | [`core`] | `webtable-core` | the collective annotator: features `f1`–`f5`, inference, baselines |
 //! | [`learning`] | `webtable-learning` | structured max-margin training of `w1`–`w5` |
 //! | [`search`] | `webtable-search` | annotated-corpus index + select-project query processors |
+//! | [`server`] | `webtable-server` | `webtable-serve`: HTTP serving with zero-downtime generation swaps |
 //! | [`eval`] | `webtable-eval` | accuracy/F1/MAP metrics and report rendering |
 //!
 //! ## Quickstart
@@ -52,5 +53,6 @@ pub use webtable_eval as eval;
 pub use webtable_factorgraph as factorgraph;
 pub use webtable_learning as learning;
 pub use webtable_search as search;
+pub use webtable_server as server;
 pub use webtable_tables as tables;
 pub use webtable_text as text;

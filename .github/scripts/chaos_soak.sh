@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Chaos soak for webtable-serve: proves the failure-containment
+# invariants against the real binary.
+#
+#   1. Swap-under-load: repeated promote + hot-swap while concurrent
+#      clients hammer /v1/search — every response must be well-formed
+#      (zero torn/malformed bodies, zero failed requests).
+#   2. Degraded -> recovered: a corrupt corpus makes the swap fail with
+#      a typed error and /admin/health reports `degraded` while the old
+#      generation keeps serving; restoring the file heals it to `ok`.
+#   3. Crash recovery: a torn MANIFEST plus a stale temp file on
+#      startup — the server must recover from MANIFEST.last-good.
+#   4. Panic isolation: WEBTABLE_FAULT_PLAN-injected handler panics
+#      cost one 500 `internal` each, never a worker.
+#
+# Usage: chaos_soak.sh <webtable-serve binary> <scratch dir>
+set -euo pipefail
+
+BIN=$1
+SCRATCH=$2
+DATA="$SCRATCH/data"
+ADDR=127.0.0.1:8197
+SWAPS=5
+CLIENTS=3
+REQS_PER_CLIENT=40
+
+mkdir -p "$SCRATCH"
+rm -rf "$DATA"
+
+say() { echo "==> $*"; }
+
+req() { # method path [body-file] -> body on stdout, fails on non-2xx
+  if [ $# -ge 3 ]; then
+    "$BIN" client --addr "$ADDR" "$1" "$2" "$(cat "$3")"
+  else
+    "$BIN" client --addr "$ADDR" "$1" "$2"
+  fi
+}
+
+say "prepare + serve"
+"$BIN" prepare --data "$DATA"
+"$BIN" serve --data "$DATA" --addr "$ADDR" > "$SCRATCH/serve1.log" 2>&1 &
+SERVE_PID=$!
+req GET /health | grep -F '"generation":1'
+
+# ---- Phase 1: swap under load -------------------------------------
+say "phase 1: $SWAPS hot-swaps under $CLIENTS concurrent clients"
+hammer() {
+  local id=$1 out
+  for _ in $(seq "$REQS_PER_CLIENT"); do
+    # Every single response must be a well-formed answers document.
+    if ! out=$("$BIN" client --addr "$ADDR" POST /v1/search "$(cat "$DATA/sample-query.json")"); then
+      echo "client $id: request failed: $out" >> "$SCRATCH/hammer-failures"
+      return
+    fi
+    case "$out" in
+      '{"answers":['*) ;;
+      *) echo "client $id: torn/malformed body: $out" >> "$SCRATCH/hammer-failures"; return ;;
+    esac
+  done
+}
+: > "$SCRATCH/hammer-failures"
+HAMMER_PIDS=""
+for i in $(seq "$CLIENTS"); do
+  hammer "$i" &
+  HAMMER_PIDS="$HAMMER_PIDS $!"
+done
+for _ in $(seq "$SWAPS"); do
+  "$BIN" promote --data "$DATA" > /dev/null
+  req POST /admin/swap | grep -F '"swapped":true' > /dev/null
+done
+for pid in $HAMMER_PIDS; do wait "$pid"; done
+if [ -s "$SCRATCH/hammer-failures" ]; then
+  echo "FAIL: malformed or failed responses during swap soak:"
+  cat "$SCRATCH/hammer-failures"
+  exit 1
+fi
+GEN=$((1 + SWAPS))
+req GET /admin/health | grep -F "\"generation\":$GEN" | grep -F '"status":"ok"'
+
+# ---- Phase 2: degraded -> recovered -------------------------------
+say "phase 2: corrupt corpus degrades, restore recovers"
+"$BIN" promote --data "$DATA" > /dev/null
+cp "$DATA/tables-g2.json" "$SCRATCH/tables-g2.json.orig"
+head -c 10 "$SCRATCH/tables-g2.json.orig" > "$DATA/tables-g2.json"
+SWAP_OUT=$(req POST /admin/swap || true)
+echo "$SWAP_OUT" | grep -F '"code":"corpus"'
+req GET /admin/health | grep -F '"status":"degraded"' | grep -F '"last_error":"corpus"'
+# The old generation still serves well-formed answers.
+req POST /v1/search "$DATA/sample-query.json" | grep -F '"answers":[' > /dev/null
+cp "$SCRATCH/tables-g2.json.orig" "$DATA/tables-g2.json"
+req POST /admin/swap | grep -F '"swapped":true'
+req GET /admin/health | grep -F '"status":"ok"' | grep -F '"last_error":null'
+grep -F '"event":"swap_retry"' "$SCRATCH/serve1.log" > /dev/null
+grep -F '"event":"swap_failed"' "$SCRATCH/serve1.log" > /dev/null
+
+req POST /admin/shutdown | grep -F 'shutting down'
+wait "$SERVE_PID"
+grep -F 'shut down cleanly' "$SCRATCH/serve1.log"
+
+# ---- Phase 3: crash recovery via MANIFEST.last-good ---------------
+say "phase 3: torn MANIFEST + stale tmp, restart recovers"
+echo "garbage, not a manifest" > "$DATA/MANIFEST"
+echo "half-written" > "$DATA/MANIFEST.tmp.999"
+# ---- Phase 4 rides along: two injected handler panics -------------
+WEBTABLE_FAULT_PLAN='seed=5;handler=panic*2' \
+  "$BIN" serve --data "$DATA" --addr "$ADDR" > "$SCRATCH/serve2.log" 2>&1 &
+SERVE_PID=$!
+say "phase 4: injected handler panics answer 500, pool survives"
+for _ in 1 2; do
+  OUT=$(req GET /health || true)
+  echo "$OUT" | grep -F '"code":"internal"'
+done
+req GET /health | grep -F '"status":"ok"'
+req GET /admin/health | grep -F '"status":"degraded"' > /dev/null # startup ran on last-good
+req GET /admin/stats | grep -F '"panics":2' > /dev/null
+req POST /v1/search "$DATA/sample-query.json" | grep -F '"answers":[' > /dev/null
+grep -F '"event":"stale_tmp_removed"' "$SCRATCH/serve2.log" > /dev/null
+grep -F '"event":"recovered_last_good"' "$SCRATCH/serve2.log" > /dev/null
+req POST /admin/shutdown | grep -F 'shutting down'
+wait "$SERVE_PID"
+grep -F 'shut down cleanly' "$SCRATCH/serve2.log"
+
+say "chaos soak passed"

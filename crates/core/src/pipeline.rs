@@ -105,7 +105,33 @@ impl Annotator {
         path: impl AsRef<Path>,
         config: AnnotatorConfig,
     ) -> Result<Annotator, Error> {
-        let index = LemmaIndex::load(path)?;
+        Annotator::attach_index(catalog, LemmaIndex::load(path)?, config)
+    }
+
+    /// [`from_snapshot`](Annotator::from_snapshot) over in-memory
+    /// snapshot bytes instead of a file path. Callers that need to
+    /// control (or fault-inject) the I/O read the file themselves and
+    /// hand the bytes here; validation is identical to the path-based
+    /// constructors.
+    pub fn from_snapshot_bytes(catalog: Arc<Catalog>, bytes: &[u8]) -> Result<Annotator, Error> {
+        Annotator::from_snapshot_bytes_with_config(catalog, bytes, AnnotatorConfig::default())
+    }
+
+    /// [`from_snapshot_bytes`](Annotator::from_snapshot_bytes) with an
+    /// explicit configuration.
+    pub fn from_snapshot_bytes_with_config(
+        catalog: Arc<Catalog>,
+        bytes: &[u8],
+        config: AnnotatorConfig,
+    ) -> Result<Annotator, Error> {
+        Annotator::attach_index(catalog, LemmaIndex::from_snapshot_bytes(bytes)?, config)
+    }
+
+    fn attach_index(
+        catalog: Arc<Catalog>,
+        index: LemmaIndex,
+        config: AnnotatorConfig,
+    ) -> Result<Annotator, Error> {
         if let Err(detail) = index.verify_catalog(&catalog) {
             return Err(Error::CatalogMismatch {
                 snapshot: (index.num_indexed_entities(), index.num_indexed_types()),

@@ -40,8 +40,40 @@ pub fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
     Ok((status, body.to_string()))
 }
 
-/// [`request`] with a few connect retries — lets callers race a server
-/// that is still binding its listener.
+/// Base delay for [`request_with_retry`] backoff.
+const RETRY_BASE_MS: u64 = 25;
+/// Cap on a single backoff sleep.
+const RETRY_MAX_MS: u64 = 400;
+
+/// True when a response should be retried: the server shed load (503
+/// `queue_full`) or was mid-swap (409 `swap_in_progress`). Everything
+/// else — including other 503s like `corpus` — is a real answer the
+/// caller should see. Matching on the body avoids retrying e.g. a 409
+/// `catalog_mismatch`, which will never succeed.
+fn is_retryable(status: u16, body: &str) -> bool {
+    (status == 503 && body.contains("\"queue_full\""))
+        || (status == 409 && body.contains("\"swap_in_progress\""))
+}
+
+/// Capped exponential backoff with deterministic jitter: attempt `i`
+/// sleeps `min(base·2^i, cap)` plus a jitter in `[0, base)` derived
+/// from `seed ^ i` via xorshift — reproducible, but de-synchronized
+/// across callers with different seeds.
+fn backoff_delay(seed: u64, attempt: u32) -> Duration {
+    let exp = RETRY_BASE_MS.saturating_mul(1u64 << attempt.min(16)).min(RETRY_MAX_MS);
+    let mut x = seed ^ u64::from(attempt) ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    Duration::from_millis(exp + x % RETRY_BASE_MS.max(1))
+}
+
+/// [`request`] with capped-exponential-backoff retries. Retries on
+/// connect/IO errors (server still binding its listener, connection
+/// reset) and on transient statuses (503 `queue_full`, 409
+/// `swap_in_progress`); every other response returns immediately.
+/// When attempts run out, the last response (or error) is returned
+/// as-is so callers still see the terminal status.
 pub fn request_with_retry(
     addr: &str,
     method: &str,
@@ -49,17 +81,19 @@ pub fn request_with_retry(
     body: &str,
     attempts: u32,
 ) -> std::io::Result<(u16, String)> {
-    let mut last = None;
+    // Jitter seed from the process id: deterministic within a process,
+    // different across the concurrent clients of a soak test.
+    let seed = u64::from(std::process::id());
+    let mut last: Option<std::io::Result<(u16, String)>> = None;
     for i in 0..attempts.max(1) {
         match request(addr, method, path, body) {
+            Ok((status, resp)) if is_retryable(status, &resp) => last = Some(Ok((status, resp))),
             Ok(out) => return Ok(out),
-            Err(e) => {
-                last = Some(e);
-                std::thread::sleep(Duration::from_millis(50 * u64::from(i + 1)));
-            }
+            Err(e) => last = Some(Err(e)),
         }
+        std::thread::sleep(backoff_delay(seed, i));
     }
-    Err(last.unwrap_or_else(|| std::io::Error::other("no attempts made")))
+    last.unwrap_or_else(|| Err(std::io::Error::other("no attempts made")))
 }
 
 #[cfg(test)]
@@ -78,5 +112,27 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_response(b"not http").is_err());
         assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn retry_policy_matches_transient_codes_only() {
+        assert!(is_retryable(503, r#"{"error":{"code":"queue_full","message":"retry"}}"#));
+        assert!(is_retryable(409, r#"{"error":{"code":"swap_in_progress","message":"x"}}"#));
+        assert!(!is_retryable(503, r#"{"error":{"code":"corpus","message":"torn"}}"#));
+        assert!(!is_retryable(409, r#"{"error":{"code":"catalog_mismatch","message":"x"}}"#));
+        assert!(!is_retryable(400, r#"{"error":{"code":"bad_request","message":"x"}}"#));
+        assert!(!is_retryable(200, "{}"));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let d: Vec<u64> = (0..8).map(|i| backoff_delay(7, i).as_millis() as u64).collect();
+        assert_eq!(d, (0..8).map(|i| backoff_delay(7, i).as_millis() as u64).collect::<Vec<_>>());
+        // Exponential part: 25, 50, 100, 200, 400, then capped at 400.
+        for (i, ms) in d.iter().enumerate() {
+            let exp = (RETRY_BASE_MS << i.min(16)).min(RETRY_MAX_MS);
+            assert!(*ms >= exp && *ms < exp + RETRY_BASE_MS, "attempt {i}: {ms}ms");
+        }
+        assert!(d[4] <= RETRY_MAX_MS + RETRY_BASE_MS);
     }
 }

@@ -28,6 +28,11 @@ pub enum ServeError {
     Core(CoreError),
     /// A wire document in the data directory failed to parse.
     Wire(WireError),
+    /// The corpus tables file is corrupt (truncated, bit-flipped, not
+    /// the wire shape). Distinct from [`Wire`](ServeError::Wire): a bad
+    /// *client body* is the client's fault (400), a bad *data-dir
+    /// corpus* is the server's (503).
+    Corpus(String),
     /// An `/admin/swap` arrived while another swap was still building.
     SwapInProgress,
 }
@@ -44,6 +49,7 @@ impl ServeError {
             ServeError::Catalog(_) => "catalog",
             ServeError::Core(e) => e.code(),
             ServeError::Wire(_) => "bad_request",
+            ServeError::Corpus(_) => "corpus",
             ServeError::SwapInProgress => "swap_in_progress",
         }
     }
@@ -54,7 +60,7 @@ impl ServeError {
         match self.code() {
             "bad_request" => 400,
             "catalog_mismatch" | "extend" | "swap_in_progress" => 409,
-            "snapshot" | "io" | "manifest" | "catalog" => 503,
+            "snapshot" | "io" | "manifest" | "catalog" | "corpus" => 503,
             "deadline_exceeded" => 504,
             _ => 500,
         }
@@ -69,6 +75,7 @@ impl fmt::Display for ServeError {
             ServeError::Catalog(e) => write!(f, "catalog: {e}"),
             ServeError::Core(e) => e.fmt(f),
             ServeError::Wire(e) => write!(f, "wire: {e}"),
+            ServeError::Corpus(msg) => write!(f, "corpus: {msg}"),
             ServeError::SwapInProgress => f.write_str("a generation swap is already in progress"),
         }
     }
@@ -123,6 +130,8 @@ mod tests {
         assert_eq!(e.http_status(), 504);
         assert_eq!(ServeError::SwapInProgress.http_status(), 409);
         assert_eq!(ServeError::Manifest("x".into()).http_status(), 503);
+        assert_eq!(ServeError::Corpus("torn".into()).code(), "corpus");
+        assert_eq!(ServeError::Corpus("torn".into()).http_status(), 503);
     }
 
     #[test]

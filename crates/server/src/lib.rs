@@ -25,6 +25,7 @@
 pub mod client;
 pub mod demo;
 pub mod error;
+pub mod fault;
 pub mod http;
 pub mod manifest;
 pub mod metrics;
@@ -34,8 +35,12 @@ pub mod state;
 pub mod swap;
 
 pub use error::ServeError;
+pub use fault::{FaultAction, FaultPlan, FaultPoint};
 pub use manifest::Manifest;
 pub use metrics::Metrics;
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use state::{load_generation, AppState, Generation};
+pub use state::{
+    load_generation, load_generation_recovering, AppState, Generation, HealthState, RecoveryReport,
+    RetryPolicy,
+};
 pub use swap::SwapCell;

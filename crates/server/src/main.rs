@@ -11,6 +11,11 @@
 //! `serve` prints `listening on ADDR generation N` once ready and runs
 //! until `POST /admin/shutdown`. `client` prints the response body and
 //! exits non-zero on non-2xx — the CI smoke job is built from it.
+//!
+//! Setting `WEBTABLE_FAULT_PLAN` (e.g. `seed=7;snapshot_read=io_error*2`)
+//! arms
+//! the deterministic fault-injection harness for the lifetime of the
+//! process — chaos-test only; see [`webtable_server::fault`].
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,10 +23,22 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use webtable_server::server::{serve, ServerConfig};
-use webtable_server::state::{load_generation, AppState};
-use webtable_server::{client, demo};
+use webtable_server::state::{load_generation_recovering, AppState};
+use webtable_server::{client, demo, fault};
 
 fn main() -> ExitCode {
+    if let Ok(spec) = std::env::var("WEBTABLE_FAULT_PLAN") {
+        if !spec.trim().is_empty() {
+            match fault::FaultPlan::parse(&spec) {
+                // Leak the guard: the plan stays armed until exit.
+                Ok(plan) => std::mem::forget(fault::arm(std::sync::Arc::new(plan))),
+                Err(msg) => {
+                    eprintln!("webtable-serve: bad WEBTABLE_FAULT_PLAN: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprintln!("usage: webtable-serve <prepare|promote|serve|client> ...");
@@ -107,9 +124,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let timeout_ms: u64 =
         timeout_ms.as_deref().unwrap_or("30000").parse().map_err(|_| "bad --timeout-ms")?;
 
-    let initial = load_generation(&dir, 2).map_err(|e| e.to_string())?;
+    // Recovering load: clean stale tmp files, fall back to
+    // MANIFEST.last-good on a corrupt manifest, refuse to start only
+    // when no valid generation exists at all.
+    let (initial, report) = load_generation_recovering(&dir, 2).map_err(|e| e.to_string())?;
     let generation = initial.generation;
     let state = Arc::new(AppState::new(dir, initial, Duration::from_millis(timeout_ms)));
+    if report.recovered {
+        state.metrics.recoveries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        state.health.note_failure(report.error_code.unwrap_or("manifest"));
+    }
     let config = ServerConfig { workers, queue_depth: queue, log_requests: !quiet };
     let handle = serve(&addr, state, config).map_err(|e| format!("bind {addr}: {e}"))?;
     println!("listening on {} generation {generation}", handle.addr());

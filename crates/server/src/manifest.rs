@@ -26,14 +26,20 @@
 //! the one being served, the server rebuilds off the request path and
 //! atomically publishes the result.
 
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use crate::error::ServeError;
+use crate::fault::{self, FaultPoint};
 
 /// The magic first line.
 pub const MAGIC: &str = "webtable-manifest v1";
 /// The manifest filename inside a data directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
+/// The last manifest that produced a generation which actually built
+/// and served. Written after every successful load; startup falls back
+/// to it when `MANIFEST` is corrupt or its generation no longer loads.
+pub const LAST_GOOD_FILE: &str = "MANIFEST.last-good";
 
 /// A parsed manifest. Paths are relative to the data directory.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,28 +106,75 @@ impl Manifest {
 
     /// Reads `dir/MANIFEST`.
     pub fn load_dir(dir: &Path) -> Result<Manifest, ServeError> {
-        let path = dir.join(MANIFEST_FILE);
-        let text = std::fs::read_to_string(&path).map_err(|source| ServeError::Io {
-            context: format!("reading {}", path.display()),
-            source,
+        Manifest::load_file(dir, MANIFEST_FILE)
+    }
+
+    /// Reads `dir/file_name` (fault point: `manifest_read`).
+    pub fn load_file(dir: &Path, file_name: &str) -> Result<Manifest, ServeError> {
+        let path = dir.join(file_name);
+        let bytes = fault::read(FaultPoint::ManifestRead, &path).map_err(|source| {
+            ServeError::Io { context: format!("reading {}", path.display()), source }
         })?;
+        let text = String::from_utf8(bytes)
+            .map_err(|_| ServeError::Manifest(format!("{} is not UTF-8", path.display())))?;
         Manifest::parse(&text)
     }
 
-    /// Writes `dir/MANIFEST` atomically (write-temp + rename), so a
-    /// concurrent swap never observes a torn manifest.
+    /// Writes `dir/MANIFEST` atomically, so a concurrent swap never
+    /// observes a torn manifest. See [`save_as`](Manifest::save_as) for
+    /// the crash-safety discipline.
     pub fn save_dir(&self, dir: &Path) -> Result<(), ServeError> {
-        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp.{}", std::process::id()));
-        let path = dir.join(MANIFEST_FILE);
-        std::fs::write(&tmp, self.render()).map_err(|source| ServeError::Io {
-            context: format!("writing {}", tmp.display()),
-            source,
-        })?;
-        std::fs::rename(&tmp, &path).map_err(|source| ServeError::Io {
-            context: format!("renaming {} into place", path.display()),
-            source,
+        self.save_as(dir, MANIFEST_FILE)
+    }
+
+    /// Crash-safe promote to `dir/file_name`: write a uniquely named
+    /// temp sibling, fsync it (the rename must never publish unflushed
+    /// bytes), rename into place, then fsync the directory so the
+    /// rename itself survives a power cut. On any failure the temp file
+    /// is removed — a failed promote leaves the directory exactly as it
+    /// was. Fault point: `manifest_rename`.
+    pub fn save_as(&self, dir: &Path, file_name: &str) -> Result<(), ServeError> {
+        let tmp = dir.join(format!("{file_name}.tmp.{}", std::process::id()));
+        let path = dir.join(file_name);
+        let promote = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(self.render().as_bytes())?;
+            file.sync_all()?;
+            drop(file);
+            fault::hit(FaultPoint::ManifestRename)?;
+            std::fs::rename(&tmp, &path)?;
+            fsync_dir(dir)
+        };
+        promote().map_err(|source| {
+            let _ = std::fs::remove_file(&tmp);
+            ServeError::Io { context: format!("promoting {}", path.display()), source }
         })
     }
+}
+
+/// Fsyncs a directory so a just-completed rename inside it is durable.
+pub(crate) fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    let dir = if dir.as_os_str().is_empty() { Path::new(".") } else { dir };
+    std::fs::File::open(dir)?.sync_all()
+}
+
+/// Removes stale temp files (`*.tmp` / `*.tmp.*`) left behind by a
+/// crash mid-promote or mid-snapshot-save. Returns what was removed,
+/// sorted, so callers can log it. Never fails: an unreadable directory
+/// simply cleans nothing.
+pub fn cleanup_stale_tmp(dir: &Path) -> Vec<PathBuf> {
+    let mut removed = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else { return removed };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if (name.contains(".tmp.") || name.ends_with(".tmp"))
+            && std::fs::remove_file(entry.path()).is_ok()
+        {
+            removed.push(entry.path());
+        }
+    }
+    removed.sort();
+    removed
 }
 
 #[cfg(test)]
@@ -169,6 +222,37 @@ mod tests {
         };
         m.save_dir(&dir).unwrap();
         assert_eq!(Manifest::load_dir(&dir).unwrap(), m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn last_good_is_a_separate_file() {
+        let dir = std::env::temp_dir().join(format!("webtable-lastgood-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = Manifest {
+            generation: 4,
+            catalog: "c.tsv".into(),
+            index: "i.snap".into(),
+            tables: "t.json".into(),
+        };
+        m.save_as(&dir, LAST_GOOD_FILE).unwrap();
+        assert!(Manifest::load_dir(&dir).is_err(), "MANIFEST itself untouched");
+        assert_eq!(Manifest::load_file(&dir, LAST_GOOD_FILE).unwrap(), m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_cleaned() {
+        let dir = std::env::temp_dir().join(format!("webtable-staletmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("MANIFEST.tmp.999"), "torn").unwrap();
+        std::fs::write(dir.join("index.snap.42.tmp"), "torn").unwrap();
+        std::fs::write(dir.join("catalog.tsv"), "keep").unwrap();
+        let removed = cleanup_stale_tmp(&dir);
+        assert_eq!(removed.len(), 2, "{removed:?}");
+        assert!(dir.join("catalog.tsv").exists(), "real files are untouched");
+        assert!(!dir.join("MANIFEST.tmp.999").exists());
+        assert!(cleanup_stale_tmp(&dir).is_empty(), "idempotent");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -79,6 +79,16 @@ pub struct Metrics {
     pub queue_rejections: AtomicU64,
     /// Annotate requests that hit their deadline (504).
     pub deadlines_exceeded: AtomicU64,
+    /// Request handlers that panicked (answered 500 `internal`; the
+    /// worker survived and returned to the pool).
+    pub panics: AtomicU64,
+    /// Swap attempts retried after a transient failure.
+    pub swap_retries: AtomicU64,
+    /// Swap calls that exhausted their retries and left the server
+    /// degraded.
+    pub swap_failures: AtomicU64,
+    /// Startups that fell back to `MANIFEST.last-good`.
+    pub recoveries: AtomicU64,
     /// Completed generation swaps.
     pub swaps_completed: AtomicU64,
     /// The generation currently being served (gauge).
@@ -167,6 +177,7 @@ impl Metrics {
             ),
             ("deadlines_exceeded".into(), Json::u64(ld(&self.deadlines_exceeded))),
             ("endpoints".into(), Json::Arr(endpoints)),
+            ("panics".into(), Json::u64(ld(&self.panics))),
             (
                 "probe_modes".into(),
                 Json::Obj(vec![
@@ -176,8 +187,11 @@ impl Metrics {
                 ]),
             ),
             ("queue_rejections".into(), Json::u64(ld(&self.queue_rejections))),
+            ("recoveries".into(), Json::u64(ld(&self.recoveries))),
             ("requests_total".into(), Json::u64(self.total_requests())),
+            ("swap_failures".into(), Json::u64(ld(&self.swap_failures))),
             ("swap_generation".into(), Json::u64(ld(&self.swap_generation))),
+            ("swap_retries".into(), Json::u64(ld(&self.swap_retries))),
             ("swaps_completed".into(), Json::u64(ld(&self.swaps_completed))),
             ("uptime_us".into(), Json::u64(uptime_us)),
         ])

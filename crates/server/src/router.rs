@@ -9,6 +9,7 @@
 //! | POST | `/v1/annotate` | `WireAnnotateRequest` | `AnnotateResponse` |
 //! | POST | `/v1/search` | `Query` | ranked answers |
 //! | GET | `/health` | — | `{"generation":n,"status":"ok"}` |
+//! | GET | `/admin/health` | — | readiness: `ok`/`degraded`, failure streak, last-good |
 //! | GET | `/admin/stats` | — | process counters |
 //! | POST | `/admin/swap` | — | `{"generation":n,"swapped":bool}` |
 //! | POST | `/admin/shutdown` | — | `{"status":"shutting down"}` |
@@ -24,6 +25,7 @@ use webtable_core::ProbeMode;
 use webtable_search::wire::{decode_query, encode_answers};
 
 use crate::error::{error_body, ServeError};
+use crate::fault::{self, FaultPoint};
 use crate::http::{Request, Response};
 use crate::metrics::Endpoint;
 use crate::state::AppState;
@@ -39,7 +41,7 @@ pub fn endpoint_of(path: &str) -> Endpoint {
         "/v1/search" => Endpoint::Search,
         "/admin/swap" => Endpoint::Swap,
         "/admin/stats" => Endpoint::Stats,
-        "/health" => Endpoint::Health,
+        "/health" | "/admin/health" => Endpoint::Health,
         _ => Endpoint::Other,
     }
 }
@@ -56,10 +58,17 @@ fn serve_err(e: &ServeError) -> Response {
 /// off the socket — annotate deadlines are anchored there, so queueing
 /// and parse time count against the budget.
 pub fn handle(state: &AppState, req: &Request, ingress: Instant) -> Response {
+    // The `handler` fault point: injected latency passes through,
+    // injected errors answer 500 `internal`, injected panics unwind to
+    // the worker's `catch_unwind` — proving the pool never shrinks.
+    if let Err(e) = fault::hit(FaultPoint::Handler) {
+        return err_response(500, "internal", &e.to_string());
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/annotate") => annotate(state, &req.body, ingress),
         ("POST", "/v1/search") => search(state, &req.body),
         ("GET", "/health") => health(state),
+        ("GET", "/admin/health") => admin_health(state),
         ("GET", "/admin/stats") => stats(state),
         ("POST", "/admin/swap") => swap(state),
         ("POST", "/admin/shutdown") => {
@@ -69,7 +78,9 @@ pub fn handle(state: &AppState, req: &Request, ingress: Instant) -> Response {
         (_, "/v1/annotate" | "/v1/search" | "/admin/swap" | "/admin/shutdown") => {
             err_response(405, "method_not_allowed", "use POST")
         }
-        (_, "/health" | "/admin/stats") => err_response(405, "method_not_allowed", "use GET"),
+        (_, "/health" | "/admin/health" | "/admin/stats") => {
+            err_response(405, "method_not_allowed", "use GET")
+        }
         _ => err_response(404, "not_found", &format!("no route for {}", req.path)),
     }
 }
@@ -126,6 +137,26 @@ fn health(state: &AppState) -> Response {
         Json::Obj(vec![
             ("generation".into(), Json::u64(generation)),
             ("status".into(), Json::str("ok")),
+        ])
+        .encode(),
+    )
+}
+
+/// The readiness contract: `ok` means the manifest's generation is the
+/// one being served; `degraded` means swaps are failing and an older
+/// generation keeps serving (with the last failure's stable code and
+/// the consecutive-failure count). A later successful swap flips it
+/// back to `ok`.
+fn admin_health(state: &AppState) -> Response {
+    let generation = state.current.load().generation;
+    let (degraded, failures, last_good, last_error) = state.health.snapshot();
+    Response::ok(
+        Json::Obj(vec![
+            ("consecutive_failures".into(), Json::u64(failures)),
+            ("generation".into(), Json::u64(generation)),
+            ("last_error".into(), last_error.map(Json::str).unwrap_or(Json::Null)),
+            ("last_good_generation".into(), Json::u64(last_good)),
+            ("status".into(), Json::str(if degraded { "degraded" } else { "ok" })),
         ])
         .encode(),
     )

@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -172,6 +173,19 @@ fn worker_loop(state: Arc<AppState>, queue: Arc<Queue>, log: bool) {
     }
 }
 
+/// Runs the router under `catch_unwind` so a panicking handler costs
+/// one 500 response, not a worker thread. The pool never shrinks: the
+/// worker that caught the panic loops straight back to the queue.
+fn route_isolated(state: &AppState, req: &crate::http::Request, ingress: Instant) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| handle(state, req, ingress))) {
+        Ok(resp) => resp,
+        Err(_) => {
+            state.metrics.panics.fetch_add(1, Ordering::Relaxed);
+            Response { status: 500, body: error_body("internal", "request handler panicked") }
+        }
+    }
+}
+
 /// Reads, routes, responds, records, logs — one connection, one
 /// request (`Connection: close`).
 fn serve_connection(state: &AppState, conn: &mut TcpStream, log: bool) {
@@ -181,7 +195,7 @@ fn serve_connection(state: &AppState, conn: &mut TcpStream, log: bool) {
     let ingress = Instant::now();
     let (endpoint, method, path, response) = match read_request(conn) {
         Ok(Some(req)) => {
-            let resp = handle(state, &req, ingress);
+            let resp = route_isolated(state, &req, ingress);
             (endpoint_of(&req.path), req.method, req.path, resp)
         }
         Ok(None) => return, // peer connected and left; nothing to answer

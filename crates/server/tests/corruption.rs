@@ -1,0 +1,106 @@
+//! Server-level corruption matrix: corrupt each data-dir artifact on
+//! disk (truncation and bit-flips), attempt a swap, and assert the
+//! failure containment contract:
+//!
+//! - the swap is rejected with a stable, typed error code;
+//! - the old generation keeps serving *byte-identical* responses;
+//! - `/admin/health` reports `degraded`;
+//! - restoring the artifact lets the next swap succeed and clears the
+//!   degraded flag.
+//!
+//! Unlike `chaos.rs` this corrupts real files, so it exercises the
+//! actual validation layers (snapshot checksums, catalog header,
+//! corpus JSON, manifest magic) rather than injected read errors.
+
+mod common;
+
+use webtable_core::wire::Json;
+use webtable_server::demo;
+use webtable_server::state::RetryPolicy;
+
+use common::TestServer;
+
+fn error_code(body: &str) -> String {
+    let doc = Json::parse(body).unwrap_or_else(|e| panic!("malformed error body `{body}`: {e}"));
+    let err = doc.get("error").expect("error object");
+    assert!(err.get("message").and_then(Json::as_str).is_some(), "{body}");
+    err.get("code").and_then(Json::as_str).expect("code").to_string()
+}
+
+fn health_status(srv: &TestServer) -> String {
+    let (status, body) = srv.request("GET", "/admin/health", "");
+    assert_eq!(status, 200, "{body}");
+    Json::parse(&body).unwrap().get("status").and_then(Json::as_str).unwrap().to_string()
+}
+
+/// How to damage an artifact.
+enum Damage {
+    /// Keep only the first N bytes.
+    Truncate(usize),
+    /// XOR one byte at this offset (from the start; saturates).
+    FlipByteAt(usize),
+}
+
+#[test]
+fn corrupt_artifacts_reject_swaps_and_old_generation_serves_untouched() {
+    let srv = TestServer::start_with_retry("corruption-matrix", RetryPolicy::immediate(1));
+    let query = srv.sample_query();
+    let (status, g1_search) = srv.request("POST", "/v1/search", &query);
+    assert_eq!(status, 200);
+    let (_, g1_health) = srv.request("GET", "/health", "");
+
+    // Point the manifest at generation 2, then sabotage each artifact
+    // it needs before ever letting a swap succeed.
+    demo::promote(&srv.dir).unwrap();
+
+    let matrix: [(&str, Damage, &str); 6] = [
+        ("index.snap", Damage::FlipByteAt(usize::MAX), "snapshot"), // mid-payload (see below)
+        ("index.snap", Damage::Truncate(64), "snapshot"),
+        ("catalog.tsv", Damage::FlipByteAt(0), "catalog"), // breaks the header magic
+        ("tables-g2.json", Damage::Truncate(10), "corpus"),
+        ("tables-g2.json", Damage::FlipByteAt(0), "corpus"), // breaks the opening brace
+        ("MANIFEST", Damage::FlipByteAt(0), "manifest"),     // breaks the magic line
+    ];
+
+    for (file, damage, want_code) in matrix {
+        let path = srv.dir.join(file);
+        let original = std::fs::read(&path).unwrap();
+        let corrupted = match damage {
+            Damage::Truncate(keep) => original[..keep.min(original.len())].to_vec(),
+            Damage::FlipByteAt(at) => {
+                // usize::MAX means "middle of the file" — for the
+                // snapshot that lands in checksummed payload.
+                let at = if at == usize::MAX { original.len() / 2 } else { at };
+                let mut bytes = original.clone();
+                bytes[at] ^= 0x40;
+                bytes
+            }
+        };
+        assert_ne!(corrupted, original, "{file}: damage must change bytes");
+        std::fs::write(&path, &corrupted).unwrap();
+
+        let (status, body) = srv.request("POST", "/admin/swap", "");
+        assert_eq!(status, 503, "{file}: {body}");
+        assert_eq!(error_code(&body), want_code, "{file}: {body}");
+        assert_eq!(health_status(&srv), "degraded", "{file}");
+
+        // The invariant: generation 1 still serves byte-identically.
+        let (status, search) = srv.request("POST", "/v1/search", &query);
+        assert_eq!(status, 200, "{file}");
+        assert_eq!(search, g1_search, "{file}: old generation must serve byte-identically");
+        let (status, h) = srv.request("GET", "/health", "");
+        assert_eq!(status, 200, "{file}");
+        assert_eq!(h, g1_health, "{file}: old generation must serve byte-identically");
+
+        std::fs::write(&path, &original).unwrap();
+    }
+
+    // Everything restored: the swap succeeds and health clears.
+    let (status, body) = srv.request("POST", "/admin/swap", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"generation\":2"), "{body}");
+    assert!(body.contains("\"swapped\":true"), "{body}");
+    assert_eq!(health_status(&srv), "ok");
+    let (status, _) = srv.request("POST", "/v1/search", &query);
+    assert_eq!(status, 200);
+}

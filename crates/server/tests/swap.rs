@@ -131,9 +131,11 @@ fn swap_is_idempotent_and_guarded() {
     assert_eq!(status, 200);
     assert!(body.contains("\"swapped\":false"), "{body}");
 
-    // A swap already in flight is rejected with the stable code.
+    // A swap already in flight is rejected with the stable code. Use
+    // the raw client: the retrying client would (correctly) keep
+    // retrying this transient status.
     srv.state().swapping.store(true, Ordering::Release);
-    let (status, body) = srv.request("POST", "/admin/swap", "");
+    let (status, body) = srv.request_raw("POST", "/admin/swap", "");
     assert_eq!(status, 409, "{body}");
     assert!(body.contains("swap_in_progress"), "{body}");
     srv.state().swapping.store(false, Ordering::Release);

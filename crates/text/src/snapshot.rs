@@ -564,7 +564,14 @@ impl LemmaIndex {
     /// never replaces the extension — and carries the process id, so
     /// concurrent saves of *different* snapshots in one directory cannot
     /// install each other's bytes.
+    ///
+    /// Crash safety: the temp file is fsynced before the rename (the
+    /// rename must never publish unflushed bytes) and the parent
+    /// directory is fsynced after it (so the rename itself survives a
+    /// power cut). On any failure the temp file is removed — a failed
+    /// save leaves the directory exactly as it was.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        use std::io::Write;
         let path = path.as_ref();
         let bytes = self.to_snapshot_bytes()?;
         let file_name = path
@@ -573,9 +580,22 @@ impl LemmaIndex {
             .to_string_lossy()
             .into_owned();
         let tmp = path.with_file_name(format!("{file_name}.{}.tmp", std::process::id()));
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+        let install = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&tmp, path)?;
+            let parent = match path.parent() {
+                Some(p) if !p.as_os_str().is_empty() => p,
+                _ => Path::new("."),
+            };
+            std::fs::File::open(parent)?.sync_all()
+        };
+        install().map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            SnapshotError::Io(e)
+        })
     }
 
     /// Reconstructs an index from snapshot bytes. See

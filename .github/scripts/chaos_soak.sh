@@ -8,9 +8,14 @@
 #   2. Degraded -> recovered: a corrupt corpus makes the swap fail with
 #      a typed error and /admin/health reports `degraded` while the old
 #      generation keeps serving; restoring the file heals it to `ok`.
-#   3. Crash recovery: a torn MANIFEST plus a stale temp file on
-#      startup — the server must recover from MANIFEST.last-good.
-#   4. Panic isolation: WEBTABLE_FAULT_PLAN-injected handler panics
+#   3. Segment containment: grow a delta index segment, corrupt just
+#      that one snapshot — only the publish degrades (typed `snapshot`
+#      error); the old generation serves byte-identically until the
+#      file is restored, then the v2 manifest swaps in cleanly.
+#   4. Crash recovery: a torn MANIFEST plus a stale temp file on
+#      startup — the server must recover from MANIFEST.last-good (by
+#      then a v2, multi-segment manifest).
+#   5. Panic isolation: WEBTABLE_FAULT_PLAN-injected handler panics
 #      cost one 500 `internal` each, never a worker.
 #
 # Usage: chaos_soak.sh <webtable-serve binary> <scratch dir>
@@ -94,12 +99,35 @@ req GET /admin/health | grep -F '"status":"ok"' | grep -F '"last_error":null'
 grep -F '"event":"swap_retry"' "$SCRATCH/serve1.log" > /dev/null
 grep -F '"event":"swap_failed"' "$SCRATCH/serve1.log" > /dev/null
 
+# ---- Phase 3: segment corruption degrades only the publish --------
+say "phase 3: grow a delta segment, corrupt it, restore, publish"
+PRE_SEG=$(req POST /v1/search "$DATA/sample-query.json")
+"$BIN" grow --data "$DATA" | grep -F 'new segment published' > /dev/null
+SEG_GEN=$(grep -F 'generation ' "$DATA/MANIFEST" | awk '{print $2}')
+DELTA="$DATA/segment-g$SEG_GEN.snap"
+[ -f "$DELTA" ]
+cp "$DELTA" "$SCRATCH/delta.snap.orig"
+head -c 64 "$SCRATCH/delta.snap.orig" > "$DELTA"
+SWAP_OUT=$(req POST /admin/swap || true)
+echo "$SWAP_OUT" | grep -F '"code":"snapshot"'
+req GET /admin/health | grep -F '"status":"degraded"' > /dev/null
+# Only the publish degraded: the old generation answers byte-identically.
+POST_SEG=$(req POST /v1/search "$DATA/sample-query.json")
+[ "$PRE_SEG" = "$POST_SEG" ]
+req GET /admin/stats | grep -F '"segments":{"count":1' > /dev/null
+cp "$SCRATCH/delta.snap.orig" "$DELTA"
+req POST /admin/swap | grep -F '"swapped":true' > /dev/null
+req GET /admin/health | grep -F '"status":"ok"' > /dev/null
+req GET /admin/stats | grep -F '"segments":{"count":2' > /dev/null
+POST_PUB=$(req POST /v1/search "$DATA/sample-query.json")
+[ "$PRE_SEG" = "$POST_PUB" ]
+
 req POST /admin/shutdown | grep -F 'shutting down'
 wait "$SERVE_PID"
 grep -F 'shut down cleanly' "$SCRATCH/serve1.log"
 
-# ---- Phase 3: crash recovery via MANIFEST.last-good ---------------
-say "phase 3: torn MANIFEST + stale tmp, restart recovers"
+# ---- Phase 4: crash recovery via MANIFEST.last-good ---------------
+say "phase 4: torn MANIFEST + stale tmp, restart recovers"
 echo "garbage, not a manifest" > "$DATA/MANIFEST"
 echo "half-written" > "$DATA/MANIFEST.tmp.999"
 # ---- Phase 4 rides along: two injected handler panics -------------

@@ -33,7 +33,7 @@ fn bench_snapshot_load(c: &mut Criterion) {
     let f = fixture();
     let path =
         std::env::temp_dir().join(format!("webtable-bench-snapshot-{}.idx", std::process::id()));
-    f.annotator.index.save(&path).expect("snapshot save");
+    f.annotator.index.segments()[0].save(&path).expect("snapshot save");
     let mut g = c.benchmark_group("index_build/snapshot_load");
     g.sample_size(10);
     g.bench_function("load", |b| {

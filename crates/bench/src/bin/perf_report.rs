@@ -24,7 +24,7 @@ use webtable_core::{
     AnnotateRequest, AnnotatorConfig, CandidateScratch, StreamOptions, TableCandidates,
 };
 use webtable_tables::NoiseConfig;
-use webtable_text::{LemmaIndex, ProbeScratch};
+use webtable_text::{LemmaIndex, ProbeScratch, SegmentedIndex};
 
 /// One measured benchmark.
 struct Record {
@@ -129,7 +129,7 @@ fn main() {
     //     compute-dominated rebuild is. ---
     let snap_path =
         std::env::temp_dir().join(format!("webtable-perf-snapshot-{}.idx", std::process::id()));
-    index.save(&snap_path).expect("snapshot save");
+    index.segments()[0].save(&snap_path).expect("snapshot save");
     record(&mut records, build_samples, "index_build/snapshot_load", "load", || {
         std::hint::black_box(LemmaIndex::load(&snap_path).expect("snapshot load"));
     });
@@ -155,6 +155,28 @@ fn main() {
                 &mut probe,
             ));
         });
+    }
+
+    // --- candidates/segmented_probe: the same entity probes fanned out
+    //     across index segments with bounded top-k merge. One segment is
+    //     pure delegation (the monolithic baseline); four segments price
+    //     the cross-segment merge + WAND upper-bound pruning. Results
+    //     are bit-identical at every segment count
+    //     (webtable-text/tests/segment_equivalence.rs). ---
+    for segment_count in [1usize, 4] {
+        let segmented = SegmentedIndex::build_split(catalog, segment_count, 1);
+        for (label, text) in [("exact_person", "Albert Einstein"), ("surname_only", "Einstein")] {
+            let doc = segmented.doc(text);
+            let bench = format!("{label}_s{segment_count}");
+            record(&mut records, samples, "candidates/segmented_probe", &bench, || {
+                std::hint::black_box(segmented.entity_candidates_with(
+                    std::hint::black_box(&doc),
+                    8,
+                    cfg.rescoring_factor,
+                    &mut probe,
+                ));
+            });
+        }
     }
 
     // --- candidates/table: full per-table candidate construction ---

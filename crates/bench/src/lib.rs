@@ -67,8 +67,11 @@ pub fn duplicate_heavy_corpus() -> Vec<webtable_tables::Table> {
 /// profile, so the comparison is apples-to-apples.
 pub fn batch_annotator() -> Annotator {
     let f = fixture();
-    Annotator::with_index(Arc::clone(&f.annotator.catalog), Arc::clone(&f.annotator.index))
-        .with_config(webtable_core::AnnotatorConfig { type_k: 16, ..Default::default() })
+    Annotator::with_segmented_index(
+        Arc::clone(&f.annotator.catalog),
+        Arc::clone(&f.annotator.index),
+    )
+    .with_config(webtable_core::AnnotatorConfig { type_k: 16, ..Default::default() })
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use webtable_catalog::{Catalog, EntityId, RelationId, TypeId};
 use webtable_tables::Table;
-use webtable_text::LemmaIndex;
+use webtable_text::CandidateIndex;
 
 use crate::candidates::TableCandidates;
 use crate::config::AnnotatorConfig;
@@ -33,9 +33,9 @@ pub struct BaselineAnnotation {
 /// Figure 2 rule with the best type fixed.
 ///
 /// Equivalent to [`majority`] with a 100% vote threshold.
-pub fn lca(
+pub fn lca<I: CandidateIndex + ?Sized>(
     catalog: &Catalog,
-    index: &LemmaIndex,
+    index: &I,
     cfg: &AnnotatorConfig,
     weights: &Weights,
     table: &Table,
@@ -45,9 +45,9 @@ pub fn lca(
 
 /// The Majority baseline (§4.5.2): types supported by more than 50% of
 /// cells; entities chosen independently per cell by `φ1` alone.
-pub fn majority(
+pub fn majority<I: CandidateIndex + ?Sized>(
     catalog: &Catalog,
-    index: &LemmaIndex,
+    index: &I,
     cfg: &AnnotatorConfig,
     weights: &Weights,
     table: &Table,
@@ -58,9 +58,9 @@ pub fn majority(
 /// Threshold-voting baseline family: `F = 1.0` recovers LCA, `F = 0.5`
 /// Majority; the paper also sweeps intermediate thresholds ("best type
 /// accuracy of 46% with a 60% threshold", §6.1.1).
-pub fn majority_with_threshold(
+pub fn majority_with_threshold<I: CandidateIndex + ?Sized>(
     catalog: &Catalog,
-    index: &LemmaIndex,
+    index: &I,
     cfg: &AnnotatorConfig,
     weights: &Weights,
     table: &Table,
@@ -202,6 +202,7 @@ pub fn majority_with_threshold(
 mod tests {
     use webtable_catalog::{generate_world, CatalogBuilder, WorldConfig};
     use webtable_tables::{NoiseConfig, TableGenerator, TableId, TruthMask};
+    use webtable_text::LemmaIndex;
 
     use super::*;
 

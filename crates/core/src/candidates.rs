@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use webtable_catalog::{Catalog, EntityId, RelationId, TypeId};
 use webtable_tables::Table;
-use webtable_text::{LemmaIndex, ProbeScratch, StringSim, TextDoc};
+use webtable_text::{CandidateIndex, ProbeScratch, StringSim, TextDoc};
 
 use crate::cache::CellCandidateCache;
 use crate::config::AnnotatorConfig;
@@ -98,9 +98,9 @@ impl TableCandidates {
     /// Builds candidate sets for a table (one-shot convenience; batch
     /// callers should reuse a scratch via
     /// [`build_with_scratch`](TableCandidates::build_with_scratch)).
-    pub fn build(
+    pub fn build<I: CandidateIndex + ?Sized>(
         catalog: &Catalog,
-        index: &LemmaIndex,
+        index: &I,
         table: &Table,
         cfg: &AnnotatorConfig,
     ) -> TableCandidates {
@@ -114,9 +114,9 @@ impl TableCandidates {
     }
 
     /// Builds candidate sets for a table, reusing worker scratch buffers.
-    pub fn build_with_scratch(
+    pub fn build_with_scratch<I: CandidateIndex + ?Sized>(
         catalog: &Catalog,
-        index: &LemmaIndex,
+        index: &I,
         table: &Table,
         cfg: &AnnotatorConfig,
         scratch: &mut CandidateScratch,
@@ -127,13 +127,13 @@ impl TableCandidates {
     /// [`build_with_scratch`](TableCandidates::build_with_scratch) with an
     /// optional cross-table candidate cache. Lookup order per cell: the
     /// per-table memo (no lock), then the shared cache (keyed by the cell's
-    /// *normalized* text — the exact normalization [`LemmaIndex::doc`]
+    /// *normalized* text — the exact normalization [`CandidateIndex::doc`]
     /// applies, so the key determines the result), then a fresh probe whose
     /// result feeds both layers. Output is identical with or without a
     /// cache; only the work performed changes.
-    pub fn build_cached(
+    pub fn build_cached<I: CandidateIndex + ?Sized>(
         catalog: &Catalog,
-        index: &LemmaIndex,
+        index: &I,
         table: &Table,
         cfg: &AnnotatorConfig,
         scratch: &mut CandidateScratch,
@@ -234,8 +234,8 @@ impl TableCandidates {
     }
 }
 
-fn cell_candidates(
-    index: &LemmaIndex,
+fn cell_candidates<I: CandidateIndex + ?Sized>(
+    index: &I,
     text: &str,
     cfg: &AnnotatorConfig,
     probe: &mut ProbeScratch,
@@ -264,9 +264,9 @@ fn cell_candidates(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn column_candidates(
+fn column_candidates<I: CandidateIndex + ?Sized>(
     catalog: &Catalog,
-    index: &LemmaIndex,
+    index: &I,
     cells: &[Vec<CellCandidates>],
     c: usize,
     header_doc: Option<&TextDoc>,
@@ -371,6 +371,7 @@ mod tests {
     use proptest::prelude::*;
     use webtable_catalog::{generate_world, WorldConfig};
     use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};
+    use webtable_text::LemmaIndex;
 
     use super::*;
 

@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use webtable_catalog::Catalog;
 use webtable_tables::Table;
-use webtable_text::LemmaIndex;
+use webtable_text::{LemmaIndex, SegmentedIndex};
 
 use crate::cache::{fingerprint_for, CellCandidateCache};
 use crate::candidates::{CandidateScratch, TableCandidates};
@@ -46,8 +46,11 @@ use crate::weights::Weights;
 pub struct Annotator {
     /// The (possibly incomplete) catalog being annotated against.
     pub catalog: Arc<Catalog>,
-    /// The lemma index over that catalog.
-    pub index: Arc<LemmaIndex>,
+    /// The (possibly segmented) lemma index over that catalog. A
+    /// single-segment index delegates every probe to its lone
+    /// [`LemmaIndex`] and is bit-identical to the pre-segmentation
+    /// monolithic path, digest included.
+    pub index: Arc<SegmentedIndex>,
     /// Model weights.
     pub weights: Weights,
     /// Pipeline knobs.
@@ -65,12 +68,19 @@ impl Annotator {
     /// lemma index is built with `config.build_threads` workers (`0` = all
     /// cores — the index is byte-identical at every thread count).
     pub fn new_with_config(catalog: Arc<Catalog>, config: AnnotatorConfig) -> Annotator {
-        let index = Arc::new(LemmaIndex::build_with_threads(&catalog, config.build_threads));
+        let mono = Arc::new(LemmaIndex::build_with_threads(&catalog, config.build_threads));
+        let index = Arc::new(SegmentedIndex::from_single(mono));
         Annotator { catalog, index, weights: Weights::default(), config }
     }
 
-    /// Builds with an existing index (avoids re-indexing).
+    /// Builds with an existing monolithic index (avoids re-indexing); the
+    /// index becomes the lone segment of a [`SegmentedIndex`].
     pub fn with_index(catalog: Arc<Catalog>, index: Arc<LemmaIndex>) -> Annotator {
+        Annotator::with_segmented_index(catalog, Arc::new(SegmentedIndex::from_single(index)))
+    }
+
+    /// Builds with an existing segmented index (avoids re-indexing).
+    pub fn with_segmented_index(catalog: Arc<Catalog>, index: Arc<SegmentedIndex>) -> Annotator {
         Annotator {
             catalog,
             index,
@@ -127,9 +137,58 @@ impl Annotator {
         Annotator::attach_index(catalog, LemmaIndex::from_snapshot_bytes(bytes)?, config)
     }
 
+    /// Builds an annotator from one snapshot byte buffer **per segment**
+    /// (MANIFEST v2 `segment` lines, in file order). One buffer is the
+    /// single-segment fast path — identical to
+    /// [`from_snapshot_bytes_with_config`]; with several, probes fan out
+    /// across segments and merge. Fails with [`Error::CatalogMismatch`]
+    /// if the union of segments does not cover the catalog (or if no
+    /// buffers are given).
+    ///
+    /// [`from_snapshot_bytes_with_config`]: Annotator::from_snapshot_bytes_with_config
+    pub fn from_segment_snapshots_bytes(
+        catalog: Arc<Catalog>,
+        segments: &[impl AsRef<[u8]>],
+    ) -> Result<Annotator, Error> {
+        Annotator::from_segment_snapshots_bytes_with_config(
+            catalog,
+            segments,
+            AnnotatorConfig::default(),
+        )
+    }
+
+    /// [`from_segment_snapshots_bytes`](Annotator::from_segment_snapshots_bytes)
+    /// with an explicit configuration.
+    pub fn from_segment_snapshots_bytes_with_config(
+        catalog: Arc<Catalog>,
+        segments: &[impl AsRef<[u8]>],
+        config: AnnotatorConfig,
+    ) -> Result<Annotator, Error> {
+        if segments.is_empty() {
+            return Err(Error::CatalogMismatch {
+                snapshot: (0, 0),
+                catalog: (catalog.num_entities(), catalog.num_types()),
+                detail: "manifest lists no segments".to_string(),
+            });
+        }
+        let mut parts = Vec::with_capacity(segments.len());
+        for bytes in segments {
+            parts.push(Arc::new(LemmaIndex::from_snapshot_bytes(bytes.as_ref())?));
+        }
+        Annotator::attach_segmented(catalog, SegmentedIndex::from_segments(parts), config)
+    }
+
     fn attach_index(
         catalog: Arc<Catalog>,
         index: LemmaIndex,
+        config: AnnotatorConfig,
+    ) -> Result<Annotator, Error> {
+        Annotator::attach_segmented(catalog, SegmentedIndex::from_single(Arc::new(index)), config)
+    }
+
+    fn attach_segmented(
+        catalog: Arc<Catalog>,
+        index: SegmentedIndex,
         config: AnnotatorConfig,
     ) -> Result<Annotator, Error> {
         if let Err(detail) = index.verify_catalog(&catalog) {
@@ -148,8 +207,22 @@ impl Annotator {
     /// and are not part of the snapshot.
     ///
     /// [`from_snapshot`]: Annotator::from_snapshot
+    ///
+    /// Only a single-segment annotator can be saved as one file; a
+    /// segmented index is persisted one snapshot per segment (save each
+    /// [`SegmentedIndex::segments`] entry and list them in a MANIFEST v2).
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), Error> {
-        self.index.save(path).map_err(Error::from)
+        if self.index.segment_count() != 1 {
+            return Err(Error::Snapshot(webtable_text::SnapshotError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                format!(
+                    "cannot save a {}-segment index as one snapshot; \
+                     save each segment and list them in a MANIFEST v2",
+                    self.index.segment_count()
+                ),
+            ))));
+        }
+        self.index.segments()[0].save(path).map_err(Error::from)
     }
 
     /// Re-targets this annotator at an append-only grown catalog by
@@ -159,7 +232,31 @@ impl Annotator {
     /// [`Error::Extend`] if `grown` is not an append-only superset of the
     /// indexed catalog.
     pub fn extend_to(&self, grown: Arc<Catalog>) -> Result<Annotator, Error> {
-        let index = Arc::new(self.index.extend(&grown)?);
+        let index = if self.index.segment_count() == 1 {
+            // Monolithic in, monolithic out: bit-identical to a rebuild,
+            // digest included, so warmed caches stay valid.
+            let extended = self.index.segments()[0].extend(&grown)?;
+            Arc::new(SegmentedIndex::from_single(Arc::new(extended)))
+        } else {
+            // Already segmented: the delta becomes one more segment.
+            Arc::new(self.index.append(&grown, self.config.build_threads)?)
+        };
+        Ok(Annotator {
+            catalog: grown,
+            index,
+            weights: self.weights.clone(),
+            config: self.config.clone(),
+        })
+    }
+
+    /// Re-targets this annotator at an append-only grown catalog by
+    /// building **one new segment** over the appended id range (existing
+    /// segments are shared untouched — no rewrite of their snapshots).
+    /// Probe results are bit-identical to a from-scratch rebuild of the
+    /// grown catalog; the content digest differs (it now hashes the
+    /// segment list), so candidate caches start cold.
+    pub fn append_segment(&self, grown: Arc<Catalog>) -> Result<Annotator, Error> {
+        let index = Arc::new(self.index.append(&grown, self.config.build_threads)?);
         Ok(Annotator {
             catalog: grown,
             index,
@@ -183,7 +280,7 @@ impl Annotator {
     /// The cache-compatibility fingerprint of this annotator's config and
     /// index (see [`fingerprint_for`]).
     pub fn cache_fingerprint(&self) -> u64 {
-        fingerprint_for(&self.config, &self.index)
+        fingerprint_for(&self.config, self.index.as_ref())
     }
 
     /// Creates a cross-table cell-candidate cache compatible with this
@@ -213,8 +310,14 @@ impl Annotator {
         unique_columns: Option<&[usize]>,
     ) -> (TableAnnotation, PhaseTimings) {
         let t0 = Instant::now();
-        let cands =
-            TableCandidates::build_cached(&self.catalog, &self.index, table, cfg, scratch, cache);
+        let cands = TableCandidates::build_cached(
+            &self.catalog,
+            self.index.as_ref(),
+            table,
+            cfg,
+            scratch,
+            cache,
+        );
         let t1 = Instant::now();
         let model = TableModel::build(&self.catalog, cfg, &self.weights, table, cands);
         let t2 = Instant::now();

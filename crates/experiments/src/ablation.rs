@@ -29,7 +29,7 @@ fn score_collective(wb: &Workbench, ds: &Dataset, cfg: &AnnotatorConfig) -> Abla
     for lt in &ds.tables {
         let ann = annotate_collective(
             &wb.annotator.catalog,
-            &wb.annotator.index,
+            wb.annotator.index.as_ref(),
             cfg,
             &wb.annotator.weights,
             &lt.table,
@@ -46,7 +46,7 @@ fn score_simple(wb: &Workbench, ds: &Dataset, cfg: &AnnotatorConfig) -> Ablation
     for lt in &ds.tables {
         let ann = annotate_simple(
             &wb.annotator.catalog,
-            &wb.annotator.index,
+            wb.annotator.index.as_ref(),
             cfg,
             &wb.annotator.weights,
             &lt.table,

@@ -63,7 +63,7 @@ pub fn run_fig5(wb: &Workbench) -> String {
 /// Scores all three algorithms on one dataset.
 pub fn score_dataset(wb: &Workbench, ds: &Dataset, cfg: &AnnotatorConfig) -> DatasetScores {
     let catalog = &wb.annotator.catalog;
-    let index = &wb.annotator.index;
+    let index = wb.annotator.index.as_ref();
     let weights = &wb.annotator.weights;
     let mut out = DatasetScores { name: ds.name.clone(), ..Default::default() };
     for lt in &ds.tables {
@@ -156,7 +156,7 @@ pub fn run_threshold_sweep(wb: &Workbench) -> (Vec<(u32, f64)>, String) {
     let cfg = AnnotatorConfig::default();
     let ds = datasets::wiki_manual(&wb.world, wb.config.scale.max(0.5), wb.config.seed);
     let catalog = &wb.annotator.catalog;
-    let index = &wb.annotator.index;
+    let index = wb.annotator.index.as_ref();
     let weights = &wb.annotator.weights;
     let mut rows = Vec::new();
     let mut report = Report::new(
@@ -186,7 +186,7 @@ pub fn run_threshold_sweep(wb: &Workbench) -> (Vec<(u32, f64)>, String) {
 /// `(mode, entity %, type F1 %)` per mode per dataset.
 pub fn run_fig8(wb: &Workbench) -> (Vec<(String, String, f64, f64)>, String) {
     let catalog = &wb.annotator.catalog;
-    let index = &wb.annotator.index;
+    let index = wb.annotator.index.as_ref();
     let weights = &wb.annotator.weights;
     let sets = [
         datasets::wiki_manual(&wb.world, wb.config.scale.max(0.3), wb.config.seed),

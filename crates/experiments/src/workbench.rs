@@ -51,7 +51,7 @@ impl Workbench {
                 TrainConfig { epochs: 3, init: Some(Weights::default()), ..Default::default() };
             let (weights, _stats) = train(
                 &world.catalog,
-                &annotator.index,
+                annotator.index.as_ref(),
                 &AnnotatorConfig::default(),
                 &train_set.tables,
                 &tc,
@@ -77,7 +77,7 @@ pub fn describe_world(wb: &Workbench) -> String {
         let lt = g.gen_table(20);
         let cands = TableCandidates::build(
             &wb.annotator.catalog,
-            &wb.annotator.index,
+            wb.annotator.index.as_ref(),
             &lt.table,
             &wb.annotator.config,
         );

@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use webtable_catalog::Catalog;
 use webtable_core::{AnnotatorConfig, TableCandidates, TableModel, Weights};
 use webtable_tables::LabeledTable;
-use webtable_text::LemmaIndex;
+use webtable_text::CandidateIndex;
 
 /// Hyper-parameters for [`train`].
 #[derive(Debug, Clone)]
@@ -62,9 +62,9 @@ impl TrainStats {
 }
 
 /// Trains weights on labeled tables. Deterministic per config.
-pub fn train(
+pub fn train<I: CandidateIndex + ?Sized>(
     catalog: &Catalog,
-    index: &LemmaIndex,
+    index: &I,
     cfg: &AnnotatorConfig,
     tables: &[LabeledTable],
     tc: &TrainConfig,
@@ -140,6 +140,8 @@ mod tests {
     use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};
 
     use super::*;
+
+    use webtable_text::LemmaIndex;
 
     fn setup() -> (webtable_catalog::World, LemmaIndex) {
         let w = generate_world(&WorldConfig::tiny(5)).unwrap();

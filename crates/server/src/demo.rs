@@ -11,7 +11,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use webtable_catalog::{generate_world, WorldConfig};
+use webtable_catalog::{generate_world, CatalogBuilder, WorldConfig};
 use webtable_core::Annotator;
 use webtable_search::wire::encode_query;
 use webtable_search::{EntityQuery, Query};
@@ -74,10 +74,113 @@ pub fn prepare_data_dir(dir: &Path, seed: u64) -> Result<(), ServeError> {
     Manifest {
         generation: 1,
         catalog: "catalog.tsv".into(),
-        index: "index.snap".into(),
+        segments: vec!["index.snap".into()],
         tables: "tables-g1.json".into(),
     }
     .save_dir(dir)
+}
+
+/// Replays a loaded catalog into a builder, reproducing ids, names,
+/// lemma lists, hierarchy, and relation extensions exactly (the builder
+/// assigns ids in insertion order, and the canonical name is always the
+/// first lemma). Growth appends to the returned builder before
+/// `finish()`, so the result is an append-only superset the segmented
+/// index accepts as a delta.
+fn replay_catalog(cat: &webtable_catalog::Catalog) -> Result<CatalogBuilder, ServeError> {
+    let replay_err =
+        |e: &dyn std::fmt::Display| ServeError::Manifest(format!("catalog replay: {e}"));
+    let mut b = CatalogBuilder::new();
+    // Demo worlds model *incomplete* catalogs: some ∈ edges are
+    // deliberately dropped while the relation tuple survives, so strict
+    // schema validation would reject a faithful replay.
+    b.allow_schema_violations();
+    for t in cat.type_ids() {
+        let lemmas: Vec<&str> = cat.type_lemmas(t)[1..].iter().map(String::as_str).collect();
+        b.add_type(cat.type_name(t), &lemmas).map_err(|e| replay_err(&e))?;
+    }
+    for t in cat.type_ids() {
+        for &p in cat.parents(t) {
+            b.add_subtype(t, p);
+        }
+    }
+    for e in cat.entity_ids() {
+        let ent = cat.entity(e);
+        let lemmas: Vec<&str> = ent.lemmas[1..].iter().map(String::as_str).collect();
+        b.add_entity(ent.name.clone(), &lemmas, &ent.direct_types).map_err(|e| replay_err(&e))?;
+    }
+    for r in cat.relation_ids() {
+        let rel = cat.relation(r);
+        let id = b
+            .add_relation(rel.name.clone(), rel.left_type, rel.right_type, rel.cardinality)
+            .map_err(|e| replay_err(&e))?;
+        for &(e1, e2) in &rel.tuples {
+            b.add_tuple(id, e1, e2);
+        }
+    }
+    Ok(b)
+}
+
+/// Number of entities `grow` appends per call.
+pub const GROW_ENTITIES: usize = 6;
+
+/// Grows the data directory by one **segment**: appends
+/// [`GROW_ENTITIES`] new entities to the catalog, builds a delta
+/// segment over just the appended id range (existing segment snapshots
+/// are reused byte-for-byte, never rewritten), and writes a MANIFEST v2
+/// naming the old segments plus the new one at `generation + 1`. The
+/// serving process publishes it on the next `/admin/swap`. Returns the
+/// new generation number.
+pub fn grow(dir: &Path) -> Result<u64, ServeError> {
+    let manifest = Manifest::load_dir(dir)?;
+    let gen = manifest.generation + 1;
+    let base_catalog = Arc::new(webtable_catalog::io::load_catalog(dir.join(&manifest.catalog))?);
+
+    // Grown catalog = exact replay of the old one + appended entities.
+    let mut b = replay_catalog(&base_catalog)?;
+    let root = base_catalog.root();
+    for i in 0..GROW_ENTITIES {
+        b.add_entity(
+            format!("grown entity g{gen} n{i}"),
+            &[&format!("grown g{gen} alias {i}")],
+            &[root],
+        )
+        .map_err(|e| ServeError::Manifest(format!("growing catalog: {e}")))?;
+    }
+    let grown =
+        Arc::new(b.finish().map_err(|e| ServeError::Manifest(format!("growing catalog: {e}")))?);
+
+    // Restore the current segments, append the delta, and persist only
+    // the new segment's snapshot.
+    let mut segment_bytes = Vec::with_capacity(manifest.segments.len());
+    for seg in &manifest.segments {
+        let path = dir.join(seg);
+        let bytes =
+            std::fs::read(&path).map_err(|e| io_err(&format!("reading {}", path.display()), e))?;
+        segment_bytes.push(bytes);
+    }
+    let annotator =
+        Annotator::from_segment_snapshots_bytes(Arc::clone(&base_catalog), &segment_bytes)?;
+    let grown_annotator = annotator.append_segment(Arc::clone(&grown))?;
+    let segments = grown_annotator.index.segments();
+    let delta = segments.last().expect("append produced a segment");
+    let delta_name = format!("segment-g{gen}.snap");
+    delta
+        .save(dir.join(&delta_name))
+        .map_err(|e| ServeError::Core(webtable_core::Error::from(e)))?;
+
+    let catalog_name = format!("catalog-g{gen}.tsv");
+    webtable_catalog::io::save_catalog(&grown, dir.join(&catalog_name))?;
+
+    let mut next_segments = manifest.segments.clone();
+    next_segments.push(delta_name.into());
+    Manifest {
+        generation: gen,
+        catalog: catalog_name.into(),
+        segments: next_segments,
+        tables: manifest.tables.clone(),
+    }
+    .save_dir(dir)?;
+    Ok(gen)
 }
 
 /// Promotes the data directory to generation 2 (rewrites the manifest

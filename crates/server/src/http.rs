@@ -69,9 +69,14 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError
         return Err(HttpError::bad(format!("malformed request line: {}", line.trim_end())));
     }
 
-    let mut content_length: usize = 0;
+    // Loop until the blank separator line, not `for _ in 0..MAX_HEADERS`:
+    // a counted loop that gives up without consuming the blank line
+    // leaves the parser desynced, silently reading header bytes as the
+    // body. Over-limit requests must be rejected, never misparsed.
+    let mut content_length: Option<usize> = None;
     let mut header_bytes = n;
-    for _ in 0..MAX_HEADERS {
+    let mut headers_seen = 0usize;
+    loop {
         let mut header = String::new();
         let n = reader
             .read_line(&mut header)
@@ -88,15 +93,30 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError
         if n == 0 || header.is_empty() {
             break;
         }
+        headers_seen += 1;
+        if headers_seen > MAX_HEADERS {
+            return Err(HttpError {
+                status: 431,
+                code: "headers_too_large",
+                message: format!("more than {MAX_HEADERS} headers"),
+            });
+        }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
+                let parsed: usize = value
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::bad(format!("bad content-length: {value}")))?;
+                // Repeated equal values are harmless; conflicting ones
+                // mean request smuggling or a confused client — reject.
+                if content_length.is_some_and(|prev| prev != parsed) {
+                    return Err(HttpError::bad("conflicting content-length headers"));
+                }
+                content_length = Some(parsed);
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError {
             status: 413,
@@ -203,6 +223,49 @@ mod tests {
         let err = roundtrip(raw.as_bytes()).unwrap_err();
         assert_eq!(err.status, 413);
         assert_eq!(err.code, "body_too_large");
+    }
+
+    #[test]
+    fn rejects_too_many_headers_without_desync() {
+        // MAX_HEADERS + 1 short headers stay under MAX_HEADER_BYTES, so
+        // only the count limit can reject this. The old counted loop
+        // exited here without consuming the blank line and read the
+        // remaining header bytes as the body.
+        let mut raw = String::from("POST /v1/annotate HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            raw.push_str(&format!("X-{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        let err = roundtrip(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status, 431);
+        assert_eq!(err.code, "headers_too_large");
+    }
+
+    #[test]
+    fn exactly_max_headers_still_parses() {
+        let mut raw = String::from("POST /x HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS - 1 {
+            raw.push_str(&format!("X-{i}: v\r\n"));
+        }
+        raw.push_str("Content-Length: 2\r\n\r\nok");
+        let req = roundtrip(raw.as_bytes()).unwrap().unwrap();
+        assert_eq!(req.body, "ok");
+    }
+
+    #[test]
+    fn rejects_conflicting_content_lengths() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd";
+        let err = roundtrip(raw).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.code, "bad_request");
+        assert!(err.message.contains("conflicting content-length"));
+    }
+
+    #[test]
+    fn repeated_equal_content_lengths_parse() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = roundtrip(raw).unwrap().unwrap();
+        assert_eq!(req.body, "abcd");
     }
 
     #[test]

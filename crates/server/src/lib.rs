@@ -37,7 +37,7 @@ pub mod swap;
 pub use error::ServeError;
 pub use fault::{FaultAction, FaultPlan, FaultPoint};
 pub use manifest::Manifest;
-pub use metrics::Metrics;
+pub use metrics::{Metrics, SegmentStats};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use state::{
     load_generation, load_generation_recovering, AppState, Generation, HealthState, RecoveryReport,

@@ -3,6 +3,7 @@
 //! ```text
 //! webtable-serve prepare --data DIR [--seed N]    build a demo data dir
 //! webtable-serve promote --data DIR               promote it to the next generation
+//! webtable-serve grow    --data DIR               append a catalog delta as a new index segment
 //! webtable-serve serve   --data DIR [--addr A] [--workers N] [--queue N]
 //!                        [--timeout-ms N] [--quiet]
 //! webtable-serve client  --addr A METHOD PATH [BODY]
@@ -47,6 +48,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "prepare" => cmd_prepare(rest),
         "promote" => cmd_promote(rest),
+        "grow" => cmd_grow(rest),
         "serve" => cmd_serve(rest),
         "client" => return cmd_client(rest),
         other => Err(format!("unknown command `{other}`")),
@@ -100,6 +102,15 @@ fn cmd_promote(args: &[String]) -> Result<(), String> {
     let dir = data_dir(data)?;
     let generation = demo::promote(&dir).map_err(|e| e.to_string())?;
     println!("promoted {} to generation {generation}", dir.display());
+    Ok(())
+}
+
+fn cmd_grow(args: &[String]) -> Result<(), String> {
+    let mut data = None;
+    parse_flags(args, &mut [("--data", &mut data)])?;
+    let dir = data_dir(data)?;
+    let generation = demo::grow(&dir).map_err(|e| e.to_string())?;
+    println!("grew {} to generation {generation} (new segment published)", dir.display());
     Ok(())
 }
 

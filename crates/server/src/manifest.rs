@@ -12,7 +12,8 @@
 //! ```
 //!
 //! The manifest is a tiny line-oriented text file so that promoting a
-//! new generation is one atomic file replace:
+//! new generation is one atomic file replace. Version 1 names one
+//! monolithic index snapshot:
 //!
 //! ```text
 //! webtable-manifest v1
@@ -21,6 +22,24 @@
 //! index index.snap
 //! tables tables-g2.json
 //! ```
+//!
+//! Version 2 names one snapshot **per index segment** (repeated
+//! `segment` lines, in catalog-slice order); a catalog delta is
+//! published by appending one `segment` line instead of rewriting one
+//! giant snapshot:
+//!
+//! ```text
+//! webtable-manifest v2
+//! generation 3
+//! catalog catalog-g3.tsv
+//! segment index.snap
+//! segment segment-g3.snap
+//! tables tables-g3.json
+//! ```
+//!
+//! A v1 manifest loads as a single-segment catalog (bit-identical to
+//! the pre-segmentation server); a single-segment manifest renders in
+//! v1 form so older builds can still read what this one writes.
 //!
 //! `/admin/swap` re-reads the manifest; if its generation differs from
 //! the one being served, the server rebuilds off the request path and
@@ -32,8 +51,10 @@ use std::path::{Path, PathBuf};
 use crate::error::ServeError;
 use crate::fault::{self, FaultPoint};
 
-/// The magic first line.
+/// The magic first line of a v1 (single monolithic index) manifest.
 pub const MAGIC: &str = "webtable-manifest v1";
+/// The magic first line of a v2 (segmented index) manifest.
+pub const MAGIC_V2: &str = "webtable-manifest v2";
 /// The manifest filename inside a data directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 /// The last manifest that produced a generation which actually built
@@ -48,20 +69,29 @@ pub struct Manifest {
     pub generation: u64,
     /// Catalog TSV path.
     pub catalog: PathBuf,
-    /// Lemma-index snapshot path.
-    pub index: PathBuf,
+    /// Lemma-index segment snapshot paths, in catalog-slice order. A v1
+    /// manifest parses to exactly one entry (its `index` line).
+    pub segments: Vec<PathBuf>,
     /// Corpus tables (wire JSON) path.
     pub tables: PathBuf,
 }
 
 impl Manifest {
-    /// Parses the manifest text.
+    /// Parses the manifest text (v1 or v2; the magic line decides which
+    /// index keys are legal).
     pub fn parse(text: &str) -> Result<Manifest, ServeError> {
         let mut lines = text.lines();
-        if lines.next().map(str::trim) != Some(MAGIC) {
-            return Err(ServeError::Manifest(format!("missing magic line `{MAGIC}`")));
-        }
-        let (mut generation, mut catalog, mut index, mut tables) = (None, None, None, None);
+        let v2 = match lines.next().map(str::trim) {
+            Some(m) if m == MAGIC => false,
+            Some(m) if m == MAGIC_V2 => true,
+            _ => {
+                return Err(ServeError::Manifest(format!(
+                    "missing magic line `{MAGIC}` or `{MAGIC_V2}`"
+                )))
+            }
+        };
+        let (mut generation, mut catalog, mut tables) = (None, None, None);
+        let mut segments: Vec<PathBuf> = Vec::new();
         for line in lines {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -79,29 +109,59 @@ impl Manifest {
                         })?);
                 }
                 "catalog" => catalog = Some(PathBuf::from(value)),
-                "index" => index = Some(PathBuf::from(value)),
                 "tables" => tables = Some(PathBuf::from(value)),
+                "index" if !v2 => {
+                    if !segments.is_empty() {
+                        return Err(ServeError::Manifest("duplicate `index` line".into()));
+                    }
+                    segments.push(PathBuf::from(value));
+                }
+                "segment" if v2 => segments.push(PathBuf::from(value)),
+                "index" | "segment" => {
+                    return Err(ServeError::Manifest(format!(
+                        "key `{key}` is not valid in a {} manifest",
+                        if v2 { "v2" } else { "v1" }
+                    )))
+                }
                 _ => return Err(ServeError::Manifest(format!("unknown key `{key}`"))),
             }
         }
         let missing = |what: &str| ServeError::Manifest(format!("missing `{what}` line"));
+        if segments.is_empty() {
+            return Err(missing(if v2 { "segment" } else { "index" }));
+        }
         Ok(Manifest {
             generation: generation.ok_or_else(|| missing("generation"))?,
             catalog: catalog.ok_or_else(|| missing("catalog"))?,
-            index: index.ok_or_else(|| missing("index"))?,
+            segments,
             tables: tables.ok_or_else(|| missing("tables"))?,
         })
     }
 
     /// Renders the manifest text (inverse of [`parse`](Manifest::parse)).
+    /// A single-segment manifest renders in v1 form — byte-identical to
+    /// what the pre-segmentation server wrote, so older builds can read
+    /// it; more than one segment requires v2.
     pub fn render(&self) -> String {
-        format!(
-            "{MAGIC}\ngeneration {}\ncatalog {}\nindex {}\ntables {}\n",
+        if let [index] = self.segments.as_slice() {
+            return format!(
+                "{MAGIC}\ngeneration {}\ncatalog {}\nindex {}\ntables {}\n",
+                self.generation,
+                self.catalog.display(),
+                index.display(),
+                self.tables.display()
+            );
+        }
+        let mut out = format!(
+            "{MAGIC_V2}\ngeneration {}\ncatalog {}\n",
             self.generation,
-            self.catalog.display(),
-            self.index.display(),
-            self.tables.display()
-        )
+            self.catalog.display()
+        );
+        for seg in &self.segments {
+            out.push_str(&format!("segment {}\n", seg.display()));
+        }
+        out.push_str(&format!("tables {}\n", self.tables.display()));
+        out
     }
 
     /// Reads `dir/MANIFEST`.
@@ -186,10 +246,38 @@ mod tests {
         let m = Manifest {
             generation: 7,
             catalog: "catalog.tsv".into(),
-            index: "index.snap".into(),
+            segments: vec!["index.snap".into()],
             tables: "tables-g7.json".into(),
         };
-        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+        let rendered = m.render();
+        assert!(rendered.starts_with(MAGIC), "one segment renders as v1");
+        assert_eq!(Manifest::parse(&rendered).unwrap(), m);
+    }
+
+    #[test]
+    fn v2_manifest_roundtrips_segment_order() {
+        let m = Manifest {
+            generation: 3,
+            catalog: "catalog-g3.tsv".into(),
+            segments: vec!["index.snap".into(), "segment-g2.snap".into(), "segment-g3.snap".into()],
+            tables: "tables-g3.json".into(),
+        };
+        let rendered = m.render();
+        assert!(rendered.starts_with(MAGIC_V2));
+        assert_eq!(Manifest::parse(&rendered).unwrap(), m);
+    }
+
+    #[test]
+    fn version_key_mismatches_are_rejected() {
+        let v1_with_segment = format!("{MAGIC}\ngeneration 1\ncatalog c\nsegment s\ntables t\n");
+        assert!(Manifest::parse(&v1_with_segment).is_err(), "v1 must not accept `segment`");
+        let v2_with_index = format!("{MAGIC_V2}\ngeneration 1\ncatalog c\nindex i\ntables t\n");
+        assert!(Manifest::parse(&v2_with_index).is_err(), "v2 must not accept `index`");
+        let v1_dup_index =
+            format!("{MAGIC}\ngeneration 1\ncatalog c\nindex i\nindex j\ntables t\n");
+        assert!(Manifest::parse(&v1_dup_index).is_err(), "duplicate `index` is ambiguous");
+        let v2_no_segments = format!("{MAGIC_V2}\ngeneration 1\ncatalog c\ntables t\n");
+        assert!(Manifest::parse(&v2_no_segments).is_err(), "v2 needs >= 1 segment");
     }
 
     #[test]
@@ -217,7 +305,7 @@ mod tests {
         let m = Manifest {
             generation: 1,
             catalog: "c.tsv".into(),
-            index: "i.snap".into(),
+            segments: vec!["i.snap".into()],
             tables: "t.json".into(),
         };
         m.save_dir(&dir).unwrap();
@@ -232,7 +320,7 @@ mod tests {
         let m = Manifest {
             generation: 4,
             catalog: "c.tsv".into(),
-            index: "i.snap".into(),
+            segments: vec!["i.snap".into()],
             tables: "t.json".into(),
         };
         m.save_as(&dir, LAST_GOOD_FILE).unwrap();

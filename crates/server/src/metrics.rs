@@ -62,6 +62,18 @@ impl Endpoint {
     }
 }
 
+/// Point-in-time view of the serving generation's index segmentation,
+/// rendered under the stats document's `segments` key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SegmentStats {
+    /// Number of index segments in the current generation.
+    pub count: u64,
+    /// Segments actually probed across all queries (fan-out work).
+    pub probed: u64,
+    /// Segments skipped by the cross-segment WAND upper bound.
+    pub skipped: u64,
+}
+
 #[derive(Debug, Default)]
 struct EndpointRow {
     requests: AtomicU64,
@@ -141,9 +153,17 @@ impl Metrics {
     }
 
     /// Renders the stats document. `cache_hits` / `cache_misses` come
-    /// from the current generation's shared candidate cache;
+    /// from the current generation's shared candidate cache,
+    /// `segments` from its index (count plus cumulative fan-out
+    /// probed/skipped counters, the cross-segment pruning gauge);
     /// `uptime_us` from the server's start instant.
-    pub fn to_json(&self, uptime_us: u64, cache_hits: u64, cache_misses: u64) -> Json {
+    pub fn to_json(
+        &self,
+        uptime_us: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+        segments: SegmentStats,
+    ) -> Json {
         let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let endpoints = Endpoint::ALL
             .iter()
@@ -189,6 +209,14 @@ impl Metrics {
             ("queue_rejections".into(), Json::u64(ld(&self.queue_rejections))),
             ("recoveries".into(), Json::u64(ld(&self.recoveries))),
             ("requests_total".into(), Json::u64(self.total_requests())),
+            (
+                "segments".into(),
+                Json::Obj(vec![
+                    ("count".into(), Json::u64(segments.count)),
+                    ("probed".into(), Json::u64(segments.probed)),
+                    ("skipped".into(), Json::u64(segments.skipped)),
+                ]),
+            ),
             ("swap_failures".into(), Json::u64(ld(&self.swap_failures))),
             ("swap_generation".into(), Json::u64(ld(&self.swap_generation))),
             ("swap_retries".into(), Json::u64(ld(&self.swap_retries))),
@@ -209,7 +237,7 @@ mod tests {
         m.record(Endpoint::Annotate, 400, 20);
         m.record(Endpoint::Search, 504, 30);
         assert_eq!(m.total_requests(), 3);
-        let doc = m.to_json(1, 0, 0);
+        let doc = m.to_json(1, 0, 0, SegmentStats::default());
         let rows = doc.get("endpoints").and_then(Json::as_arr).unwrap();
         let annotate =
             rows.iter().find(|r| r.get("name").and_then(Json::as_str) == Some("annotate")).unwrap();
@@ -226,11 +254,13 @@ mod tests {
     fn stats_json_is_deterministic_and_sorted() {
         let m = Metrics::default();
         m.record(Endpoint::Health, 200, 5);
-        let a = m.to_json(9, 2, 3).encode();
-        let b = m.to_json(9, 2, 3).encode();
+        let seg = SegmentStats { count: 4, probed: 9, skipped: 3 };
+        let a = m.to_json(9, 2, 3, seg).encode();
+        let b = m.to_json(9, 2, 3, seg).encode();
         assert_eq!(a, b);
         assert!(a.contains("\"swap_generation\":0"));
         assert!(a.contains("\"hits\":2"));
+        assert!(a.contains("\"segments\":{\"count\":4,\"probed\":9,\"skipped\":3}"));
     }
 
     #[test]

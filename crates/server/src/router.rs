@@ -27,7 +27,7 @@ use webtable_search::wire::{decode_query, encode_answers};
 use crate::error::{error_body, ServeError};
 use crate::fault::{self, FaultPoint};
 use crate::http::{Request, Response};
-use crate::metrics::Endpoint;
+use crate::metrics::{Endpoint, SegmentStats};
 use crate::state::AppState;
 
 /// Upper bound on a client-requested deadline, so a giant `timeout_ms`
@@ -165,7 +165,15 @@ fn admin_health(state: &AppState) -> Response {
 fn stats(state: &AppState) -> Response {
     let generation = state.current.load();
     let uptime_us = state.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-    let doc = state.metrics.to_json(uptime_us, generation.cache.hits(), generation.cache.misses());
+    let index = &generation.annotator.index;
+    let (probed, skipped) = index.probe_stats();
+    let segments = SegmentStats { count: index.segment_count() as u64, probed, skipped };
+    let doc = state.metrics.to_json(
+        uptime_us,
+        generation.cache.hits(),
+        generation.cache.misses(),
+        segments,
+    );
     Response::ok(doc.encode())
 }
 

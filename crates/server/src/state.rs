@@ -102,11 +102,19 @@ pub fn load_manifest(
     workers: usize,
 ) -> Result<Generation, ServeError> {
     let catalog = Arc::new(webtable_catalog::io::load_catalog(dir.join(&manifest.catalog))?);
-    let snap_path = dir.join(&manifest.index);
-    let snap_bytes = fault::read(FaultPoint::SnapshotRead, &snap_path).map_err(|source| {
-        ServeError::Io { context: format!("reading {}", snap_path.display()), source }
-    })?;
-    let annotator = Annotator::from_snapshot_bytes(Arc::clone(&catalog), &snap_bytes)?;
+    // One snapshot per segment (a v1 manifest has exactly one). Each
+    // read passes through the fault point, so corrupting any single
+    // segment fails this load — and only this load; the serving
+    // generation is untouched.
+    let mut segment_bytes = Vec::with_capacity(manifest.segments.len());
+    for seg in &manifest.segments {
+        let snap_path = dir.join(seg);
+        let bytes = fault::read(FaultPoint::SnapshotRead, &snap_path).map_err(|source| {
+            ServeError::Io { context: format!("reading {}", snap_path.display()), source }
+        })?;
+        segment_bytes.push(bytes);
+    }
+    let annotator = Annotator::from_segment_snapshots_bytes(Arc::clone(&catalog), &segment_bytes)?;
     let tables_path = dir.join(&manifest.tables);
     let table_bytes = fault::read(FaultPoint::CorpusRead, &tables_path).map_err(|source| {
         ServeError::Io { context: format!("reading {}", tables_path.display()), source }

@@ -1,0 +1,120 @@
+//! Segmented-catalog lifecycle at the server level: `grow` publishes a
+//! delta segment via a MANIFEST v2 + atomic swap, existing segment
+//! snapshots are reused byte-for-byte, and corruption of a single
+//! segment degrades only the publish — the old generation keeps
+//! serving byte-identically until the file is repaired.
+
+mod common;
+
+use webtable_core::wire::Json;
+use webtable_server::demo;
+use webtable_server::state::{load_generation, RetryPolicy};
+
+use common::TestServer;
+
+fn error_code(body: &str) -> String {
+    let doc = Json::parse(body).unwrap_or_else(|e| panic!("malformed error body `{body}`: {e}"));
+    doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str).expect("code").to_string()
+}
+
+fn segment_count(srv: &TestServer) -> u64 {
+    let (status, body) = srv.request("GET", "/admin/stats", "");
+    assert_eq!(status, 200, "{body}");
+    Json::parse(&body)
+        .unwrap()
+        .get("segments")
+        .and_then(|s| s.get("count"))
+        .and_then(Json::as_u64)
+        .expect("segments.count")
+}
+
+fn health_status(srv: &TestServer) -> String {
+    let (status, body) = srv.request("GET", "/admin/health", "");
+    assert_eq!(status, 200, "{body}");
+    Json::parse(&body).unwrap().get("status").and_then(Json::as_str).unwrap().to_string()
+}
+
+#[test]
+fn grow_publishes_delta_segment_without_rewriting_old_ones() {
+    let srv = TestServer::start("segments-grow");
+    let query = srv.sample_query();
+    let (status, g1_search) = srv.request("POST", "/v1/search", &query);
+    assert_eq!(status, 200);
+    assert_eq!(segment_count(&srv), 1);
+
+    // Grow twice: each call must append exactly one segment and leave
+    // every previously-published snapshot byte-identical on disk.
+    let base_snap = std::fs::read(srv.dir.join("index.snap")).unwrap();
+    assert_eq!(demo::grow(&srv.dir).unwrap(), 2);
+    let delta_g2 = std::fs::read(srv.dir.join("segment-g2.snap")).unwrap();
+    assert_eq!(demo::grow(&srv.dir).unwrap(), 3);
+    assert_eq!(std::fs::read(srv.dir.join("index.snap")).unwrap(), base_snap);
+    assert_eq!(std::fs::read(srv.dir.join("segment-g2.snap")).unwrap(), delta_g2);
+
+    // Publish: one swap lands the latest manifest (generation 3, three
+    // segments) atomically.
+    let (status, body) = srv.request("POST", "/admin/swap", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"generation\":3"), "{body}");
+    assert!(body.contains("\"swapped\":true"), "{body}");
+    assert_eq!(segment_count(&srv), 3);
+
+    // The corpus is unchanged by grow, so search answers are
+    // byte-identical across the publish.
+    let (status, search) = srv.request("POST", "/v1/search", &query);
+    assert_eq!(status, 200);
+    assert_eq!(search, g1_search, "grow must not perturb search results");
+
+    // The grown generation loads standalone and annotates: the delta
+    // entities are present in its catalog.
+    let g3 = load_generation(&srv.dir, 2).unwrap();
+    assert_eq!(g3.generation, 3);
+    assert_eq!(g3.annotator.index.segment_count(), 3);
+    let names: Vec<String> = g3
+        .annotator
+        .catalog
+        .entity_ids()
+        .map(|e| g3.annotator.catalog.entity(e).name.clone())
+        .collect();
+    assert!(names.iter().any(|n| n == "grown entity g2 n0"), "delta entities in catalog");
+    assert!(names.iter().any(|n| n == "grown entity g3 n0"), "delta entities in catalog");
+}
+
+#[test]
+fn corrupt_delta_segment_degrades_only_the_publish() {
+    let srv = TestServer::start_with_retry("segments-corrupt", RetryPolicy::immediate(1));
+    let query = srv.sample_query();
+    let (_, g1_search) = srv.request("POST", "/v1/search", &query);
+    let (_, g1_health) = srv.request("GET", "/health", "");
+
+    assert_eq!(demo::grow(&srv.dir).unwrap(), 2);
+    let delta = srv.dir.join("segment-g2.snap");
+    let original = std::fs::read(&delta).unwrap();
+
+    // Flip a payload byte in the delta only; index.snap stays intact.
+    let mut corrupted = original.clone();
+    let mid = corrupted.len() / 2;
+    corrupted[mid] ^= 0x40;
+    std::fs::write(&delta, &corrupted).unwrap();
+
+    let (status, body) = srv.request("POST", "/admin/swap", "");
+    assert_eq!(status, 503, "{body}");
+    assert_eq!(error_code(&body), "snapshot", "{body}");
+    assert_eq!(health_status(&srv), "degraded");
+
+    // Containment: the single-segment generation 1 serves untouched.
+    assert_eq!(segment_count(&srv), 1);
+    let (status, search) = srv.request("POST", "/v1/search", &query);
+    assert_eq!(status, 200);
+    assert_eq!(search, g1_search, "old generation must serve byte-identically");
+    let (_, h) = srv.request("GET", "/health", "");
+    assert_eq!(h, g1_health, "old generation must serve byte-identically");
+
+    // Repair the delta: the publish succeeds and health clears.
+    std::fs::write(&delta, &original).unwrap();
+    let (status, body) = srv.request("POST", "/admin/swap", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"swapped\":true"), "{body}");
+    assert_eq!(health_status(&srv), "ok");
+    assert_eq!(segment_count(&srv), 2);
+}

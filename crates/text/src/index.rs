@@ -228,18 +228,18 @@ impl Csr {
 
     /// An empty map with zero rows (rows are appended with
     /// [`push_row`](Csr::push_row)).
-    fn empty() -> Csr {
+    pub(crate) fn empty() -> Csr {
         Csr { offsets: vec![0], values: Vec::new() }
     }
 
     /// Appends one row holding `values` (row key = current row count).
-    fn push_row(&mut self, values: &[u32]) {
+    pub(crate) fn push_row(&mut self, values: &[u32]) {
         self.values.extend_from_slice(values);
         self.offsets.push(self.values.len() as u32);
     }
 
     /// Number of rows.
-    fn num_rows(&self) -> usize {
+    pub(crate) fn num_rows(&self) -> usize {
         self.offsets.len() - 1
     }
 
@@ -254,7 +254,7 @@ impl Csr {
 
     /// `(start, end)` bounds of a row in `values`.
     #[inline]
-    fn row_bounds(&self, key: u32) -> (u32, u32) {
+    pub(crate) fn row_bounds(&self, key: u32) -> (u32, u32) {
         let k = key as usize;
         if k + 1 >= self.offsets.len() {
             return (0, 0);
@@ -266,18 +266,20 @@ impl Csr {
 /// One query term of a WAND probe: a posting-row cursor plus the row's
 /// upper-bound contribution.
 #[derive(Debug, Clone, Copy)]
-struct WandTerm {
+pub(crate) struct WandTerm {
     /// Token id (terms tie-sort by token, which keeps score accumulation in
     /// ascending-token order — bit-identical to the exhaustive pass).
-    tok: u32,
+    /// Segmented probes put the *global* token id here so the tie order
+    /// matches a monolithic probe (see `crate::segment`).
+    pub(crate) tok: u32,
     /// Max contribution of this row per matching lemma (= the token IDF).
-    ub: f64,
+    pub(crate) ub: f64,
     /// Row start in the postings `values` array.
-    start: u32,
+    pub(crate) start: u32,
     /// Row end.
-    end: u32,
+    pub(crate) end: u32,
     /// Cursor offset from `start`.
-    pos: u32,
+    pub(crate) pos: u32,
 }
 
 /// Reusable per-worker query state for [`LemmaIndex`] probes.
@@ -309,9 +311,12 @@ pub struct ProbeScratch {
     stamp: Vec<u32>,
     epoch: u32,
     touched: Vec<u32>,
-    hits: Vec<(u32, f64)>,
-    owners: Vec<(u32, f64)>,
-    wand_terms: Vec<WandTerm>,
+    pub(crate) hits: Vec<(u32, f64)>,
+    pub(crate) owners: Vec<(u32, f64)>,
+    pub(crate) wand_terms: Vec<WandTerm>,
+    /// Cross-segment merge workspace (`crate::segment`): overlap-shortlist
+    /// entries as `(overlap, global lemma rank, segment, local lemma)`.
+    pub(crate) merged: Vec<(f64, u32, u32, u32)>,
 }
 
 impl ProbeScratch {
@@ -327,7 +332,7 @@ impl ProbeScratch {
     }
 
     /// Starts a new query epoch over `num_lemmas` accumulator slots.
-    fn begin(&mut self, num_lemmas: usize) {
+    pub(crate) fn begin(&mut self, num_lemmas: usize) {
         if self.stamp.len() < num_lemmas {
             self.stamp.resize(num_lemmas, 0);
             self.score.resize(num_lemmas, 0.0);
@@ -343,7 +348,7 @@ impl ProbeScratch {
     }
 
     #[inline]
-    fn accumulate(&mut self, li: u32, idf: f64) {
+    pub(crate) fn accumulate(&mut self, li: u32, idf: f64) {
         let slot = li as usize;
         if self.stamp[slot] == self.epoch {
             self.score[slot] += idf;
@@ -357,7 +362,7 @@ impl ProbeScratch {
 
 thread_local! {
     /// Fallback scratch for the convenience query methods.
-    static SHARED_SCRATCH: RefCell<ProbeScratch> = RefCell::new(ProbeScratch::new());
+    pub(crate) static SHARED_SCRATCH: RefCell<ProbeScratch> = RefCell::new(ProbeScratch::new());
 }
 
 /// `true` if hit `a` ranks strictly worse than `b` in the shortlist order
@@ -476,7 +481,7 @@ pub const DEFAULT_RESCORING_FACTOR: usize = 6;
 /// positive IDFs perturbs the sum by well under one part in 10⁻¹², so this
 /// margin keeps the bound admissible (never skips a qualifying lemma)
 /// without ever admitting meaningfully more work.
-const WAND_SAFETY: f64 = 1.0 + 1e-9;
+pub(crate) const WAND_SAFETY: f64 = 1.0 + 1e-9;
 
 /// Why [`LemmaIndex::extend`] rejected a grown catalog. The base index is
 /// never modified: on error no partially-merged state exists anywhere.
@@ -557,7 +562,7 @@ fn shard_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
 }
 
 /// Order-preserving parallel map over contiguous chunks of `items`.
-fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+pub(crate) fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -628,16 +633,32 @@ impl LemmaIndex {
     /// maps, and the CSR postings use contiguous ascending shards whose
     /// concatenation reproduces the serial layout (see the module docs).
     pub fn build_with_threads(cat: &Catalog, threads: usize) -> LemmaIndex {
+        let entities: Vec<&[String]> = cat.entity_ids().map(|e| cat.entity_lemmas(e)).collect();
+        let types: Vec<&[String]> = cat.type_ids().map(|t| cat.type_lemmas(t)).collect();
+        LemmaIndex::build_from_lists(&entities, &types, threads)
+    }
+
+    /// [`build_with_threads`](LemmaIndex::build_with_threads) over raw lemma
+    /// lists: `entities[i]` / `types[i]` hold owner `i`'s lemmas. This is the
+    /// real build entry point — the catalog variant just collects the lists —
+    /// and it is what lets `crate::segment` build a [`LemmaIndex`] over a
+    /// contiguous *slice* of a catalog (owner ids local to the slice) with
+    /// the exact machinery, byte for byte, of a whole-catalog build.
+    pub(crate) fn build_from_lists(
+        entities: &[&[String]],
+        types: &[&[String]],
+        threads: usize,
+    ) -> LemmaIndex {
         let threads = resolve_threads(threads);
         let mut raw: Vec<(RefKind, u32, String)> = Vec::new();
-        for e in cat.entity_ids() {
-            for l in cat.entity_lemmas(e) {
-                raw.push((RefKind::Entity, e.raw(), l.clone()));
+        for (e, lemmas) in entities.iter().enumerate() {
+            for l in *lemmas {
+                raw.push((RefKind::Entity, e as u32, l.clone()));
             }
         }
-        for t in cat.type_ids() {
-            for l in cat.type_lemmas(t) {
-                raw.push((RefKind::Type, t.raw(), l.clone()));
+        for (t, lemmas) in types.iter().enumerate() {
+            for l in *lemmas {
+                raw.push((RefKind::Type, t as u32, l.clone()));
             }
         }
 
@@ -679,14 +700,7 @@ impl LemmaIndex {
             lemmas.push(lemma);
         }
 
-        LemmaIndex::assemble(
-            engine,
-            lemmas,
-            lemma_tokens,
-            cat.num_entities(),
-            cat.num_types(),
-            threads,
-        )
+        LemmaIndex::assemble(engine, lemmas, lemma_tokens, entities.len(), types.len(), threads)
     }
 
     /// Final assembly shared by [`build_with_threads`] and [`extend`]: CSR
@@ -1069,36 +1083,7 @@ impl LemmaIndex {
                 pos: 0,
             });
         }
-        let use_wand = match mode {
-            ProbeMode::Exhaustive => false,
-            ProbeMode::Wand => true,
-            // WAND pays for its cursor bookkeeping only when the candidate
-            // volume dwarfs what the shortlist keeps.
-            ProbeMode::Auto => scratch.wand_terms.len() >= 2 && total_postings > 8 * shortlist,
-        };
-        if use_wand {
-            wand_hits(postings, shortlist, scratch);
-        } else {
-            scratch.begin(self.lemmas.len());
-            for ti in 0..scratch.wand_terms.len() {
-                let WandTerm { ub: idf, start, end, .. } = scratch.wand_terms[ti];
-                // Slice iteration (not indexed access) keeps the hottest
-                // loop of the crate free of per-posting bounds checks.
-                for &li in &postings.values[start as usize..end as usize] {
-                    scratch.accumulate(li, idf);
-                }
-            }
-            let (touched, score, hits) = (&scratch.touched, &scratch.score, &mut scratch.hits);
-            hits.clear();
-            hits.extend(touched.iter().map(|&li| (li, score[li as usize])));
-            // Bounded selection: only the surviving shortlist is ever sorted.
-            if hits.len() > shortlist && shortlist > 0 {
-                hits.select_nth_unstable_by(shortlist - 1, |a, b| {
-                    b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
-                });
-                hits.truncate(shortlist);
-            }
-        }
+        run_overlap(postings, self.lemmas.len(), shortlist, mode, total_postings, scratch);
         let hits = &mut scratch.hits;
         for (li, score) in hits.iter_mut() {
             *score = cosine(&query.vec, &self.lemmas[*li as usize].doc.vec);
@@ -1215,6 +1200,45 @@ impl LemmaIndex {
         self.best_profile(query, self.type_lemmas.row(t.raw()))
     }
 
+    /// The posting CSR for one lemma kind (`crate::segment` fan-out hook).
+    pub(crate) fn postings(&self, kind: RefKind) -> &Csr {
+        match kind {
+            RefKind::Entity => &self.entity_postings,
+            RefKind::Type => &self.type_postings,
+        }
+    }
+
+    /// Lemma indices of one entity (id local to this index).
+    pub(crate) fn entity_lemma_row(&self, e: u32) -> &[u32] {
+        self.entity_lemmas.row(e)
+    }
+
+    /// Lemma indices of one type (id local to this index).
+    pub(crate) fn type_lemma_row(&self, t: u32) -> &[u32] {
+        self.type_lemmas.row(t)
+    }
+
+    /// A lemma's normalized text.
+    pub(crate) fn lemma_norm(&self, li: u32) -> &str {
+        &self.lemmas[li as usize].doc.norm
+    }
+
+    /// A lemma's owner id (local to this index).
+    pub(crate) fn lemma_owner(&self, li: u32) -> u32 {
+        self.lemmas[li as usize].owner
+    }
+
+    /// A lemma's stored in-order token-id sequence.
+    pub(crate) fn lemma_token_row(&self, li: u32) -> &[u32] {
+        self.lemma_tokens.row(li)
+    }
+
+    /// Total entity lemmas — also the count of leading lemma indices that
+    /// are entities (the build pushes every entity lemma before any type).
+    pub(crate) fn entity_lemma_total(&self) -> u32 {
+        self.entity_lemmas.values.len() as u32
+    }
+
     fn best_profile(&self, query: &TextDoc, lemma_idxs: &[u32]) -> StringSim {
         let mut best = StringSim::default();
         for &li in lemma_idxs {
@@ -1222,6 +1246,53 @@ impl LemmaIndex {
             best.max_with(&p);
         }
         best
+    }
+}
+
+/// The IDF-overlap pass shared by monolithic and segmented probes: consumes
+/// the query terms prepared in `scratch.wand_terms` (posting-row cursors in
+/// ascending token order) and leaves the top-`shortlist` `(lemma, overlap)`
+/// hits in `scratch.hits` — exactly the set the exhaustive pass would keep
+/// under (overlap desc, lemma id asc), in unspecified order. `num_lemmas`
+/// sizes the dense accumulator; `total_postings` feeds the
+/// [`ProbeMode::Auto`] heuristic.
+pub(crate) fn run_overlap(
+    postings: &Csr,
+    num_lemmas: usize,
+    shortlist: usize,
+    mode: ProbeMode,
+    total_postings: usize,
+    scratch: &mut ProbeScratch,
+) {
+    let use_wand = match mode {
+        ProbeMode::Exhaustive => false,
+        ProbeMode::Wand => true,
+        // WAND pays for its cursor bookkeeping only when the candidate
+        // volume dwarfs what the shortlist keeps.
+        ProbeMode::Auto => scratch.wand_terms.len() >= 2 && total_postings > 8 * shortlist,
+    };
+    if use_wand {
+        wand_hits(postings, shortlist, scratch);
+    } else {
+        scratch.begin(num_lemmas);
+        for ti in 0..scratch.wand_terms.len() {
+            let WandTerm { ub: idf, start, end, .. } = scratch.wand_terms[ti];
+            // Slice iteration (not indexed access) keeps the hottest
+            // loop of the crate free of per-posting bounds checks.
+            for &li in &postings.values[start as usize..end as usize] {
+                scratch.accumulate(li, idf);
+            }
+        }
+        let (touched, score, hits) = (&scratch.touched, &scratch.score, &mut scratch.hits);
+        hits.clear();
+        hits.extend(touched.iter().map(|&li| (li, score[li as usize])));
+        // Bounded selection: only the surviving shortlist is ever sorted.
+        if hits.len() > shortlist && shortlist > 0 {
+            hits.select_nth_unstable_by(shortlist - 1, |a, b| {
+                b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+            });
+            hits.truncate(shortlist);
+        }
     }
 }
 
@@ -1235,7 +1306,7 @@ impl LemmaIndex {
 /// candidate enters the full heap only with a strictly higher score — and a
 /// pivot whose upper bound (with [`WAND_SAFETY`] margin) cannot beat the
 /// current worst kept score is skipped without scoring.
-fn wand_hits(postings: &Csr, shortlist: usize, scratch: &mut ProbeScratch) {
+pub(crate) fn wand_hits(postings: &Csr, shortlist: usize, scratch: &mut ProbeScratch) {
     let terms = &mut scratch.wand_terms;
     let heap = &mut scratch.hits;
     heap.clear();

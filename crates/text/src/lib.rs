@@ -11,6 +11,7 @@
 
 pub mod engine;
 pub mod index;
+pub mod segment;
 pub mod sim;
 pub mod snapshot;
 pub mod tfidf;
@@ -21,6 +22,7 @@ pub use index::{
     ExtendError, IndexLayout, IndexedLemma, LemmaIndex, Match, ProbeMode, ProbeScratch, RefKind,
     DEFAULT_RESCORING_FACTOR,
 };
+pub use segment::{CandidateIndex, SegmentedIndex};
 pub use snapshot::SnapshotError;
 pub use tfidf::{cosine, soft_tfidf, soft_tfidf_with_oov, IdfTable, WeightedVec};
 pub use tokenize::{normalize, to_sorted_set, tokenize, Vocab};

@@ -113,7 +113,7 @@ fn main() {
     Manifest {
         generation: 1,
         catalog: "catalog.tsv".into(),
-        index: "index.snap".into(),
+        segments: vec!["index.snap".into()],
         tables: "tables-g1.json".into(),
     }
     .save_dir(&dir)

@@ -1,34 +1,73 @@
 #!/usr/bin/env python3
-"""Bench trend gate: the perf report must never silently lose coverage.
+"""Bench trend gate: coverage must never shrink, and the load-bearing
+groups must not regress.
 
-Compares the committed BENCH_candidates.json against a freshly generated
-one and fails if any (group, bench) row present in the committed report is
-missing from the fresh run — a renamed or dropped benchmark must show up
-as an explicit diff in the PR, not as a quietly shrinking report. Numbers
-are deliberately NOT gated: shared CI runners are far too noisy for that;
-the JSON artifact exists for trend tracking.
+Row coverage: fails if any (group, bench) row present in the committed
+BENCH_candidates.json is missing from the fresh run — a renamed or
+dropped benchmark must show up as an explicit diff in the PR, not as a
+quietly shrinking report.
 
-Usage: bench_trend_gate.py COMMITTED.json FRESH.json
+Numbers: most groups stay non-gating (shared CI runners are noisy), but
+the zero-copy-loader and candidate-generation groups are this repo's
+core perf claims, so rows in GATED_GROUP_PREFIXES fail when the fresh
+mean exceeds committed * (1 + TOLERANCE) + SLACK_US. The 25% tolerance
+plus a 1 µs absolute floor absorbs runner noise on both fast and slow
+rows; a real quadratic or an accidental deep copy blows way past it.
+
+More than one FRESH file may be given; each row gates on its minimum
+across the runs. Scheduler noise only ever *adds* time, so the best
+observation is the closest to the true cost — CI runs the quick report
+twice and a spike must reproduce in both runs to fail the gate.
+
+History: with --history PATH, appends one JSON line (label + every
+fresh row, min across runs) so CI can accumulate a cross-commit trend
+artifact.
+
+Usage: bench_trend_gate.py COMMITTED.json FRESH.json [FRESH2.json ...]
+           [--history PATH] [--label SHA]
 """
 
 import json
 import sys
 
+GATED_GROUP_PREFIXES = ("index_build/snapshot_load", "candidates/")
+TOLERANCE = 0.25
+SLACK_US = 1.0
 
-def rows(path: str) -> set[tuple[str, str]]:
+
+def load(path: str) -> dict[tuple[str, str], float]:
     with open(path, encoding="utf-8") as f:
         report = json.load(f)
     if report.get("schema") != "webtable-perf-report/v1":
         sys.exit(f"{path}: unknown schema {report.get('schema')!r}")
-    return {(r["group"], r["bench"]) for r in report["results"]}
+    return {(r["group"], r["bench"]): float(r["mean_us"]) for r in report["results"]}
+
+
+def gated(group: str) -> bool:
+    return any(group.startswith(p) for p in GATED_GROUP_PREFIXES)
 
 
 def main() -> None:
-    if len(sys.argv) != 3:
+    args = sys.argv[1:]
+    history_path = label = None
+    if "--history" in args:
+        i = args.index("--history")
+        history_path = args[i + 1]
+        del args[i : i + 2]
+    if "--label" in args:
+        i = args.index("--label")
+        label = args[i + 1]
+        del args[i : i + 2]
+    if len(args) < 2:
         sys.exit(__doc__)
-    committed, fresh = rows(sys.argv[1]), rows(sys.argv[2])
-    missing = sorted(committed - fresh)
-    added = sorted(fresh - committed)
+    committed = load(args[0])
+    fresh: dict[tuple[str, str], float] = {}
+    for path in args[1:]:
+        for key, mean_us in load(path).items():
+            fresh[key] = min(mean_us, fresh.get(key, mean_us))
+
+    missing = sorted(set(committed) - set(fresh))
+    added = sorted(set(fresh) - set(committed))
     for group, bench in added:
         print(f"new bench row: {group}/{bench}")
     if missing:
@@ -40,7 +79,43 @@ def main() -> None:
             "If a benchmark was intentionally renamed or removed, update the "
             "committed BENCH_candidates.json in the same PR."
         )
-    print(f"trend gate ok: {len(committed & fresh)} rows covered, {len(added)} new")
+
+    regressions = []
+    for key in sorted(set(committed) & set(fresh)):
+        group, bench = key
+        if not gated(group):
+            continue
+        limit = committed[key] * (1.0 + TOLERANCE) + SLACK_US
+        verdict = "REGRESSION" if fresh[key] > limit else "ok"
+        print(
+            f"{verdict}: {group}/{bench}: committed {committed[key]:.2f} µs, "
+            f"fresh {fresh[key]:.2f} µs (limit {limit:.2f})"
+        )
+        if fresh[key] > limit:
+            regressions.append(key)
+
+    if history_path:
+        entry = {
+            "label": label or "unlabeled",
+            "rows": [
+                {"group": g, "bench": b, "mean_us": fresh[(g, b)]}
+                for g, b in sorted(fresh)
+            ],
+        }
+        with open(history_path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"appended trend history to {history_path}")
+
+    if regressions:
+        for group, bench in regressions:
+            print(f"PERF REGRESSION: {group}/{bench}", file=sys.stderr)
+        sys.exit(
+            f"{len(regressions)} gated bench row(s) regressed more than "
+            f"{TOLERANCE:.0%} (+{SLACK_US} µs) vs the committed "
+            "BENCH_candidates.json. If the slowdown is intended, refresh the "
+            "committed report in the same PR and justify it there."
+        )
+    print(f"trend gate ok: {len(committed)} rows covered, {len(added)} new, 0 regressions")
 
 
 if __name__ == "__main__":

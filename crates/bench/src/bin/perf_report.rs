@@ -2,8 +2,10 @@
 //!
 //! Runs the `candidates/*` and `annotate/collective` workloads (the phases
 //! Figure 7 attributes ~80% of annotation time to) plus the corpus-scale
-//! `index_build/*` (parallel `LemmaIndex::build` and snapshot load vs
-//! rebuild) and `batch/*` (cross-table candidate cache) workloads with a
+//! `index_build/*` (parallel `LemmaIndex::build`; heap vs mmap snapshot
+//! load vs rebuild), `batch/*` (cross-table candidate cache), and
+//! `serve/load` (closed-loop HTTP serving latency/throughput over an
+//! in-process `webtable-serve`) workloads with a
 //! calibrated wall-clock timer and writes one JSON record per benchmark to
 //! `BENCH_candidates.json` at the **workspace root** (resolved from the
 //! crate's manifest directory, so CI and a human running from inside a
@@ -19,6 +21,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use webtable_bench::load::{annotate_smoke_body, run_closed_loop, LoadRequest};
 use webtable_bench::{batch_annotator, duplicate_heavy_corpus, fixture, tables};
 use webtable_core::{
     AnnotateRequest, AnnotatorConfig, CandidateScratch, StreamOptions, TableCandidates,
@@ -36,8 +39,13 @@ struct Record {
     iters_per_sample: u64,
 }
 
-/// Calibrates `f` so one sample takes ≳2 ms, then measures `samples`
-/// samples and returns the mean µs per call.
+/// Calibrates `f` so one sample takes ≳2 ms, runs four untimed warmup
+/// samples, then measures `samples` samples and returns the mean µs per
+/// call. The warmup pins the measurement to steady state: cache-backed
+/// workloads (the annotator's cell cache in `candidates/table/*`)
+/// otherwise report a mean that depends on the sample *count* — a
+/// 3-sample `--quick` run would sit ~40% above a 25-sample full run and
+/// the trend gate could never compare the two.
 fn measure(samples: usize, mut f: impl FnMut()) -> (f64, u64) {
     let mut iters = 1u64;
     loop {
@@ -49,6 +57,9 @@ fn measure(samples: usize, mut f: impl FnMut()) -> (f64, u64) {
             break;
         }
         iters *= 2;
+    }
+    for _ in 0..4 * iters {
+        f();
     }
     let mut total = Duration::ZERO;
     for _ in 0..samples {
@@ -132,6 +143,9 @@ fn main() {
     index.segments()[0].save(&snap_path).expect("snapshot save");
     record(&mut records, build_samples, "index_build/snapshot_load", "load", || {
         std::hint::black_box(LemmaIndex::load(&snap_path).expect("snapshot load"));
+    });
+    record(&mut records, build_samples, "index_build/snapshot_load", "mmap_load", || {
+        std::hint::black_box(LemmaIndex::load_mmap(&snap_path).expect("snapshot mmap load"));
     });
     record(&mut records, build_samples, "index_build/snapshot_load", "rebuild", || {
         std::hint::black_box(LemmaIndex::build_with_threads(catalog, 1));
@@ -268,6 +282,63 @@ fn main() {
                 std::hint::black_box(stream.count());
             },
         );
+    }
+
+    // --- serve/load: closed-loop HTTP serving — an in-process
+    //     webtable-serve over the demo data dir (segments mmap-loaded at
+    //     startup), driven by the shared load harness. The per-endpoint
+    //     rows carry request latency (p50/p99 in `mean_us`); the mixed
+    //     row reports mean latency with the sustained closed-loop
+    //     throughput in `ops_per_sec`. ---
+    {
+        let dir = std::env::temp_dir().join(format!("webtable-perf-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        webtable_server::demo::prepare_data_dir(&dir, 11).expect("prepare serve dir");
+        let initial = webtable_server::state::load_generation(&dir, 2).expect("load generation");
+        let state = std::sync::Arc::new(webtable_server::state::AppState::new(
+            dir.clone(),
+            initial,
+            Duration::from_secs(30),
+        ));
+        let config = webtable_server::server::ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            log_requests: false,
+        };
+        let handle =
+            webtable_server::server::serve("127.0.0.1:0", state, config).expect("bind perf server");
+        let addr = handle.addr().to_string();
+        let search_body =
+            std::fs::read_to_string(dir.join("sample-query.json")).expect("sample query");
+        let window = Duration::from_millis(if quick { 400 } else { 2_000 });
+        let mut push = |bench: &str, mean_us: f64, ops_per_sec: f64, n: usize| {
+            eprintln!("serve/load/{bench}: {mean_us:.2} µs ({ops_per_sec:.0} ops/s, n={n})");
+            records.push(Record {
+                group: "serve/load",
+                bench: bench.to_string(),
+                mean_us,
+                ops_per_sec,
+                samples: n,
+                iters_per_sample: 1,
+            });
+        };
+        let endpoints = [
+            ("search", LoadRequest::post("/v1/search", search_body.clone())),
+            ("annotate", LoadRequest::post("/v1/annotate", annotate_smoke_body())),
+        ];
+        for (label, req) in &endpoints {
+            let r = run_closed_loop(&addr, std::slice::from_ref(req), 2, window);
+            assert_eq!(r.status_5xx, 0, "serve/load {label}: {} 5xx responses", r.status_5xx);
+            push(&format!("{label}_p50"), r.p50_us, 1e6 / r.p50_us.max(1e-9), r.requests);
+            push(&format!("{label}_p99"), r.p99_us, 1e6 / r.p99_us.max(1e-9), r.requests);
+        }
+        let mixed: Vec<LoadRequest> =
+            endpoints.iter().map(|(_, r)| r.clone()).chain([LoadRequest::get("/health")]).collect();
+        let r = run_closed_loop(&addr, &mixed, 4, window);
+        assert_eq!(r.status_5xx, 0, "serve/load mixed: {} 5xx responses", r.status_5xx);
+        push("mixed", r.mean_us, r.throughput_rps, r.requests);
+        handle.stop();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     let mut json = String::new();

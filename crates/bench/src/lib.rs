@@ -12,6 +12,8 @@
 //! | `search`     | §5/Fig. 9 query latency: baseline vs typed processors |
 //! | `catalog`    | §4.2.3 catalog probes: `dist`, extents, relatedness |
 
+pub mod load;
+
 use std::sync::{Arc, OnceLock};
 
 use webtable_catalog::{generate_world, World, WorldConfig};

@@ -178,6 +178,37 @@ impl Annotator {
         Annotator::attach_segmented(catalog, SegmentedIndex::from_segments(parts), config)
     }
 
+    /// Builds an annotator from already-loaded per-segment indexes, in
+    /// manifest order. This is how a server assembles an annotator from
+    /// memory-mapped segments ([`LemmaIndex::load_mmap`]) — the loader
+    /// chooses how each segment's bytes reach memory, this constructor
+    /// only verifies catalog coverage. Fails with
+    /// [`Error::CatalogMismatch`] if the union of segments does not cover
+    /// the catalog (or if no segments are given).
+    pub fn from_lemma_segments(
+        catalog: Arc<Catalog>,
+        segments: Vec<Arc<LemmaIndex>>,
+    ) -> Result<Annotator, Error> {
+        Annotator::from_lemma_segments_with_config(catalog, segments, AnnotatorConfig::default())
+    }
+
+    /// [`from_lemma_segments`](Annotator::from_lemma_segments) with an
+    /// explicit configuration.
+    pub fn from_lemma_segments_with_config(
+        catalog: Arc<Catalog>,
+        segments: Vec<Arc<LemmaIndex>>,
+        config: AnnotatorConfig,
+    ) -> Result<Annotator, Error> {
+        if segments.is_empty() {
+            return Err(Error::CatalogMismatch {
+                snapshot: (0, 0),
+                catalog: (catalog.num_entities(), catalog.num_types()),
+                detail: "manifest lists no segments".to_string(),
+            });
+        }
+        Annotator::attach_segmented(catalog, SegmentedIndex::from_segments(segments), config)
+    }
+
     fn attach_index(
         catalog: Arc<Catalog>,
         index: LemmaIndex,

@@ -309,14 +309,18 @@ impl<'a> Parser<'a> {
                 }
                 _ if b < 0x20 => return Err(self.err("raw control byte in string")),
                 _ => {
-                    // Copy one UTF-8 character (pos already advanced past
-                    // the first byte).
-                    let rest = &self.bytes[self.pos - 1..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("non-utf8 string"))
-                        .and_then(|s| s.chars().next().ok_or_else(|| self.err("empty string")))?;
-                    out.push(s);
-                    self.pos += s.len_utf8() - 1;
+                    // Copy the longest run of plain bytes in one shot,
+                    // validating UTF-8 once per run (pos is already past
+                    // the first byte). Quote, backslash, and control
+                    // bytes can never appear inside a multi-byte
+                    // sequence, so stopping on them is safe.
+                    let run_start = self.pos - 1;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\' && b >= 0x20) {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[run_start..self.pos])
+                        .map_err(|_| self.err("non-utf8 string"))?;
+                    out.push_str(s);
                 }
             }
         }

@@ -1,0 +1,99 @@
+//! mmap vs heap at the annotator level: for every segment count an
+//! annotator assembled from memory-mapped segment snapshots must be
+//! indistinguishable — per-segment layout and digest, candidate probes,
+//! and full-table annotations — from one assembled from heap-loaded
+//! segments, and both from the freshly built index.
+
+use std::sync::Arc;
+
+use webtable_core::{AnnotateRequest, Annotator, TableAnnotation};
+use webtable_tables::{NoiseConfig, Table, TableGenerator, TruthMask};
+use webtable_text::{LemmaIndex, ProbeScratch, SegmentedIndex, DEFAULT_RESCORING_FACTOR};
+
+fn corpus(w: &webtable_catalog::World, seed: u64, n: usize, rows: usize) -> Vec<Table> {
+    let mut g = TableGenerator::new(w, NoiseConfig::web(), TruthMask::full(), seed);
+    g.gen_corpus(n, rows).into_iter().map(|lt| lt.table).collect()
+}
+
+fn assert_same_annotations(got: &[TableAnnotation], want: &[TableAnnotation], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.cell_entities, w.cell_entities, "{ctx}: table {i} entities");
+        assert_eq!(g.column_types, w.column_types, "{ctx}: table {i} types");
+        assert_eq!(g.relations, w.relations, "{ctx}: table {i} relations");
+    }
+}
+
+#[test]
+fn mmap_segments_match_heap_segments_at_every_count() {
+    let w = webtable_catalog::generate_world(&webtable_catalog::WorldConfig::tiny(17)).unwrap();
+    let tables = corpus(&w, 17, 4, 6);
+    let mono = Annotator::new(Arc::clone(&w.catalog));
+    let baseline = mono.run(&AnnotateRequest::new(&tables)).annotations;
+    let dir = std::env::temp_dir();
+    let mut scratch = ProbeScratch::new();
+
+    for num_segments in [1usize, 2, 4, 8] {
+        let built = SegmentedIndex::build_split(&w.catalog, num_segments, 1);
+        let mut heap_parts = Vec::new();
+        let mut mmap_parts = Vec::new();
+        let mut paths = Vec::new();
+        for (i, seg) in built.segments().iter().enumerate() {
+            let path = dir.join(format!(
+                "webtable-mmap-equiv-{}-{num_segments}-{i}.snap",
+                std::process::id()
+            ));
+            seg.save(&path).expect("save segment");
+            let heap = LemmaIndex::load(&path).expect("heap load");
+            let mapped = LemmaIndex::load_mmap(&path).expect("mmap load");
+
+            // Per-segment: digest and layout bit-identical, probes equal.
+            assert_eq!(mapped.content_digest(), seg.content_digest(), "segment {i} digest");
+            assert_eq!(mapped.content_digest(), heap.content_digest());
+            let (lm, lh) = (mapped.layout(), heap.layout());
+            assert_eq!(lm.entity_posting_offsets, lh.entity_posting_offsets);
+            assert_eq!(lm.entity_posting_values, lh.entity_posting_values);
+            assert_eq!(lm.type_posting_offsets, lh.type_posting_offsets);
+            assert_eq!(lm.type_posting_values, lh.type_posting_values);
+            for text in ["alpha", "beta gamma", ""] {
+                let (qm, qh) = (mapped.doc(text), heap.doc(text));
+                assert_eq!(
+                    mapped.entity_candidates_with(&qm, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+                    heap.entity_candidates_with(&qh, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+                    "segment {i}: {text:?}"
+                );
+            }
+
+            heap_parts.push(Arc::new(heap));
+            mmap_parts.push(Arc::new(mapped));
+            paths.push(path);
+        }
+
+        let heap_ann =
+            Annotator::from_lemma_segments(Arc::clone(&w.catalog), heap_parts).expect("heap");
+        let mmap_ann =
+            Annotator::from_lemma_segments(Arc::clone(&w.catalog), mmap_parts).expect("mmap");
+        assert_eq!(heap_ann.cache_fingerprint(), mmap_ann.cache_fingerprint());
+        let heap_out = heap_ann.run(&AnnotateRequest::new(&tables)).annotations;
+        let mmap_out = mmap_ann.run(&AnnotateRequest::new(&tables)).annotations;
+        assert_same_annotations(&mmap_out, &heap_out, &format!("{num_segments} segments"));
+        assert_same_annotations(&mmap_out, &baseline, &format!("{num_segments} vs build"));
+
+        for path in paths {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[test]
+fn from_lemma_segments_rejects_empty_and_partial_sets() {
+    let w = webtable_catalog::generate_world(&webtable_catalog::WorldConfig::tiny(21)).unwrap();
+    let err = Annotator::from_lemma_segments(Arc::clone(&w.catalog), Vec::new())
+        .expect_err("empty segment set must be rejected");
+    assert_eq!(err.code(), "catalog_mismatch");
+    let built = SegmentedIndex::build_split(&w.catalog, 3, 1);
+    let partial: Vec<_> = built.segments()[..2].to_vec();
+    let err = Annotator::from_lemma_segments(Arc::clone(&w.catalog), partial)
+        .expect_err("partial segment set must be rejected");
+    assert_eq!(err.code(), "catalog_mismatch");
+}

@@ -8,6 +8,7 @@
 //! observably changes search results while annotate stays
 //! catalog-compatible.
 
+use std::io::Write;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -15,7 +16,7 @@ use webtable_catalog::{generate_world, CatalogBuilder, WorldConfig};
 use webtable_core::Annotator;
 use webtable_search::wire::encode_query;
 use webtable_search::{EntityQuery, Query};
-use webtable_tables::{NoiseConfig, Table, TableGenerator, TruthMask};
+use webtable_tables::{NoiseConfig, ReusePolicy, Table, TableGenerator, TruthMask};
 
 use crate::error::ServeError;
 use crate::manifest::Manifest;
@@ -76,6 +77,63 @@ pub fn prepare_data_dir(dir: &Path, seed: u64) -> Result<(), ServeError> {
         catalog: "catalog.tsv".into(),
         segments: vec!["index.snap".into()],
         tables: "tables-g1.json".into(),
+    }
+    .save_dir(dir)
+}
+
+/// Builds a scale data directory: the usual catalog + snapshot, plus a
+/// synthetic corpus of `num_tables` tables streamed straight to disk
+/// (the corpus is never held in memory, so 10⁵–10⁶ tables is fine).
+/// The generator uses web-shaped zipfian reuse — a few relations
+/// dominate, and entity spellings repeat verbatim — so the serving
+/// layer's caches see realistic hit rates instead of an adversarial
+/// all-distinct corpus.
+pub fn prepare_scale_data_dir(dir: &Path, seed: u64, num_tables: usize) -> Result<(), ServeError> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err("creating data dir", e))?;
+    let world = generate_world(&WorldConfig::tiny(seed))
+        .map_err(|e| ServeError::Manifest(format!("world generation: {e}")))?;
+    webtable_catalog::io::save_catalog(&world.catalog, dir.join("catalog.tsv"))?;
+
+    let annotator = Annotator::new(Arc::clone(&world.catalog));
+    annotator.save_snapshot(dir.join("index.snap"))?;
+
+    let policy = ReusePolicy::web();
+    let mut generator =
+        TableGenerator::new(&world, NoiseConfig::web(), TruthMask::full(), seed).with_reuse(policy);
+    let corpus_path = dir.join("tables-scale.json");
+    let file =
+        std::fs::File::create(&corpus_path).map_err(|e| io_err("creating tables-scale.json", e))?;
+    let mut out = std::io::BufWriter::new(file);
+    let write_err = |e| io_err("writing tables-scale.json", e);
+    out.write_all(b"{\"tables\":[").map_err(write_err)?;
+    for (i, lt) in generator.gen_corpus_iter(num_tables, 8, policy.relation_skew).enumerate() {
+        if i > 0 {
+            out.write_all(b",").map_err(write_err)?;
+        }
+        out.write_all(webtable_core::wire::table_to_json(&lt.table).encode().as_bytes())
+            .map_err(write_err)?;
+    }
+    out.write_all(b"]}").map_err(write_err)?;
+    out.flush().map_err(write_err)?;
+
+    let (_, director) = world.oracle.relation(world.relations.directed).tuples[0];
+    let sample = Query::Typed {
+        query: EntityQuery {
+            relation: world.relations.directed,
+            t1: world.types.movie,
+            t2: world.types.director,
+            e2: director,
+        },
+        use_relations: false,
+    };
+    std::fs::write(dir.join("sample-query.json"), encode_query(&sample))
+        .map_err(|e| io_err("writing sample-query.json", e))?;
+
+    Manifest {
+        generation: 1,
+        catalog: "catalog.tsv".into(),
+        segments: vec!["index.snap".into()],
+        tables: "tables-scale.json".into(),
     }
     .save_dir(dir)
 }
@@ -215,6 +273,17 @@ mod tests {
         assert_eq!(g2.engine.corpus().len(), GEN2_TABLES);
         // Same catalog + snapshot: the annotators agree bit-for-bit.
         assert_eq!(g1.annotator.cache_fingerprint(), g2.annotator.cache_fingerprint());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scale_data_dir_streams_a_loadable_corpus() {
+        let dir = std::env::temp_dir().join(format!("webtable-scale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        prepare_scale_data_dir(&dir, 11, 200).unwrap();
+        let g = load_generation(&dir, 2).unwrap();
+        assert_eq!(g.generation, 1);
+        assert_eq!(g.engine.corpus().len(), 200);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

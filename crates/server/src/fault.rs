@@ -284,18 +284,44 @@ pub fn hit(point: FaultPoint) -> io::Result<()> {
 pub fn read(point: FaultPoint, path: &Path) -> io::Result<Vec<u8>> {
     match active(point) {
         None => std::fs::read(path),
-        Some((FaultAction::IoError, _, _)) => Err(injected(point)),
-        Some((FaultAction::LatencyMs(ms), _, _)) => {
+        Some(armed) => apply_read_action(armed, point, path),
+    }
+}
+
+/// Like [`read`], but lets the healthy path skip the heap read
+/// entirely: `Ok(None)` means no fault rule was consumed — load the
+/// file however you like (the generation loader memory-maps it). When a
+/// rule *is* armed this consumes exactly one fault (the same budget
+/// [`read`] would) and returns the corrupted-or-delayed bytes, so chaos
+/// plans exercise the identical failure surface regardless of how the
+/// healthy path reaches the bytes.
+#[inline]
+pub fn read_intercept(point: FaultPoint, path: &Path) -> io::Result<Option<Vec<u8>>> {
+    match active(point) {
+        None => Ok(None),
+        Some(armed) => apply_read_action(armed, point, path).map(Some),
+    }
+}
+
+/// One consumed fault applied to a whole-file read.
+fn apply_read_action(
+    (action, hit, seed): (FaultAction, u64, u64),
+    point: FaultPoint,
+    path: &Path,
+) -> io::Result<Vec<u8>> {
+    match action {
+        FaultAction::IoError => Err(injected(point)),
+        FaultAction::LatencyMs(ms) => {
             std::thread::sleep(Duration::from_millis(ms));
             std::fs::read(path)
         }
-        Some((FaultAction::Panic, _, _)) => panic!("injected panic at {}", point.name()),
-        Some((FaultAction::Truncate(keep), _, _)) => {
+        FaultAction::Panic => panic!("injected panic at {}", point.name()),
+        FaultAction::Truncate(keep) => {
             let mut bytes = std::fs::read(path)?;
             bytes.truncate(keep.min(bytes.len()));
             Ok(bytes)
         }
-        Some((FaultAction::BitFlip, hit, seed)) => {
+        FaultAction::BitFlip => {
             let mut bytes = std::fs::read(path)?;
             if !bytes.is_empty() {
                 // Middle of the file, nudged deterministically by the

@@ -1,11 +1,11 @@
 //! `webtable-serve`: the serving binary.
 //!
 //! ```text
-//! webtable-serve prepare --data DIR [--seed N]    build a demo data dir
+//! webtable-serve prepare --data DIR [--seed N] [--tables N]   build a demo (or scale) data dir
 //! webtable-serve promote --data DIR               promote it to the next generation
 //! webtable-serve grow    --data DIR               append a catalog delta as a new index segment
 //! webtable-serve serve   --data DIR [--addr A] [--workers N] [--queue N]
-//!                        [--timeout-ms N] [--quiet]
+//!                        [--timeout-ms N] [--annotate-workers N] [--quiet]
 //! webtable-serve client  --addr A METHOD PATH [BODY]
 //! ```
 //!
@@ -87,12 +87,26 @@ fn data_dir(value: Option<String>) -> Result<PathBuf, String> {
 }
 
 fn cmd_prepare(args: &[String]) -> Result<(), String> {
-    let (mut data, mut seed) = (None, None);
-    parse_flags(args, &mut [("--data", &mut data), ("--seed", &mut seed)])?;
+    let (mut data, mut seed, mut tables) = (None, None, None);
+    parse_flags(
+        args,
+        &mut [("--data", &mut data), ("--seed", &mut seed), ("--tables", &mut tables)],
+    )?;
     let dir = data_dir(data)?;
     let seed: u64 = seed.as_deref().unwrap_or("11").parse().map_err(|_| "bad --seed")?;
-    demo::prepare_data_dir(&dir, seed).map_err(|e| e.to_string())?;
-    println!("prepared {} (generation 1 of 2)", dir.display());
+    match tables {
+        // `--tables N` switches to the scale generator: a zipfian-reuse
+        // corpus of N tables streamed to disk, one generation only.
+        Some(n) => {
+            let n: usize = n.parse().map_err(|_| "bad --tables")?;
+            demo::prepare_scale_data_dir(&dir, seed, n).map_err(|e| e.to_string())?;
+            println!("prepared {} ({n} tables, scale corpus)", dir.display());
+        }
+        None => {
+            demo::prepare_data_dir(&dir, seed).map_err(|e| e.to_string())?;
+            println!("prepared {} (generation 1 of 2)", dir.display());
+        }
+    }
     Ok(())
 }
 
@@ -115,8 +129,8 @@ fn cmd_grow(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let (mut data, mut addr, mut workers, mut queue, mut timeout_ms) =
-        (None, None, None, None, None);
+    let (mut data, mut addr, mut workers, mut queue, mut timeout_ms, mut annotate_workers) =
+        (None, None, None, None, None, None);
     let positional = parse_flags(
         args,
         &mut [
@@ -125,6 +139,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             ("--workers", &mut workers),
             ("--queue", &mut queue),
             ("--timeout-ms", &mut timeout_ms),
+            ("--annotate-workers", &mut annotate_workers),
         ],
     )?;
     let quiet = positional.iter().any(|a| a == "--quiet");
@@ -134,11 +149,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let queue: usize = queue.as_deref().unwrap_or("64").parse().map_err(|_| "bad --queue")?;
     let timeout_ms: u64 =
         timeout_ms.as_deref().unwrap_or("30000").parse().map_err(|_| "bad --timeout-ms")?;
+    // Startup annotation parallelism (corpus → search engine). Output is
+    // identical at any setting; large corpora start up faster with more.
+    let annotate_workers: usize =
+        annotate_workers.as_deref().unwrap_or("2").parse().map_err(|_| "bad --annotate-workers")?;
 
     // Recovering load: clean stale tmp files, fall back to
     // MANIFEST.last-good on a corrupt manifest, refuse to start only
     // when no valid generation exists at all.
-    let (initial, report) = load_generation_recovering(&dir, 2).map_err(|e| e.to_string())?;
+    let (initial, report) =
+        load_generation_recovering(&dir, annotate_workers).map_err(|e| e.to_string())?;
     let generation = initial.generation;
     let state = Arc::new(AppState::new(dir, initial, Duration::from_millis(timeout_ms)));
     if report.recovered {

@@ -25,6 +25,7 @@ use webtable_core::wire::{table_from_json, Json};
 use webtable_core::{Annotator, CellCandidateCache};
 use webtable_search::SearchEngine;
 use webtable_tables::Table;
+use webtable_text::{LemmaIndex, SectionSource};
 
 use crate::error::ServeError;
 use crate::fault::{self, FaultPoint};
@@ -102,19 +103,38 @@ pub fn load_manifest(
     workers: usize,
 ) -> Result<Generation, ServeError> {
     let catalog = Arc::new(webtable_catalog::io::load_catalog(dir.join(&manifest.catalog))?);
-    // One snapshot per segment (a v1 manifest has exactly one). Each
-    // read passes through the fault point, so corrupting any single
-    // segment fails this load — and only this load; the serving
-    // generation is untouched.
-    let mut segment_bytes = Vec::with_capacity(manifest.segments.len());
+    // One snapshot per segment (a v1 manifest has exactly one), each
+    // memory-mapped in place: the numeric index tables stay in the page
+    // cache and are shared physically across every process serving the
+    // same snapshot. The `snapshot_read` fault point still intercepts
+    // each segment — an armed plan consumes its budget and delivers the
+    // corrupted bytes through the heap decoder, so chaos coverage is
+    // unchanged by the mmap path; corrupting any single segment fails
+    // this load — and only this load; the serving generation is
+    // untouched.
+    let mut segments = Vec::with_capacity(manifest.segments.len());
     for seg in &manifest.segments {
         let snap_path = dir.join(seg);
-        let bytes = fault::read(FaultPoint::SnapshotRead, &snap_path).map_err(|source| {
-            ServeError::Io { context: format!("reading {}", snap_path.display()), source }
-        })?;
-        segment_bytes.push(bytes);
+        let io_err =
+            |source| ServeError::Io { context: format!("reading {}", snap_path.display()), source };
+        let index =
+            match fault::read_intercept(FaultPoint::SnapshotRead, &snap_path).map_err(io_err)? {
+                Some(bytes) => LemmaIndex::from_snapshot_bytes(&bytes),
+                None => match SectionSource::map_path(&snap_path) {
+                    Ok(src) => LemmaIndex::from_snapshot_source(src),
+                    Err(e) => {
+                        warn_event(
+                            "mmap_fallback",
+                            &format!("heap-loading {}: {e}", snap_path.display()),
+                        );
+                        LemmaIndex::load(&snap_path)
+                    }
+                },
+            }
+            .map_err(webtable_core::Error::from)?;
+        segments.push(Arc::new(index));
     }
-    let annotator = Annotator::from_segment_snapshots_bytes(Arc::clone(&catalog), &segment_bytes)?;
+    let annotator = Annotator::from_lemma_segments(Arc::clone(&catalog), segments)?;
     let tables_path = dir.join(&manifest.tables);
     let table_bytes = fault::read(FaultPoint::CorpusRead, &tables_path).map_err(|source| {
         ServeError::Io { context: format!("reading {}", tables_path.display()), source }

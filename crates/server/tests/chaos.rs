@@ -196,6 +196,39 @@ fn persistent_swap_fault_degrades_then_recovers() {
 }
 
 #[test]
+fn mmap_load_path_is_zero_copy_and_still_intercepted() {
+    let _chaos = lock();
+    fault::disarm();
+    let dir = std::env::temp_dir().join(format!("webtable-chaos-mmap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    demo::prepare_data_dir(&dir, common::SEED).unwrap();
+    // A healthy load memory-maps each segment: the index views the
+    // snapshot pages instead of owning a decoded copy.
+    let generation = webtable_server::state::load_generation(&dir, 2).expect("healthy load");
+    if cfg!(target_endian = "little") {
+        for seg in generation.annotator.index.segments() {
+            assert!(seg.is_zero_copy(), "segment must view its mapped snapshot");
+        }
+    }
+    // The snapshot_read fault point still intercepts the mmap path: an
+    // armed plan routes the read through the corrupting heap loader,
+    // which surfaces a typed snapshot error — never UB, never a panic.
+    {
+        let _g = fault::arm(Arc::new(FaultPlan::new(9).fail(
+            FaultPoint::SnapshotRead,
+            FaultAction::BitFlip,
+            1,
+        )));
+        let err =
+            webtable_server::state::load_generation(&dir, 2).expect_err("bit flip must fail load");
+        assert_eq!(err.code(), "snapshot");
+    }
+    // Budget spent and disarmed: the next load is healthy and mmapped.
+    assert!(webtable_server::state::load_generation(&dir, 2).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corpus_and_manifest_and_build_faults_are_typed() {
     let _chaos = lock();
     let srv = TestServer::start_with_retry("chaos-typed", RetryPolicy::immediate(1));

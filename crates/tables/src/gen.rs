@@ -5,6 +5,8 @@
 //! paper's human annotators plus the organic Web: the facts in a table are
 //! true in the oracle; the strings in the cells are corrupted mentions.
 
+use std::collections::HashMap;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -12,6 +14,51 @@ use webtable_catalog::{EntityId, RelationId, World};
 
 use crate::noise::{corrupt_mention, NoiseConfig};
 use crate::table::{GroundTruth, LabeledTable, Table, TableId};
+
+/// Zipfian reuse knobs for web-scale corpora. Real web tables do not
+/// mint a fresh spelling for every mention: a handful of popular
+/// relations dominate the corpus, and each entity circulates in a few
+/// canonical spellings that repeat verbatim across thousands of tables.
+/// That repetition is what downstream caches (the candidate cache, the
+/// page cache under an mmapped index) exploit, so a scale corpus
+/// without it would flatter nothing and stress the wrong paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReusePolicy {
+    /// Zipf exponent for relation popularity: the table share of the
+    /// rank-`r` relation is ∝ `(r+1)^-relation_skew` (≈1.0 matches the
+    /// classic web skew; 0.0 is uniform).
+    pub relation_skew: f64,
+    /// Maximum distinct rendered spellings cached per entity; once the
+    /// pool is full every further mention reuses one.
+    pub variants_per_entity: usize,
+    /// Probability a mention reuses a cached spelling when the pool is
+    /// non-empty but not yet full.
+    pub reuse_rate: f64,
+}
+
+impl ReusePolicy {
+    /// Web-shaped defaults: strong relation skew, three spellings per
+    /// entity, and heavy verbatim reuse.
+    pub fn web() -> ReusePolicy {
+        ReusePolicy { relation_skew: 1.05, variants_per_entity: 3, reuse_rate: 0.85 }
+    }
+}
+
+/// Samples a 0-based rank in `[0, n)` with weight `(rank+1)^-skew`.
+/// Linear inverse-CDF scan: `n` is a relation count or a per-entity
+/// variant pool, both small.
+fn zipf_rank(rng: &mut StdRng, n: usize, skew: f64) -> usize {
+    debug_assert!(n > 0);
+    let total: f64 = (1..=n).map(|r| (r as f64).powf(-skew)).sum();
+    let mut t = rng.gen_range(0.0..total);
+    for r in 0..n {
+        t -= ((r + 1) as f64).powf(-skew);
+        if t <= 0.0 {
+            return r;
+        }
+    }
+    n - 1
+}
 
 /// Which ground-truth layers a generated dataset records (Figure 5 shows
 /// that e.g. Wiki Link has entity labels only, Web Relations only relation
@@ -51,12 +98,32 @@ pub struct TableGenerator<'w> {
     mask: TruthMask,
     rng: StdRng,
     next_id: u64,
+    reuse: Option<ReusePolicy>,
+    variant_cache: HashMap<EntityId, Vec<String>>,
 }
 
 impl<'w> TableGenerator<'w> {
     /// Creates a generator with the given noise model and truth mask.
     pub fn new(world: &'w World, noise: NoiseConfig, mask: TruthMask, seed: u64) -> Self {
-        TableGenerator { world, noise, mask, rng: StdRng::seed_from_u64(seed), next_id: 0 }
+        TableGenerator {
+            world,
+            noise,
+            mask,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            reuse: None,
+            variant_cache: HashMap::new(),
+        }
+    }
+
+    /// Enables zipfian mention reuse (see [`ReusePolicy`]): entity cell
+    /// text is drawn from a small cached pool of rendered spellings, the
+    /// lowest-ranked (earliest) spellings zipf-weighted most popular.
+    /// Without this every mention is corrupted independently — fine for
+    /// bench-sized corpora, unrealistic at 10⁵–10⁶ tables.
+    pub fn with_reuse(mut self, policy: ReusePolicy) -> Self {
+        self.reuse = Some(policy);
+        self
     }
 
     /// Generates one table for a uniformly random relation.
@@ -76,6 +143,62 @@ impl<'w> TableGenerator<'w> {
                 self.gen_table(rows)
             })
             .collect()
+    }
+
+    /// Generates `n` tables lazily, drawing relations zipf-weighted by
+    /// `relation_skew` so a handful of popular relations dominate the
+    /// corpus (as on the web). Suitable for 10⁵–10⁶-table corpora: each
+    /// table is rendered on demand, so callers can stream to disk
+    /// without holding the corpus in memory.
+    pub fn gen_corpus_iter(
+        &mut self,
+        n: usize,
+        avg_rows: usize,
+        relation_skew: f64,
+    ) -> impl Iterator<Item = LabeledTable> + use<'_, 'w> {
+        let nb = self.world.oracle.num_relations();
+        (0..n).map(move |_| {
+            let b = RelationId(zipf_rank(&mut self.rng, nb, relation_skew) as u32);
+            let lo = (avg_rows / 2).max(2);
+            let hi = (avg_rows * 3 / 2).max(lo + 1);
+            let rows = self.rng.gen_range(lo..=hi);
+            self.gen_table_for_relation(b, rows)
+        })
+    }
+
+    /// Renders a brand-new spelling for `e`: synonym choice, then
+    /// character-level corruption per the noise model.
+    fn render_fresh(&mut self, e: EntityId) -> String {
+        let lemmas = self.world.oracle.entity_lemmas(e);
+        let lemma = if lemmas.len() > 1 && self.rng.gen_bool(self.noise.synonym_rate) {
+            lemmas[1 + self.rng.gen_range(0..lemmas.len() - 1)].clone()
+        } else {
+            // Prefer the bare mention over a qualified canonical name
+            // when one exists (films are mentioned by title, not
+            // "Title (film)").
+            lemmas.iter().find(|l| !l.contains('(')).unwrap_or(&lemmas[0]).clone()
+        };
+        corrupt_mention(&lemma, &self.noise, &mut self.rng)
+    }
+
+    /// Renders the cell text for `e`, consulting the reuse policy: once
+    /// an entity has cached spellings, most mentions repeat one of them
+    /// verbatim (zipf-weighted toward the earliest) instead of being
+    /// corrupted independently.
+    fn render_mention(&mut self, e: EntityId) -> String {
+        let Some(policy) = self.reuse else {
+            return self.render_fresh(e);
+        };
+        let have = self.variant_cache.get(&e).map_or(0, Vec::len);
+        if have > 0 && (have >= policy.variants_per_entity || self.rng.gen_bool(policy.reuse_rate))
+        {
+            let i = zipf_rank(&mut self.rng, have, 1.0);
+            self.variant_cache[&e][i].clone()
+        } else {
+            let s = self.render_fresh(e);
+            self.variant_cache.entry(e).or_default().push(s.clone());
+            s
+        }
     }
 
     /// Generates one table expressing relation `b`, with up to
@@ -129,18 +252,6 @@ impl<'w> TableGenerator<'w> {
             left_entities.push(e1);
             right_entities.push(e2);
         }
-        let render = |gen: &mut Self, e: EntityId| -> String {
-            let lemmas = gen.world.oracle.entity_lemmas(e);
-            let lemma = if lemmas.len() > 1 && gen.rng.gen_bool(gen.noise.synonym_rate) {
-                lemmas[1 + gen.rng.gen_range(0..lemmas.len() - 1)].clone()
-            } else {
-                // Prefer the bare mention over a qualified canonical name
-                // when one exists (films are mentioned by title, not
-                // "Title (film)").
-                lemmas.iter().find(|l| !l.contains('(')).unwrap_or(&lemmas[0]).clone()
-            };
-            corrupt_mention(&lemma, &gen.noise, &mut gen.rng)
-        };
         // With some probability a cell mentions an entity *outside* the
         // catalog: the mention keeps the shape of a real one (shared
         // tokens attract spurious candidates) but its ground truth is na.
@@ -148,10 +259,10 @@ impl<'w> TableGenerator<'w> {
             if gen.noise.unknown_entity_rate > 0.0
                 && gen.rng.gen_bool(gen.noise.unknown_entity_rate)
             {
-                let base = render(gen, e);
+                let base = gen.render_mention(e);
                 (unknown_mention(&base, &mut gen.rng), None)
             } else {
-                (render(gen, e), Some(e))
+                (gen.render_mention(e), Some(e))
             }
         };
         let left_cells: Vec<(String, Option<EntityId>)> =
@@ -460,5 +571,78 @@ mod tests {
         let avg: f64 =
             corpus.iter().map(|t| t.table.num_rows() as f64).sum::<f64>() / corpus.len() as f64;
         assert!(avg > 5.0 && avg < 20.0, "avg {avg}");
+    }
+
+    /// Counts distinct cell strings in entity-truth cells across a corpus.
+    fn distinct_entity_cells(corpus: &[LabeledTable]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for lt in corpus {
+            for (&(r, c), gold) in &lt.truth.cell_entities {
+                if gold.is_some() {
+                    seen.insert(lt.table.cell(r, c).to_string());
+                }
+            }
+        }
+        seen.len()
+    }
+
+    #[test]
+    fn reuse_policy_shrinks_distinct_spellings() {
+        let w = world();
+        // Heavy corruption so independent renders rarely collide.
+        let noise = NoiseConfig::web();
+        let fresh = {
+            let mut g = TableGenerator::new(&w, noise.clone(), TruthMask::full(), 21);
+            g.gen_corpus(40, 10)
+        };
+        let reused = {
+            let mut g = TableGenerator::new(&w, noise, TruthMask::full(), 21)
+                .with_reuse(ReusePolicy::web());
+            g.gen_corpus(40, 10)
+        };
+        let d_fresh = distinct_entity_cells(&fresh);
+        let d_reused = distinct_entity_cells(&reused);
+        assert!(
+            d_reused < d_fresh,
+            "zipfian reuse must shrink the distinct-spelling pool: {d_reused} vs {d_fresh}"
+        );
+        // The pool is bounded: at most variants_per_entity spellings per
+        // entity (plus unknown-mention decorations, absent under web()).
+        let cap = w.oracle.num_entities() * ReusePolicy::web().variants_per_entity;
+        assert!(d_reused <= cap, "{d_reused} spellings exceeds the {cap} variant cap");
+    }
+
+    #[test]
+    fn corpus_iter_is_deterministic_and_streams_n_tables() {
+        let w = world();
+        let mk = || {
+            let mut g = TableGenerator::new(&w, NoiseConfig::web(), TruthMask::full(), 13)
+                .with_reuse(ReusePolicy::web());
+            g.gen_corpus_iter(25, 8, 1.05).collect::<Vec<_>>()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.len(), 25);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.table, y.table);
+            assert_eq!(x.truth, y.truth);
+        }
+    }
+
+    #[test]
+    fn zipf_rank_favors_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..4000 {
+            counts[zipf_rank(&mut rng, 8, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[3], "rank 0 must beat rank 3: {counts:?}");
+        assert!(counts[0] > counts[7], "rank 0 must beat rank 7: {counts:?}");
+        // Uniform draw: skew 0 keeps every rank in play.
+        let mut counts0 = [0usize; 8];
+        for _ in 0..4000 {
+            counts0[zipf_rank(&mut rng, 8, 0.0)] += 1;
+        }
+        assert!(counts0.iter().all(|&c| c > 0), "skew 0 is uniform: {counts0:?}");
     }
 }

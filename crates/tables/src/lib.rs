@@ -12,6 +12,6 @@ pub mod html;
 pub mod noise;
 pub mod table;
 
-pub use gen::{TableGenerator, TruthMask};
+pub use gen::{ReusePolicy, TableGenerator, TruthMask};
 pub use noise::NoiseConfig;
 pub use table::{Dataset, DatasetSummary, Gold, GroundTruth, LabeledTable, Table, TableId};

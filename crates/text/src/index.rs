@@ -65,6 +65,7 @@ use std::ops::Range;
 use webtable_catalog::{Catalog, EntityId, TypeId};
 
 use crate::engine::{SimEngine, SimEngineBuilder, StringSim, TextDoc};
+use crate::mmap::NumericSlice;
 use crate::tfidf::{cosine, IdfTable};
 use crate::tokenize::{normalize, to_sorted_set, tokenize, Vocab};
 
@@ -113,11 +114,13 @@ pub enum ProbeMode {
 }
 
 /// A CSR (compressed sparse row) map from a dense `u32` key to a flat slice
-/// of `u32` values: `values[offsets[k]..offsets[k+1]]`.
+/// of `u32` values: `values[offsets[k]..offsets[k+1]]`. Both arrays live in
+/// a [`NumericSlice`], so a snapshot-loaded index reads them zero-copy out
+/// of the mapped file; build paths always construct them owned.
 #[derive(Debug, Clone)]
 pub(crate) struct Csr {
-    pub(crate) offsets: Vec<u32>,
-    pub(crate) values: Vec<u32>,
+    pub(crate) offsets: NumericSlice<u32>,
+    pub(crate) values: NumericSlice<u32>,
 }
 
 /// Raw `*mut` wrapper so scoped workers can fill disjoint slots of one
@@ -223,19 +226,29 @@ impl Csr {
                 }
             });
         }
-        Csr { offsets, values }
+        Csr { offsets: offsets.into(), values: values.into() }
     }
 
     /// An empty map with zero rows (rows are appended with
     /// [`push_row`](Csr::push_row)).
     pub(crate) fn empty() -> Csr {
-        Csr { offsets: vec![0], values: Vec::new() }
+        Csr { offsets: vec![0].into(), values: Vec::new().into() }
+    }
+
+    /// Wraps already-validated arrays (the snapshot-load path; possibly
+    /// zero-copy views into the snapshot source).
+    pub(crate) fn from_parts(offsets: NumericSlice<u32>, values: NumericSlice<u32>) -> Csr {
+        Csr { offsets, values }
     }
 
     /// Appends one row holding `values` (row key = current row count).
     pub(crate) fn push_row(&mut self, values: &[u32]) {
-        self.values.extend_from_slice(values);
-        self.offsets.push(self.values.len() as u32);
+        let total = {
+            let vals = self.values.make_mut();
+            vals.extend_from_slice(values);
+            vals.len() as u32
+        };
+        self.offsets.make_mut().push(total);
     }
 
     /// Number of rows.
@@ -462,9 +475,9 @@ pub struct LemmaIndex {
     pub(crate) type_lemmas: Csr,
     /// token id → max IDF-overlap contribution of its entity posting row
     /// (the token IDF; 0 for empty rows). WAND skip bounds.
-    pub(crate) entity_token_ub: Vec<f64>,
+    pub(crate) entity_token_ub: NumericSlice<f64>,
     /// token id → max contribution of its type posting row.
-    pub(crate) type_token_ub: Vec<f64>,
+    pub(crate) type_token_ub: NumericSlice<f64>,
     /// Build-time digest of the whole index content (see
     /// [`content_digest`](LemmaIndex::content_digest)).
     pub(crate) content_digest: u64,
@@ -736,8 +749,8 @@ impl LemmaIndex {
                 .map(|tok| if csr.row(tok).is_empty() { 0.0 } else { engine.idf().idf(tok) })
                 .collect()
         };
-        let entity_token_ub = ub_table(&entity_postings);
-        let type_token_ub = ub_table(&type_postings);
+        let entity_token_ub: NumericSlice<f64> = ub_table(&entity_postings).into();
+        let type_token_ub: NumericSlice<f64> = ub_table(&type_postings).into();
 
         let mut idx = LemmaIndex {
             engine,
@@ -975,8 +988,8 @@ impl LemmaIndex {
         let mut pair_words: Vec<u64> = Vec::with_capacity(pair_count + self.lemmas.len());
         for l in &self.lemmas {
             pair_words.push(l.doc.vec.pairs().len() as u64);
-            for &(tok, w) in l.doc.vec.pairs() {
-                pair_words.push(((w.to_bits() as u64) << 32) | tok as u64);
+            for p in l.doc.vec.pairs() {
+                pair_words.push(((p.weight.to_bits() as u64) << 32) | p.token as u64);
             }
         }
         pair_words.hash(&mut h);
@@ -1011,6 +1024,15 @@ impl LemmaIndex {
     /// Number of indexed lemmas.
     pub fn num_lemmas(&self) -> usize {
         self.lemmas.len()
+    }
+
+    /// True when the numeric tables view a snapshot buffer (heap or
+    /// mapped) in place instead of owning their elements — i.e. the index
+    /// came off the zero-copy load path, not a fresh build. Probing for
+    /// one representative table is enough: the loader wires all of them
+    /// from the same source. Used by tests and startup logs.
+    pub fn is_zero_copy(&self) -> bool {
+        self.entity_postings.values.is_view()
     }
 
     /// A digest of the full index content: every lemma's kind, owner, and

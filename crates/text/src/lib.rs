@@ -11,6 +11,7 @@
 
 pub mod engine;
 pub mod index;
+pub mod mmap;
 pub mod segment;
 pub mod sim;
 pub mod snapshot;
@@ -22,7 +23,8 @@ pub use index::{
     ExtendError, IndexLayout, IndexedLemma, LemmaIndex, Match, ProbeMode, ProbeScratch, RefKind,
     DEFAULT_RESCORING_FACTOR,
 };
+pub use mmap::{Mapping, NumericSlice, SectionSource};
 pub use segment::{CandidateIndex, SegmentedIndex};
 pub use snapshot::SnapshotError;
-pub use tfidf::{cosine, soft_tfidf, soft_tfidf_with_oov, IdfTable, WeightedVec};
+pub use tfidf::{cosine, soft_tfidf, soft_tfidf_with_oov, IdfTable, TokenWeight, WeightedVec};
 pub use tokenize::{normalize, to_sorted_set, tokenize, Vocab};

@@ -1,0 +1,444 @@
+//! Zero-copy section sources for snapshot loading.
+//!
+//! The snapshot format stores every numeric array as little-endian
+//! fixed-width records inside page-aligned sections (see
+//! [`crate::snapshot`]). That layout was designed so a loader can point
+//! at the bytes instead of decoding them; this module supplies the two
+//! abstractions that make it safe:
+//!
+//! * [`SectionSource`] — where snapshot bytes live: an owned heap
+//!   buffer or a read-only file [`Mapping`]. Cloning is an `Arc` bump,
+//!   so every slice view keeps its backing storage alive.
+//! * [`NumericSlice<T>`] — a typed array that is either owned
+//!   (`Vec<T>`) or a view into a `SectionSource`. Views are only
+//!   constructed when the platform is little-endian and the bytes are
+//!   aligned for `T`; otherwise the constructor silently copies, so
+//!   callers never observe the difference (`Deref<Target = [T]>`
+//!   either way, bit-identical contents).
+//!
+//! ## Mapping lifecycle
+//!
+//! [`Mapping`] wraps `mmap(PROT_READ, MAP_SHARED)` via a minimal
+//! `extern "C"` declaration (no crates). The mapping is tied to the
+//! file *description*, not the path: renaming or deleting the source
+//! file does not invalidate it (POSIX keeps the pages of an unlinked
+//! file alive until the last mapping goes away). What is **out of
+//! contract** is another process truncating the file while mapped —
+//! accessing pages past the new end raises `SIGBUS`. The snapshot
+//! loader defends against *pre-existing* truncation by checking the
+//! header's `file_len` against the mapped length before touching any
+//! section, but cannot defend against concurrent truncation; snapshot
+//! writers therefore only ever replace files via `rename` (see
+//! `LemmaIndex::save`), never in place.
+//!
+//! Multiple processes mapping the same snapshot share one set of
+//! physical pages through the page cache — N `webtable-serve` workers
+//! pay for one index, not N.
+
+use std::fmt;
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::tfidf::TokenWeight;
+
+// Raw mmap bindings, declared locally because no libc crate is
+// vendored. Gated to 64-bit unix: the constants below are the
+// (identical) Linux and macOS values, and on 64-bit targets `off_t`
+// is `i64`, so the signature matches the platform ABI.
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_SHARED: c_int = 1;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only, shared memory mapping of an entire file. Unmapped on
+/// drop. See the module docs for rename/delete/truncate semantics.
+pub struct Mapping {
+    ptr: std::ptr::NonNull<u8>,
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ and never mutated through this
+// handle; concurrent reads of immutable pages are safe.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps an open file read-only in its entirety. Fails (so the
+    /// caller falls back to a heap read) on empty files, files larger
+    /// than the address space, or any `mmap` error.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    pub fn map_file(file: &std::fs::File) -> std::io::Result<Mapping> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| std::io::Error::other("file is empty or exceeds address space"))?;
+        // SAFETY: fd is a valid open file for the duration of the call;
+        // a PROT_READ/MAP_SHARED mapping of `len` bytes at a
+        // kernel-chosen address aliases no Rust-owned memory.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let ptr = std::ptr::NonNull::new(ptr as *mut u8)
+            .ok_or_else(|| std::io::Error::other("mmap returned null"))?;
+        Ok(Mapping { ptr, len })
+    }
+
+    /// Platforms without the mmap binding load via the heap path.
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
+    pub fn map_file(_file: &std::fs::File) -> std::io::Result<Mapping> {
+        Err(std::io::Error::other("memory mapping is not supported on this platform"))
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe one live mapping owned by self.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        // SAFETY: ptr/len came from a successful mmap and are unmapped
+        // exactly once.
+        unsafe {
+            let _ = sys::munmap(self.ptr.as_ptr() as *mut std::os::raw::c_void, self.len);
+        }
+    }
+}
+
+impl fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mapping").field("len", &self.len).finish()
+    }
+}
+
+impl Deref for Mapping {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+/// Where snapshot bytes live. Cheap to clone (an `Arc` bump); every
+/// [`NumericSlice`] view holds a clone, so the backing buffer or
+/// mapping outlives all slices into it.
+#[derive(Debug, Clone)]
+pub enum SectionSource {
+    /// An owned in-memory buffer (e.g. `fs::read`, network bytes).
+    Heap(Arc<Vec<u8>>),
+    /// A read-only file mapping.
+    Mapped(Arc<Mapping>),
+}
+
+impl SectionSource {
+    /// Wraps an owned buffer.
+    pub fn from_vec(bytes: Vec<u8>) -> SectionSource {
+        SectionSource::Heap(Arc::new(bytes))
+    }
+
+    /// Maps the file at `path`. Errors (unsupported platform, empty
+    /// file, mmap failure) are for the caller to fall back on.
+    pub fn map_path(path: impl AsRef<Path>) -> std::io::Result<SectionSource> {
+        let file = std::fs::File::open(path)?;
+        Ok(SectionSource::Mapped(Arc::new(Mapping::map_file(&file)?)))
+    }
+
+    /// The full snapshot bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            SectionSource::Heap(v) => v,
+            SectionSource::Mapped(m) => m.bytes(),
+        }
+    }
+
+    /// True when backed by a file mapping (used by tests and logs).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, SectionSource::Mapped(_))
+    }
+}
+
+/// A plain-old-data element of a snapshot numeric section: fixed
+/// width, no padding, valid for every bit pattern, stored little-endian.
+///
+/// # Safety
+///
+/// Implementors guarantee `size_of::<Self>() == SIZE`, an alignment
+/// that divides `SIZE`, no padding bytes, and that reinterpreting
+/// `SIZE` little-endian bytes as `Self` (on a little-endian target)
+/// equals [`read_le`](Pod::read_le) of those bytes.
+pub unsafe trait Pod: Copy + 'static {
+    /// Stored width in bytes.
+    const SIZE: usize;
+    /// Decodes one element from exactly [`SIZE`](Pod::SIZE) bytes
+    /// (the endian-safe fallback used when a view cannot be taken).
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+// SAFETY: u32 is 4 bytes, align 4, no padding, LE layout matches from_le_bytes.
+unsafe impl Pod for u32 {
+    const SIZE: usize = 4;
+    fn read_le(bytes: &[u8]) -> u32 {
+        u32::from_le_bytes(bytes.try_into().expect("4 bytes"))
+    }
+}
+
+// SAFETY: f64 is 8 bytes, align 8, no padding; from_bits is a transmute,
+// so LE bit reinterpretation equals this decode.
+unsafe impl Pod for f64 {
+    const SIZE: usize = 8;
+    fn read_le(bytes: &[u8]) -> f64 {
+        f64::from_bits(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+}
+
+// SAFETY: #[repr(C)] { u32, f32 } is 8 bytes, align 4, no padding; both
+// fields are LE bit-reinterpretable.
+unsafe impl Pod for TokenWeight {
+    const SIZE: usize = 8;
+    fn read_le(bytes: &[u8]) -> TokenWeight {
+        TokenWeight {
+            token: u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")),
+            weight: f32::from_bits(u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"))),
+        }
+    }
+}
+
+/// A typed numeric array: owned, or a zero-copy view into a
+/// [`SectionSource`]. `Deref<Target = [T]>` makes the two
+/// indistinguishable to readers; writers call
+/// [`make_mut`](NumericSlice::make_mut), which converts a view to an
+/// owned copy first (build paths always start owned, so in practice
+/// this never copies).
+pub enum NumericSlice<T: Pod> {
+    /// Heap-owned elements.
+    Owned(Vec<T>),
+    /// `len` elements starting `offset` bytes into the source.
+    View {
+        /// Backing bytes (kept alive by this handle).
+        src: SectionSource,
+        /// Byte offset of the first element.
+        offset: usize,
+        /// Element count.
+        len: usize,
+    },
+}
+
+impl<T: Pod> NumericSlice<T> {
+    /// Builds a slice over `len` elements at byte `offset` of `src`,
+    /// taking a zero-copy view when the platform is little-endian and
+    /// the address is aligned for `T`, otherwise decoding a copy. The
+    /// byte range must be in bounds (callers bound-check via the
+    /// snapshot cursor first).
+    pub fn view_or_copy(src: &SectionSource, offset: usize, len: usize) -> NumericSlice<T> {
+        let bytes = src.bytes();
+        let byte_len = len * T::SIZE;
+        assert!(
+            offset + byte_len <= bytes.len(),
+            "numeric slice out of bounds: {}+{} > {}",
+            offset,
+            byte_len,
+            bytes.len()
+        );
+        let aligned = (bytes.as_ptr() as usize + offset) % std::mem::align_of::<T>() == 0;
+        if cfg!(target_endian = "little") && aligned {
+            NumericSlice::View { src: src.clone(), offset, len }
+        } else {
+            NumericSlice::Owned(
+                bytes[offset..offset + byte_len].chunks_exact(T::SIZE).map(T::read_le).collect(),
+            )
+        }
+    }
+
+    /// Mutable access as a `Vec`, converting a view to an owned copy
+    /// first.
+    pub fn make_mut(&mut self) -> &mut Vec<T> {
+        if let NumericSlice::View { .. } = self {
+            *self = NumericSlice::Owned(self.to_vec());
+        }
+        match self {
+            NumericSlice::Owned(v) => v,
+            NumericSlice::View { .. } => unreachable!("converted above"),
+        }
+    }
+
+    /// True when this slice borrows its elements from a source.
+    pub fn is_view(&self) -> bool {
+        matches!(self, NumericSlice::View { .. })
+    }
+}
+
+impl<T: Pod> Deref for NumericSlice<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        match self {
+            NumericSlice::Owned(v) => v,
+            NumericSlice::View { src, offset, len } => {
+                // SAFETY: construction checked bounds and alignment, the
+                // source bytes are immutable and outlive self, T is Pod
+                // (valid for any bit pattern), and the target is
+                // little-endian (checked at construction).
+                unsafe {
+                    std::slice::from_raw_parts(src.bytes().as_ptr().add(*offset) as *const T, *len)
+                }
+            }
+        }
+    }
+}
+
+impl<T: Pod> Default for NumericSlice<T> {
+    fn default() -> NumericSlice<T> {
+        NumericSlice::Owned(Vec::new())
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for NumericSlice<T> {
+    fn from(v: Vec<T>) -> NumericSlice<T> {
+        NumericSlice::Owned(v)
+    }
+}
+
+impl<T: Pod> Clone for NumericSlice<T> {
+    fn clone(&self) -> NumericSlice<T> {
+        match self {
+            NumericSlice::Owned(v) => NumericSlice::Owned(v.clone()),
+            NumericSlice::View { src, offset, len } => {
+                NumericSlice::View { src: src.clone(), offset: *offset, len: *len }
+            }
+        }
+    }
+}
+
+impl<T: Pod + fmt::Debug> fmt::Debug for NumericSlice<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for NumericSlice<T> {
+    fn eq(&self, other: &NumericSlice<T>) -> bool {
+        **self == **other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source_with(words: &[u32]) -> (SectionSource, usize) {
+        // Pad the front so tests can choose aligned/misaligned offsets.
+        let mut bytes = vec![0u8; 16];
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        (SectionSource::from_vec(bytes), 16)
+    }
+
+    #[test]
+    fn aligned_heap_source_yields_a_view_with_identical_contents() {
+        let (src, base) = source_with(&[1, 2, 3, 0xdead_beef]);
+        // The Vec base may not be 4-aligned in theory; pick whichever of
+        // the first 4 offsets is aligned and slide the expectation.
+        let addr = src.bytes().as_ptr() as usize;
+        let aligned_base = (0..4).map(|d| base + d).find(|off| (addr + off) % 4 == 0).unwrap();
+        let s: NumericSlice<u32> = NumericSlice::view_or_copy(&src, aligned_base, 3);
+        assert!(s.is_view());
+        if aligned_base == base {
+            assert_eq!(&*s, &[1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn misaligned_offset_falls_back_to_owned_with_identical_contents() {
+        let (src, base) = source_with(&[7, 8, 9]);
+        let addr = src.bytes().as_ptr() as usize;
+        // An offset that is guaranteed NOT 4-aligned, probed at runtime.
+        let off = (base..base + 4).find(|off| (addr + off) % 4 != 0).unwrap();
+        let s: NumericSlice<u32> = NumericSlice::view_or_copy(&src, off, 2);
+        assert!(!s.is_view(), "misaligned view must fall back to a copy");
+        // Contents equal a hand decode of the same bytes.
+        let manual: Vec<u32> = src.bytes()[off..off + 8]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(&*s, &manual[..]);
+    }
+
+    #[test]
+    fn make_mut_detaches_views() {
+        let (src, base) = source_with(&[1, 2, 3]);
+        let addr = src.bytes().as_ptr() as usize;
+        let off = (base..base + 4).find(|off| (addr + off) % 4 == 0).unwrap();
+        let mut s: NumericSlice<u32> = NumericSlice::view_or_copy(&src, off, 3);
+        let before: Vec<u32> = s.to_vec();
+        s.make_mut().push(42);
+        assert!(!s.is_view());
+        assert_eq!(s[..3], before[..]);
+        assert_eq!(*s.last().unwrap(), 42);
+    }
+
+    #[test]
+    fn token_weight_layout_is_the_stored_layout() {
+        assert_eq!(std::mem::size_of::<TokenWeight>(), 8);
+        assert_eq!(std::mem::align_of::<TokenWeight>(), 4);
+        let tw = TokenWeight::read_le(&[1, 0, 0, 0, 0, 0, 0x80, 0x3f]);
+        assert_eq!(tw.token, 1);
+        assert_eq!(tw.weight, 1.0);
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    #[test]
+    fn mapping_survives_source_rename_and_delete() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("webtable-mmap-test-{}.bin", std::process::id()));
+        let payload: Vec<u8> = (0..8192u32).flat_map(|x| x.to_le_bytes()).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let src = SectionSource::map_path(&path).unwrap();
+        assert!(src.is_mapped());
+        assert_eq!(src.bytes(), &payload[..]);
+        // Rename, then delete: the mapping reads on unaffected.
+        let renamed = dir.join(format!("webtable-mmap-test-{}.renamed", std::process::id()));
+        std::fs::rename(&path, &renamed).unwrap();
+        assert_eq!(src.bytes(), &payload[..]);
+        std::fs::remove_file(&renamed).unwrap();
+        assert_eq!(src.bytes(), &payload[..]);
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    #[test]
+    fn empty_files_refuse_to_map() {
+        let path =
+            std::env::temp_dir().join(format!("webtable-mmap-empty-{}.bin", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        assert!(SectionSource::map_path(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

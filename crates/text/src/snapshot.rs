@@ -10,7 +10,7 @@
 //! (same `IndexLayout`, same `content_digest`, so downstream candidate
 //! caches keyed on the digest stay valid across restarts).
 //!
-//! ## File layout (format version 1, all integers little-endian)
+//! ## File layout (format version 2, all integers little-endian)
 //!
 //! ```text
 //! ┌────────────────────────────────────────────────────────────┐
@@ -36,10 +36,17 @@
 //! └────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! Sections start on 4 KiB page boundaries so a future `mmap`-backed
-//! loader can map the numeric tables in place; today the loader reads the
-//! file into memory, which already skips every string-processing phase of
-//! a fresh build (TFIDF vectors are stored verbatim, bit for bit).
+//! Sections start on 4 KiB page boundaries and every numeric array inside
+//! a section is aligned to its element size (format v2 inserts a 4-byte
+//! pad after the count of each `f64` array so the data lands 8-aligned).
+//! [`LemmaIndex::load_mmap`] exploits this: it maps the file and wires the
+//! numeric tables (CSRs, IDF counts, WAND bounds, TFIDF pair vectors)
+//! straight into the mapping as [`NumericSlice`](crate::mmap::NumericSlice)
+//! views — zero copies, zero float recomputation — while strings (vocab,
+//! lemma norms) are still decoded onto the heap. [`LemmaIndex::load`]
+//! reads the file into memory and takes the same views into that buffer,
+//! so both paths run the identical validation pipeline and produce
+//! bit-identical indexes.
 //!
 //! ## Versioning and validation policy
 //!
@@ -69,17 +76,21 @@ use std::path::Path;
 
 use crate::engine::SimEngine;
 use crate::index::{Csr, IndexedLemma, LemmaIndex, RefKind};
-use crate::tfidf::{IdfTable, WeightedVec};
+use crate::mmap::{NumericSlice, SectionSource};
+use crate::tfidf::{IdfTable, TokenWeight, WeightedVec};
 use crate::tokenize::{to_sorted_set, Vocab, OOV_BASE};
 
 /// First 8 bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"WTLEMIDX";
 
-/// Newest format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// Format version this build reads and writes. v2 differs from v1 only in
+/// the 4-byte alignment pad after `f64` array counts (see the module
+/// docs); readers require an exact match because a v1 file would mis-parse
+/// under the v2 section layout.
+pub const FORMAT_VERSION: u32 = 2;
 
-/// Section alignment: numeric tables start on page boundaries so a future
-/// loader can `mmap` them in place.
+/// Section alignment: numeric tables start on page boundaries so the
+/// `mmap` loader can view them in place.
 const PAGE: u64 = 4096;
 
 /// Fixed header size (before the section table).
@@ -101,7 +112,7 @@ const SEC_ENTITY_UB: u32 = 9;
 const SEC_TYPE_UB: u32 = 10;
 const SEC_LEMMA_VECS: u32 = 11;
 
-/// All sections of format version 1, in file order.
+/// All sections of format version 2, in file order.
 const ALL_SECTIONS: [u32; 11] = [
     SEC_VOCAB,
     SEC_IDF,
@@ -126,11 +137,13 @@ pub enum SnapshotError {
     /// The file does not start with the snapshot magic — it was never a
     /// snapshot.
     BadMagic,
-    /// The file's format version is newer than this build understands.
+    /// The file's format version is not the one this build understands
+    /// (older versions would mis-parse under the current section layout,
+    /// newer ones may hold sections this build cannot interpret).
     UnsupportedVersion {
         /// Version stored in the file.
         found: u32,
-        /// Newest version this build reads.
+        /// Version this build reads.
         supported: u32,
     },
     /// The file was written by a build with different structural constants
@@ -187,7 +200,8 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadMagic => write!(f, "not a lemma-index snapshot (bad magic)"),
             SnapshotError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "snapshot format version {found} is newer than supported version {supported}"
+                "snapshot format version {found} is not supported (this build reads version \
+                 {supported})"
             ),
             SnapshotError::ConfigMismatch { stored, expected } => write!(
                 f,
@@ -287,9 +301,13 @@ fn put_u32_slice(buf: &mut Vec<u8>, xs: &[u32]) {
     }
 }
 
-/// Length-prefixed `f64` array, stored as IEEE-754 bits (exact round-trip).
+/// Length-prefixed `f64` array, stored as IEEE-754 bits (exact
+/// round-trip). A 4-byte pad after the count keeps the data 8-aligned
+/// within the section; sections start page-aligned, so the mmap loader can
+/// view the bits as `&[f64]` in place.
 fn put_f64_slice(buf: &mut Vec<u8>, xs: &[f64]) {
     put_u32(buf, xs.len() as u32);
+    put_u32(buf, 0);
     for &x in xs {
         put_u64(buf, x.to_bits());
     }
@@ -315,15 +333,29 @@ fn put_csr(buf: &mut Vec<u8>, csr: &Csr) {
 // ---------------------------------------------------------------- reader --
 
 /// Bounds-checked little-endian cursor; every overrun is a typed
-/// [`SnapshotError::Truncated`], never a panic.
+/// [`SnapshotError::Truncated`], never a panic. A cursor over a section
+/// slice carries the section's absolute byte offset (`base`) within the
+/// whole snapshot, so array reads can hand out zero-copy
+/// [`NumericSlice`] views into the shared [`SectionSource`].
 struct Cursor<'a> {
     bytes: &'a [u8],
+    base: usize,
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
     fn new(bytes: &'a [u8]) -> Cursor<'a> {
-        Cursor { bytes, pos: 0 }
+        Cursor { bytes, base: 0, pos: 0 }
+    }
+
+    /// Cursor over `bytes` that sit `base` bytes into the full source.
+    fn with_base(bytes: &'a [u8], base: usize) -> Cursor<'a> {
+        Cursor { bytes, base, pos: 0 }
+    }
+
+    /// Absolute offset of the next unread byte within the full source.
+    fn abs_pos(&self) -> usize {
+        self.base + self.pos
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
@@ -356,13 +388,24 @@ impl<'a> Cursor<'a> {
         Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4"))).collect())
     }
 
-    fn f64_slice(&mut self) -> Result<Vec<f64>, SnapshotError> {
+    /// Length-prefixed `u32` array as a zero-copy view into `src` (owned
+    /// copy when misaligned or big-endian — see
+    /// [`NumericSlice::view_or_copy`]).
+    fn u32_slice_view(&mut self, src: &SectionSource) -> Result<NumericSlice<u32>, SnapshotError> {
         let n = self.u32()? as usize;
-        let raw = self.take(n.checked_mul(8).ok_or_else(|| overflow("f64 slice"))?)?;
-        Ok(raw
-            .chunks_exact(8)
-            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8"))))
-            .collect())
+        let abs = self.abs_pos();
+        self.take(n.checked_mul(4).ok_or_else(|| overflow("u32 slice"))?)?;
+        Ok(NumericSlice::view_or_copy(src, abs, n))
+    }
+
+    /// Length-prefixed `f64` array (count, 4-byte alignment pad, bits) as
+    /// a zero-copy view into `src`.
+    fn f64_slice_view(&mut self, src: &SectionSource) -> Result<NumericSlice<f64>, SnapshotError> {
+        let n = self.u32()? as usize;
+        let _pad = self.u32()?;
+        let abs = self.abs_pos();
+        self.take(n.checked_mul(8).ok_or_else(|| overflow("f64 slice"))?)?;
+        Ok(NumericSlice::view_or_copy(src, abs, n))
     }
 
     fn str_table(&mut self) -> Result<Vec<String>, SnapshotError> {
@@ -388,8 +431,8 @@ impl<'a> Cursor<'a> {
         Ok(out)
     }
 
-    fn csr(&mut self) -> Result<Csr, SnapshotError> {
-        Ok(Csr { offsets: self.u32_slice()?, values: self.u32_slice()? })
+    fn csr_view(&mut self, src: &SectionSource) -> Result<Csr, SnapshotError> {
+        Ok(Csr::from_parts(self.u32_slice_view(src)?, self.u32_slice_view(src)?))
     }
 }
 
@@ -443,7 +486,7 @@ impl LemmaIndex {
                 "index holds a lemma with out-of-vocabulary tokens".into(),
             ));
         }
-        // Format v1 sizes every count and string-table offset as u32. An
+        // The format sizes every count and string-table offset as u32. An
         // index beyond those bounds must fail *here*, loudly — not save
         // wrapped offsets that surface as an opaque Corrupt at restore
         // time. (CSR arrays are u32-indexed in memory, so only the string
@@ -460,7 +503,7 @@ impl LemmaIndex {
         ] {
             if n >= limit {
                 return Err(SnapshotError::Corrupt(format!(
-                    "index too large for snapshot format v1: {n} bytes/entries of {what} \
+                    "index too large for snapshot format v2: {n} bytes/entries of {what} \
                      exceed the u32 bound"
                 )));
             }
@@ -507,16 +550,16 @@ impl LemmaIndex {
         // recomputation at all (and stays bit-identical trivially).
         let mut vec_offsets: Vec<u32> = Vec::with_capacity(self.lemmas.len() + 1);
         vec_offsets.push(0);
-        let mut pairs: Vec<(u32, f32)> = Vec::new();
+        let mut pairs: Vec<TokenWeight> = Vec::new();
         for l in &self.lemmas {
             pairs.extend_from_slice(l.doc.vec.pairs());
             vec_offsets.push(pairs.len() as u32);
         }
         put_u32_slice(&mut buf, &vec_offsets);
         put_u32(&mut buf, pairs.len() as u32);
-        for (tok, w) in pairs {
-            put_u32(&mut buf, tok);
-            put_u32(&mut buf, w.to_bits());
+        for p in pairs {
+            put_u32(&mut buf, p.token);
+            put_u32(&mut buf, p.weight.to_bits());
         }
         sections.push((SEC_LEMMA_VECS, std::mem::take(&mut buf)));
 
@@ -598,16 +641,33 @@ impl LemmaIndex {
         })
     }
 
-    /// Reconstructs an index from snapshot bytes. See
+    /// Reconstructs an index from snapshot bytes (copied into an owned
+    /// buffer the numeric tables then borrow from). See
     /// [`load`](LemmaIndex::load) for the validation pipeline.
     pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<LemmaIndex, SnapshotError> {
+        LemmaIndex::from_snapshot_source(SectionSource::from_vec(bytes.to_vec()))
+    }
+
+    /// Reconstructs an index from a [`SectionSource`] — the one loader
+    /// behind both the heap and mmap paths. Numeric tables (CSRs, IDF
+    /// counts, WAND bounds, TFIDF pair vectors) become zero-copy views
+    /// into `src` whenever the platform is little-endian and the bytes
+    /// are aligned (the writer guarantees alignment; a misaligned or
+    /// big-endian source silently decodes onto the heap instead).
+    /// Validation is identical for every source kind: checksum and
+    /// content digest are always verified in full.
+    pub fn from_snapshot_source(src: SectionSource) -> Result<LemmaIndex, SnapshotError> {
+        let bytes = src.bytes();
         // -- header ----------------------------------------------------
         let mut cur = Cursor::new(bytes);
         if cur.take(8)? != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
         let version = cur.u32()?;
-        if version == 0 || version > FORMAT_VERSION {
+        if version != FORMAT_VERSION {
+            // Exact match: a v1 file would mis-parse the padded f64
+            // sections, and a future version may hold sections this
+            // build cannot interpret.
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -671,7 +731,7 @@ impl LemmaIndex {
                 .iter()
                 .find(|&&(sid, _, _)| sid == id)
                 .ok_or_else(|| SnapshotError::Corrupt(format!("missing section {id}")))?;
-            Ok(Cursor::new(&bytes[offset as usize..(offset + len) as usize]))
+            Ok(Cursor::with_base(&bytes[offset as usize..(offset + len) as usize], offset as usize))
         };
 
         // -- engine ----------------------------------------------------
@@ -681,7 +741,7 @@ impl LemmaIndex {
             .ok_or_else(|| SnapshotError::Corrupt("duplicate vocabulary word".into()))?;
         let mut idf_cur = section(SEC_IDF)?;
         let n_docs = idf_cur.u32()?;
-        let df = idf_cur.u32_slice()?;
+        let df = idf_cur.u32_slice_view(&src)?;
         if df.len() != vocab_len {
             return Err(SnapshotError::Corrupt("IDF table size differs from vocabulary".into()));
         }
@@ -701,13 +761,13 @@ impl LemmaIndex {
         if norms.len() != num_lemmas {
             return Err(SnapshotError::Corrupt("lemma norm count differs from lemma count".into()));
         }
-        let lemma_tokens = section(SEC_LEMMA_TOKENS)?.csr()?;
+        let lemma_tokens = section(SEC_LEMMA_TOKENS)?.csr_view(&src)?;
         check_csr(&lemma_tokens, "lemma tokens", Some(num_lemmas), vocab_len)?;
         let mut vec_cur = section(SEC_LEMMA_VECS)?;
         let vec_offsets = vec_cur.u32_slice()?;
         let num_pairs = vec_cur.u32()? as usize;
-        let raw_pairs =
-            vec_cur.take(num_pairs.checked_mul(8).ok_or_else(|| overflow("lemma vectors"))?)?;
+        let pairs_abs = vec_cur.abs_pos();
+        vec_cur.take(num_pairs.checked_mul(8).ok_or_else(|| overflow("lemma vectors"))?)?;
         if vec_offsets.len() != num_lemmas + 1
             || vec_offsets.first() != Some(&0)
             || vec_offsets.windows(2).any(|w| w[0] > w[1])
@@ -723,23 +783,20 @@ impl LemmaIndex {
                 1 => RefKind::Type,
                 other => return Err(SnapshotError::Corrupt(format!("unknown lemma kind {other}"))),
             };
-            // Pairs are decoded straight from the section bytes into each
-            // lemma's vector (no intermediate collection).
-            let vec_row: Vec<(u32, f32)> = raw_pairs
-                [vec_offsets[i] as usize * 8..vec_offsets[i + 1] as usize * 8]
-                .chunks_exact(8)
-                .map(|c| {
-                    (
-                        u32::from_le_bytes(c[..4].try_into().expect("4")),
-                        f32::from_bits(u32::from_le_bytes(c[4..].try_into().expect("4"))),
-                    )
-                })
-                .collect();
+            // Each lemma's vector views its slice of the shared pair
+            // region in place — bounds were established above (offsets
+            // are monotone and close over `num_pairs`, whose bytes the
+            // cursor verified present).
+            let vec_row: NumericSlice<TokenWeight> = NumericSlice::view_or_copy(
+                &src,
+                pairs_abs + vec_offsets[i] as usize * 8,
+                (vec_offsets[i + 1] - vec_offsets[i]) as usize,
+            );
             // The token set IS the vector's token column: `doc` derives both
             // from the same token sequence, and `WeightedVec::from_tokens`
             // emits one pair per distinct token in ascending order. Reading
             // it back saves a sort per lemma on the load hot path.
-            let token_set: Vec<u32> = vec_row.iter().map(|&(tok, _)| tok).collect();
+            let token_set: Vec<u32> = vec_row.iter().map(|p| p.token).collect();
             debug_assert_eq!(token_set, to_sorted_set(lemma_tokens.row(i as u32).to_vec()));
             lemmas.push(IndexedLemma {
                 kind,
@@ -754,16 +811,16 @@ impl LemmaIndex {
         }
 
         // -- CSR tables + WAND bounds ----------------------------------
-        let entity_postings = section(SEC_ENTITY_POSTINGS)?.csr()?;
+        let entity_postings = section(SEC_ENTITY_POSTINGS)?.csr_view(&src)?;
         check_csr(&entity_postings, "entity postings", Some(vocab_len), num_lemmas)?;
-        let type_postings = section(SEC_TYPE_POSTINGS)?.csr()?;
+        let type_postings = section(SEC_TYPE_POSTINGS)?.csr_view(&src)?;
         check_csr(&type_postings, "type postings", Some(vocab_len), num_lemmas)?;
-        let entity_lemmas = section(SEC_ENTITY_LEMMAS)?.csr()?;
+        let entity_lemmas = section(SEC_ENTITY_LEMMAS)?.csr_view(&src)?;
         check_csr(&entity_lemmas, "entity lemmas", None, num_lemmas)?;
-        let type_lemmas = section(SEC_TYPE_LEMMAS)?.csr()?;
+        let type_lemmas = section(SEC_TYPE_LEMMAS)?.csr_view(&src)?;
         check_csr(&type_lemmas, "type lemmas", None, num_lemmas)?;
-        let entity_token_ub = section(SEC_ENTITY_UB)?.f64_slice()?;
-        let type_token_ub = section(SEC_TYPE_UB)?.f64_slice()?;
+        let entity_token_ub = section(SEC_ENTITY_UB)?.f64_slice_view(&src)?;
+        let type_token_ub = section(SEC_TYPE_UB)?.f64_slice_view(&src)?;
         if entity_token_ub.len() != vocab_len || type_token_ub.len() != vocab_len {
             return Err(SnapshotError::Corrupt("upper-bound table size mismatch".into()));
         }
@@ -798,7 +855,26 @@ impl LemmaIndex {
     /// failure returns a typed [`SnapshotError`]; on success the index is
     /// bit-identical (layout and digest) to the one that was saved.
     pub fn load(path: impl AsRef<Path>) -> Result<LemmaIndex, SnapshotError> {
-        LemmaIndex::from_snapshot_bytes(&std::fs::read(path)?)
+        LemmaIndex::from_snapshot_source(SectionSource::from_vec(std::fs::read(path)?))
+    }
+
+    /// [`load`](LemmaIndex::load), but memory-maps the file instead of
+    /// reading it: the numeric tables become views into the mapping, so
+    /// the load path allocates only the string tables and the kernel
+    /// shares one set of physical pages across every process mapping the
+    /// same snapshot. Falls back to the heap [`load`](LemmaIndex::load)
+    /// when the file cannot be mapped (unsupported platform, empty file,
+    /// mmap failure); validation errors from a successfully mapped file
+    /// propagate as-is — a corrupt file is corrupt on either path.
+    ///
+    /// See the [module docs](crate::mmap) for rename/delete/truncate
+    /// semantics of a live mapping.
+    pub fn load_mmap(path: impl AsRef<Path>) -> Result<LemmaIndex, SnapshotError> {
+        let path = path.as_ref();
+        match SectionSource::map_path(path) {
+            Ok(src) => LemmaIndex::from_snapshot_source(src),
+            Err(_) => LemmaIndex::load(path),
+        }
     }
 
     /// Verifies this index indexes exactly `cat`: the owner tables cover

@@ -5,28 +5,48 @@
 //! each catalog lemma counts once toward document frequency. The soft-TFIDF
 //! variant (Cohen et al. [2], cited by the paper for soft cosine measures)
 //! relaxes exact token equality to Jaro-Winkler ≥ θ.
+//!
+//! Storage note: the document-frequency table and every TFIDF vector hold
+//! their numbers in a [`NumericSlice`], so a snapshot-loaded index reads
+//! them zero-copy out of the mapped file while built-from-scratch indexes
+//! own them on the heap — bit-identical either way.
 
+use crate::mmap::NumericSlice;
 use crate::sim::jaro_winkler;
 use crate::tokenize::Vocab;
+
+/// One sparse TFIDF term: token id + normalized weight. `#[repr(C)]`
+/// pins the field order so the in-memory layout equals the snapshot's
+/// stored layout (`u32` token, then the weight's IEEE-754 bits, both
+/// little-endian) — the property zero-copy vector views rely on.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenWeight {
+    /// Interned token id.
+    pub token: u32,
+    /// L2-normalized TFIDF weight.
+    pub weight: f32,
+}
 
 /// Document-frequency table over a frozen vocabulary.
 #[derive(Debug, Clone)]
 pub struct IdfTable {
-    df: Vec<u32>,
+    df: NumericSlice<u32>,
     n_docs: u32,
 }
 
 impl IdfTable {
     /// Creates a table with zero counts for `vocab_size` tokens.
     pub fn new(vocab_size: usize) -> Self {
-        IdfTable { df: vec![0; vocab_size], n_docs: 0 }
+        IdfTable { df: vec![0; vocab_size].into(), n_docs: 0 }
     }
 
     /// Counts one document containing the given *deduplicated* token ids.
     pub fn add_document(&mut self, unique_tokens: &[u32]) {
         self.n_docs += 1;
+        let df = self.df.make_mut();
         for &t in unique_tokens {
-            if let Some(slot) = self.df.get_mut(t as usize) {
+            if let Some(slot) = df.get_mut(t as usize) {
                 *slot += 1;
             }
         }
@@ -35,7 +55,7 @@ impl IdfTable {
     /// Grows the table when the vocabulary grew after construction.
     pub fn resize(&mut self, vocab_size: usize) {
         if vocab_size > self.df.len() {
-            self.df.resize(vocab_size, 0);
+            self.df.make_mut().resize(vocab_size, 0);
         }
     }
 
@@ -54,8 +74,8 @@ impl IdfTable {
     /// Rebuilds a table from persisted raw parts (the inverse of
     /// [`doc_frequencies`](IdfTable::doc_frequencies) +
     /// [`num_documents`](IdfTable::num_documents)).
-    pub(crate) fn from_parts(df: Vec<u32>, n_docs: u32) -> IdfTable {
-        IdfTable { df, n_docs }
+    pub(crate) fn from_parts(df: impl Into<NumericSlice<u32>>, n_docs: u32) -> IdfTable {
+        IdfTable { df: df.into(), n_docs }
     }
 
     /// Smoothed inverse document frequency `ln(1 + N / (1 + df))`.
@@ -72,14 +92,14 @@ impl IdfTable {
 /// An L2-normalized sparse TFIDF vector (sorted by token id).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeightedVec {
-    pairs: Vec<(u32, f32)>,
+    pairs: NumericSlice<TokenWeight>,
 }
 
 impl WeightedVec {
     /// Builds a normalized vector from raw token ids (duplicates = term
     /// frequency) and an IDF table.
     pub fn from_tokens(tokens: &[u32], idf: &IdfTable) -> WeightedVec {
-        let mut counted: Vec<(u32, f32)> = Vec::with_capacity(tokens.len());
+        let mut counted: Vec<TokenWeight> = Vec::with_capacity(tokens.len());
         let mut sorted = tokens.to_vec();
         sorted.sort_unstable();
         let mut i = 0;
@@ -91,26 +111,27 @@ impl WeightedVec {
                 i += 1;
             }
             let w = (1.0 + (tf as f64).ln()) * idf.idf(tok);
-            counted.push((tok, w as f32));
+            counted.push(TokenWeight { token: tok, weight: w as f32 });
         }
-        let norm: f32 = counted.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt();
+        let norm: f32 = counted.iter().map(|p| p.weight * p.weight).sum::<f32>().sqrt();
         if norm > 0.0 {
-            for (_, w) in counted.iter_mut() {
-                *w /= norm;
+            for p in counted.iter_mut() {
+                p.weight /= norm;
             }
         }
-        WeightedVec { pairs: counted }
+        WeightedVec { pairs: counted.into() }
     }
 
     /// The sorted `(token, weight)` pairs.
-    pub fn pairs(&self) -> &[(u32, f32)] {
+    pub fn pairs(&self) -> &[TokenWeight] {
         &self.pairs
     }
 
-    /// Rebuilds a vector from persisted `(token, weight)` pairs, bit for
-    /// bit (the snapshot-load path; no renormalization is applied).
-    pub(crate) fn from_raw_pairs(pairs: Vec<(u32, f32)>) -> WeightedVec {
-        WeightedVec { pairs }
+    /// Rebuilds a vector from persisted pairs, bit for bit (the
+    /// snapshot-load path; no renormalization is applied). Accepts an
+    /// owned `Vec` or a zero-copy view into a mapped snapshot.
+    pub(crate) fn from_raw_pairs(pairs: impl Into<NumericSlice<TokenWeight>>) -> WeightedVec {
+        WeightedVec { pairs: pairs.into() }
     }
 
     /// True if the vector has no terms.
@@ -131,10 +152,10 @@ impl WeightedVec {
 pub fn cosine(a: &WeightedVec, b: &WeightedVec) -> f64 {
     let (mut i, mut j) = (0usize, 0usize);
     let mut dot = 0.0f64;
-    let (pa, pb) = (a.pairs.as_slice(), b.pairs.as_slice());
+    let (pa, pb) = (a.pairs(), b.pairs());
     while i < pa.len() && j < pb.len() {
-        let (ta, wa) = pa[i];
-        let (tb, wb) = pb[j];
+        let TokenWeight { token: ta, weight: wa } = pa[i];
+        let TokenWeight { token: tb, weight: wb } = pb[j];
         dot += if ta == tb { wa as f64 * wb as f64 } else { 0.0 };
         i += usize::from(ta <= tb);
         j += usize::from(tb <= ta);
@@ -164,20 +185,21 @@ pub fn soft_tfidf_with_oov(
     // Resolve each b-side token (and its char count) once, not once per
     // (a, b) pair — the loop below is quadratic in token counts.
     let b_resolved: Vec<(Option<&str>, usize)> = b
-        .pairs
+        .pairs()
         .iter()
-        .map(|&(tb, _)| {
-            let s = resolve(vocab, tb, b_oov);
+        .map(|p| {
+            let s = resolve(vocab, p.token, b_oov);
             (s, s.map_or(0, |s| s.chars().count()))
         })
         .collect();
     let mut sim = 0.0f64;
-    for &(ta, wa) in &a.pairs {
+    for &TokenWeight { token: ta, weight: wa } in a.pairs() {
         let mut best = 0.0f64;
         let mut best_w = 0.0f64;
         let sa = resolve(vocab, ta, a_oov);
         let sa_len = sa.map_or(0, |s| s.chars().count());
-        for (&(tb, wb), &(sb, sb_len)) in b.pairs.iter().zip(&b_resolved) {
+        for (pb, &(sb, sb_len)) in b.pairs().iter().zip(&b_resolved) {
+            let (tb, wb) = (pb.token, pb.weight);
             if ta == tb {
                 best = 1.0;
                 best_w = wb as f64;
@@ -220,13 +242,13 @@ mod tests {
     fn reference_cosine(a: &WeightedVec, b: &WeightedVec) -> f64 {
         let (mut i, mut j) = (0usize, 0usize);
         let mut dot = 0.0f64;
-        let (pa, pb) = (&a.pairs, &b.pairs);
+        let (pa, pb) = (a.pairs(), b.pairs());
         while i < pa.len() && j < pb.len() {
-            match pa[i].0.cmp(&pb[j].0) {
+            match pa[i].token.cmp(&pb[j].token) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    dot += pa[i].1 as f64 * pb[j].1 as f64;
+                    dot += pa[i].weight as f64 * pb[j].weight as f64;
                     i += 1;
                     j += 1;
                 }

@@ -1,0 +1,159 @@
+//! mmap-backed snapshot loading: `load_mmap` must produce an index
+//! **bit-identical** to the heap `load` (layout, digest, probes), keep
+//! every validation layer active (truncation, bit rot, versioning), stay
+//! usable after the source file is renamed or deleted, and never exhibit
+//! UB or a panic on malformed mapped bytes.
+
+use std::path::PathBuf;
+
+use webtable_catalog::{Catalog, CatalogBuilder};
+use webtable_text::{
+    LemmaIndex, ProbeScratch, SectionSource, SnapshotError, DEFAULT_RESCORING_FACTOR,
+};
+
+fn figure1_catalog() -> Catalog {
+    let mut b = CatalogBuilder::new();
+    let person = b.add_type("person", &["people"]).unwrap();
+    let physicist = b.add_type("physicist", &[]).unwrap();
+    let book = b.add_type("book", &["title"]).unwrap();
+    b.add_subtype(physicist, person);
+    b.add_entity("Albert Einstein", &["A. Einstein", "Einstein"], &[physicist]).unwrap();
+    b.add_entity("Russell Stannard", &["Stannard"], &[person]).unwrap();
+    b.add_entity("The Time and Space of Uncle Albert", &[], &[book]).unwrap();
+    b.add_entity("Relativity: The Special and the General Theory", &["Relativity"], &[book])
+        .unwrap();
+    b.finish().unwrap()
+}
+
+/// A fresh snapshot file in the temp dir, named for this test + process so
+/// parallel test binaries never collide.
+fn snapshot_file(tag: &str) -> (LemmaIndex, PathBuf) {
+    let built = LemmaIndex::build(&figure1_catalog());
+    let path =
+        std::env::temp_dir().join(format!("webtable-mmap-{tag}-{}.snap", std::process::id()));
+    built.save(&path).expect("save");
+    (built, path)
+}
+
+fn assert_indistinguishable(a: &LemmaIndex, b: &LemmaIndex, ctx: &str) {
+    assert_eq!(a.content_digest(), b.content_digest(), "{ctx}: digest");
+    assert_eq!(a.num_lemmas(), b.num_lemmas(), "{ctx}: lemma count");
+    let (la, lb) = (a.layout(), b.layout());
+    assert_eq!(la.entity_posting_offsets, lb.entity_posting_offsets, "{ctx}: entity offsets");
+    assert_eq!(la.entity_posting_values, lb.entity_posting_values, "{ctx}: entity postings");
+    assert_eq!(la.type_posting_offsets, lb.type_posting_offsets, "{ctx}: type offsets");
+    assert_eq!(la.type_posting_values, lb.type_posting_values, "{ctx}: type postings");
+    assert_eq!(la.lemma_token_offsets, lb.lemma_token_offsets, "{ctx}: lemma token offsets");
+    assert_eq!(la.lemma_token_values, lb.lemma_token_values, "{ctx}: lemma token values");
+    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(la.entity_token_ub), bits(lb.entity_token_ub), "{ctx}: entity bounds");
+    assert_eq!(bits(la.type_token_ub), bits(lb.type_token_ub), "{ctx}: type bounds");
+    let mut scratch = ProbeScratch::new();
+    for text in ["Albert Einstein", "A. Einstein", "Relativity", "people", "zzz unseen", ""] {
+        let (qa, qb) = (a.doc(text), b.doc(text));
+        assert_eq!(qa.vec.pairs(), qb.vec.pairs(), "{ctx}: {text:?} vector");
+        assert_eq!(
+            a.entity_candidates_with(&qa, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+            b.entity_candidates_with(&qb, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+            "{ctx}: {text:?} entity candidates"
+        );
+        assert_eq!(
+            a.type_candidates_with(&qa, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+            b.type_candidates_with(&qb, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+            "{ctx}: {text:?} type candidates"
+        );
+    }
+}
+
+#[test]
+fn mmap_load_is_bit_identical_to_heap_load_and_build() {
+    let (built, path) = snapshot_file("equiv");
+    let heap = LemmaIndex::load(&path).expect("heap load");
+    let mapped = LemmaIndex::load_mmap(&path).expect("mmap load");
+    assert_indistinguishable(&mapped, &heap, "mmap vs heap");
+    assert_indistinguishable(&mapped, &built, "mmap vs build");
+    // A freshly built index owns its tables; loaded ones view the
+    // snapshot buffer (on little-endian targets, which CI is).
+    assert!(!built.is_zero_copy());
+    if cfg!(target_endian = "little") {
+        assert!(mapped.is_zero_copy(), "mmap load must wire views");
+        assert!(heap.is_zero_copy(), "heap load views its owned buffer");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mapped_index_survives_source_rename_and_delete() {
+    let (built, path) = snapshot_file("rename");
+    let mapped = LemmaIndex::load_mmap(&path).expect("mmap load");
+    let renamed = path.with_extension("renamed");
+    std::fs::rename(&path, &renamed).expect("rename");
+    assert_indistinguishable(&mapped, &built, "after rename");
+    std::fs::remove_file(&renamed).expect("delete");
+    // POSIX keeps the pages of an unlinked file alive until the last
+    // mapping drops; the index keeps serving. (Concurrent *truncation*
+    // is out of contract — snapshot writers only replace via rename.)
+    assert_indistinguishable(&mapped, &built, "after delete");
+}
+
+#[test]
+fn truncated_mapped_file_is_a_typed_error() {
+    let (_, path) = snapshot_file("trunc");
+    let full = std::fs::read(&path).unwrap();
+    for keep in [full.len() / 2, 100, 57] {
+        std::fs::write(&path, &full[..keep]).unwrap();
+        match LemmaIndex::load_mmap(&path) {
+            Err(SnapshotError::Truncated { .. }) => {}
+            other => panic!("keep={keep}: expected Truncated, got {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bit_flipped_mapped_payload_is_a_typed_error() {
+    let (_, path) = snapshot_file("flip");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let payload_start = u64::from_le_bytes(bytes[40..48].try_into().unwrap()) as usize;
+    let mid = payload_start + (bytes.len() - payload_start) / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    match LemmaIndex::load_mmap(&path) {
+        Err(SnapshotError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn non_current_format_versions_are_rejected() {
+    // v1 files would mis-parse the padded f64 sections of the v2 reader,
+    // so the version check is an exact match in both directions.
+    let (_, path) = snapshot_file("version");
+    let mut bytes = std::fs::read(&path).unwrap();
+    for wrong in [1u32, 3, 0] {
+        bytes[8..12].copy_from_slice(&wrong.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match LemmaIndex::load_mmap(&path) {
+            Err(SnapshotError::UnsupportedVersion { found, supported: 2 }) if found == wrong => {}
+            other => panic!("version {wrong}: expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn heap_source_and_mapped_source_run_the_same_pipeline() {
+    // `from_snapshot_source` is the single loader behind both paths; a
+    // heap source must behave exactly like a mapping (misaligned or
+    // big-endian slices silently decode instead of viewing — covered by
+    // unit tests in `webtable_text::mmap`).
+    let (built, path) = snapshot_file("source");
+    let bytes = std::fs::read(&path).unwrap();
+    let via_source =
+        LemmaIndex::from_snapshot_source(SectionSource::from_vec(bytes.clone())).expect("source");
+    let via_bytes = LemmaIndex::from_snapshot_bytes(&bytes).expect("bytes");
+    assert_indistinguishable(&via_source, &via_bytes, "source vs bytes");
+    assert_indistinguishable(&via_source, &built, "source vs build");
+    let _ = std::fs::remove_file(&path);
+}

@@ -272,7 +272,8 @@ fn checksum_fixed_tampering_is_caught_by_the_digest() {
 fn magic_constant_is_stable() {
     // The on-disk contract: first 8 bytes of every snapshot, forever.
     assert_eq!(&MAGIC, b"WTLEMIDX");
-    assert_eq!(FORMAT_VERSION, 1);
+    // v2 added the alignment pad after f64 array counts (mmap loader).
+    assert_eq!(FORMAT_VERSION, 2);
     let bytes = snapshot_bytes();
     assert_eq!(&bytes[..8], b"WTLEMIDX");
 }

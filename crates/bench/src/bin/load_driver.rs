@@ -6,8 +6,11 @@
 //! ```
 //!
 //! Replays a mixed annotate/search/health workload (the search body is
-//! the data directory's `sample-query.json`) and prints a one-line JSON
-//! report — throughput, p50/p99, and status-class counts. The CI
+//! the data directory's `sample-query.json`; when the dir also carries
+//! the retrieval/augmentation bodies — `sample-tables-query.json`,
+//! `sample-populate-query.json` — those join the mix) and prints a
+//! one-line JSON report — throughput, p50/p99, and status-class
+//! counts. The CI
 //! scale-smoke job runs it against the 100k-table corpus and gates on
 //! `status_5xx == 0`; exit code 1 mirrors that gate so local runs fail
 //! the same way.
@@ -57,6 +60,13 @@ fn main() -> ExitCode {
                 Err(e) => {
                     eprintln!("load_driver: cannot read {}: {e}", q.display());
                     return ExitCode::FAILURE;
+                }
+            }
+            // Retrieval/augmentation bodies are optional: demo dirs have
+            // them, scale corpora may not — skip silently when absent.
+            for name in ["sample-tables-query.json", "sample-populate-query.json"] {
+                if let Ok(body) = std::fs::read_to_string(std::path::Path::new(dir).join(name)) {
+                    requests.push(LoadRequest::post("/v1/search", body));
                 }
             }
         }

@@ -310,6 +310,10 @@ fn main() {
         let addr = handle.addr().to_string();
         let search_body =
             std::fs::read_to_string(dir.join("sample-query.json")).expect("sample query");
+        let tables_body = std::fs::read_to_string(dir.join("sample-tables-query.json"))
+            .expect("sample tables query");
+        let populate_body = std::fs::read_to_string(dir.join("sample-populate-query.json"))
+            .expect("sample populate query");
         let window = Duration::from_millis(if quick { 400 } else { 2_000 });
         let mut push = |bench: &str, mean_us: f64, ops_per_sec: f64, n: usize| {
             eprintln!("serve/load/{bench}: {mean_us:.2} µs ({ops_per_sec:.0} ops/s, n={n})");
@@ -325,6 +329,8 @@ fn main() {
         let endpoints = [
             ("search", LoadRequest::post("/v1/search", search_body.clone())),
             ("annotate", LoadRequest::post("/v1/annotate", annotate_smoke_body())),
+            ("tables", LoadRequest::post("/v1/search", tables_body)),
+            ("populate", LoadRequest::post("/v1/search", populate_body)),
         ];
         for (label, req) in &endpoints {
             let r = run_closed_loop(&addr, std::slice::from_ref(req), 2, window);

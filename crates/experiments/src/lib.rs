@@ -13,6 +13,7 @@
 //! | [`timing::run_fig7`] | Figure 7 — per-table annotation time |
 //! | [`accuracy::run_fig8`] | Figure 8 — compatibility-feature ablation |
 //! | [`search_eval::run_fig9`] | Figure 9 — search MAP |
+//! | [`search_eval::run_augment_eval`] | §6.2 analogue — augmentation precision@k |
 //! | [`anecdote::run_anecdote`] | Figure 12 / App. F — LCA anecdote |
 //! | [`ablation::run_ablation`] | DESIGN.md §5 design-choice ablations |
 //! | [`workbench::describe_world`] | world statistics backing DESIGN.md §4 |

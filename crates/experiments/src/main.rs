@@ -1,9 +1,10 @@
 //! Command-line entry point: `webtable-experiments <subcommand> [flags]`.
 //!
-//! Subcommands: `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `threshold`,
-//! `anecdote`, `all`. Common flags: `--scale S`, `--seed N`, `--train`,
-//! `--threads K`; `fig7` takes `--tables N` and `--csv PATH`; `fig9`
-//! takes `--tables N` (per relation) and `--queries N`.
+//! Subcommands: `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `augment`,
+//! `threshold`, `anecdote`, `all`. Common flags: `--scale S`, `--seed N`,
+//! `--train`, `--threads K`; `fig7` takes `--tables N` and `--csv PATH`;
+//! `fig9` and `augment` take `--tables N` (per relation); `fig9` also
+//! takes `--queries N`.
 //!
 //! Run with `--release`; debug builds are an order of magnitude slower.
 
@@ -13,7 +14,7 @@ use webtable_experiments::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: webtable-experiments <fig5|fig6|fig7|fig8|fig9|threshold|anecdote|ablation|world|all> \
+        "usage: webtable-experiments <fig5|fig6|fig7|fig8|fig9|augment|threshold|anecdote|ablation|world|all> \
          [--scale S] [--seed N] [--train] [--threads K] [--tables N] [--queries N] [--csv PATH]"
     );
     std::process::exit(2)
@@ -66,6 +67,10 @@ fn main() {
             let n = tables.unwrap_or(40);
             println!("{}", search_eval::run_fig9(&wb, n, queries).1);
         }
+        "augment" => {
+            let n = tables.unwrap_or(6);
+            println!("{}", search_eval::run_augment_eval(&wb, n, 10).1);
+        }
         "threshold" => println!("{}", accuracy::run_threshold_sweep(&wb).1),
         "ablation" => println!("{}", ablation::run_ablation(&wb).1),
         "world" => println!("{}", webtable_experiments::workbench::describe_world(&wb)),
@@ -76,6 +81,7 @@ fn main() {
             println!("{}", timing::run_fig7(&wb, tables.unwrap_or(500), csv.as_deref()).1);
             println!("{}", accuracy::run_fig8(&wb).1);
             println!("{}", search_eval::run_fig9(&wb, tables.unwrap_or(40).min(40), queries).1);
+            println!("{}", search_eval::run_augment_eval(&wb, tables.unwrap_or(6).min(12), 10).1);
             println!("{}", ablation::run_ablation(&wb).1);
             println!("{}", anecdote::run_anecdote().1);
         }

@@ -1,0 +1,20 @@
+//! The augmentation eval is a fixture other suites trust: identical
+//! metrics for identical config, independent of build thread count. The
+//! CI determinism matrix re-runs this suite single-threaded, so any
+//! order-dependence in the corpus build, annotation, or ranking path
+//! would surface as a diff here.
+
+use webtable_experiments::search_eval::run_augment_eval;
+use webtable_experiments::{Workbench, WorkbenchConfig};
+
+#[test]
+fn augment_eval_is_thread_count_invariant() {
+    let base = WorkbenchConfig { scale: 0.02, seed: 11, ..Default::default() };
+    let wb1 = Workbench::new(WorkbenchConfig { threads: 1, ..base.clone() });
+    let wb4 = Workbench::new(WorkbenchConfig { threads: 4, ..base });
+    let (m1, r1) = run_augment_eval(&wb1, 6, 10);
+    let (m4, r4) = run_augment_eval(&wb4, 6, 10);
+    assert_eq!(m1, m4, "augment metrics must not depend on thread count");
+    assert_eq!(r1, r4, "rendered report must not depend on thread count");
+    assert_eq!(m1.len(), 3, "three disjoint-type scenarios");
+}

@@ -1,0 +1,317 @@
+//! Table augmentation: row population, column population, and
+//! entity-relationship queries over the annotated corpus.
+//!
+//! These are the augmentation tasks the Zhang & Balog survey names as the
+//! downstream payoff of table annotation. All three processors run over
+//! the cell-level [`SearchIndex`] plus the per-table annotations — no
+//! extra index is needed, because `cells_of_entity` / `pairs_of_relation`
+//! already give the entity→cell and relation→column-pair maps.
+//!
+//! * [`populate_rows`] — given seed entities from a partial table's key
+//!   column, find corpus columns containing the seeds and vote for the
+//!   *other* entities those columns contain, boosting candidates that are
+//!   instances of the seed columns' dominant annotated type.
+//! * [`populate_columns`] — given the same seeds, find tables whose
+//!   columns contain them and vote for those tables' *other* columns,
+//!   keyed by normalized header label plus annotated type.
+//! * [`related_search`] — answer "what is related to E via R?" directly
+//!   over relation-annotated column pairs, in either orientation.
+
+use std::collections::{HashMap, HashSet};
+
+use webtable_catalog::{Catalog, EntityId, RelationId, TypeId};
+use webtable_text::normalize;
+
+use crate::corpus::AnnotatedCorpus;
+use crate::index::SearchIndex;
+use crate::query::{rank_bounded, AnswerKey, RankedAnswer};
+
+/// Multiplier applied to a row-population candidate's co-occurrence score
+/// when the candidate is an instance of the seed columns' dominant type.
+const TYPE_COMPAT_BOOST: f64 = 1.5;
+
+/// Row population: rank candidate entities to extend a key column seeded
+/// with `seeds`. Candidates are entities co-occurring with seeds in corpus
+/// columns, scored by the fraction of seeds each supporting column holds,
+/// then boosted by [`TYPE_COMPAT_BOOST`] when the candidate is an instance
+/// of the dominant column-type annotation across the seed columns.
+///
+/// Returns the top `k` as [`AnswerKey::Entity`] answers (score desc,
+/// entity id asc). Seeds never appear among the answers.
+pub fn populate_rows(
+    catalog: &Catalog,
+    index: &SearchIndex,
+    corpus: &AnnotatedCorpus,
+    seeds: &[EntityId],
+    k: usize,
+) -> Vec<RankedAnswer> {
+    if k == 0 || seeds.is_empty() {
+        return Vec::new();
+    }
+    let seed_set: HashSet<EntityId> = seeds.iter().copied().collect();
+
+    // Columns holding at least one seed, with the number of *distinct*
+    // seeds each holds (the column's support).
+    let mut seed_cols: HashMap<(u32, u16), HashSet<EntityId>> = HashMap::new();
+    for &seed in &seed_set {
+        for &(t, _r, c) in index.cells_of_entity(seed) {
+            seed_cols.entry((t, c)).or_default().insert(seed);
+        }
+    }
+    if seed_cols.is_empty() {
+        return Vec::new();
+    }
+
+    // Dominant annotated type over the seed columns (most supporting
+    // columns; smaller TypeId on ties, for determinism).
+    let mut type_votes: HashMap<TypeId, u32> = HashMap::new();
+    for (t, c) in seed_cols.keys() {
+        let ann = &corpus.annotations[*t as usize];
+        if let Some(Some(ty)) = ann.column_types.get(&(*c as usize)) {
+            *type_votes.entry(*ty).or_insert(0) += 1;
+        }
+    }
+    let dominant: Option<TypeId> =
+        type_votes.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0))).map(|(ty, _)| ty);
+
+    // Vote: every non-seed entity in a seed column earns that column's
+    // support fraction.
+    let n_seeds = seed_set.len() as f64;
+    let mut evidence: HashMap<EntityId, f64> = HashMap::new();
+    for ((t, c), hits) in &seed_cols {
+        let support = hits.len() as f64 / n_seeds;
+        let table = &corpus.tables[*t as usize];
+        let ann = &corpus.annotations[*t as usize];
+        for r in 0..table.num_rows() {
+            let Some(Some(e)) = ann.cell_entities.get(&(r, *c as usize)) else { continue };
+            if !seed_set.contains(e) {
+                *evidence.entry(*e).or_insert(0.0) += support;
+            }
+        }
+    }
+
+    rank_bounded(
+        evidence.into_iter().map(|(e, mut score)| {
+            if let Some(ty) = dominant {
+                if ty.index() < catalog.num_types()
+                    && e.index() < catalog.num_entities()
+                    && catalog.is_instance(e, ty)
+                {
+                    score *= TYPE_COMPAT_BOOST;
+                }
+            }
+            (AnswerKey::Entity(e), score)
+        }),
+        k,
+    )
+}
+
+/// Column population: rank candidate new columns for a table whose key
+/// column holds `seeds`. Tables containing seeds vote for their *other*
+/// columns; each suggestion is keyed by normalized header label (falling
+/// back to the annotated type's name when the column is headerless) plus
+/// the column-type annotation.
+///
+/// Returns the top `k` as [`AnswerKey::Column`] answers.
+pub fn populate_columns(
+    catalog: &Catalog,
+    index: &SearchIndex,
+    corpus: &AnnotatedCorpus,
+    seeds: &[EntityId],
+    k: usize,
+) -> Vec<RankedAnswer> {
+    if k == 0 || seeds.is_empty() {
+        return Vec::new();
+    }
+    let seed_set: HashSet<EntityId> = seeds.iter().copied().collect();
+
+    // Distinct seeds per (table, column).
+    let mut seed_cols: HashMap<(u32, u16), HashSet<EntityId>> = HashMap::new();
+    for &seed in &seed_set {
+        for &(t, _r, c) in index.cells_of_entity(seed) {
+            seed_cols.entry((t, c)).or_default().insert(seed);
+        }
+    }
+
+    let n_seeds = seed_set.len() as f64;
+    let mut evidence: HashMap<AnswerKey, f64> = HashMap::new();
+    for ((t, c), hits) in &seed_cols {
+        let support = hits.len() as f64 / n_seeds;
+        let table = &corpus.tables[*t as usize];
+        let ann = &corpus.annotations[*t as usize];
+        for c2 in 0..table.num_cols() {
+            if c2 == *c as usize {
+                continue;
+            }
+            let ty = ann.column_types.get(&c2).copied().flatten().filter(|ty| {
+                // Foreign annotations (ids outside this catalog) are kept
+                // out of suggestions — their names can't be resolved.
+                ty.index() < catalog.num_types()
+            });
+            let label = match table.header(c2) {
+                Some(h) => normalize(h),
+                None => match ty {
+                    Some(ty) => normalize(catalog.type_name(ty)),
+                    None => continue, // headerless and untyped: nothing to suggest
+                },
+            };
+            if label.is_empty() {
+                continue;
+            }
+            *evidence.entry(AnswerKey::Column { label, ty }).or_insert(0.0) += support;
+        }
+    }
+    rank_bounded(evidence, k)
+}
+
+/// Entity-relationship query: "what is related to `entity` via
+/// `relation`?" answered over relation-annotated column pairs, in both
+/// orientations. Evidence mirrors the typed processor: one vote per
+/// supporting row, weighted by the answer cell's annotation confidence.
+///
+/// Returns the top `k` answers — [`AnswerKey::Entity`] when the answer
+/// cell carries an entity annotation, [`AnswerKey::Text`] otherwise.
+pub fn related_search(
+    index: &SearchIndex,
+    corpus: &AnnotatedCorpus,
+    entity: EntityId,
+    relation: RelationId,
+    k: usize,
+) -> Vec<RankedAnswer> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Rows where some cell is annotated with the query entity, per
+    // (table, column).
+    let e_cells: HashMap<(u32, u16), Vec<u32>> = {
+        let mut m: HashMap<(u32, u16), Vec<u32>> = HashMap::new();
+        for &(t, r, c) in index.cells_of_entity(entity) {
+            m.entry((t, c)).or_default().push(r);
+        }
+        m
+    };
+
+    let mut evidence: HashMap<AnswerKey, f64> = HashMap::new();
+    let mut collect = |given: (u32, u16), answer_col: u16| {
+        let Some(rows) = e_cells.get(&given) else { return };
+        let t = given.0;
+        let table = &corpus.tables[t as usize];
+        let ann = &corpus.annotations[t as usize];
+        for &r in rows {
+            let key = (r as usize, answer_col as usize);
+            let answer = match ann.cell_entities.get(&key).copied().flatten() {
+                Some(e) => AnswerKey::Entity(e),
+                None => {
+                    let text = table.cell(r as usize, answer_col as usize).trim().to_lowercase();
+                    if text.is_empty() {
+                        continue;
+                    }
+                    AnswerKey::Text(text)
+                }
+            };
+            let conf = ann.cell_confidence.get(&key).copied().unwrap_or(0.0);
+            *evidence.entry(answer).or_insert(0.0) += 1.0 + conf.min(2.0);
+        }
+    };
+    for &(t, c_left, c_right) in index.pairs_of_relation(relation) {
+        // entity on the left → answers from the right column, and vice
+        // versa ("related to" is asked in either direction).
+        collect((t, c_left), c_right);
+        collect((t, c_right), c_left);
+    }
+    rank_bounded(evidence, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use webtable_catalog::{generate_world, WorldConfig};
+    use webtable_core::Annotator;
+    use webtable_tables::{NoiseConfig, TableGenerator, TruthMask};
+
+    use super::*;
+
+    fn searchable_world() -> (webtable_catalog::World, AnnotatedCorpus, SearchIndex) {
+        let w = generate_world(&WorldConfig::tiny(5)).unwrap();
+        let annotator = Annotator::new(Arc::clone(&w.catalog));
+        let mut g = TableGenerator::new(&w, NoiseConfig::wiki(), TruthMask::full(), 61);
+        let mut tables = Vec::new();
+        for _ in 0..6 {
+            tables.push(g.gen_table_for_relation(w.relations.directed, 10).table);
+        }
+        let annotations =
+            annotator.run(&webtable_core::AnnotateRequest::new(&tables).workers(2)).annotations;
+        let corpus = AnnotatedCorpus::from_parts(tables, annotations);
+        let index = SearchIndex::build(&corpus, &w.catalog);
+        (w, corpus, index)
+    }
+
+    /// Seed entities: movies that actually appear (annotated) in the corpus.
+    fn annotated_movies(w: &webtable_catalog::World, index: &SearchIndex) -> Vec<EntityId> {
+        let rel = w.oracle.relation(w.relations.directed);
+        let mut seen: Vec<EntityId> = rel
+            .tuples
+            .iter()
+            .map(|&(m, _)| m)
+            .filter(|&m| !index.cells_of_entity(m).is_empty())
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen
+    }
+
+    #[test]
+    fn row_population_suggests_unseen_movies() {
+        let (w, corpus, index) = searchable_world();
+        let movies = annotated_movies(&w, &index);
+        assert!(movies.len() >= 3, "world too small for the test: {movies:?}");
+        let seeds = &movies[..2];
+        let res = populate_rows(&w.catalog, &index, &corpus, seeds, 10);
+        assert!(!res.is_empty());
+        for a in &res {
+            let AnswerKey::Entity(e) = a.key else { panic!("row answers are entities") };
+            assert!(!seeds.contains(&e), "seeds must not be suggested back");
+        }
+        // Deterministic.
+        assert_eq!(res, populate_rows(&w.catalog, &index, &corpus, seeds, 10));
+        assert!(populate_rows(&w.catalog, &index, &corpus, &[], 10).is_empty());
+        assert!(populate_rows(&w.catalog, &index, &corpus, seeds, 0).is_empty());
+    }
+
+    #[test]
+    fn column_population_suggests_the_director_column() {
+        let (w, corpus, index) = searchable_world();
+        let movies = annotated_movies(&w, &index);
+        let seeds = &movies[..2.min(movies.len())];
+        let res = populate_columns(&w.catalog, &index, &corpus, seeds, 10);
+        assert!(!res.is_empty());
+        // Somewhere in the suggestions there should be a director-typed
+        // column (the corpus is all movie→director tables).
+        let director = w.types.director;
+        assert!(
+            res.iter()
+                .any(|a| matches!(a.key, AnswerKey::Column { ty: Some(t), .. } if t == director)),
+            "expected a director column suggestion: {res:?}"
+        );
+        assert_eq!(res, populate_columns(&w.catalog, &index, &corpus, seeds, 10));
+    }
+
+    #[test]
+    fn related_search_finds_the_director() {
+        let (w, corpus, index) = searchable_world();
+        let movies = annotated_movies(&w, &index);
+        let rel = w.oracle.relation(w.relations.directed);
+        let movie = movies[0];
+        let res = related_search(&index, &corpus, movie, w.relations.directed, 10);
+        assert!(!res.is_empty());
+        // The oracle director should rank among the answers.
+        let golds: Vec<EntityId> = rel.rights_of(movie).to_vec();
+        assert!(
+            res.iter().any(|a| matches!(a.key, AnswerKey::Entity(e) if golds.contains(&e))),
+            "gold director missing from {res:?}"
+        );
+        assert_eq!(res, related_search(&index, &corpus, movie, w.relations.directed, 10));
+        assert!(related_search(&index, &corpus, movie, w.relations.directed, 0).is_empty());
+    }
+}

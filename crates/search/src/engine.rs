@@ -22,19 +22,22 @@ use webtable_catalog::Catalog;
 use webtable_core::{AnnotateRequest, Annotator};
 use webtable_tables::Table;
 
+use webtable_catalog::{EntityId, RelationId};
+
+use crate::augment::{populate_columns, populate_rows, related_search};
 use crate::corpus::AnnotatedCorpus;
 use crate::index::SearchIndex;
 use crate::join::{join_search_impl, JoinQuery};
 use crate::query::{baseline_search_impl, typed_search_impl, AnswerKey, EntityQuery, RankedAnswer};
+use crate::retrieval::TableIndex;
 
-/// One search request: which processor of §5 to run, with its inputs.
+/// One search request: which processor to run, with its inputs.
 ///
 /// `#[non_exhaustive]`, matching [`webtable_core::Error`]'s contract: new
-/// workloads (keyword table retrieval, row/column population, …) land as
-/// new variants without breaking downstream matches — match with a `_`
-/// arm. Existing variants stay constructible; the wire names in
-/// [`crate::wire`] are the stable serialized form.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// workloads land as new variants without breaking downstream matches —
+/// match with a `_` arm. Existing variants stay constructible; the wire
+/// names in [`crate::wire`] are the stable serialized form.
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Query {
     /// Figure 3: strings only, no annotations consulted. Answers are
@@ -58,6 +61,60 @@ pub enum Query {
         /// How many join-variable candidates stage one explores.
         mid_k: usize,
     },
+    /// Keyword table retrieval: rank whole annotated tables for a keyword
+    /// query over the table-level index. Answers are
+    /// [`AnswerKey::Table`] keys.
+    Tables {
+        /// The keyword query (tokenized, deduplicated).
+        keywords: String,
+        /// Result bound.
+        k: usize,
+    },
+    /// Row population: given seed entities from a partial table's key
+    /// column, suggest new row entities by corpus co-occurrence plus
+    /// type compatibility. Answers are [`AnswerKey::Entity`] keys.
+    PopulateRows {
+        /// Seed entities already in the key column.
+        seeds: Vec<EntityId>,
+        /// Result bound.
+        k: usize,
+    },
+    /// Column population: given the same seeds, suggest candidate new
+    /// columns (header label + annotated type) from tables sharing the
+    /// entity set. Answers are [`AnswerKey::Column`] keys.
+    PopulateColumns {
+        /// Seed entities identifying the table's subject column.
+        seeds: Vec<EntityId>,
+        /// Result bound.
+        k: usize,
+    },
+    /// Entity-relationship query: "what is related to `entity` via
+    /// `relation`?", answered over relation annotations in either
+    /// orientation.
+    Related {
+        /// The given entity.
+        entity: EntityId,
+        /// The relation to follow.
+        relation: RelationId,
+        /// Result bound.
+        k: usize,
+    },
+}
+
+impl Query {
+    /// The query's stable wire-format kind name (also used as the
+    /// per-kind metrics label in `webtable-serve`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::Baseline(_) => "baseline",
+            Query::Typed { .. } => "typed",
+            Query::Join { .. } => "join",
+            Query::Tables { .. } => "tables",
+            Query::PopulateRows { .. } => "populate_rows",
+            Query::PopulateColumns { .. } => "populate_columns",
+            Query::Related { .. } => "related",
+        }
+    }
 }
 
 /// The engine owning everything a query needs: the catalog the corpus was
@@ -69,14 +126,16 @@ pub struct SearchEngine {
     catalog: Arc<Catalog>,
     corpus: AnnotatedCorpus,
     index: SearchIndex,
+    tables: TableIndex,
 }
 
 impl SearchEngine {
-    /// Builds the engine (and its search index) over an already-annotated
-    /// corpus.
+    /// Builds the engine (and its cell-level and table-level indexes)
+    /// over an already-annotated corpus.
     pub fn build(catalog: Arc<Catalog>, corpus: AnnotatedCorpus) -> SearchEngine {
         let index = SearchIndex::build(&corpus, &catalog);
-        SearchEngine { catalog, corpus, index }
+        let tables = TableIndex::build(&corpus, &catalog);
+        SearchEngine { catalog, corpus, index, tables }
     }
 
     /// The full ingest path: annotates raw tables with `workers` threads
@@ -118,6 +177,16 @@ impl SearchEngine {
                 }
                 out
             }
+            Query::Tables { ref keywords, k } => self.tables.search(keywords, k),
+            Query::PopulateRows { ref seeds, k } => {
+                populate_rows(&self.catalog, &self.index, &self.corpus, seeds, k)
+            }
+            Query::PopulateColumns { ref seeds, k } => {
+                populate_columns(&self.catalog, &self.index, &self.corpus, seeds, k)
+            }
+            Query::Related { entity, relation, k } => {
+                related_search(&self.index, &self.corpus, entity, relation, k)
+            }
         }
     }
 
@@ -134,6 +203,11 @@ impl SearchEngine {
     /// The two-layer search index.
     pub fn index(&self) -> &SearchIndex {
         &self.index
+    }
+
+    /// The table-level retrieval index.
+    pub fn table_index(&self) -> &TableIndex {
+        &self.tables
     }
 }
 
@@ -202,6 +276,41 @@ mod tests {
         for pair in res.windows(2) {
             assert!(pair[0].score >= pair[1].score);
         }
+    }
+
+    #[test]
+    fn retrieval_and_augmentation_share_the_entry_point() {
+        let (w, engine) = engine();
+        let rel = w.oracle.relation(w.relations.directed);
+        let mut seeds: Vec<webtable_catalog::EntityId> = rel
+            .tuples
+            .iter()
+            .map(|&(m, _)| m)
+            .filter(|&m| !engine.index().cells_of_entity(m).is_empty())
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        seeds.truncate(2);
+        assert!(!seeds.is_empty());
+        let queries = [
+            Query::Tables { keywords: "movie director".into(), k: 5 },
+            Query::PopulateRows { seeds: seeds.clone(), k: 5 },
+            Query::PopulateColumns { seeds: seeds.clone(), k: 5 },
+            Query::Related { entity: seeds[0], relation: w.relations.directed, k: 5 },
+        ];
+        for query in &queries {
+            let res = engine.search(query);
+            assert!(!res.is_empty(), "empty answers for {query:?}");
+            assert!(res.len() <= 5);
+            assert_eq!(res, engine.search(query), "search must be deterministic: {query:?}");
+            for pair in res.windows(2) {
+                assert!(pair[0].score >= pair[1].score, "ranking must be sorted: {query:?}");
+            }
+        }
+        assert_eq!(queries[0].kind(), "tables");
+        assert_eq!(queries[1].kind(), "populate_rows");
+        assert_eq!(queries[2].kind(), "populate_columns");
+        assert_eq!(queries[3].kind(), "related");
     }
 
     #[test]

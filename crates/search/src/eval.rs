@@ -88,6 +88,8 @@ pub fn judge(oracle: &Catalog, q: &EntityQuery, answers: &[RankedAnswer]) -> (Ve
                     None => false,
                 }
             }
+            // Table/column answers never occur in entity workloads.
+            _ => false,
         })
         .collect();
     (rel_flags, truth.len())

@@ -73,7 +73,7 @@ pub(crate) fn join_search_impl(
             // Only resolved entities can act as join keys — exactly the
             // paper's point about precise joins.
             AnswerKey::Entity(e) => Some((e, a.score)),
-            AnswerKey::Text(_) => None,
+            _ => None,
         })
         .take(mid_k)
         .collect();

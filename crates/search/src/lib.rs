@@ -10,6 +10,8 @@
 //!   [`search`](SearchEngine::search) entry point;
 //! * [`AnnotatedCorpus`] — tables plus machine annotations;
 //! * [`SearchIndex`] — text layer (Lucene stand-in) + annotation layer;
+//! * [`retrieval`] — table-level keyword retrieval over a [`TableIndex`];
+//! * [`augment`] — row/column population and entity-relationship queries;
 //! * [`eval`] — workload sampling and MAP judging against the oracle
 //!   (the DBPedia stand-in).
 //!
@@ -17,14 +19,17 @@
 //! `typed_search` — Figure 4, `join_search`) are deprecated wrappers over
 //! the engine's processor bodies.
 
+pub mod augment;
 pub mod corpus;
 pub mod engine;
 pub mod eval;
 pub mod index;
 pub mod join;
 pub mod query;
+pub mod retrieval;
 pub mod wire;
 
+pub use augment::{populate_columns, populate_rows, related_search};
 pub use corpus::AnnotatedCorpus;
 pub use engine::{Query, SearchEngine};
 pub use eval::{build_workload, judge, map_over_queries, query_ap, relevant_entities, Workload};
@@ -35,3 +40,4 @@ pub use join::{join_truth, JoinAnswer, JoinQuery};
 #[allow(deprecated)]
 pub use query::{baseline_search, typed_search};
 pub use query::{AnswerKey, EntityQuery, RankedAnswer};
+pub use retrieval::TableIndex;

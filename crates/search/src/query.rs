@@ -40,6 +40,17 @@ pub enum AnswerKey {
     Entity(EntityId),
     /// A normalized (lowercased, trimmed) cell string.
     Text(String),
+    /// A whole corpus table, by external [`webtable_tables::TableId`] value
+    /// (table retrieval answers).
+    Table(u64),
+    /// A suggested table column (column population answers): a normalized
+    /// header label plus the column's annotated type, when one is known.
+    Column {
+        /// Normalized (lowercased, trimmed) header label.
+        label: String,
+        /// Column-type annotation backing the suggestion, if any.
+        ty: Option<TypeId>,
+    },
 }
 
 /// One ranked answer.
@@ -53,9 +64,20 @@ pub struct RankedAnswer {
 
 /// Ranks an evidence map deterministically (score desc, key asc).
 fn rank(evidence: HashMap<AnswerKey, f64>) -> Vec<RankedAnswer> {
+    rank_bounded(evidence, usize::MAX)
+}
+
+/// Ranks scored keys deterministically (score desc, key asc) and keeps the
+/// top `k`. Shared by the retrieval and augmentation processors, which all
+/// carry an explicit result bound.
+pub(crate) fn rank_bounded(
+    evidence: impl IntoIterator<Item = (AnswerKey, f64)>,
+    k: usize,
+) -> Vec<RankedAnswer> {
     let mut out: Vec<RankedAnswer> =
         evidence.into_iter().map(|(key, score)| RankedAnswer { key, score }).collect();
     out.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.key.cmp(&b.key)));
+    out.truncate(k);
     out
 }
 

@@ -3,15 +3,21 @@
 //! ([`webtable_core::wire`]) the annotate path uses.
 //!
 //! ```json
-//! // Query — `kind` selects the §5 processor
+//! // Query — `kind` selects the processor
 //! {"kind": "baseline", "relation": 1, "t1": 2, "t2": 3, "e2": 4}
 //! {"kind": "typed", "relation": 1, "t1": 2, "t2": 3, "e2": 4,
 //!  "use_relations": true}
 //! {"kind": "join", "r1": 1, "r2": 2, "e3": 9, "mid_k": 5}
+//! {"kind": "tables", "q": "films directed by", "k": 10}
+//! {"kind": "populate_rows", "seeds": [4, 9], "k": 10}
+//! {"kind": "populate_columns", "seeds": [4, 9], "k": 10}
+//! {"kind": "related", "entity": 4, "relation": 1, "k": 10}
 //!
 //! // Search results
 //! {"answers": [{"entity": 17, "score": 3.5},
-//!              {"text": "uncle albert", "score": 1.0}]}
+//!              {"text": "uncle albert", "score": 1.0},
+//!              {"table": 12, "score": 0.8},
+//!              {"column": "director", "type": 3, "score": 1.0}]}
 //! ```
 //!
 //! Unknown `kind`s are a schema error — the enum is `#[non_exhaustive]`,
@@ -75,7 +81,63 @@ pub fn query_to_json(q: &Query) -> Json {
             ("e3".into(), Json::u64(query.e3.0 as u64)),
             ("mid_k".into(), Json::usize(mid_k)),
         ]),
+        Query::Tables { ref keywords, k } => Json::Obj(vec![
+            ("kind".into(), Json::str("tables")),
+            ("q".into(), Json::str(keywords)),
+            ("k".into(), Json::usize(k)),
+        ]),
+        Query::PopulateRows { ref seeds, k } => Json::Obj(vec![
+            ("kind".into(), Json::str("populate_rows")),
+            ("seeds".into(), seeds_to_json(seeds)),
+            ("k".into(), Json::usize(k)),
+        ]),
+        Query::PopulateColumns { ref seeds, k } => Json::Obj(vec![
+            ("kind".into(), Json::str("populate_columns")),
+            ("seeds".into(), seeds_to_json(seeds)),
+            ("k".into(), Json::usize(k)),
+        ]),
+        Query::Related { entity, relation, k } => Json::Obj(vec![
+            ("kind".into(), Json::str("related")),
+            ("entity".into(), Json::u64(entity.0 as u64)),
+            ("relation".into(), Json::u64(relation.0 as u64)),
+            ("k".into(), Json::usize(k)),
+        ]),
     }
+}
+
+fn seeds_to_json(seeds: &[EntityId]) -> Json {
+    Json::Arr(seeds.iter().map(|e| Json::u64(e.0 as u64)).collect())
+}
+
+/// Decodes the shared result-bound field: optional, default 10, bounded
+/// like `mid_k`.
+fn k_field(j: &Json) -> Result<usize, WireError> {
+    match j.get("k") {
+        None => Ok(10),
+        Some(v) => v
+            .as_usize()
+            .filter(|&k| (1..=10_000).contains(&k))
+            .ok_or_else(|| schema_err("`k` must be an integer in 1..=10000")),
+    }
+}
+
+/// Decodes a `seeds` array: required, non-empty, at most 10 000 u32 ids.
+fn seeds_field(j: &Json) -> Result<Vec<EntityId>, WireError> {
+    let arr = j
+        .get("seeds")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| schema_err("`seeds` must be an array of u32 entity ids"))?;
+    if arr.is_empty() || arr.len() > 10_000 {
+        return Err(schema_err("`seeds` must hold 1..=10000 entity ids"));
+    }
+    arr.iter()
+        .map(|v| {
+            v.as_u64()
+                .filter(|v| *v <= u32::MAX as u64)
+                .map(|v| EntityId(v as u32))
+                .ok_or_else(|| schema_err("`seeds` must be an array of u32 entity ids"))
+        })
+        .collect()
 }
 
 /// Decodes a [`Query`].
@@ -112,9 +174,26 @@ pub fn query_from_json(j: &Json) -> Result<Query, WireError> {
                 mid_k,
             })
         }
-        other => {
-            Err(schema_err(format!("unknown query kind `{other}` (expected baseline|typed|join)")))
+        "tables" => {
+            let keywords = j
+                .get("q")
+                .and_then(Json::as_str)
+                .ok_or_else(|| schema_err("`q` must be a keyword string"))?
+                .to_string();
+            Ok(Query::Tables { keywords, k: k_field(j)? })
         }
+        "populate_rows" => Ok(Query::PopulateRows { seeds: seeds_field(j)?, k: k_field(j)? }),
+        "populate_columns" => {
+            Ok(Query::PopulateColumns { seeds: seeds_field(j)?, k: k_field(j)? })
+        }
+        "related" => Ok(Query::Related {
+            entity: EntityId(id_field(j, "entity")?),
+            relation: RelationId(id_field(j, "relation")?),
+            k: k_field(j)?,
+        }),
+        other => Err(schema_err(format!(
+            "unknown query kind `{other}` (expected baseline|typed|join|tables|populate_rows|populate_columns|related)"
+        ))),
     }
 }
 
@@ -136,11 +215,25 @@ pub fn answers_to_json(answers: &[RankedAnswer]) -> Json {
             answers
                 .iter()
                 .map(|a| {
-                    let key = match &a.key {
-                        AnswerKey::Entity(e) => ("entity".to_string(), Json::u64(e.0 as u64)),
-                        AnswerKey::Text(t) => ("text".to_string(), Json::str(t)),
+                    let mut pairs = match &a.key {
+                        AnswerKey::Entity(e) => {
+                            vec![("entity".to_string(), Json::u64(e.0 as u64))]
+                        }
+                        AnswerKey::Text(t) => vec![("text".to_string(), Json::str(t))],
+                        AnswerKey::Table(id) => vec![("table".to_string(), Json::u64(*id))],
+                        AnswerKey::Column { label, ty } => vec![
+                            ("column".to_string(), Json::str(label)),
+                            (
+                                "type".to_string(),
+                                match ty {
+                                    Some(t) => Json::u64(t.0 as u64),
+                                    None => Json::Null,
+                                },
+                            ),
+                        ],
                     };
-                    Json::Obj(vec![key, ("score".into(), Json::Num(a.score))])
+                    pairs.push(("score".into(), Json::Num(a.score)));
+                    Json::Obj(pairs)
                 })
                 .collect(),
         ),
@@ -155,17 +248,42 @@ pub fn answers_from_json(j: &Json) -> Result<Vec<RankedAnswer>, WireError> {
         .ok_or_else(|| schema_err("missing `answers` array"))?;
     let mut out = Vec::with_capacity(items.len());
     for item in items {
-        let key = match (item.get("entity"), item.get("text")) {
-            (Some(e), None) => AnswerKey::Entity(EntityId(
-                e.as_u64()
-                    .filter(|v| *v <= u32::MAX as u64)
-                    .ok_or_else(|| schema_err("`entity` must be a u32 id"))? as u32,
-            )),
-            (None, Some(t)) => AnswerKey::Text(
-                t.as_str().ok_or_else(|| schema_err("`text` must be a string"))?.to_string(),
-            ),
-            _ => return Err(schema_err("each answer needs exactly one of `entity`/`text`")),
-        };
+        let key =
+            match (item.get("entity"), item.get("text"), item.get("table"), item.get("column")) {
+                (Some(e), None, None, None) => AnswerKey::Entity(EntityId(
+                    e.as_u64()
+                        .filter(|v| *v <= u32::MAX as u64)
+                        .ok_or_else(|| schema_err("`entity` must be a u32 id"))?
+                        as u32,
+                )),
+                (None, Some(t), None, None) => AnswerKey::Text(
+                    t.as_str().ok_or_else(|| schema_err("`text` must be a string"))?.to_string(),
+                ),
+                (None, None, Some(t), None) => AnswerKey::Table(
+                    t.as_u64().ok_or_else(|| schema_err("`table` must be a u64 id"))?,
+                ),
+                (None, None, None, Some(c)) => {
+                    let label = c
+                        .as_str()
+                        .ok_or_else(|| schema_err("`column` must be a string label"))?
+                        .to_string();
+                    let ty = match item.get("type") {
+                        None | Some(Json::Null) => None,
+                        Some(v) => Some(TypeId(
+                            v.as_u64()
+                                .filter(|v| *v <= u32::MAX as u64)
+                                .ok_or_else(|| schema_err("`type` must be a u32 id or null"))?
+                                as u32,
+                        )),
+                    };
+                    AnswerKey::Column { label, ty }
+                }
+                _ => {
+                    return Err(schema_err(
+                        "each answer needs exactly one of `entity`/`text`/`table`/`column`",
+                    ))
+                }
+            };
         let score = item
             .get("score")
             .and_then(Json::as_f64)
@@ -201,6 +319,11 @@ mod tests {
                 query: JoinQuery { r1: RelationId(1), r2: RelationId(2), e3: EntityId(7) },
                 mid_k: 9,
             },
+            Query::Tables { keywords: "films directed by".into(), k: 10 },
+            Query::Tables { keywords: String::new(), k: 1 },
+            Query::PopulateRows { seeds: vec![EntityId(4), EntityId(9)], k: 10 },
+            Query::PopulateColumns { seeds: vec![EntityId(4)], k: 3 },
+            Query::Related { entity: EntityId(4), relation: RelationId(1), k: 10 },
         ];
         for q in cases {
             let text = encode_query(&q);
@@ -234,11 +357,50 @@ mod tests {
     }
 
     #[test]
+    fn retrieval_query_defaults_and_errors() {
+        assert_eq!(
+            decode_query(r#"{"kind":"tables","q":"films"}"#).unwrap(),
+            Query::Tables { keywords: "films".into(), k: 10 },
+            "k defaults to 10"
+        );
+        assert_eq!(
+            decode_query(r#"{"kind":"populate_rows","seeds":[7]}"#).unwrap(),
+            Query::PopulateRows { seeds: vec![EntityId(7)], k: 10 },
+        );
+        assert_eq!(
+            decode_query(r#"{"kind":"related","entity":4,"relation":1}"#).unwrap(),
+            Query::Related { entity: EntityId(4), relation: RelationId(1), k: 10 },
+        );
+        assert!(decode_query(r#"{"kind":"tables"}"#).is_err(), "q is required");
+        assert!(decode_query(r#"{"kind":"tables","q":"x","k":0}"#).is_err(), "k 0 is rejected");
+        assert!(
+            decode_query(r#"{"kind":"tables","q":"x","k":10001}"#).is_err(),
+            "k above the cap is rejected"
+        );
+        assert!(decode_query(r#"{"kind":"populate_rows"}"#).is_err(), "seeds are required");
+        assert!(
+            decode_query(r#"{"kind":"populate_rows","seeds":[]}"#).is_err(),
+            "empty seeds are rejected"
+        );
+        assert!(
+            decode_query(r#"{"kind":"populate_columns","seeds":["x"]}"#).is_err(),
+            "non-numeric seeds are rejected"
+        );
+        assert!(decode_query(r#"{"kind":"related","entity":4}"#).is_err(), "relation is required");
+    }
+
+    #[test]
     fn answers_roundtrip_bitwise() {
         let answers = vec![
             RankedAnswer { key: AnswerKey::Entity(EntityId(17)), score: 3.5 },
             RankedAnswer { key: AnswerKey::Text("uncle albert".into()), score: 1.0 + 2e-13 },
             RankedAnswer { key: AnswerKey::Text(String::new()), score: 0.0 },
+            RankedAnswer { key: AnswerKey::Table(12), score: 0.875 },
+            RankedAnswer {
+                key: AnswerKey::Column { label: "director".into(), ty: Some(TypeId(3)) },
+                score: 1.0,
+            },
+            RankedAnswer { key: AnswerKey::Column { label: "year".into(), ty: None }, score: 0.5 },
         ];
         let text = encode_answers(&answers);
         let back = decode_answers(&text).expect("decode");
@@ -252,6 +414,14 @@ mod tests {
         assert!(
             decode_answers(r#"{"answers":[{"entity":1,"text":"x","score":1}]}"#).is_err(),
             "entity and text are mutually exclusive"
+        );
+        assert!(
+            decode_answers(r#"{"answers":[{"table":1,"column":"x","score":1}]}"#).is_err(),
+            "table and column are mutually exclusive"
+        );
+        assert!(
+            decode_answers(r#"{"answers":[{"column":"x","type":"y","score":1}]}"#).is_err(),
+            "column type must be numeric or null"
         );
     }
 }

@@ -12,10 +12,10 @@ use std::io::Write;
 use std::path::Path;
 use std::sync::Arc;
 
-use webtable_catalog::{generate_world, CatalogBuilder, WorldConfig};
+use webtable_catalog::{generate_world, CatalogBuilder, EntityId, RelationId, WorldConfig};
 use webtable_core::Annotator;
 use webtable_search::wire::encode_query;
-use webtable_search::{EntityQuery, Query};
+use webtable_search::{EntityQuery, Query, SearchEngine};
 use webtable_tables::{NoiseConfig, ReusePolicy, Table, TableGenerator, TruthMask};
 
 use crate::error::ServeError;
@@ -71,6 +71,12 @@ pub fn prepare_data_dir(dir: &Path, seed: u64) -> Result<(), ServeError> {
     };
     std::fs::write(dir.join("sample-query.json"), encode_query(&sample))
         .map_err(|e| io_err("writing sample-query.json", e))?;
+    write_sample_retrieval_queries(
+        dir,
+        &annotator,
+        &tables[..GEN1_TABLES],
+        world.relations.directed,
+    )?;
 
     Manifest {
         generation: 1,
@@ -79,6 +85,80 @@ pub fn prepare_data_dir(dir: &Path, seed: u64) -> Result<(), ServeError> {
         tables: "tables-g1.json".into(),
     }
     .save_dir(dir)
+}
+
+/// Writes ready-made bodies for the retrieval/augmentation workloads —
+/// `sample-tables-query.json`, `sample-populate-query.json`,
+/// `sample-related-query.json` — derived from the generation-1 corpus so
+/// each is guaranteed a non-empty ranked answer (the CI smoke job greps
+/// for one). Generation 2 is a superset of generation 1, so the bodies
+/// stay answerable after a promote.
+fn write_sample_retrieval_queries(
+    dir: &Path,
+    annotator: &Annotator,
+    g1_tables: &[Table],
+    directed: RelationId,
+) -> Result<(), ServeError> {
+    let engine = SearchEngine::from_tables(annotator, g1_tables.to_vec(), 2);
+    let corpus = engine.corpus();
+
+    // Table retrieval: the first table's own context + first-row cells
+    // are all indexed, so they retrieve at least that table.
+    let t0 = &corpus.tables[0];
+    let mut keywords = t0.context.clone();
+    for cell in &t0.rows[0] {
+        keywords.push(' ');
+        keywords.push_str(cell);
+    }
+    let tables_q = Query::Tables { keywords, k: 10 };
+    std::fs::write(dir.join("sample-tables-query.json"), encode_query(&tables_q))
+        .map_err(|e| io_err("writing sample-tables-query.json", e))?;
+
+    // Row population: two seeds from the first column holding ≥ 3
+    // distinct machine-annotated entities — the remaining entities in
+    // that column are guaranteed suggestions.
+    let mut seeds: Vec<EntityId> = Vec::new();
+    'outer: for (ti, ann) in corpus.annotations.iter().enumerate() {
+        let table = &corpus.tables[ti];
+        for c in 0..table.num_cols() {
+            let mut ents: Vec<EntityId> = (0..table.num_rows())
+                .filter_map(|r| ann.cell_entities.get(&(r, c)).copied().flatten())
+                .collect();
+            ents.sort_unstable();
+            ents.dedup();
+            if ents.len() >= 3 {
+                seeds = ents[..2].to_vec();
+                break 'outer;
+            }
+        }
+    }
+    if seeds.is_empty() {
+        return Err(ServeError::Manifest(
+            "demo corpus has no column with 3 annotated entities".into(),
+        ));
+    }
+    let populate_q = Query::PopulateRows { seeds: seeds.clone(), k: 10 };
+    std::fs::write(dir.join("sample-populate-query.json"), encode_query(&populate_q))
+        .map_err(|e| io_err("writing sample-populate-query.json", e))?;
+
+    // Related: an entity actually annotated inside a `directed`-annotated
+    // column pair, when one exists (the demo corpus reliably has them);
+    // otherwise fall back to a seed, still a well-formed body.
+    let mut entity = seeds[0];
+    'pairs: for &(t, c_left, c_right) in engine.index().pairs_of_relation(directed) {
+        let ann = &corpus.annotations[t as usize];
+        for r in 0..corpus.tables[t as usize].num_rows() {
+            for c in [c_left, c_right] {
+                if let Some(Some(e)) = ann.cell_entities.get(&(r, c as usize)) {
+                    entity = *e;
+                    break 'pairs;
+                }
+            }
+        }
+    }
+    let related_q = Query::Related { entity, relation: directed, k: 10 };
+    std::fs::write(dir.join("sample-related-query.json"), encode_query(&related_q))
+        .map_err(|e| io_err("writing sample-related-query.json", e))
 }
 
 /// Builds a scale data directory: the usual catalog + snapshot, plus a
@@ -273,6 +353,19 @@ mod tests {
         assert_eq!(g2.engine.corpus().len(), GEN2_TABLES);
         // Same catalog + snapshot: the annotators agree bit-for-bit.
         assert_eq!(g1.annotator.cache_fingerprint(), g2.annotator.cache_fingerprint());
+
+        // The retrieval sample bodies answer non-empty on BOTH
+        // generations (the CI smoke job greps for ranked answers, and a
+        // promote must not invalidate them).
+        for name in ["sample-tables-query.json", "sample-populate-query.json"] {
+            let body = std::fs::read_to_string(dir.join(name)).unwrap();
+            let q = webtable_search::wire::decode_query(&body).unwrap();
+            assert!(!g1.engine.search(&q).is_empty(), "{name} empty on gen 1");
+            assert!(!g2.engine.search(&q).is_empty(), "{name} empty on gen 2");
+        }
+        let related = std::fs::read_to_string(dir.join("sample-related-query.json")).unwrap();
+        let q = webtable_search::wire::decode_query(&related).unwrap();
+        assert!(matches!(q, Query::Related { .. }));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -62,6 +62,12 @@ impl Endpoint {
     }
 }
 
+/// Stable query-kind labels (the wire `kind` names of
+/// [`webtable_search::Query`]), alphabetical — also the key order of the
+/// stats document's `query_kinds` object.
+pub const QUERY_KINDS: [&str; 7] =
+    ["baseline", "join", "populate_columns", "populate_rows", "related", "tables", "typed"];
+
 /// Point-in-time view of the serving generation's index segmentation,
 /// rendered under the stats document's `segments` key.
 #[derive(Debug, Clone, Copy, Default)]
@@ -87,6 +93,8 @@ struct EndpointRow {
 #[derive(Debug, Default)]
 pub struct Metrics {
     rows: [EndpointRow; 6],
+    /// Successfully decoded search queries by kind, [`QUERY_KINDS`] order.
+    query_kinds: [AtomicU64; 7],
     /// Requests rejected at the accept queue (503 before routing).
     pub queue_rejections: AtomicU64,
     /// Annotate requests that hit their deadline (504).
@@ -131,6 +139,24 @@ impl Metrics {
         };
         class.fetch_add(1, Ordering::Relaxed);
         row.duration_us.fetch_add(duration_us, Ordering::Relaxed);
+    }
+
+    /// Counts one successfully decoded search query by its wire kind.
+    /// Unknown kinds (impossible today: the decoder and [`QUERY_KINDS`]
+    /// list the same names) are ignored rather than panicking.
+    pub fn record_query_kind(&self, kind: &str) {
+        if let Some(i) = QUERY_KINDS.iter().position(|k| *k == kind) {
+            self.query_kinds[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One kind's running count (test hook).
+    pub fn query_kind_count(&self, kind: &str) -> u64 {
+        QUERY_KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .map(|i| self.query_kinds[i].load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Folds one annotate response's phase timings into the process
@@ -206,6 +232,16 @@ impl Metrics {
                     ("wand".into(), Json::u64(ld(&self.probe_wand))),
                 ]),
             ),
+            (
+                "query_kinds".into(),
+                Json::Obj(
+                    QUERY_KINDS
+                        .iter()
+                        .zip(&self.query_kinds)
+                        .map(|(k, c)| (k.to_string(), Json::u64(ld(c))))
+                        .collect(),
+                ),
+            ),
             ("queue_rejections".into(), Json::u64(ld(&self.queue_rejections))),
             ("recoveries".into(), Json::u64(ld(&self.recoveries))),
             ("requests_total".into(), Json::u64(self.total_requests())),
@@ -261,6 +297,26 @@ mod tests {
         assert!(a.contains("\"swap_generation\":0"));
         assert!(a.contains("\"hits\":2"));
         assert!(a.contains("\"segments\":{\"count\":4,\"probed\":9,\"skipped\":3}"));
+    }
+
+    #[test]
+    fn query_kind_counters_render_sorted() {
+        let m = Metrics::default();
+        m.record_query_kind("tables");
+        m.record_query_kind("tables");
+        m.record_query_kind("typed");
+        m.record_query_kind("nonsense"); // ignored, not a panic
+        assert_eq!(m.query_kind_count("tables"), 2);
+        assert_eq!(m.query_kind_count("typed"), 1);
+        assert_eq!(m.query_kind_count("baseline"), 0);
+        let doc = m.to_json(1, 0, 0, SegmentStats::default()).encode();
+        assert!(doc.contains(
+            "\"query_kinds\":{\"baseline\":0,\"join\":0,\"populate_columns\":0,\
+             \"populate_rows\":0,\"related\":0,\"tables\":2,\"typed\":1}"
+        ));
+        let mut kinds = QUERY_KINDS;
+        kinds.sort_unstable();
+        assert_eq!(kinds, QUERY_KINDS, "kind labels must stay sorted");
     }
 
     #[test]

@@ -54,34 +54,51 @@ fn serve_err(e: &ServeError) -> Response {
     err_response(e.http_status(), e.code(), &e.to_string())
 }
 
+/// A routed request: the response plus, for successfully decoded search
+/// requests, the query's wire kind — the serving loop folds the kind
+/// into the per-kind stats counter and the request log line.
+#[derive(Debug)]
+pub struct Routed {
+    /// The response to write.
+    pub response: Response,
+    /// Wire kind of a decoded `/v1/search` query, `None` elsewhere.
+    pub query_kind: Option<&'static str>,
+}
+
+impl From<Response> for Routed {
+    fn from(response: Response) -> Routed {
+        Routed { response, query_kind: None }
+    }
+}
+
 /// Routes one request. `ingress` is the instant the request was read
 /// off the socket — annotate deadlines are anchored there, so queueing
 /// and parse time count against the budget.
-pub fn handle(state: &AppState, req: &Request, ingress: Instant) -> Response {
+pub fn handle(state: &AppState, req: &Request, ingress: Instant) -> Routed {
     // The `handler` fault point: injected latency passes through,
     // injected errors answer 500 `internal`, injected panics unwind to
     // the worker's `catch_unwind` — proving the pool never shrinks.
     if let Err(e) = fault::hit(FaultPoint::Handler) {
-        return err_response(500, "internal", &e.to_string());
+        return err_response(500, "internal", &e.to_string()).into();
     }
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/annotate") => annotate(state, &req.body, ingress),
+        ("POST", "/v1/annotate") => annotate(state, &req.body, ingress).into(),
         ("POST", "/v1/search") => search(state, &req.body),
-        ("GET", "/health") => health(state),
-        ("GET", "/admin/health") => admin_health(state),
-        ("GET", "/admin/stats") => stats(state),
-        ("POST", "/admin/swap") => swap(state),
+        ("GET", "/health") => health(state).into(),
+        ("GET", "/admin/health") => admin_health(state).into(),
+        ("GET", "/admin/stats") => stats(state).into(),
+        ("POST", "/admin/swap") => swap(state).into(),
         ("POST", "/admin/shutdown") => {
             state.shutdown.store(true, Ordering::Release);
-            Response::ok("{\"status\":\"shutting down\"}")
+            Response::ok("{\"status\":\"shutting down\"}").into()
         }
         (_, "/v1/annotate" | "/v1/search" | "/admin/swap" | "/admin/shutdown") => {
-            err_response(405, "method_not_allowed", "use POST")
+            err_response(405, "method_not_allowed", "use POST").into()
         }
         (_, "/health" | "/admin/health" | "/admin/stats") => {
-            err_response(405, "method_not_allowed", "use GET")
+            err_response(405, "method_not_allowed", "use GET").into()
         }
-        _ => err_response(404, "not_found", &format!("no route for {}", req.path)),
+        _ => err_response(404, "not_found", &format!("no route for {}", req.path)).into(),
     }
 }
 
@@ -121,14 +138,14 @@ fn annotate(state: &AppState, body: &str, ingress: Instant) -> Response {
     }
 }
 
-fn search(state: &AppState, body: &str) -> Response {
+fn search(state: &AppState, body: &str) -> Routed {
     let query = match decode_query(body) {
         Ok(q) => q,
-        Err(e) => return err_response(400, "bad_request", &e.to_string()),
+        Err(e) => return err_response(400, "bad_request", &e.to_string()).into(),
     };
     let generation = state.current.load();
     let answers = generation.engine.search(&query);
-    Response::ok(encode_answers(&answers))
+    Routed { response: Response::ok(encode_answers(&answers)), query_kind: Some(query.kind()) }
 }
 
 fn health(state: &AppState) -> Response {

@@ -22,7 +22,7 @@ use webtable_core::wire::Json;
 use crate::error::error_body;
 use crate::http::{read_request, write_response, Response};
 use crate::metrics::Endpoint;
-use crate::router::{endpoint_of, handle};
+use crate::router::{endpoint_of, handle, Routed};
 use crate::state::AppState;
 
 /// Serving knobs.
@@ -176,12 +176,13 @@ fn worker_loop(state: Arc<AppState>, queue: Arc<Queue>, log: bool) {
 /// Runs the router under `catch_unwind` so a panicking handler costs
 /// one 500 response, not a worker thread. The pool never shrinks: the
 /// worker that caught the panic loops straight back to the queue.
-fn route_isolated(state: &AppState, req: &crate::http::Request, ingress: Instant) -> Response {
+fn route_isolated(state: &AppState, req: &crate::http::Request, ingress: Instant) -> Routed {
     match catch_unwind(AssertUnwindSafe(|| handle(state, req, ingress))) {
-        Ok(resp) => resp,
+        Ok(routed) => routed,
         Err(_) => {
             state.metrics.panics.fetch_add(1, Ordering::Relaxed);
             Response { status: 500, body: error_body("internal", "request handler panicked") }
+                .into()
         }
     }
 }
@@ -193,29 +194,41 @@ fn serve_connection(state: &AppState, conn: &mut TcpStream, log: bool) {
     let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = conn.set_write_timeout(Some(Duration::from_secs(10)));
     let ingress = Instant::now();
-    let (endpoint, method, path, response) = match read_request(conn) {
+    let (endpoint, method, path, routed) = match read_request(conn) {
         Ok(Some(req)) => {
-            let resp = route_isolated(state, &req, ingress);
-            (endpoint_of(&req.path), req.method, req.path, resp)
+            let routed = route_isolated(state, &req, ingress);
+            (endpoint_of(&req.path), req.method, req.path, routed)
         }
         Ok(None) => return, // peer connected and left; nothing to answer
         Err(e) => (
             Endpoint::Other,
             String::from("-"),
             String::from("-"),
-            Response { status: e.status, body: error_body(e.code, &e.message) },
+            Response { status: e.status, body: error_body(e.code, &e.message) }.into(),
         ),
     };
+    let Routed { response, query_kind } = routed;
     let duration_us = ingress.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
     state.metrics.record(endpoint, response.status, duration_us);
+    if let Some(kind) = query_kind {
+        state.metrics.record_query_kind(kind);
+    }
     write_response(conn, &response);
     if log {
-        eprintln!("{}", log_line(state, &method, &path, response.status, duration_us));
+        eprintln!("{}", log_line(state, &method, &path, query_kind, response.status, duration_us));
     }
 }
 
 /// One structured request-log line (sorted keys, stable shape).
-fn log_line(state: &AppState, method: &str, path: &str, status: u16, duration_us: u64) -> String {
+/// `query_kind` is present for decoded search requests, `null` elsewhere.
+fn log_line(
+    state: &AppState,
+    method: &str,
+    path: &str,
+    query_kind: Option<&'static str>,
+    status: u16,
+    duration_us: u64,
+) -> String {
     let ts_ms = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
@@ -225,6 +238,7 @@ fn log_line(state: &AppState, method: &str, path: &str, status: u16, duration_us
         ("gen".into(), Json::u64(state.metrics.swap_generation.load(Ordering::Relaxed))),
         ("method".into(), Json::str(method)),
         ("path".into(), Json::str(path)),
+        ("query_kind".into(), query_kind.map(Json::str).unwrap_or(Json::Null)),
         ("status".into(), Json::u64(u64::from(status))),
         ("ts_ms".into(), Json::u64(ts_ms)),
     ])

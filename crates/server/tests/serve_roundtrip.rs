@@ -69,6 +69,81 @@ fn http_search_body_is_byte_identical_to_in_process_search() {
     assert_eq!(body, expected, "HTTP search body must be byte-identical");
 }
 
+/// All four retrieval/augmentation kinds answer over HTTP byte-identical
+/// to the in-process engine, with ranked (non-empty) answers for the
+/// generator-derived sample bodies.
+#[test]
+fn http_retrieval_and_augmentation_are_byte_identical() {
+    let srv = TestServer::start("roundtrip-retrieval");
+    let generation = load_generation(&srv.dir, 2).unwrap();
+
+    // The prepared sample bodies (tables / populate_rows / related) plus
+    // a populate_columns variant sharing the populate body's seeds.
+    let mut bodies: Vec<String> =
+        ["sample-tables-query.json", "sample-populate-query.json", "sample-related-query.json"]
+            .iter()
+            .map(|name| std::fs::read_to_string(srv.dir.join(name)).unwrap())
+            .collect();
+    let Query::PopulateRows { seeds, k } = webtable_search::wire::decode_query(&bodies[1]).unwrap()
+    else {
+        panic!("sample-populate-query.json must be a populate_rows body");
+    };
+    bodies.push(encode_query(&Query::PopulateColumns { seeds, k }));
+
+    for body in &bodies {
+        let query = webtable_search::wire::decode_query(body).unwrap();
+        let (status, http_body) = srv.request("POST", "/v1/search", body);
+        assert_eq!(status, 200, "{query:?}: {http_body}");
+        let expected = encode_answers(&generation.engine.search(&query));
+        assert_eq!(http_body, expected, "byte mismatch for {query:?}");
+        if !matches!(query, Query::Related { .. }) {
+            assert_ne!(http_body, r#"{"answers":[]}"#, "no ranked answers for {query:?}");
+        }
+    }
+
+    // Per-kind counters observed the traffic.
+    let (s, body) = srv.request("GET", "/admin/stats", "");
+    assert_eq!(s, 200);
+    let stats = Json::parse(&body).unwrap();
+    let kinds = stats.get("query_kinds").unwrap();
+    for kind in ["tables", "populate_rows", "populate_columns", "related"] {
+        assert_eq!(kinds.get(kind).and_then(Json::as_u64), Some(1), "{kind} counter");
+    }
+    assert_eq!(kinds.get("typed").and_then(Json::as_u64), Some(0));
+}
+
+/// Malformed retrieval/augmentation bodies answer 400 `bad_request` and
+/// never count toward the per-kind counters.
+#[test]
+fn malformed_retrieval_requests_answer_400() {
+    let srv = TestServer::start("roundtrip-badreq");
+    for body in [
+        r#"{"kind":"tables"}"#,                           // missing q
+        r#"{"kind":"tables","q":"x","k":0}"#,             // k out of range
+        r#"{"kind":"populate_rows"}"#,                    // missing seeds
+        r#"{"kind":"populate_rows","seeds":[]}"#,         // empty seeds
+        r#"{"kind":"populate_columns","seeds":["x"]}"#,   // non-numeric seed
+        r#"{"kind":"related","entity":1}"#,               // missing relation
+        r#"{"kind":"related","entity":-1,"relation":1}"#, // negative id
+    ] {
+        let (status, resp) = srv.request("POST", "/v1/search", body);
+        assert_eq!(status, 400, "{body} -> {resp}");
+        let err = Json::parse(&resp).unwrap();
+        assert_eq!(
+            err.get("error").unwrap().get("code").and_then(Json::as_str),
+            Some("bad_request"),
+            "{body}"
+        );
+    }
+    let (s, body) = srv.request("GET", "/admin/stats", "");
+    assert_eq!(s, 200);
+    let stats = Json::parse(&body).unwrap();
+    let kinds = stats.get("query_kinds").unwrap();
+    for kind in ["tables", "populate_rows", "populate_columns", "related"] {
+        assert_eq!(kinds.get(kind).and_then(Json::as_u64), Some(0), "{kind} counted a 400");
+    }
+}
+
 #[test]
 fn health_stats_and_error_mapping() {
     let srv = TestServer::start("roundtrip-admin");

@@ -123,6 +123,59 @@ fn concurrent_requests_see_old_or_new_generation_never_torn() {
     assert!(stats.contains("\"swaps_completed\":1"), "{stats}");
 }
 
+/// Table retrieval survives a promote (corpus growth) and a `grow`
+/// (delta segment) landed by one swap: tables that exist only in the new
+/// generation become retrievable, byte-identical to the in-process
+/// engine over the new manifest.
+#[test]
+fn table_retrieval_survives_promote_and_grow() {
+    let srv = TestServer::start("swap-tables");
+
+    // A keyword body targeting a table that only generation 2 has:
+    // context + first-row cells of the first post-promote table.
+    let g2_corpus = std::fs::read_to_string(srv.dir.join("tables-g2.json")).unwrap();
+    let g2_tables = webtable_server::state::tables_from_wire(&g2_corpus).unwrap();
+    let new_table = &g2_tables[demo::GEN1_TABLES];
+    let new_id = new_table.id.0;
+    let mut keywords = new_table.context.clone();
+    for cell in &new_table.rows[0] {
+        keywords.push(' ');
+        keywords.push_str(cell);
+    }
+    let query = Query::Tables { keywords, k: 20 };
+    let body = encode_query(&query);
+    let hit = format!("{{\"table\":{new_id},");
+
+    // Pre-swap: generation 1 has no such table id.
+    let (status, pre) = srv.request("POST", "/v1/search", &body);
+    assert_eq!(status, 200, "{pre}");
+    assert!(!pre.contains(&hit), "gen 1 must not know table {new_id}: {pre}");
+
+    // Promote (corpus grows) + grow (delta segment), landed by one swap.
+    demo::promote(&srv.dir).unwrap();
+    let generation = demo::grow(&srv.dir).unwrap();
+    let (status, swap_body) = srv.request("POST", "/admin/swap", "");
+    assert_eq!(status, 200, "{swap_body}");
+    assert!(swap_body.contains(&format!("\"generation\":{generation}")), "{swap_body}");
+
+    let (status, post) = srv.request("POST", "/v1/search", &body);
+    assert_eq!(status, 200, "{post}");
+    assert!(post.contains(&hit), "table {new_id} must be retrievable post-swap: {post}");
+
+    // Byte-identical to the in-process engine over the new manifest.
+    let now = load_generation(&srv.dir, 2).unwrap();
+    assert_eq!(post, encode_answers(&now.engine.search(&query)));
+
+    // The augmentation sample bodies keep answering after the swap.
+    for name in ["sample-populate-query.json", "sample-related-query.json"] {
+        let sample = std::fs::read_to_string(srv.dir.join(name)).unwrap();
+        let (status, resp) = srv.request("POST", "/v1/search", &sample);
+        assert_eq!(status, 200, "{name}: {resp}");
+        let q = webtable_search::wire::decode_query(&sample).unwrap();
+        assert_eq!(resp, encode_answers(&now.engine.search(&q)), "{name}");
+    }
+}
+
 #[test]
 fn swap_is_idempotent_and_guarded() {
     let srv = TestServer::start("swap-guard");

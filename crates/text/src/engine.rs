@@ -6,6 +6,7 @@
 //! lemma collection and computes [`StringSim`] profiles between prepared
 //! [`TextDoc`]s.
 
+use crate::mmap::SharedStr;
 use crate::sim;
 use crate::tfidf::{cosine, soft_tfidf_with_oov, IdfTable, WeightedVec};
 use crate::tokenize::{to_sorted_set, Vocab};
@@ -16,8 +17,10 @@ pub const SOFT_TFIDF_THRESHOLD: f64 = 0.9;
 /// A prepared text: normalized string, token set, TFIDF vector.
 #[derive(Debug, Clone)]
 pub struct TextDoc {
-    /// Lowercased, whitespace-trimmed original.
-    pub norm: String,
+    /// Lowercased, whitespace-trimmed original. A [`SharedStr`], so
+    /// snapshot-loaded lemmas serve their text straight from the mapped
+    /// file while build-path documents own theirs.
+    pub norm: SharedStr,
     /// Sorted, deduplicated token ids.
     pub token_set: Vec<u32>,
     /// L2-normalized TFIDF vector.
@@ -149,7 +152,7 @@ impl SimEngine {
         let norm = crate::tokenize::normalize(text);
         let (tokens, oov_terms) = self.prepare_norm(&norm);
         let vec = WeightedVec::from_tokens(&tokens, &self.idf);
-        TextDoc { norm, token_set: to_sorted_set(tokens), vec, oov_terms }
+        TextDoc { norm: norm.into(), token_set: to_sorted_set(tokens), vec, oov_terms }
     }
 
     /// [`doc`](SimEngine::doc) over text the caller has **already
@@ -165,7 +168,8 @@ impl SimEngine {
         debug_assert_eq!(norm, crate::tokenize::normalize(&norm));
         let (tokens, oov_terms) = self.prepare_norm(&norm);
         let vec = WeightedVec::from_tokens(&tokens, &self.idf);
-        let doc = TextDoc { norm, token_set: to_sorted_set(tokens.clone()), vec, oov_terms };
+        let doc =
+            TextDoc { norm: norm.into(), token_set: to_sorted_set(tokens.clone()), vec, oov_terms };
         (doc, tokens)
     }
 
@@ -192,10 +196,15 @@ impl SimEngine {
     /// valid when every token is in-vocabulary (true for every indexed
     /// lemma: the vocabulary is built from exactly these token streams), so
     /// `oov_terms` is empty by construction.
-    pub(crate) fn doc_from_token_ids(&self, norm: String, tokens: &[u32]) -> TextDoc {
+    pub(crate) fn doc_from_token_ids(&self, norm: impl Into<SharedStr>, tokens: &[u32]) -> TextDoc {
         debug_assert!(tokens.iter().all(|&t| !Vocab::is_oov(t)));
         let vec = WeightedVec::from_tokens(tokens, &self.idf);
-        TextDoc { norm, token_set: to_sorted_set(tokens.to_vec()), vec, oov_terms: Vec::new() }
+        TextDoc {
+            norm: norm.into(),
+            token_set: to_sorted_set(tokens.to_vec()),
+            vec,
+            oov_terms: Vec::new(),
+        }
     }
 
     /// Computes the full similarity profile between two prepared texts.

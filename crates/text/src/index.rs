@@ -65,7 +65,7 @@ use std::ops::Range;
 use webtable_catalog::{Catalog, EntityId, TypeId};
 
 use crate::engine::{SimEngine, SimEngineBuilder, StringSim, TextDoc};
-use crate::mmap::NumericSlice;
+use crate::mmap::{NumericSlice, SharedStr};
 use crate::tfidf::{cosine, IdfTable};
 use crate::tokenize::{normalize, to_sorted_set, tokenize, Vocab};
 
@@ -841,12 +841,12 @@ impl LemmaIndex {
         // old-id → new-id remap (one hash insert per *distinct* surviving
         // token, array lookups after that); only fresh text is tokenized.
         const UNSET: u32 = u32::MAX;
-        let old_words = self.engine.vocab().words();
+        let old_vocab = self.engine.vocab();
         let mut vocab = Vocab::new();
-        let mut remap = vec![UNSET; old_words.len()];
+        let mut remap = vec![UNSET; old_vocab.len()];
         let mut lemma_tokens = Csr::empty();
         let mut row = Vec::new();
-        let mut meta: Vec<(RefKind, u32, String)> = Vec::with_capacity(slots.len());
+        let mut meta: Vec<(RefKind, u32, SharedStr)> = Vec::with_capacity(slots.len());
         for slot in &slots {
             row.clear();
             match *slot {
@@ -854,7 +854,7 @@ impl LemmaIndex {
                     for &old in self.lemma_tokens.row(li) {
                         let mapped = &mut remap[old as usize];
                         if *mapped == UNSET {
-                            *mapped = vocab.intern(&old_words[old as usize]);
+                            *mapped = vocab.intern(old_vocab.word(old).expect("token id in vocab"));
                         }
                         row.push(*mapped);
                     }
@@ -866,7 +866,7 @@ impl LemmaIndex {
                     for word in tokenize(&norm) {
                         row.push(vocab.intern(&word));
                     }
-                    meta.push((kind, owner, norm));
+                    meta.push((kind, owner, norm.into()));
                 }
             }
             lemma_tokens.push_row(&row);
@@ -929,7 +929,7 @@ impl LemmaIndex {
             });
         }
         for (&li, text) in row.iter().zip(texts) {
-            if self.lemmas[li as usize].doc.norm != normalize(text) {
+            if self.lemmas[li as usize].doc.norm.as_str() != normalize(text) {
                 return Err(ExtendError::BaseChanged {
                     what: kind_name(kind),
                     owner,
@@ -959,7 +959,7 @@ impl LemmaIndex {
         // and hashed with one write each: the hasher's per-call overhead
         // would otherwise dominate these loops (the digest runs on the
         // snapshot-load hot path, where it is the index's integrity proof).
-        let word_bytes: usize = self.engine.vocab().words().iter().map(String::len).sum();
+        let word_bytes: usize = self.engine.vocab().words().map(str::len).sum();
         let mut flat: Vec<u8> = Vec::with_capacity(self.engine.vocab().len() * 4 + word_bytes);
         for w in self.engine.vocab().words() {
             flat.extend_from_slice(&(w.len() as u32).to_le_bytes());
@@ -1243,6 +1243,15 @@ impl LemmaIndex {
     /// A lemma's normalized text.
     pub(crate) fn lemma_norm(&self, li: u32) -> &str {
         &self.lemmas[li as usize].doc.norm
+    }
+
+    /// True when every string the index serves — vocabulary words and lemma
+    /// normalized text — is a view into the snapshot mapping rather than a
+    /// heap copy. Test hook for the zero-copy load guarantee.
+    #[doc(hidden)]
+    pub fn strings_are_zero_copy(&self) -> bool {
+        self.engine.vocab().words_are_zero_copy()
+            && self.lemmas.iter().all(|l| l.doc.norm.is_view())
     }
 
     /// A lemma's owner id (local to this index).

@@ -203,6 +203,14 @@ pub unsafe trait Pod: Copy + 'static {
     fn read_le(bytes: &[u8]) -> Self;
 }
 
+// SAFETY: u8 is 1 byte, align 1, no padding; a byte is its own LE decode.
+unsafe impl Pod for u8 {
+    const SIZE: usize = 1;
+    fn read_le(bytes: &[u8]) -> u8 {
+        bytes[0]
+    }
+}
+
 // SAFETY: u32 is 4 bytes, align 4, no padding, LE layout matches from_le_bytes.
 unsafe impl Pod for u32 {
     const SIZE: usize = 4;
@@ -349,6 +357,170 @@ impl<T: Pod + PartialEq> PartialEq for NumericSlice<T> {
     }
 }
 
+/// A string that is either heap-owned or a zero-copy view into a
+/// [`SectionSource`]. `Deref<Target = str>` makes the two
+/// indistinguishable to readers; views are only ever constructed by
+/// [`StrTable`], which validates UTF-8 once at load.
+#[derive(Clone)]
+pub struct SharedStr(StrRepr);
+
+#[derive(Clone)]
+enum StrRepr {
+    Owned(Box<str>),
+    View { src: SectionSource, offset: usize, len: usize },
+}
+
+impl SharedStr {
+    /// The string slice.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            StrRepr::Owned(s) => s,
+            StrRepr::View { src, offset, len } => {
+                // SAFETY: constructed only by StrTable, which bound-checked
+                // the range and validated it as UTF-8; the source bytes are
+                // immutable and kept alive by the handle.
+                unsafe { std::str::from_utf8_unchecked(&src.bytes()[*offset..*offset + *len]) }
+            }
+        }
+    }
+
+    /// True when this string borrows its bytes from a source.
+    pub fn is_view(&self) -> bool {
+        matches!(self.0, StrRepr::View { .. })
+    }
+}
+
+impl Deref for SharedStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<String> for SharedStr {
+    fn from(s: String) -> SharedStr {
+        SharedStr(StrRepr::Owned(s.into_boxed_str()))
+    }
+}
+
+impl From<&str> for SharedStr {
+    fn from(s: &str) -> SharedStr {
+        SharedStr(StrRepr::Owned(s.into()))
+    }
+}
+
+impl PartialEq for SharedStr {
+    fn eq(&self, other: &SharedStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for SharedStr {}
+
+impl PartialEq<str> for SharedStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl fmt::Debug for SharedStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for SharedStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A snapshot string table served in place: `count + 1` byte offsets (a
+/// [`NumericSlice`], so aligned little-endian files view them zero-copy)
+/// over a concatenated UTF-8 blob that always stays in the source.
+/// Construction validates offsets and UTF-8 once; every accessor after
+/// that is allocation-free.
+#[derive(Clone)]
+pub struct StrTable {
+    offsets: NumericSlice<u32>,
+    src: SectionSource,
+    blob_offset: usize,
+}
+
+impl StrTable {
+    /// Builds a table over `offsets` (already decoded or viewed) and the
+    /// blob at `blob_offset..blob_offset + blob_len` of `src`. Validates
+    /// monotonicity, closure over the blob, and UTF-8 of every entry; the
+    /// error strings match the snapshot loader's corruption reports.
+    pub(crate) fn new(
+        offsets: NumericSlice<u32>,
+        src: SectionSource,
+        blob_offset: usize,
+        blob_len: usize,
+    ) -> Result<StrTable, String> {
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err("string table offsets not monotone".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("string table offsets not monotone".into());
+        }
+        if *offsets.last().expect("non-empty") as usize != blob_len
+            || blob_offset + blob_len > src.bytes().len()
+        {
+            return Err("string table offsets not monotone".into());
+        }
+        let blob = &src.bytes()[blob_offset..blob_offset + blob_len];
+        for w in offsets.windows(2) {
+            if std::str::from_utf8(&blob[w[0] as usize..w[1] as usize]).is_err() {
+                return Err("string table holds invalid UTF-8".into());
+            }
+        }
+        Ok(StrTable { offsets, src, blob_offset })
+    }
+
+    /// Number of strings.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the table holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th string, in place.
+    pub fn get(&self, i: usize) -> &str {
+        let (s, e) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        let bytes = &self.src.bytes()[self.blob_offset + s..self.blob_offset + e];
+        // SAFETY: the constructor validated this exact range as UTF-8 and
+        // the source bytes are immutable.
+        unsafe { std::str::from_utf8_unchecked(bytes) }
+    }
+
+    /// The `i`-th string as a [`SharedStr`] view (no copy, keeps the
+    /// source alive independently of the table).
+    pub fn shared(&self, i: usize) -> SharedStr {
+        let (s, e) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        SharedStr(StrRepr::View { src: self.src.clone(), offset: self.blob_offset + s, len: e - s })
+    }
+
+    /// Iterates the strings in id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &str> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// True when the offsets are a zero-copy view (the blob always is).
+    pub fn is_view(&self) -> bool {
+        self.offsets.is_view()
+    }
+}
+
+impl fmt::Debug for StrTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StrTable").field("len", &self.len()).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +602,100 @@ mod tests {
         assert_eq!(src.bytes(), &payload[..]);
         std::fs::remove_file(&renamed).unwrap();
         assert_eq!(src.bytes(), &payload[..]);
+    }
+
+    /// Encodes `strs` as the snapshot string-table wire form (offsets +
+    /// blob) at byte `base` of a source, offsets first.
+    fn str_table_at(strs: &[&str], base: usize) -> (SectionSource, usize, usize, usize) {
+        let mut bytes = vec![0u8; base];
+        let mut blob = Vec::new();
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        for s in strs {
+            blob.extend_from_slice(s.as_bytes());
+            bytes.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        }
+        let blob_offset = bytes.len();
+        let blob_len = blob.len();
+        bytes.extend_from_slice(&blob);
+        (SectionSource::from_vec(bytes), base, blob_offset, blob_len)
+    }
+
+    #[test]
+    fn str_table_serves_views_and_shared_strings() {
+        let strs = ["alpha", "", "beta gamma", "łukasz"];
+        let (src, base, blob_at, blob_len) = str_table_at(&strs, 16);
+        let addr = src.bytes().as_ptr() as usize;
+        if (addr + base) % 4 != 0 {
+            return; // exercised by the fallback test below
+        }
+        let offsets: NumericSlice<u32> = NumericSlice::view_or_copy(&src, base, strs.len() + 1);
+        let table = StrTable::new(offsets, src.clone(), blob_at, blob_len).unwrap();
+        assert!(table.is_view());
+        assert_eq!(table.len(), strs.len());
+        for (i, want) in strs.iter().enumerate() {
+            assert_eq!(table.get(i), *want);
+            let shared = table.shared(i);
+            assert!(shared.is_view());
+            assert_eq!(&*shared, *want);
+        }
+        assert_eq!(table.iter().collect::<Vec<_>>(), strs);
+    }
+
+    #[test]
+    fn misaligned_str_table_falls_back_with_identical_contents() {
+        // Probe bases until one lands misaligned for this allocation (each
+        // allocation is at least 4-aligned in practice, so base 17 is the
+        // usual hit; the loop makes it deterministic regardless).
+        let strs = ["one", "two", "three"];
+        let table = (16..24)
+            .find_map(|pad| {
+                let (src, base, blob_at, blob_len) = str_table_at(&strs, pad);
+                if (src.bytes().as_ptr() as usize + base) % 4 == 0 {
+                    return None;
+                }
+                let offsets: NumericSlice<u32> =
+                    NumericSlice::view_or_copy(&src, base, strs.len() + 1);
+                Some(StrTable::new(offsets, src, blob_at, blob_len).unwrap())
+            })
+            .expect("some base in 16..24 must be misaligned");
+        assert!(!table.is_view(), "misaligned offsets must fall back to a copy");
+        for (i, want) in strs.iter().enumerate() {
+            assert_eq!(table.get(i), *want, "fallback contents must be identical");
+            assert_eq!(&*table.shared(i), *want);
+        }
+    }
+
+    #[test]
+    fn corrupt_str_tables_are_rejected() {
+        // Non-monotone offsets.
+        let mut bytes = Vec::new();
+        for v in [0u32, 5, 2] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes.extend_from_slice(b"hello");
+        let src = SectionSource::from_vec(bytes);
+        let offsets: NumericSlice<u32> = NumericSlice::view_or_copy(&src, 0, 3);
+        assert!(StrTable::new(offsets, src, 12, 5).unwrap_err().contains("not monotone"));
+
+        // Invalid UTF-8 inside an entry.
+        let (src, base, blob_at, blob_len) = str_table_at(&["ab"], 16);
+        let mut raw = src.bytes().to_vec();
+        raw[blob_at] = 0xff;
+        let src = SectionSource::from_vec(raw);
+        let offsets: NumericSlice<u32> = NumericSlice::view_or_copy(&src, base, 2);
+        assert!(StrTable::new(offsets, src, blob_at, blob_len)
+            .unwrap_err()
+            .contains("invalid UTF-8"));
+    }
+
+    #[test]
+    fn shared_str_owned_round_trips() {
+        let s: SharedStr = String::from("hello world").into();
+        assert!(!s.is_view());
+        assert_eq!(&*s, "hello world");
+        assert_eq!(s, SharedStr::from("hello world"));
+        assert_eq!(format!("{s}"), "hello world");
+        assert_eq!(format!("{s:?}"), "\"hello world\"");
     }
 
     #[cfg(all(unix, target_pointer_width = "64"))]

@@ -916,14 +916,14 @@ fn derive_global(segments: &[Arc<LemmaIndex>]) -> GlobalState {
 
     let mut remap_row = |si: usize, li: u32| {
         let seg = &segments[si];
-        let words = seg.engine().vocab().words();
+        let seg_vocab = seg.engine().vocab();
         let row: Vec<u32> = seg
             .lemma_token_row(li)
             .iter()
             .map(|&old| {
                 let mapped = &mut l2g[si][old as usize];
                 if *mapped == UNSET {
-                    *mapped = vocab.intern(&words[old as usize]);
+                    *mapped = vocab.intern(seg_vocab.word(old).expect("token id in vocab"));
                 }
                 *mapped
             })

@@ -10,7 +10,7 @@
 //! (same `IndexLayout`, same `content_digest`, so downstream candidate
 //! caches keyed on the digest stay valid across restarts).
 //!
-//! ## File layout (format version 2, all integers little-endian)
+//! ## File layout (format version 3, all integers little-endian)
 //!
 //! ```text
 //! ┌────────────────────────────────────────────────────────────┐
@@ -37,16 +37,18 @@
 //! ```
 //!
 //! Sections start on 4 KiB page boundaries and every numeric array inside
-//! a section is aligned to its element size (format v2 inserts a 4-byte
-//! pad after the count of each `f64` array so the data lands 8-aligned).
-//! [`LemmaIndex::load_mmap`] exploits this: it maps the file and wires the
-//! numeric tables (CSRs, IDF counts, WAND bounds, TFIDF pair vectors)
-//! straight into the mapping as [`NumericSlice`](crate::mmap::NumericSlice)
-//! views — zero copies, zero float recomputation — while strings (vocab,
-//! lemma norms) are still decoded onto the heap. [`LemmaIndex::load`]
-//! reads the file into memory and takes the same views into that buffer,
-//! so both paths run the identical validation pipeline and produce
-//! bit-identical indexes.
+//! a section is aligned to its element size (v2 inserted a 4-byte pad
+//! after the count of each `f64` array so the data lands 8-aligned; v3
+//! pads the lemma kind bytes to a 4-byte boundary so the owner array and
+//! string-table offsets that follow stay 4-aligned). [`LemmaIndex::load_mmap`]
+//! exploits this: it maps the file and wires the numeric tables (CSRs,
+//! IDF counts, WAND bounds, TFIDF pair vectors) *and* the string tables
+//! (vocabulary words, lemma norms — served through
+//! [`StrTable`](crate::mmap::StrTable) views with validation up front)
+//! straight into the mapping — zero copies, zero float recomputation, no
+//! per-string heap decode. [`LemmaIndex::load`] reads the file into memory
+//! and takes the same views into that buffer, so both paths run the
+//! identical validation pipeline and produce bit-identical indexes.
 //!
 //! ## Versioning and validation policy
 //!
@@ -76,18 +78,20 @@ use std::path::Path;
 
 use crate::engine::SimEngine;
 use crate::index::{Csr, IndexedLemma, LemmaIndex, RefKind};
-use crate::mmap::{NumericSlice, SectionSource};
+use crate::mmap::{NumericSlice, SectionSource, StrTable};
 use crate::tfidf::{IdfTable, TokenWeight, WeightedVec};
 use crate::tokenize::{to_sorted_set, Vocab, OOV_BASE};
 
 /// First 8 bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"WTLEMIDX";
 
-/// Format version this build reads and writes. v2 differs from v1 only in
-/// the 4-byte alignment pad after `f64` array counts (see the module
-/// docs); readers require an exact match because a v1 file would mis-parse
-/// under the v2 section layout.
-pub const FORMAT_VERSION: u32 = 2;
+/// Format version this build reads and writes. v2 added the 4-byte
+/// alignment pad after `f64` array counts; v3 pads the lemma kind bytes to
+/// a 4-byte boundary so the owner array and every string-table offset
+/// array stay aligned for in-place views (strings now load zero-copy).
+/// Readers require an exact match because an older file would mis-parse
+/// under the v3 section layout.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Section alignment: numeric tables start on page boundaries so the
 /// `mmap` loader can view them in place.
@@ -112,7 +116,7 @@ const SEC_ENTITY_UB: u32 = 9;
 const SEC_TYPE_UB: u32 = 10;
 const SEC_LEMMA_VECS: u32 = 11;
 
-/// All sections of format version 2, in file order.
+/// All sections of format version 3, in file order.
 const ALL_SECTIONS: [u32; 11] = [
     SEC_VOCAB,
     SEC_IDF,
@@ -408,27 +412,22 @@ impl<'a> Cursor<'a> {
         Ok(NumericSlice::view_or_copy(src, abs, n))
     }
 
-    fn str_table(&mut self) -> Result<Vec<String>, SnapshotError> {
+    /// String table (count, `count + 1` byte offsets, UTF-8 blob) as a
+    /// zero-copy [`StrTable`] over `src` — offsets view in place when
+    /// aligned, the blob always does. Validation (monotone offsets that
+    /// close over the blob, per-entry UTF-8) happens once here, in
+    /// [`StrTable::new`]; every later access is unchecked.
+    fn str_table_view(&mut self, src: &SectionSource) -> Result<StrTable, SnapshotError> {
         let n = self.u32()? as usize;
+        let offsets_abs = self.abs_pos();
         let offsets_raw =
             self.take((n + 1).checked_mul(4).ok_or_else(|| overflow("str table"))?)?;
-        let offsets: Vec<u32> = offsets_raw
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4")))
-            .collect();
-        let blob_len = *offsets.last().expect("n+1 offsets") as usize;
-        let blob = self.take(blob_len)?;
-        let mut out = Vec::with_capacity(n);
-        for w in offsets.windows(2) {
-            let (s, e) = (w[0] as usize, w[1] as usize);
-            if s > e || e > blob.len() {
-                return Err(SnapshotError::Corrupt("string table offsets not monotone".into()));
-            }
-            let str = std::str::from_utf8(&blob[s..e])
-                .map_err(|_| SnapshotError::Corrupt("string table holds invalid UTF-8".into()))?;
-            out.push(str.to_string());
-        }
-        Ok(out)
+        let last = &offsets_raw[offsets_raw.len() - 4..];
+        let blob_len = u32::from_le_bytes(last.try_into().expect("4 bytes")) as usize;
+        let blob_abs = self.abs_pos();
+        self.take(blob_len)?;
+        let offsets: NumericSlice<u32> = NumericSlice::view_or_copy(src, offsets_abs, n + 1);
+        StrTable::new(offsets, src.clone(), blob_abs, blob_len).map_err(SnapshotError::Corrupt)
     }
 
     fn csr_view(&mut self, src: &SectionSource) -> Result<Csr, SnapshotError> {
@@ -492,7 +491,7 @@ impl LemmaIndex {
         // time. (CSR arrays are u32-indexed in memory, so only the string
         // blobs and the flattened pair count can exceed the bound.)
         let limit = u32::MAX as usize;
-        let word_blob: usize = self.engine.vocab().words().iter().map(String::len).sum();
+        let word_blob: usize = self.engine.vocab().words().map(str::len).sum();
         let norm_blob: usize = self.lemmas.iter().map(|l| l.doc.norm.len()).sum();
         let pair_count: usize = self.lemmas.iter().map(|l| l.doc.vec.pairs().len()).sum();
         for (what, n) in [
@@ -503,14 +502,14 @@ impl LemmaIndex {
         ] {
             if n >= limit {
                 return Err(SnapshotError::Corrupt(format!(
-                    "index too large for snapshot format v2: {n} bytes/entries of {what} \
+                    "index too large for snapshot format v3: {n} bytes/entries of {what} \
                      exceed the u32 bound"
                 )));
             }
         }
         let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(ALL_SECTIONS.len());
         let mut buf = Vec::new();
-        put_str_table(&mut buf, self.engine.vocab().words().iter().map(String::as_str));
+        put_str_table(&mut buf, self.engine.vocab().words());
         sections.push((SEC_VOCAB, std::mem::take(&mut buf)));
 
         put_u32(&mut buf, self.engine.idf().num_documents());
@@ -523,6 +522,11 @@ impl LemmaIndex {
                 RefKind::Entity => 0,
                 RefKind::Type => 1,
             });
+        }
+        // v3: pad the kind bytes to a 4-byte boundary so the owner array
+        // and the norm string-table offsets below view in place.
+        while buf.len() % 4 != 0 {
+            buf.push(0);
         }
         for l in &self.lemmas {
             put_u32(&mut buf, l.owner);
@@ -735,9 +739,9 @@ impl LemmaIndex {
         };
 
         // -- engine ----------------------------------------------------
-        let words = section(SEC_VOCAB)?.str_table()?;
+        let words = section(SEC_VOCAB)?.str_table_view(&src)?;
         let vocab_len = words.len();
-        let vocab = Vocab::from_words(words)
+        let vocab = Vocab::from_table(words)
             .ok_or_else(|| SnapshotError::Corrupt("duplicate vocabulary word".into()))?;
         let mut idf_cur = section(SEC_IDF)?;
         let n_docs = idf_cur.u32()?;
@@ -751,13 +755,15 @@ impl LemmaIndex {
         let mut lem_cur = section(SEC_LEMMAS)?;
         let num_lemmas = lem_cur.u32()? as usize;
         let kind_bytes = lem_cur.take(num_lemmas)?.to_vec();
+        // v3 pads the kind bytes to a 4-byte boundary (see the writer).
+        lem_cur.take((4 - num_lemmas % 4) % 4)?;
         let owners_raw =
             lem_cur.take(num_lemmas.checked_mul(4).ok_or_else(|| overflow("owners"))?)?;
         let owners: Vec<u32> = owners_raw
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4")))
             .collect();
-        let norms = lem_cur.str_table()?;
+        let norms = lem_cur.str_table_view(&src)?;
         if norms.len() != num_lemmas {
             return Err(SnapshotError::Corrupt("lemma norm count differs from lemma count".into()));
         }
@@ -777,7 +783,7 @@ impl LemmaIndex {
         }
 
         let mut lemmas = Vec::with_capacity(num_lemmas);
-        for (i, (kind_byte, norm)) in kind_bytes.iter().zip(norms).enumerate() {
+        for (i, kind_byte) in kind_bytes.iter().enumerate() {
             let kind = match kind_byte {
                 0 => RefKind::Entity,
                 1 => RefKind::Type,
@@ -802,7 +808,7 @@ impl LemmaIndex {
                 kind,
                 owner: owners[i],
                 doc: crate::engine::TextDoc {
-                    norm,
+                    norm: norms.shared(i),
                     token_set,
                     vec: WeightedVec::from_raw_pairs(vec_row),
                     oov_terms: Vec::new(),
@@ -908,7 +914,7 @@ impl LemmaIndex {
                 ));
             }
             for (&li, text) in row.iter().zip(texts) {
-                if self.lemmas[li as usize].doc.norm != crate::tokenize::normalize(text) {
+                if self.lemmas[li as usize].doc.norm.as_str() != crate::tokenize::normalize(text) {
                     return Err(format!(
                         "{what} {owner} lemma {text:?} does not match the indexed text \
                          {:?} — wrong snapshot for this catalog",

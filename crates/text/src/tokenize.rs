@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use crate::mmap::StrTable;
+
 /// Canonical text normalization applied before tokenization: trim +
 /// Unicode lowercase. This is the *single* definition of "normalized
 /// text": [`crate::engine::SimEngine::doc`] derives everything in a
@@ -44,10 +46,39 @@ pub fn tokenize(text: &str) -> Vec<String> {
 /// The vocabulary is *frozen* after corpus construction: query-time tokens
 /// that were never seen get ids from a reserved out-of-vocabulary band (they
 /// contribute to vector norms but can never match an in-vocabulary token).
-#[derive(Debug, Default, Clone)]
-pub struct Vocab {
-    map: HashMap<String, u32>,
-    words: Vec<String>,
+///
+/// Two storage forms share one API: the build path owns its words
+/// (`String` vector + exact map), while the snapshot load path serves the
+/// words straight out of a zero-copy [`StrTable`] with a hash-bucket
+/// lookup (FNV-1a 64 of the token bytes, collisions resolved by string
+/// compare) — no per-word allocation on load.
+#[derive(Debug, Clone)]
+pub struct Vocab(VocabRepr);
+
+#[derive(Debug, Clone)]
+enum VocabRepr {
+    /// Heap-owned words with an exact lookup map (build path).
+    Owned { map: HashMap<String, u32>, words: Vec<String> },
+    /// Words served in place from a snapshot string table.
+    Table { lookup: HashMap<u64, Vec<u32>>, words: StrTable },
+}
+
+impl Default for Vocab {
+    fn default() -> Vocab {
+        Vocab(VocabRepr::Owned { map: HashMap::new(), words: Vec::new() })
+    }
+}
+
+/// FNV-1a 64 over token bytes — the fixed hash behind the table-backed
+/// lookup buckets (independent of the std hasher, so bucket layout is a
+/// pure function of the word list).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// First id of the reserved out-of-vocabulary band.
@@ -61,52 +92,89 @@ impl Vocab {
 
     /// Number of interned tokens.
     pub fn len(&self) -> usize {
-        self.words.len()
+        match &self.0 {
+            VocabRepr::Owned { words, .. } => words.len(),
+            VocabRepr::Table { words, .. } => words.len(),
+        }
     }
 
     /// True if no token has been interned.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len() == 0
     }
 
-    /// Interns a token, returning its id (inserting if new).
+    /// Interns a token, returning its id (inserting if new). A table-backed
+    /// vocabulary converts itself to the owned form first (no build path
+    /// interns into a loaded vocabulary, so in practice this never copies).
     pub fn intern(&mut self, token: &str) -> u32 {
-        if let Some(&id) = self.map.get(token) {
+        if let VocabRepr::Table { words, .. } = &self.0 {
+            let owned: Vec<String> = words.iter().map(str::to_string).collect();
+            let map = owned.iter().enumerate().map(|(i, w)| (w.clone(), i as u32)).collect();
+            self.0 = VocabRepr::Owned { map, words: owned };
+        }
+        let VocabRepr::Owned { map, words } = &mut self.0 else { unreachable!("converted above") };
+        if let Some(&id) = map.get(token) {
             return id;
         }
-        let id = self.words.len() as u32;
+        let id = words.len() as u32;
         assert!(id < OOV_BASE, "vocabulary overflow");
-        self.words.push(token.to_string());
-        self.map.insert(token.to_string(), id);
+        words.push(token.to_string());
+        map.insert(token.to_string(), id);
         id
     }
 
     /// Looks up a token without inserting.
     pub fn get(&self, token: &str) -> Option<u32> {
-        self.map.get(token).copied()
+        match &self.0 {
+            VocabRepr::Owned { map, .. } => map.get(token).copied(),
+            VocabRepr::Table { lookup, words } => lookup
+                .get(&fnv1a64(token.as_bytes()))?
+                .iter()
+                .copied()
+                .find(|&id| words.get(id as usize) == token),
+        }
     }
 
-    /// The interned token strings in id order (id `i` ↔ `words()[i]`).
-    pub fn words(&self) -> &[String] {
-        &self.words
+    /// The interned token strings in id order (id `i` ↔ the `i`-th item).
+    pub fn words(&self) -> impl ExactSizeIterator<Item = &str> + '_ {
+        (0..self.len() as u32).map(move |id| self.word(id).expect("id in range"))
     }
 
-    /// Rebuilds a vocabulary from its id-ordered word list (the inverse of
-    /// [`words`](Vocab::words)). Returns `None` if the list contains a
-    /// duplicate — a valid vocabulary maps every word to a unique id.
-    pub(crate) fn from_words(words: Vec<String>) -> Option<Vocab> {
-        let mut map = HashMap::with_capacity(words.len());
-        for (id, w) in words.iter().enumerate() {
-            if map.insert(w.clone(), id as u32).is_some() {
+    /// Rebuilds a vocabulary over a zero-copy snapshot string table — the
+    /// inverse of [`words`](Vocab::words): no word is copied to the heap;
+    /// lookups go through fixed-hash buckets. Returns `None` on a
+    /// duplicate word or an id-space overflow — a valid vocabulary maps
+    /// every word to a unique id.
+    pub(crate) fn from_table(words: StrTable) -> Option<Vocab> {
+        if words.len() >= OOV_BASE as usize {
+            return None;
+        }
+        let mut lookup: HashMap<u64, Vec<u32>> = HashMap::with_capacity(words.len());
+        for id in 0..words.len() {
+            let w = words.get(id);
+            let bucket = lookup.entry(fnv1a64(w.as_bytes())).or_default();
+            if bucket.iter().any(|&c| words.get(c as usize) == w) {
                 return None;
             }
+            bucket.push(id as u32);
         }
-        Some(Vocab { map, words })
+        Some(Vocab(VocabRepr::Table { lookup, words }))
+    }
+
+    /// True when the words are served zero-copy from a snapshot string
+    /// table whose offsets are themselves an in-place view.
+    pub(crate) fn words_are_zero_copy(&self) -> bool {
+        matches!(&self.0, VocabRepr::Table { words, .. } if words.is_view())
     }
 
     /// The token string for an in-vocabulary id.
     pub fn word(&self, id: u32) -> Option<&str> {
-        self.words.get(id as usize).map(String::as_str)
+        match &self.0 {
+            VocabRepr::Owned { words, .. } => words.get(id as usize).map(String::as_str),
+            VocabRepr::Table { words, .. } => {
+                ((id as usize) < words.len()).then(|| words.get(id as usize))
+            }
+        }
     }
 
     /// True if `id` lies in the reserved out-of-vocabulary band.
@@ -125,8 +193,8 @@ impl Vocab {
         let mut oov: HashMap<String, u32> = HashMap::new();
         tokenize(text)
             .into_iter()
-            .map(|t| match self.map.get(&t) {
-                Some(&id) => id,
+            .map(|t| match self.get(&t) {
+                Some(id) => id,
                 None => {
                     let next = OOV_BASE + oov.len() as u32;
                     *oov.entry(t).or_insert(next)

@@ -127,15 +127,16 @@ fn bit_flipped_mapped_payload_is_a_typed_error() {
 
 #[test]
 fn non_current_format_versions_are_rejected() {
-    // v1 files would mis-parse the padded f64 sections of the v2 reader,
-    // so the version check is an exact match in both directions.
+    // Older files would mis-parse the padded sections of the v3 reader
+    // (and v3 files the unpadded older readers), so the version check is
+    // an exact match in both directions.
     let (_, path) = snapshot_file("version");
     let mut bytes = std::fs::read(&path).unwrap();
-    for wrong in [1u32, 3, 0] {
+    for wrong in [1u32, 2, 4, 0] {
         bytes[8..12].copy_from_slice(&wrong.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
         match LemmaIndex::load_mmap(&path) {
-            Err(SnapshotError::UnsupportedVersion { found, supported: 2 }) if found == wrong => {}
+            Err(SnapshotError::UnsupportedVersion { found, supported: 3 }) if found == wrong => {}
             other => panic!("version {wrong}: expected UnsupportedVersion, got {other:?}"),
         }
     }

@@ -122,6 +122,42 @@ fn file_save_load_roundtrip() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// The mmap path serves every string — vocabulary words and lemma
+/// normalized text — straight from the mapping, and the zero-copy load is
+/// bit-identical to both the built index and the heap load.
+#[cfg(all(unix, target_pointer_width = "64"))]
+#[test]
+fn mmap_load_serves_strings_zero_copy_and_bit_identical() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("webtable-snap-zerocopy-{}.idx", std::process::id()));
+    let w = generate_world(&WorldConfig::tiny(31)).unwrap();
+    let built = LemmaIndex::build(&w.catalog);
+    built.save(&path).expect("save");
+
+    let mapped = LemmaIndex::load_mmap(&path).expect("mmap load");
+    assert!(mapped.strings_are_zero_copy(), "mmap-loaded strings must be views into the mapping");
+    assert!(!built.strings_are_zero_copy(), "a built index owns its strings");
+    assert_eq!(mapped.content_digest(), built.content_digest());
+    assert_layouts_bit_identical(&mapped.layout(), &built.layout(), "mmap zero-copy");
+
+    let heap = LemmaIndex::load(&path).expect("heap load");
+    assert_eq!(heap.content_digest(), mapped.content_digest());
+    assert_layouts_bit_identical(&heap.layout(), &mapped.layout(), "heap vs mmap");
+    // Same probe results through the shared scoring path.
+    let mut scratch = ProbeScratch::new();
+    for e in w.catalog.entity_ids().take(4) {
+        let name = w.catalog.entity_name(e);
+        let qm = mapped.doc(name);
+        let qh = heap.doc(name);
+        assert_eq!(
+            mapped.entity_candidates_with(&qm, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+            heap.entity_candidates_with(&qh, 8, DEFAULT_RESCORING_FACTOR, &mut scratch),
+            "{name:?}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
 // ------------------------------------------------------------- failures --
 
 fn snapshot_bytes() -> Vec<u8> {
@@ -272,8 +308,9 @@ fn checksum_fixed_tampering_is_caught_by_the_digest() {
 fn magic_constant_is_stable() {
     // The on-disk contract: first 8 bytes of every snapshot, forever.
     assert_eq!(&MAGIC, b"WTLEMIDX");
-    // v2 added the alignment pad after f64 array counts (mmap loader).
-    assert_eq!(FORMAT_VERSION, 2);
+    // v2 added the alignment pad after f64 array counts; v3 pads the
+    // lemma kind bytes and serves string tables zero-copy (mmap loader).
+    assert_eq!(FORMAT_VERSION, 3);
     let bytes = snapshot_bytes();
     assert_eq!(&bytes[..8], b"WTLEMIDX");
 }

@@ -58,6 +58,7 @@ fn main() {
                 .map(|a| match &a.key {
                     AnswerKey::Entity(e) => world.catalog.entity_name(*e).to_string(),
                     AnswerKey::Text(s) => format!("“{s}”"),
+                    other => format!("{other:?}"),
                 })
                 .collect();
             println!("  {name}  AP={ap:.3}  top: {}", shown.join(" | "));
